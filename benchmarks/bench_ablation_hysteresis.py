@@ -1,0 +1,78 @@
+"""Ablation: hysteresis against channel ping-ponging (Section 4.1).
+
+"To prevent frequent changes in the channel or ping-ponging across two
+channels, we also add hysteresis to our system as done in [19]."
+
+With two near-equivalent channel options and sensing noise, a zero-
+margin assigner flips between them; the default margin holds steady.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.assignment import ChannelAssigner, SwitchReason
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.spectrum_map import SpectrumMap
+
+#: Two disjoint 10 MHz-capable fragments with near-identical load.
+BASE_MAP = SpectrumMap.from_free([5, 6, 7, 12, 13, 14], 30)
+EVALUATIONS = 40
+
+
+def _noisy_observation(rng: random.Random) -> AirtimeObservation:
+    """Both fragments moderately loaded, with small sensing noise."""
+    busy = {}
+    aps = {}
+    for channel in (5, 6, 7, 12, 13, 14):
+        busy[channel] = min(1.0, max(0.0, 0.30 + rng.gauss(0.0, 0.02)))
+        aps[channel] = 1
+    return AirtimeObservation.from_mappings(busy, aps, 30)
+
+
+def count_switches(margin: float, seed: int = 9) -> int:
+    """Voluntary switches over a sequence of noisy re-evaluations."""
+    rng = random.Random(seed)
+    assigner = ChannelAssigner(hysteresis_margin=margin)
+    assigner.evaluate(
+        BASE_MAP, _noisy_observation(rng), reason=SwitchReason.BOOT
+    )
+    switches = 0
+    for _ in range(EVALUATIONS):
+        decision = assigner.evaluate(
+            BASE_MAP, _noisy_observation(rng), reason=SwitchReason.PERIODIC
+        )
+        switches += decision.switched
+    return switches
+
+
+def hysteresis_ablation() -> dict[float, float]:
+    """Mean switch count per margin across seeds."""
+    margins = (0.0, 0.05, 0.10, 0.25)
+    return {
+        margin: sum(count_switches(margin, seed) for seed in range(5)) / 5.0
+        for margin in margins
+    }
+
+
+def test_ablation_hysteresis(benchmark, record_table):
+    switch_counts = benchmark.pedantic(
+        hysteresis_ablation, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Ablation: hysteresis margin vs voluntary switches "
+        f"({EVALUATIONS} noisy re-evaluations)"
+    ]
+    for margin, switches in switch_counts.items():
+        lines.append(f"margin {margin:4.2f}: {switches:5.1f} switches")
+    record_table("ablation_hysteresis", lines)
+
+    # No hysteresis: the assigner ping-pongs on sensing noise.
+    assert switch_counts[0.0] >= 5.0
+    # The default margin suppresses the bulk of it.
+    assert switch_counts[0.10] <= 0.35 * switch_counts[0.0]
+    assert switch_counts[0.25] <= 0.15 * switch_counts[0.0]
+    # More margin, fewer switches (monotone).
+    ordered = [switch_counts[m] for m in (0.0, 0.05, 0.10, 0.25)]
+    assert all(b <= a + 0.5 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,53 @@
+"""Figure 2: expected spectrum fragmentation after the DTV transition.
+
+Histogram of contiguous fragment widths across 10 locales per setting
+(urban / suburban / rural).  Paper claims to reproduce:
+
+* every setting has at least one locale with a 4-channel (24 MHz)
+  contiguous fragment;
+* rural locales show fragments up to 16 channels;
+* urban fragmentation is dominated by narrow fragments.
+"""
+
+from __future__ import annotations
+
+from repro.spectrum.fragmentation import fragment_histogram, max_fragment_width
+from repro.spectrum.geodata import SETTINGS, generate_study, iter_maps
+
+
+def fragmentation_histograms(seed: int = 2009) -> dict[str, dict[int, int]]:
+    """Fragment-width histogram per setting (10 locales each)."""
+    study = generate_study(count_per_setting=10, seed=seed)
+    return {
+        setting: dict(sorted(fragment_histogram(iter_maps(locales)).items()))
+        for setting, locales in study.items()
+    }
+
+
+def test_fig02_fragmentation(benchmark, record_table):
+    histograms = benchmark.pedantic(
+        fragmentation_histograms, rounds=1, iterations=1
+    )
+    study = generate_study(count_per_setting=10, seed=2009)
+
+    lines = ["Figure 2: contiguous fragment width histogram (10 locales/setting)"]
+    lines.append(f"{'width (ch)':>10} | " + " | ".join(f"{s:>8}" for s in SETTINGS))
+    all_widths = sorted({w for h in histograms.values() for w in h})
+    for width in all_widths:
+        row = " | ".join(
+            f"{histograms[s].get(width, 0):>8}" for s in SETTINGS
+        )
+        lines.append(f"{width:>10} | {row}")
+    for setting in SETTINGS:
+        widest = max_fragment_width(list(iter_maps(study[setting])))
+        lines.append(f"max fragment in {setting}: {widest} channels")
+    record_table("fig02_fragmentation", lines)
+
+    # Paper-shape assertions.
+    for setting in SETTINGS:
+        assert max_fragment_width(list(iter_maps(study[setting]))) >= 4
+    assert max_fragment_width(list(iter_maps(study["rural"]))) >= 10
+    urban = histograms["urban"]
+    narrow = urban.get(1, 0) + urban.get(2, 0)
+    wide = sum(count for width, count in urban.items() if width >= 5)
+    assert narrow > wide

@@ -1,0 +1,60 @@
+"""Figure 5: time-domain view of Data-ACK frames at 5/10/20 MHz.
+
+Regenerates the three amplitude traces (132-byte data at 6 Mbps OFDM
+plus its ACK) and reports the measured burst layout.  The defining
+property: every duration and the SIFS gap double when the width halves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.timing import timing_for_width
+from repro.phy.waveform import data_ack_bursts, synthesize_bursts
+from repro.sift.detector import detect_bursts
+
+#: Figure 5 uses 132-byte frames; our data builder adds the MAC header.
+PAYLOAD_BYTES = 132 - 28
+
+
+def time_domain_traces() -> dict[float, dict[str, float]]:
+    """Data/ACK durations and gap per width, measured from synthetic IQ."""
+    rng = np.random.default_rng(5)
+    out: dict[float, dict[str, float]] = {}
+    for width in (20.0, 10.0, 5.0):
+        data, ack = data_ack_bursts(width, PAYLOAD_BYTES, 200.0)
+        trace = synthesize_bursts([data, ack], ack.end_us + 400.0, rng=rng)
+        bursts = detect_bursts(trace)
+        assert len(bursts) == 2, f"expected 2 bursts at {width} MHz"
+        out[width] = {
+            "data_us": bursts[0].duration_us,
+            "gap_us": bursts[0].gap_to(bursts[1]),
+            "ack_us": bursts[1].duration_us,
+            "window_us": trace.duration_us,
+            "peak_amplitude": max(b.peak_amplitude for b in bursts),
+        }
+    return out
+
+
+def test_fig05_time_domain(benchmark, record_table):
+    measured = benchmark.pedantic(time_domain_traces, rounds=1, iterations=1)
+    lines = [
+        "Figure 5: 132-byte Data-ACK at 6 Mbps OFDM, time domain",
+        f"{'width':>7} | {'data us':>8} | {'SIFS us':>8} | {'ack us':>7} | {'nominal SIFS':>12}",
+    ]
+    for width in (20.0, 10.0, 5.0):
+        m = measured[width]
+        nominal = timing_for_width(width).sifs_us
+        lines.append(
+            f"{width:>5g}MHz | {m['data_us']:>8.1f} | {m['gap_us']:>8.1f} | "
+            f"{m['ack_us']:>7.1f} | {nominal:>12.1f}"
+        )
+    record_table("fig05_timedomain", lines)
+
+    # Scale law: halving width doubles the data burst duration (within
+    # detector edge jitter).
+    ratio_10 = measured[10.0]["data_us"] / measured[20.0]["data_us"]
+    ratio_5 = measured[5.0]["data_us"] / measured[20.0]["data_us"]
+    assert ratio_10 == pytest.approx(2.0, rel=0.1)
+    assert ratio_5 == pytest.approx(4.0, rel=0.1)

@@ -1,0 +1,94 @@
+"""Figure 8: discovery-time reduction vs contiguous white-space width.
+
+"we set the spectrum map to have only one available fragment.  We
+varied the number of UHF channels in the fragment from 1 to 30 ...  we
+plot the total time taken by L-SIFT and J-SIFT to discover the AP as a
+fraction of the total time taken by the non-SIFT baseline."
+
+Paper shape: at one channel all algorithms tie; the SIFT algorithms'
+fraction falls as the fragment widens; L-SIFT wins for narrow white
+spaces, J-SIFT overtakes beyond ~10 channels (60 MHz).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.discovery import (
+    BaselineDiscovery,
+    DiscoverySession,
+    JSiftDiscovery,
+    LSiftDiscovery,
+)
+from repro.phy.environment import BeaconingAp, RfEnvironment
+from repro.radio import Scanner, Transceiver
+from repro.spectrum.channels import valid_channels
+from repro.spectrum.fragmentation import single_fragment_map
+
+FRAGMENT_WIDTHS = (1, 2, 4, 6, 8, 10, 14, 18, 24, 30)
+REPEATS = 5
+
+
+def _one_run(algorithm_cls, fragment_width: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    client_map = single_fragment_map(fragment_width, 30, start=0)
+    candidates = valid_channels(range(fragment_width), 30)
+    ap_channel = candidates[int(rng.integers(len(candidates)))]
+    env = RfEnvironment(seed=seed)
+    env.add_transmitter(
+        BeaconingAp(ap_channel, phase_us=float(rng.uniform(0, 100_000)))
+    )
+    session = DiscoverySession(
+        Scanner(env), Transceiver(env, rng=rng), client_map
+    )
+    outcome = algorithm_cls().discover(session)
+    assert outcome.succeeded, (algorithm_cls.name, fragment_width, ap_channel)
+    return outcome.elapsed_us
+
+
+def discovery_fraction_curve() -> dict[int, dict[str, float]]:
+    """Mean discovery time per algorithm, as a fraction of baseline."""
+    curve: dict[int, dict[str, float]] = {}
+    for width in FRAGMENT_WIDTHS:
+        times = {"baseline": [], "l-sift": [], "j-sift": []}
+        for repeat in range(REPEATS):
+            seed = 1000 * width + repeat
+            for cls in (BaselineDiscovery, LSiftDiscovery, JSiftDiscovery):
+                times[cls.name].append(_one_run(cls, width, seed))
+        base = sum(times["baseline"]) / REPEATS
+        curve[width] = {
+            "l-sift": (sum(times["l-sift"]) / REPEATS) / base,
+            "j-sift": (sum(times["j-sift"]) / REPEATS) / base,
+            "baseline_s": base / 1e6,
+        }
+    return curve
+
+
+def test_fig08_discovery_vs_fragment(benchmark, record_table):
+    curve = benchmark.pedantic(discovery_fraction_curve, rounds=1, iterations=1)
+
+    lines = ["Figure 8: discovery time as fraction of non-SIFT baseline"]
+    lines.append(
+        f"{'fragment':>9} | {'L-SIFT':>7} | {'J-SIFT':>7} | {'baseline s':>10}"
+    )
+    for width in FRAGMENT_WIDTHS:
+        row = curve[width]
+        lines.append(
+            f"{width:>9} | {row['l-sift']:7.2f} | {row['j-sift']:7.2f} | "
+            f"{row['baseline_s']:10.2f}"
+        )
+    record_table("fig08_discovery_contig", lines)
+
+    # One channel: everything costs about the same (degenerate case).
+    assert 0.9 <= curve[1]["l-sift"] <= 1.1
+    assert 0.9 <= curve[1]["j-sift"] <= 1.1
+    # Wide spectrum: both SIFT algorithms far below the baseline, and
+    # J-SIFT beats L-SIFT (crossover near 10 channels).
+    assert curve[30]["l-sift"] < 0.6
+    wide_l = sum(curve[w]["l-sift"] for w in (18, 24, 30))
+    wide_j = sum(curve[w]["j-sift"] for w in (18, 24, 30))
+    assert wide_j < wide_l
+    # Narrow spectrum: L-SIFT at least as good as J-SIFT on average.
+    narrow_l = sum(curve[w]["l-sift"] for w in (2, 4, 6))
+    narrow_j = sum(curve[w]["j-sift"] for w in (2, 4, 6))
+    assert narrow_l <= narrow_j + 0.15

@@ -1,0 +1,111 @@
+"""Figure 14: prototype validation — adaptive switching over time.
+
+Section 5.4.2 testbed: free UHF channels 26-30, 33-35, 39 and 48
+(fragments of 20, 10, and two 5 MHz).  The scripted background:
+
+* t =  50 s: background traffic on channels 26-29 -> move to the 10 MHz
+  fragment (33-35);
+* t = 100 s: background on 33-34 -> move to a 5 MHz channel (39);
+* t = 150 s: background on 33-34 removed -> back to 10 MHz;
+* t = 200 s: background on 26-29 removed -> back to 20 MHz.
+
+The bench reproduces the same five phases (compressed 2x in time to
+keep the benchmark quick; the control-loop period scales with it) and
+reports the MCham-per-width timeline plus the channel history.
+"""
+
+from __future__ import annotations
+
+from repro.sim.runner import BackgroundSpec, ScenarioConfig, run_whitefi
+from repro.spectrum.spectrum_map import SpectrumMap
+
+#: TV channels 26-30, 33-35, 39, 48 -> usable indices.
+FREE = [5, 6, 7, 8, 9, 12, 13, 14, 18, 27]
+BUILDING5 = SpectrumMap.from_free(FREE, 30)
+
+#: Time compression relative to the paper's 250 s experiment.
+SCALE = 0.5
+PHASE_S = 50.0 * SCALE
+
+#: Saturating-ish background during active windows.
+BG_DELAY_US = 8_000.0
+
+
+def _timeline_config() -> ScenarioConfig:
+    def window(start_s: float, end_s: float) -> tuple[tuple[float, float], ...]:
+        return ((start_s * 1e6, end_s * 1e6),)
+
+    backgrounds = [
+        # Channels 26-29 (indices 5-8) busy from t=50s to t=200s (scaled).
+        BackgroundSpec(i, BG_DELAY_US, active_windows=window(PHASE_S, 4 * PHASE_S))
+        for i in (5, 6, 7, 8)
+    ] + [
+        # Channels 33-34 (indices 12-13) busy from t=100s to t=150s.
+        BackgroundSpec(
+            i, BG_DELAY_US, active_windows=window(2 * PHASE_S, 3 * PHASE_S)
+        )
+        for i in (12, 13)
+    ]
+    return ScenarioConfig(
+        base_map=BUILDING5,
+        num_clients=1,
+        backgrounds=backgrounds,
+        duration_us=5 * PHASE_S * 1e6,
+        warmup_us=1_000_000.0,
+        seed=11,
+        uplink=False,
+    )
+
+
+def prototype_timeline():
+    """Run the scripted experiment; returns the WhiteFi run result."""
+    return run_whitefi(
+        _timeline_config(),
+        reeval_interval_us=2_000_000.0,
+        timeline_interval_us=5_000_000.0,
+    )
+
+
+def _channel_at(result, t_us: float):
+    current = None
+    for switch_time, channel in result.channel_history:
+        if switch_time <= t_us:
+            current = channel
+    return current
+
+
+def test_fig14_prototype_timeline(benchmark, record_table):
+    result = benchmark.pedantic(prototype_timeline, rounds=1, iterations=1)
+
+    lines = ["Figure 14: adaptive switching timeline (time scale 0.5x paper)"]
+    lines.append("channel history:")
+    for t_us, channel in result.channel_history:
+        lines.append(f"  t={t_us / 1e6:7.1f}s -> {channel}")
+    lines.append("MCham per width (sampled at re-evaluations):")
+    for t_us, scores in result.mcham_timeline[:: max(1, len(result.mcham_timeline) // 12)]:
+        formatted = ", ".join(f"{w:g}MHz={v:.2f}" for w, v in sorted(scores.items()))
+        lines.append(f"  t={t_us / 1e6:7.1f}s: {formatted}")
+    lines.append("throughput (5 s windows):")
+    for t_us, mbps in result.throughput_timeline:
+        lines.append(f"  t={t_us / 1e6:7.1f}s: {mbps:5.2f} Mbps")
+    record_table("fig14_prototype_timeline", lines)
+
+    phase_us = PHASE_S * 1e6
+    probe_points = {
+        1: 0.6 * phase_us,  # quiet -> 20 MHz on 26-30
+        2: 1.7 * phase_us,  # bg on 26-29 -> 10 MHz on 33-35
+        3: 2.7 * phase_us,  # bg also on 33-34 -> 5 MHz (39 or 48)
+        4: 3.7 * phase_us,  # 33-34 clear again -> 10 MHz
+        5: 4.7 * phase_us,  # all clear -> 20 MHz
+    }
+    ch1 = _channel_at(result, probe_points[1])
+    ch2 = _channel_at(result, probe_points[2])
+    ch3 = _channel_at(result, probe_points[3])
+    ch4 = _channel_at(result, probe_points[4])
+    ch5 = _channel_at(result, probe_points[5])
+
+    assert ch1.width_mhz == 20.0 and ch1.center_index == 7
+    assert ch2.width_mhz == 10.0 and ch2.center_index == 13
+    assert ch3.width_mhz == 5.0 and ch3.center_index in (18, 27, 9)
+    assert ch4.width_mhz == 10.0 and ch4.center_index == 13
+    assert ch5.width_mhz == 20.0 and ch5.center_index == 7

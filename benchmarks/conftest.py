@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures: result-table recording.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rows to ``benchmarks/results/<name>.txt`` (also echoed to
+stdout, visible with ``pytest -s``).  ``EXPERIMENTS.md`` summarises the
+paper-vs-measured comparison from these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Write a named result table to benchmarks/results/ and stdout."""
+
+    def _record(name: str, lines: list[str]) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        text = "\n".join(lines) + "\n"
+        path.write_text(text)
+        print(f"\n=== {name} ===")
+        print(text)
+        return path
+
+    return _record

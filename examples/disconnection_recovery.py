@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Wireless microphone interruption and chirp-based recovery.
+
+Runs a full WhiteFi BSS (beacons, reports, adaptive assignment), turns
+a wireless microphone on under the operating channel mid-transfer, and
+traces the Section 4.3 disconnection protocol: vacate, chirp on the
+backup channel, AP pickup within the 3 s scan period, reassignment,
+reconnection.
+
+Run:
+    python examples/disconnection_recovery.py
+"""
+
+from repro.core.network import WhiteFiBss
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.spectrum.incumbents import (
+    IncumbentField,
+    TvStation,
+    WirelessMicrophone,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+def main() -> None:
+    base_map = SpectrumMap.from_free([5, 6, 7, 8, 9, 12, 13, 14, 18, 27], 30)
+    engine = Engine()
+    medium = Medium(engine, 30)
+
+    incumbents = IncumbentField(
+        30, tv_stations=[TvStation(i) for i in base_map.occupied_indices()]
+    )
+    mic = WirelessMicrophone(7)  # lands under the 20 MHz main channel
+    mic.add_session(6_000_000.0, 40_000_000.0)
+    incumbents.add_microphone(mic)
+
+    bss = WhiteFiBss(engine, medium, incumbents, base_map, [base_map], seed=5)
+    bss.start()
+    print(f"boot: main={bss.ap_ctrl.state.main_channel} "
+          f"backup={bss.ap_ctrl.state.backup_channel}")
+
+    engine.run_until(20_000_000.0)
+
+    client = bss.clients[0][1]
+    print(f"t=20s: client received {client.delivered_bytes / 1e6:.2f} MB")
+    print()
+    for i, episode in enumerate(bss.disconnections):
+        print(f"disconnection episode {i}:")
+        print(f"  mic active on channel 7 at t={episode.mic_onset_us / 1e6:.2f}s")
+        print(f"  vacated main channel at   t={episode.vacated_us / 1e6:.2f}s")
+        print(f"  chirp heard by AP at      t={episode.chirp_heard_us / 1e6:.2f}s")
+        print(f"  operational again at      t={episode.reconnected_us / 1e6:.2f}s "
+              f"on {episode.new_channel}")
+        print(f"  total outage: {episode.recovery_time_us / 1e6:.2f}s "
+              f"(paper budget: 4 s)")
+
+
+if __name__ == "__main__":
+    main()

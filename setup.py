@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .`` via pyproject.toml
+alone) fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""WhiteFi: White Space Networking with Wi-Fi like Connectivity.
+
+A full reproduction of Bahl, Chandra, Moscibroda, Murty & Welsh
+(SIGCOMM 2009) in pure Python:
+
+* :mod:`repro.spectrum` — UHF band plan, spectrum maps, incumbents,
+  fragmentation, synthetic geodata.
+* :mod:`repro.phy` — width-scaled OFDM timing and time-domain IQ
+  synthesis (the scanner's view of the air).
+* :mod:`repro.sift` — SIFT: time-domain packet detection and width
+  classification before any FFT.
+* :mod:`repro.mac` — frames and DCF parameters.
+* :mod:`repro.radio` — the KNOWS platform emulation (transceiver +
+  scanner).
+* :mod:`repro.sim` — the discrete-event CSMA/CA network simulator (the
+  paper's QualNet substitute).
+* :mod:`repro.core` — WhiteFi proper: the MCham metric, spectrum
+  assignment, L-SIFT/J-SIFT AP discovery, and the chirping
+  disconnection protocol.
+* :mod:`repro.audio` — the wireless-microphone interference study
+  substrate (synthetic speech, FM mic link, PESQ-lite MOS).
+"""
+
+from repro import constants
+from repro.errors import (
+    ChannelError,
+    DiscoveryError,
+    NoChannelAvailableError,
+    ProtocolError,
+    RadioError,
+    ReproError,
+    SignalError,
+    SimulationError,
+    SpectrumMapError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "ReproError",
+    "ChannelError",
+    "SpectrumMapError",
+    "NoChannelAvailableError",
+    "SimulationError",
+    "RadioError",
+    "DiscoveryError",
+    "SignalError",
+    "ProtocolError",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Statistical helpers shared by experiments and benchmarks."""
+
+from repro.analysis.stats import mean, median, confidence_interval_95, summarize
+from repro.analysis.hamming import pairwise_hamming_matrix
+
+__all__ = [
+    "mean",
+    "median",
+    "confidence_interval_95",
+    "summarize",
+    "pairwise_hamming_matrix",
+]

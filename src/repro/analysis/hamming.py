@@ -1,0 +1,35 @@
+"""Pairwise Hamming-distance analysis of spectrum maps (Section 2.1)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+def pairwise_hamming_matrix(maps: Sequence[SpectrumMap]) -> list[list[int]]:
+    """Symmetric matrix of Hamming distances between spectrum maps.
+
+    ``matrix[i][j]`` is the number of UHF channels whose availability
+    differs between locations *i* and *j* — the Section 2.1 statistic.
+    """
+    if not maps:
+        raise ReproError("need at least one spectrum map")
+    n = len(maps)
+    matrix = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = maps[i].hamming_distance(maps[j])
+            matrix[i][j] = d
+            matrix[j][i] = d
+    return matrix
+
+
+def upper_triangle(matrix: list[list[int]]) -> list[int]:
+    """Flatten the strict upper triangle (all distinct pair distances)."""
+    return [
+        matrix[i][j]
+        for i in range(len(matrix))
+        for j in range(i + 1, len(matrix))
+    ]

@@ -1,0 +1,68 @@
+"""Small, dependency-light statistics used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; raises on empty input."""
+    if not values:
+        raise ReproError("median of empty sequence")
+    return statistics.median(values)
+
+
+def confidence_interval_95(values: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95% CI of the mean.
+
+    For the small repeat counts used here (5-10 runs) this matches the
+    error bars the paper draws.
+    """
+    if len(values) < 2:
+        raise ReproError("need at least two values for a confidence interval")
+    m = mean(values)
+    stderr = statistics.stdev(values) / math.sqrt(len(values))
+    half = 1.96 * stderr
+    return (m - half, m + half)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of repeated measurements."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.3f} median={self.median:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f} n={self.count}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` from repeated measurements."""
+    if not values:
+        raise ReproError("summarize of empty sequence")
+    return Summary(
+        mean=mean(values),
+        median=median(values),
+        minimum=min(values),
+        maximum=max(values),
+        count=len(values),
+    )

@@ -1,0 +1,46 @@
+"""WhiteFi core: the paper's primary contribution.
+
+* :mod:`repro.core.mcham` — the multichannel airtime metric (Section 4.1).
+* :mod:`repro.core.assignment` — adaptive spectrum assignment with
+  hysteresis.
+* :mod:`repro.core.discovery` — AP discovery: non-SIFT baseline, L-SIFT,
+  J-SIFT (Section 4.2.2, Algorithm 1).
+* :mod:`repro.core.chirp` — the chirping disconnection protocol
+  (Section 4.3).
+* :mod:`repro.core.ap` / :mod:`repro.core.client` — control planes.
+* :mod:`repro.core.network` — a WhiteFi BSS wired into the simulator.
+"""
+
+from repro.core.mcham import expected_share, mcham, mcham_all_nodes, network_score
+from repro.core.assignment import ChannelAssigner, AssignmentDecision
+from repro.core.discovery import (
+    BaselineDiscovery,
+    DiscoveryOutcome,
+    DiscoverySession,
+    JSiftDiscovery,
+    LSiftDiscovery,
+    expected_scans_baseline,
+    expected_scans_jsift,
+    expected_scans_lsift,
+)
+from repro.core.chirp import ChirpCodec, ChirpMessage, BackupChannelPlan
+
+__all__ = [
+    "expected_share",
+    "mcham",
+    "mcham_all_nodes",
+    "network_score",
+    "ChannelAssigner",
+    "AssignmentDecision",
+    "BaselineDiscovery",
+    "LSiftDiscovery",
+    "JSiftDiscovery",
+    "DiscoverySession",
+    "DiscoveryOutcome",
+    "expected_scans_baseline",
+    "expected_scans_lsift",
+    "expected_scans_jsift",
+    "ChirpCodec",
+    "ChirpMessage",
+    "BackupChannelPlan",
+]

@@ -1,0 +1,198 @@
+"""The WhiteFi AP control plane.
+
+Responsibilities (Sections 4.1 and 4.3):
+
+* beacon every TBTT, advertising the current backup channel;
+* collect client reports (spectrum map + airtime observation);
+* periodically re-evaluate the spectrum assignment and broadcast
+  channel-switch announcements;
+* vacate immediately when an incumbent appears on the main channel;
+* scan the backup channel every 3 s for chirps from disconnected
+  clients, and when one is heard, reassign spectrum using the chirped
+  availability information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.core.assignment import AssignmentDecision, ChannelAssigner, SwitchReason
+from repro.core.chirp import BackupChannelPlan, ChirpCodec
+from repro.errors import NoChannelAvailableError, ProtocolError
+from repro.spectrum.airtime import AirtimeObservation, NodeReport
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap, union_all
+
+
+@dataclass
+class ApState:
+    """Mutable AP protocol state.
+
+    Attributes:
+        main_channel: the BSS's operating channel (None while vacated).
+        backup_channel: the advertised 5 MHz backup channel.
+        reports: latest report per client id.
+        last_backup_scan_us: when the scanner last checked the backup.
+    """
+
+    main_channel: WhiteFiChannel | None = None
+    backup_channel: WhiteFiChannel | None = None
+    reports: dict[str, NodeReport] = field(default_factory=dict)
+    last_backup_scan_us: float = 0.0
+
+
+class ApController:
+    """Pure protocol logic for a WhiteFi AP (transport-agnostic).
+
+    The controller owns the assignment and backup-channel decisions; the
+    host (simulator or real radio shim) supplies observations and
+    delivers the frames the controller asks for.
+
+    Args:
+        ssid_code: the BSS's time-domain chirp code.
+        ap_map: the AP's local spectrum map.
+        num_channels: UHF index space size.
+        assigner: channel assigner (a default one is built if omitted).
+        codec: chirp length codec shared by the BSS.
+    """
+
+    def __init__(
+        self,
+        ssid_code: int,
+        ap_map: SpectrumMap,
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+        assigner: ChannelAssigner | None = None,
+        codec: ChirpCodec | None = None,
+    ):
+        self.ssid_code = ssid_code
+        self.ap_map = ap_map
+        self.num_channels = num_channels
+        self.assigner = assigner or ChannelAssigner(num_channels)
+        self.codec = codec or ChirpCodec()
+        self.backup_plan = BackupChannelPlan(num_channels)
+        self.state = ApState()
+
+    # -- reports ------------------------------------------------------------------
+
+    def accept_report(self, report: NodeReport) -> None:
+        """Store a client's periodic spectrum/airtime report."""
+        self.state.reports[report.node_id] = report
+
+    def forget_client(self, node_id: str) -> None:
+        """Drop a departed client's report."""
+        self.state.reports.pop(node_id, None)
+
+    def _client_maps(self) -> list[SpectrumMap]:
+        return [r.spectrum_map for r in self.state.reports.values()]
+
+    def _client_observations(self) -> list[AirtimeObservation]:
+        return [r.airtime for r in self.state.reports.values()]
+
+    def union_map(self) -> SpectrumMap:
+        """OR of the AP's and all reported client maps."""
+        return union_all([self.ap_map, *self._client_maps()])
+
+    # -- assignment -----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        ap_observation: AirtimeObservation,
+        reason: SwitchReason = SwitchReason.PERIODIC,
+    ) -> AssignmentDecision:
+        """Run one assignment evaluation and update the backup channel.
+
+        Raises:
+            NoChannelAvailableError: when no candidate is free everywhere.
+        """
+        decision = self.assigner.evaluate(
+            self.ap_map,
+            ap_observation,
+            self._client_maps(),
+            self._client_observations(),
+            reason=reason,
+        )
+        self.state.main_channel = decision.channel
+        self._refresh_backup()
+        return decision
+
+    def _refresh_backup(self) -> None:
+        if self.state.main_channel is None:
+            return
+        backup = self.backup_plan.select_backup(
+            self.union_map(), self.state.main_channel
+        )
+        # Keep the previous backup if no eligible non-overlapping channel
+        # exists; chirps contend via CSMA, so overlap is survivable.
+        if backup is not None:
+            self.state.backup_channel = backup
+
+    # -- incumbent handling -----------------------------------------------------------
+
+    def incumbent_on_main(self, occupied_index: int) -> None:
+        """React to an incumbent appearing under the main channel.
+
+        The AP marks the channel occupied in its own map and vacates to
+        the backup channel; reassignment happens from there (chirp
+        exchange or direct re-evaluation).
+        """
+        self.ap_map = self.ap_map.with_occupied(occupied_index)
+        self.state.main_channel = None
+
+    def vacate_target(self) -> WhiteFiChannel:
+        """Where a vacating node goes: the advertised backup channel.
+
+        Raises:
+            ProtocolError: if no backup channel was ever selected.
+        """
+        if self.state.backup_channel is None:
+            raise ProtocolError("no backup channel available to vacate to")
+        return self.state.backup_channel
+
+    def backup_invalidated(self, occupied_index: int) -> WhiteFiChannel | None:
+        """Select a secondary backup when the backup hosts an incumbent."""
+        self.ap_map = self.ap_map.with_occupied(occupied_index)
+        if self.state.backup_channel is None or self.state.main_channel is None:
+            return None
+        replacement = self.backup_plan.secondary_backup(
+            self.union_map(), self.state.main_channel, self.state.backup_channel
+        )
+        self.state.backup_channel = replacement
+        return replacement
+
+    # -- chirp handling ---------------------------------------------------------------
+
+    def chirp_is_ours(self, measured_duration_us: float) -> bool:
+        """Does a SIFT-detected chirp burst belong to this BSS?
+
+        Section 4.3: encoding the SSID in the chirp length lets the AP
+        avoid retuning its main radio for chirps of clients associated
+        with a different AP.
+        """
+        return self.codec.decode_duration(measured_duration_us) == self.ssid_code
+
+    def reassign_after_chirp(
+        self,
+        chirped_maps: list[SpectrumMap],
+        ap_observation: AirtimeObservation,
+    ) -> AssignmentDecision:
+        """Reassign spectrum using availability chirped on the backup channel.
+
+        The chirped maps replace the stale reports of the disconnected
+        nodes for this evaluation (they are OR-ed into the candidate
+        constraint set).
+        """
+        maps = [self.ap_map, *self._client_maps(), *chirped_maps]
+        union = union_all(maps)
+        merged_ap_map = self.ap_map
+        for idx in union.occupied_indices():
+            merged_ap_map = merged_ap_map.with_occupied(idx)
+        previous_map = self.ap_map
+        self.ap_map = merged_ap_map
+        try:
+            decision = self.evaluate(ap_observation, SwitchReason.DISCONNECTION)
+        finally:
+            self.ap_map = previous_map
+        self.state.main_channel = decision.channel
+        self._refresh_backup()
+        return decision

@@ -1,0 +1,193 @@
+"""Adaptive spectrum assignment — Section 4.1.
+
+The assigner turns per-node spectrum maps and airtime observations into a
+channel decision:
+
+1. OR the spectrum maps: only UHF channels free at *every* node qualify.
+2. Enumerate every candidate ``(F, W)`` whose span is free everywhere.
+3. Score each candidate with ``N * MCham_AP + sum_n MCham_n``.
+4. Apply hysteresis: a *voluntary* switch must beat the current channel's
+   score by a margin (preventing ping-ponging, as in DenseAP [19]);
+   an *involuntary* switch (incumbent appeared) ignores hysteresis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import constants
+from repro.errors import NoChannelAvailableError, SpectrumMapError
+from repro.core.mcham import best_channel, network_score
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.channels import WhiteFiChannel, valid_channels
+from repro.spectrum.spectrum_map import SpectrumMap, union_all
+
+
+class SwitchReason(enum.Enum):
+    """Why a (re)assignment was requested."""
+
+    BOOT = "boot"
+    PERIODIC = "periodic"
+    PERFORMANCE_DROP = "performance-drop"
+    INCUMBENT = "incumbent"
+    DISCONNECTION = "disconnection"
+
+    @property
+    def voluntary(self) -> bool:
+        """Voluntary switches are subject to hysteresis; involuntary are not."""
+        return self in (SwitchReason.PERIODIC, SwitchReason.PERFORMANCE_DROP)
+
+
+@dataclass(frozen=True)
+class AssignmentDecision:
+    """The outcome of one assignment evaluation.
+
+    Attributes:
+        channel: the selected channel.
+        score: its network score.
+        switched: True when the decision differs from the previous channel.
+        previous: the channel in use before the evaluation (None at boot).
+        candidates_considered: size of the scored candidate set.
+    """
+
+    channel: WhiteFiChannel
+    score: float
+    switched: bool
+    previous: WhiteFiChannel | None
+    candidates_considered: int
+
+
+class ChannelAssigner:
+    """The AP-side spectrum assignment state machine.
+
+    Args:
+        num_channels: UHF index space size.
+        hysteresis_margin: relative score margin a voluntary switch must
+            clear (0 disables hysteresis — the ablation configuration).
+        ap_weight: override for the AP weighting in the score (None means
+            the paper's N-times weighting).
+        aggregation: MCham aggregation ("product", or "min"/"max" for the
+            ablation).
+    """
+
+    def __init__(
+        self,
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+        hysteresis_margin: float = constants.HYSTERESIS_MARGIN,
+        ap_weight: float | None = None,
+        aggregation: str = "product",
+    ):
+        if hysteresis_margin < 0:
+            raise SpectrumMapError(
+                f"hysteresis margin must be >= 0, got {hysteresis_margin}"
+            )
+        self.num_channels = num_channels
+        self.hysteresis_margin = hysteresis_margin
+        self.ap_weight = ap_weight
+        self.aggregation = aggregation
+        self.current: WhiteFiChannel | None = None
+
+    # -- scoring ------------------------------------------------------------
+
+    def candidate_channels(
+        self, maps: Sequence[SpectrumMap]
+    ) -> list[WhiteFiChannel]:
+        """Candidates whose span is incumbent-free at every node."""
+        union = union_all(list(maps))
+        return valid_channels(union.free_indices(), self.num_channels)
+
+    def score(
+        self,
+        channel: WhiteFiChannel,
+        ap_observation: AirtimeObservation,
+        client_observations: Sequence[AirtimeObservation],
+    ) -> float:
+        """Network score of one candidate channel."""
+        return network_score(
+            channel,
+            ap_observation,
+            client_observations,
+            ap_weight=self.ap_weight,
+            aggregation=self.aggregation,
+        )
+
+    # -- decisions -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        ap_map: SpectrumMap,
+        ap_observation: AirtimeObservation,
+        client_maps: Sequence[SpectrumMap] = (),
+        client_observations: Sequence[AirtimeObservation] = (),
+        *,
+        reason: SwitchReason = SwitchReason.PERIODIC,
+    ) -> AssignmentDecision:
+        """Run one assignment evaluation.
+
+        Args:
+            ap_map: the AP's local spectrum map.
+            ap_observation: the AP's airtime observation.
+            client_maps: one map per associated client.
+            client_observations: airtime observation per client, aligned
+                with *client_maps*.
+            reason: what triggered the evaluation; involuntary reasons
+                bypass hysteresis and forbid staying on the now-invalid
+                current channel.
+
+        Raises:
+            NoChannelAvailableError: when no candidate span is free at
+                every node.
+        """
+        if len(client_maps) != len(client_observations):
+            raise SpectrumMapError(
+                "client maps and observations must align: "
+                f"{len(client_maps)} vs {len(client_observations)}"
+            )
+        candidates = self.candidate_channels([ap_map, *client_maps])
+        if reason is SwitchReason.INCUMBENT and self.current is not None:
+            # The current channel just became unusable; never re-select it.
+            candidates = [c for c in candidates if c != self.current]
+        if not candidates:
+            raise NoChannelAvailableError(
+                "no (F, W) channel is free at every node"
+            )
+
+        chosen, chosen_score = best_channel(
+            candidates,
+            lambda ch: self.score(ch, ap_observation, client_observations),
+        )
+        assert chosen is not None  # candidates is non-empty
+
+        previous = self.current
+        if (
+            reason.voluntary
+            and previous is not None
+            and previous in candidates
+        ):
+            current_score = self.score(
+                previous, ap_observation, client_observations
+            )
+            # Hysteresis: keep the incumbent choice unless clearly beaten.
+            if chosen_score < current_score * (1.0 + self.hysteresis_margin):
+                chosen, chosen_score = previous, current_score
+
+        switched = chosen != previous
+        self.current = chosen
+        return AssignmentDecision(
+            channel=chosen,
+            score=chosen_score,
+            switched=switched,
+            previous=previous,
+            candidates_considered=len(candidates),
+        )
+
+    def revert_to(self, channel: WhiteFiChannel) -> None:
+        """Force the current channel (used when a switch is rolled back).
+
+        Section 4.1: "if the measured performance of the new channel is
+        less [than] the previous channel, the AP will re-evaluate its
+        channel selection, possibly switching back".
+        """
+        self.current = channel

@@ -1,0 +1,176 @@
+"""The chirping disconnection protocol — Section 4.3.
+
+When an incumbent (typically a wireless microphone) appears on the
+channel an AP-client pair is using, the detecting node must vacate
+immediately — even a single packet audibly corrupts a microphone
+transmission (Section 2.3).  WhiteFi's protocol:
+
+* The AP advertises a 5 MHz **backup channel** in its beacons.
+* A node that detects an incumbent (or loses connectivity) switches to
+  the backup channel and transmits **chirps** carrying its white-space
+  availability.
+* The AP's secondary radio SIFT-scans the backup channel periodically
+  (every 3 s in the prototype); the main radio only retunes once a chirp
+  is seen.
+* The chirp's *length* encodes the client's SSID code in the time domain
+  — SIFT reads it without decoding, "a low-bitrate OOK-modulated
+  channel" — so the AP ignores chirps of clients associated elsewhere.
+* If the backup channel itself hosts an incumbent, an arbitrary free
+  channel becomes the secondary backup, and the AP additionally sweeps
+  all channels for lost nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ProtocolError
+from repro.phy.timing import timing_for_width
+from repro.sift.detector import Burst, edge_bias_us
+from repro.spectrum.channels import WhiteFiChannel, valid_channels
+from repro.spectrum.spectrum_map import SpectrumMap
+
+#: Chirps always use the narrowest width: a backup channel is one UHF
+#: channel ("The AP maintains a separate 5 MHz backup channel").
+CHIRP_WIDTH_MHZ = 5.0
+
+
+@dataclass(frozen=True)
+class ChirpMessage:
+    """A decoded chirp.
+
+    Attributes:
+        ssid_code: small integer identifying the BSS (time-domain OOK).
+        node_id: sender (available only after full decode by the main
+            radio, not from SIFT alone).
+        spectrum_map: the sender's advertised white-space availability.
+    """
+
+    ssid_code: int
+    node_id: str = ""
+    spectrum_map: SpectrumMap | None = None
+
+
+class ChirpCodec:
+    """Maps SSID codes to chirp frame lengths and back.
+
+    The chirp payload length is ``base + code * step`` bytes; on air, each
+    extra byte-step stretches the burst by a fixed number of OFDM symbols,
+    so SIFT can recover the code from the measured burst duration alone.
+
+    Args:
+        base_bytes: payload length for code 0.
+        step_bytes: payload increment per code step (must yield at least
+            one extra OFDM symbol so codes are separable after smoothing).
+        max_code: largest encodable SSID code.
+    """
+
+    def __init__(
+        self, base_bytes: int = 40, step_bytes: int = 24, max_code: int = 31
+    ):
+        if base_bytes < constants.ACK_FRAME_BYTES:
+            raise ProtocolError(
+                f"chirp base must be >= minimum frame, got {base_bytes}"
+            )
+        if step_bytes < 1 or max_code < 0:
+            raise ProtocolError("invalid chirp codec parameters")
+        timing = timing_for_width(CHIRP_WIDTH_MHZ)
+        step_us = (
+            timing.frame_duration_us(base_bytes + step_bytes)
+            - timing.frame_duration_us(base_bytes)
+        )
+        if step_us <= 2 * edge_bias_us():
+            raise ProtocolError(
+                f"chirp step of {step_bytes} bytes stretches the burst by "
+                f"only {step_us:.1f} us — not separable after SIFT smoothing"
+            )
+        self.base_bytes = base_bytes
+        self.step_bytes = step_bytes
+        self.max_code = max_code
+        self._timing = timing
+
+    def frame_bytes(self, ssid_code: int) -> int:
+        """Chirp frame length (bytes) encoding *ssid_code*."""
+        if not 0 <= ssid_code <= self.max_code:
+            raise ProtocolError(
+                f"SSID code {ssid_code} outside 0..{self.max_code}"
+            )
+        return self.base_bytes + ssid_code * self.step_bytes
+
+    def duration_us(self, ssid_code: int) -> float:
+        """On-air chirp duration encoding *ssid_code* (5 MHz width)."""
+        return self._timing.frame_duration_us(self.frame_bytes(ssid_code))
+
+    def decode_duration(self, measured_duration_us: float) -> int | None:
+        """Recover the SSID code from a measured burst duration.
+
+        Accounts for the detector's edge bias; returns None when the
+        duration lands between code slots (or outside the code range).
+        """
+        corrected = measured_duration_us - edge_bias_us()
+        step_us = self.duration_us(1) - self.duration_us(0)
+        code_f = (corrected - self.duration_us(0)) / step_us
+        code = round(code_f)
+        if not 0 <= code <= self.max_code:
+            return None
+        if abs(code_f - code) > 0.35:
+            return None
+        return code
+
+    def decode_burst(self, burst: Burst) -> int | None:
+        """Recover the SSID code from a detected SIFT burst."""
+        return self.decode_duration(burst.duration_us)
+
+
+class BackupChannelPlan:
+    """Backup-channel selection and failover.
+
+    Args:
+        num_channels: UHF index space size.
+    """
+
+    def __init__(self, num_channels: int = constants.NUM_UHF_CHANNELS):
+        self.num_channels = num_channels
+
+    def select_backup(
+        self,
+        union_map: SpectrumMap,
+        main_channel: WhiteFiChannel,
+        exclude: tuple[int, ...] = (),
+    ) -> WhiteFiChannel | None:
+        """Pick a 5 MHz backup channel.
+
+        Preference order: free channels outside the main channel's span
+        (so an incumbent on the main channel cannot also kill the backup),
+        nearest to the main channel first (minimising retune distance).
+        Channels in *exclude* (e.g. a backup just invalidated by an
+        incumbent) are skipped.  Overlap with other BSSs is acceptable —
+        chirps contend via CSMA like data (Section 4.3).
+
+        Returns None when no eligible channel exists.
+        """
+        candidates = [
+            c
+            for c in valid_channels(union_map.free_indices(), self.num_channels)
+            if c.width_mhz == CHIRP_WIDTH_MHZ
+            and c.center_index not in exclude
+            and not c.overlaps(main_channel)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda c: abs(c.center_index - main_channel.center_index),
+        )
+
+    def secondary_backup(
+        self,
+        union_map: SpectrumMap,
+        main_channel: WhiteFiChannel,
+        failed_backup: WhiteFiChannel,
+    ) -> WhiteFiChannel | None:
+        """An arbitrary replacement when the backup hosts an incumbent."""
+        return self.select_backup(
+            union_map, main_channel, exclude=(failed_backup.center_index,)
+        )

@@ -1,0 +1,176 @@
+"""The WhiteFi client control plane.
+
+Clients (Sections 4.1 and 4.3):
+
+* periodically report their spectrum map and airtime observation to the
+  AP;
+* follow channel-switch broadcasts;
+* track the backup channel advertised in beacons;
+* detect incumbents locally, vacate the main channel without
+  transmitting on it, and chirp on the backup channel;
+* infer disconnection from beacon/data silence and recover via the
+  backup channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import constants
+from repro.core.chirp import ChirpCodec
+from repro.errors import ProtocolError
+from repro.spectrum.airtime import AirtimeObservation, NodeReport
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
+
+#: A client declares itself disconnected after this much silence from the
+#: AP (several missed beacons).
+DEFAULT_SILENCE_TIMEOUT_US = 400_000.0
+
+
+class ClientPhase(enum.Enum):
+    """Client connectivity phases."""
+
+    CONNECTED = "connected"
+    #: On the backup channel, chirping and listening for the AP.
+    CHIRPING = "chirping"
+
+
+@dataclass
+class ChirpPlan:
+    """What a vacating client transmits on the backup channel.
+
+    Attributes:
+        channel: the backup channel to chirp on.
+        frame_bytes: chirp frame size encoding the BSS's SSID code.
+        spectrum_map: availability advertised in the chirp body.
+    """
+
+    channel: WhiteFiChannel
+    frame_bytes: int
+    spectrum_map: SpectrumMap
+
+
+class ClientController:
+    """Pure protocol logic for a WhiteFi client (transport-agnostic).
+
+    Args:
+        node_id: this client's identifier.
+        ssid_code: the BSS chirp code.
+        spectrum_map: the client's local spectrum map.
+        codec: chirp codec shared with the AP.
+        silence_timeout_us: AP-silence threshold for declaring
+            disconnection.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        ssid_code: int,
+        spectrum_map: SpectrumMap,
+        codec: ChirpCodec | None = None,
+        silence_timeout_us: float = DEFAULT_SILENCE_TIMEOUT_US,
+    ):
+        self.node_id = node_id
+        self.ssid_code = ssid_code
+        self.spectrum_map = spectrum_map
+        self.codec = codec or ChirpCodec()
+        self.silence_timeout_us = silence_timeout_us
+
+        self.phase = ClientPhase.CONNECTED
+        self.main_channel: WhiteFiChannel | None = None
+        self.backup_channel: WhiteFiChannel | None = None
+        self.last_heard_ap_us = 0.0
+
+    # -- steady-state protocol -------------------------------------------------------
+
+    def build_report(
+        self, airtime: AirtimeObservation, now_us: float
+    ) -> NodeReport:
+        """The periodic control message sent to the AP (Section 4.1)."""
+        return NodeReport(
+            node_id=self.node_id,
+            spectrum_map=self.spectrum_map,
+            airtime=airtime,
+            timestamp_us=now_us,
+        )
+
+    def heard_from_ap(self, now_us: float) -> None:
+        """Note AP activity (beacon or data) for silence tracking."""
+        self.last_heard_ap_us = now_us
+
+    def on_beacon(
+        self, backup_channel: WhiteFiChannel | None, now_us: float
+    ) -> None:
+        """Process a beacon: refresh the advertised backup channel."""
+        self.heard_from_ap(now_us)
+        if backup_channel is not None:
+            self.backup_channel = backup_channel
+
+    def on_channel_switch(self, new_channel: WhiteFiChannel, now_us: float) -> None:
+        """Follow the AP's channel-switch broadcast."""
+        self.heard_from_ap(now_us)
+        self.main_channel = new_channel
+        self.phase = ClientPhase.CONNECTED
+
+    def is_disconnected(self, now_us: float) -> bool:
+        """Has the AP been silent beyond the timeout?
+
+        Section 4.3: "If a client senses that a disconnection has
+        occurred (e.g., because no data packets have been received in a
+        given interval), it switches to the backup channel".
+        """
+        return (now_us - self.last_heard_ap_us) > self.silence_timeout_us
+
+    # -- incumbent / disconnection handling ---------------------------------------------
+
+    def incumbent_detected(self, occupied_index: int) -> None:
+        """Mark a locally detected incumbent in the client's map."""
+        self.spectrum_map = self.spectrum_map.with_occupied(occupied_index)
+
+    def must_vacate(self) -> bool:
+        """Does the current main channel overlap a local incumbent?"""
+        if self.main_channel is None:
+            return False
+        return not self.spectrum_map.span_is_free(
+            self.main_channel.spanned_indices
+        )
+
+    def start_chirping(self) -> ChirpPlan:
+        """Vacate to the backup channel and produce the chirp plan.
+
+        Raises:
+            ProtocolError: when no backup channel is known (the client
+                has never decoded a beacon) or the backup itself hosts a
+                local incumbent and no fallback exists.
+        """
+        if self.backup_channel is None:
+            raise ProtocolError(
+                f"{self.node_id}: no backup channel known; cannot chirp"
+            )
+        channel = self.backup_channel
+        if not self.spectrum_map.span_is_free(channel.spanned_indices):
+            channel = self._secondary_backup()
+        self.phase = ClientPhase.CHIRPING
+        self.main_channel = None
+        return ChirpPlan(
+            channel=channel,
+            frame_bytes=self.codec.frame_bytes(self.ssid_code),
+            spectrum_map=self.spectrum_map,
+        )
+
+    def _secondary_backup(self) -> WhiteFiChannel:
+        """An arbitrary free 5 MHz channel when the backup is occupied."""
+        free = self.spectrum_map.free_indices()
+        if not free:
+            raise ProtocolError(
+                f"{self.node_id}: no free channel available for chirping"
+            )
+        return WhiteFiChannel(free[0], 5.0)
+
+    def reconnect(self, new_channel: WhiteFiChannel, now_us: float) -> None:
+        """Rejoin the BSS on *new_channel* after a chirp exchange."""
+        self.main_channel = new_channel
+        self.phase = ClientPhase.CONNECTED
+        self.heard_from_ap(now_us)

@@ -1,0 +1,320 @@
+"""AP discovery — Section 4.2.2 and Algorithm 1.
+
+Three algorithms, sharing a time-accounting session:
+
+* **Non-SIFT baseline**: tune the main transceiver to every candidate
+  ``(F, W)`` combination in the client's free spectrum and listen one
+  beacon interval at each.  With 30 channels and 3 widths this is up to
+  84 dwells plus a PLL switch per dwell.
+* **L-SIFT**: SIFT-scan each free UHF channel from lowest to highest.
+  Scanning bottom-up means the first detection pins the transmitter's
+  center exactly (``Fc = Fs + E``): the lowest scan index that can see a
+  width-W transmitter is its lowest spanned channel.
+* **J-SIFT**: scan staggered grids, widest width first (skip 5 channels
+  at a time, then 3, then 1, never rescanning), then run an endgame that
+  tunes the transceiver over the ``Fs +/- W/2`` uncertainty range to find
+  the exact center by decoding beacons.
+
+Expected scan counts (paper):
+``E[L-SIFT] = NC / 2``,
+``E[J-SIFT] = (NC + 2^(NW-1) + (NW-1)/2) / NW``,
+crossing near NC ≈ 10 for NW = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.errors import DiscoveryError
+from repro.phy.capture import center_uncertainty_indices
+from repro.radio.scanner import Scanner
+from repro.radio.transceiver import Transceiver
+from repro.spectrum.channels import WhiteFiChannel, valid_channels
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+@dataclass
+class DiscoveryOutcome:
+    """Result of one discovery run.
+
+    Attributes:
+        channel: the discovered AP channel (None if discovery failed).
+        elapsed_us: total wall-clock time spent, including retunes and
+            dwells.
+        sift_scans: number of SIFT captures performed.
+        beacon_dwells: number of transceiver listen periods.
+        scanned_indices: UHF indices SIFT-scanned, in order.
+    """
+
+    channel: WhiteFiChannel | None
+    elapsed_us: float
+    sift_scans: int = 0
+    beacon_dwells: int = 0
+    scanned_indices: list[int] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when an AP channel was identified and verified."""
+        return self.channel is not None
+
+
+class DiscoverySession:
+    """Shared state for one discovery run: radios, map, and a clock.
+
+    Args:
+        scanner: the SIFT-capable secondary radio.
+        transceiver: the main radio used to verify beacons.
+        client_map: the client's local spectrum map; occupied channels
+            are never scanned ("the client did not scan these channels
+            for an AP", Section 5.2).
+        dwell_us: listen/capture duration per attempt; defaults to one
+            beacon interval plus margin so a beaconing AP is always
+            caught.
+        start_us: environment-clock time the session begins at.
+    """
+
+    def __init__(
+        self,
+        scanner: Scanner,
+        transceiver: Transceiver,
+        client_map: SpectrumMap,
+        dwell_us: float = constants.BEACON_DWELL_US,
+        start_us: float = 0.0,
+    ):
+        self.scanner = scanner
+        self.transceiver = transceiver
+        self.client_map = client_map
+        self.dwell_us = dwell_us
+        self.clock_us = start_us
+        self.sift_scans = 0
+        self.beacon_dwells = 0
+        self.scanned_indices: list[int] = []
+
+    @property
+    def free_indices(self) -> tuple[int, ...]:
+        """UHF indices the client may scan."""
+        return self.client_map.free_indices()
+
+    def sift_scan(self, uhf_index: int):
+        """SIFT-scan one UHF channel, advancing the clock."""
+        self.clock_us += self.scanner.tune_cost_us(uhf_index)
+        result = self.scanner.sift_scan(uhf_index, self.clock_us, self.dwell_us)
+        self.clock_us += self.dwell_us
+        self.sift_scans += 1
+        self.scanned_indices.append(uhf_index)
+        return result
+
+    def beacon_check(self, channel: WhiteFiChannel) -> bool:
+        """Tune the transceiver to *channel* and listen for one dwell."""
+        self.clock_us += self.transceiver.tune(channel)
+        heard = self.transceiver.beacon_heard(self.clock_us, self.dwell_us)
+        self.clock_us += self.dwell_us
+        self.beacon_dwells += 1
+        return heard
+
+    def outcome(self, channel: WhiteFiChannel | None) -> DiscoveryOutcome:
+        """Package the session counters into an outcome."""
+        return DiscoveryOutcome(
+            channel=channel,
+            elapsed_us=self.clock_us,
+            sift_scans=self.sift_scans,
+            beacon_dwells=self.beacon_dwells,
+            scanned_indices=self.scanned_indices,
+        )
+
+
+class BaselineDiscovery:
+    """The non-SIFT baseline: sweep every (F, W) with the main radio.
+
+    The sweep visits candidates lowest-center first, cycling widths at
+    each center, and stops at the first decoded beacon.
+    """
+
+    name = "baseline"
+
+    def discover(self, session: DiscoverySession) -> DiscoveryOutcome:
+        """Run the sweep; returns the outcome (channel None on failure)."""
+        candidates = valid_channels(
+            session.free_indices, len(session.client_map)
+        )
+        # Order by center then width: a frequency sweep, as a Wi-Fi
+        # scanning loop would do.
+        for channel in sorted(
+            candidates, key=lambda c: (c.center_index, c.width_mhz)
+        ):
+            if session.beacon_check(channel):
+                return session.outcome(channel)
+        return session.outcome(None)
+
+
+class LSiftDiscovery:
+    """Linear SIFT discovery: scan free UHF channels bottom-up.
+
+    On first detection at scan index ``s`` with width ``W``, the center is
+    ``s + span // 2`` (the transmitter is seen first from its lowest
+    spanned channel).  A single beacon check then verifies the channel.
+    If verification fails (e.g. the spectrum maps at AP and client
+    disagree and the client first saw the AP mid-span), the remaining
+    uncertainty candidates are tried in order.
+    """
+
+    name = "l-sift"
+
+    def discover(self, session: DiscoverySession) -> DiscoveryOutcome:
+        """Run the linear scan; returns the outcome."""
+        single = _single_candidate(session)
+        if single is not None:
+            return session.outcome(
+                single if session.beacon_check(single) else None
+            )
+        num_channels = len(session.client_map)
+        for uhf_index in session.free_indices:
+            result = session.sift_scan(uhf_index)
+            if not result.transmitter_detected:
+                continue
+            width = max(result.widths_detected)
+            half = constants.span_channels(width) // 2
+            ordered = [uhf_index + half] + [
+                c
+                for c in center_uncertainty_indices(
+                    uhf_index, width, num_channels
+                )
+                if c != uhf_index + half
+            ]
+            for center in ordered:
+                lo, hi = center - half, center + half
+                if lo < 0 or hi >= num_channels:
+                    continue
+                channel = WhiteFiChannel(center, width)
+                if session.beacon_check(channel):
+                    return session.outcome(channel)
+        return session.outcome(None)
+
+
+class JSiftDiscovery:
+    """Jump SIFT discovery (Algorithm 1): staggered scan + endgame.
+
+    Phase 1 scans the *free-channel sequence* on a stride grid, widest
+    width first: stride 5 (20 MHz), then 3 (10 MHz), then 1 (5 MHz),
+    skipping positions already scanned.  Striding through the free
+    sequence generalises the paper's contiguous-fragment experiments to
+    fragmented maps: a width-W transmitter occupies ``span`` consecutive
+    free channels, which are consecutive in the sequence, so a stride of
+    ``span`` cannot step over it.
+
+    Phase 2 (endgame) resolves the center-frequency uncertainty: the
+    transceiver tunes to each candidate center within ``Fs +/- W/2`` and
+    listens for a decodable beacon.
+    """
+
+    name = "j-sift"
+
+    def discover(self, session: DiscoverySession) -> DiscoveryOutcome:
+        """Run the staggered scan and endgame; returns the outcome."""
+        single = _single_candidate(session)
+        if single is not None:
+            return session.outcome(
+                single if session.beacon_check(single) else None
+            )
+        free = list(session.free_indices)
+        num_channels = len(session.client_map)
+        scanned: set[int] = set()
+        detection: tuple[int, float] | None = None
+
+        strides = sorted(
+            (constants.span_channels(w) for w in constants.CHANNEL_WIDTHS_MHZ),
+            reverse=True,
+        )
+        for stride in strides:
+            position = 0
+            while position < len(free) and detection is None:
+                uhf_index = free[position]
+                if uhf_index in scanned:
+                    position += 1
+                    continue
+                result = session.sift_scan(uhf_index)
+                scanned.add(uhf_index)
+                if result.transmitter_detected:
+                    detection = (uhf_index, max(result.widths_detected))
+                    break
+                position += stride
+            if detection is not None:
+                break
+
+        if detection is None:
+            return session.outcome(None)
+
+        scan_index, width = detection
+        half = constants.span_channels(width) // 2
+        for center in center_uncertainty_indices(scan_index, width, num_channels):
+            channel = WhiteFiChannel(center, width)
+            if session.beacon_check(channel):
+                return session.outcome(channel)
+        raise DiscoveryError(
+            f"J-SIFT detected width {width} MHz near index {scan_index} but "
+            "no candidate center verified — inconsistent environment"
+        )
+
+
+def _single_candidate(session: DiscoverySession) -> WhiteFiChannel | None:
+    """The only possible AP channel, when the map admits exactly one.
+
+    With a single candidate (e.g. a one-channel fragment) the SIFT
+    algorithms degenerate to the baseline: tune the main radio straight
+    to the unique (F, W) and listen — a SIFT scan would add a dwell
+    without eliminating anything.  This matches Figure 8's observation
+    that all algorithms take the same time on a one-channel fragment.
+    """
+    candidates = valid_channels(session.free_indices, len(session.client_map))
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Analytical expectations (Section 4.2.2)
+# ---------------------------------------------------------------------------
+
+
+def expected_scans_lsift(num_free_channels: int) -> float:
+    """Expected SIFT scans for L-SIFT: ``NC / 2``."""
+    if num_free_channels < 1:
+        raise DiscoveryError("need at least one free channel")
+    return num_free_channels / 2.0
+
+
+def expected_scans_jsift(num_free_channels: int, num_widths: int = 3) -> float:
+    """Expected scans for J-SIFT: ``(NC + 2^(NW-1) + (NW-1)/2) / NW``.
+
+    The paper's closed form; it predicts the L-vs-J crossover near
+    NC ≈ 10 for NW = 3.
+    """
+    if num_free_channels < 1:
+        raise DiscoveryError("need at least one free channel")
+    if num_widths < 1:
+        raise DiscoveryError("need at least one width")
+    return (
+        num_free_channels + 2 ** (num_widths - 1) + (num_widths - 1) / 2.0
+    ) / num_widths
+
+
+def expected_scans_baseline(
+    num_free_channels: int, num_widths: int = 3
+) -> float:
+    """Expected dwells for the non-SIFT baseline: ``~NC * NW / 2``."""
+    if num_free_channels < 1:
+        raise DiscoveryError("need at least one free channel")
+    return num_free_channels * num_widths / 2.0
+
+
+def crossover_channels(num_widths: int = 3) -> float:
+    """Fragment size above which J-SIFT beats L-SIFT in expectation.
+
+    Solving ``NC/2 > (NC + 2^(NW-1) + (NW-1)/2) / NW`` for NC:
+
+    >>> crossover_channels(3)
+    10.0
+    """
+    extra = 2 ** (num_widths - 1) + (num_widths - 1) / 2.0
+    return 2.0 * extra / (num_widths - 2)

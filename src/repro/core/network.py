@@ -1,0 +1,328 @@
+"""A full WhiteFi BSS wired into the discrete-event simulator.
+
+This is the message-level integration of the control planes: beacons
+(with the backup-channel IE), client reports, channel-switch broadcasts,
+local incumbent sensing, chirping on the backup channel, the AP's
+periodic backup scan, and reconnection — the machinery evaluated in
+Sections 5.3 and 5.4.2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.core.ap import ApController
+from repro.core.assignment import SwitchReason
+from repro.core.client import ClientController, ClientPhase
+from repro.errors import ProtocolError
+from repro.mac.frames import (
+    Frame,
+    FrameType,
+    beacon_frame,
+    channel_switch_frame,
+    report_frame,
+)
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.node import SimNode
+from repro.sim.sensors import GroundTruthSensor
+from repro.sim.traffic import SaturatingSource
+from repro.spectrum.incumbents import IncumbentField
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
+
+#: How often nodes poll their incumbent sensor (the scanner continuously
+#: monitors; this is the reaction granularity).
+DEFAULT_SENSING_INTERVAL_US = 100_000.0
+
+#: How often clients send their spectrum/airtime reports.
+DEFAULT_REPORT_INTERVAL_US = 1_000_000.0
+
+#: How often a chirping client repeats its chirp.
+DEFAULT_CHIRP_INTERVAL_US = 100_000.0
+
+
+@dataclass
+class DisconnectionEvent:
+    """Timeline of one disconnection/reconnection episode.
+
+    Attributes:
+        mic_onset_us: when the incumbent became active.
+        vacated_us: when the detecting node left the main channel.
+        chirp_heard_us: when the AP's backup scan picked up the chirp.
+        reconnected_us: when data flow resumed on the new channel.
+        new_channel: the post-recovery operating channel.
+    """
+
+    mic_onset_us: float
+    vacated_us: float | None = None
+    chirp_heard_us: float | None = None
+    reconnected_us: float | None = None
+    new_channel: WhiteFiChannel | None = None
+
+    @property
+    def recovery_time_us(self) -> float | None:
+        """Total outage: mic onset to resumed operation."""
+        if self.reconnected_us is None:
+            return None
+        return self.reconnected_us - self.mic_onset_us
+
+
+class WhiteFiBss:
+    """An AP plus clients running the full WhiteFi protocol in the sim.
+
+    Args:
+        engine / medium: the simulation substrate.
+        incumbents: the incumbent field all nodes sense.
+        ap_map: the AP's initial spectrum map.
+        client_maps: one map per client.
+        ssid_code: the BSS chirp code.
+        seed: randomness seed.
+        traffic: start saturating downlink flows when True.
+        backup_scan_interval_us: AP backup-channel scan period (3 s in
+            the prototype).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        medium: Medium,
+        incumbents: IncumbentField,
+        ap_map: SpectrumMap,
+        client_maps: list[SpectrumMap],
+        ssid_code: int = 1,
+        seed: int = 0,
+        traffic: bool = True,
+        backup_scan_interval_us: float = constants.BACKUP_SCAN_INTERVAL_US,
+        sensing_interval_us: float = DEFAULT_SENSING_INTERVAL_US,
+        report_interval_us: float = DEFAULT_REPORT_INTERVAL_US,
+    ):
+        self.engine = engine
+        self.medium = medium
+        self.incumbents = incumbents
+        self.sensor = GroundTruthSensor(medium)
+        self.rng = random.Random(seed)
+        self.traffic = traffic
+        self.backup_scan_interval_us = backup_scan_interval_us
+        self.sensing_interval_us = sensing_interval_us
+        self.report_interval_us = report_interval_us
+
+        self.ap_ctrl = ApController(ssid_code, ap_map, len(ap_map))
+        self.ap_node = SimNode(
+            engine, medium, "ap", "whitefi", None,
+            rng=random.Random(self.rng.randrange(2**31)),
+        )
+        self.clients: list[tuple[ClientController, SimNode]] = []
+        self.nodes: dict[str, SimNode] = {"ap": self.ap_node}
+        self.ap_node.nodes = self.nodes
+        self.ap_node.on_frame_received = self._ap_received
+
+        for i, cmap in enumerate(client_maps):
+            ctrl = ClientController(f"client{i}", ssid_code, cmap)
+            node = SimNode(
+                engine, medium, f"client{i}", "whitefi", None,
+                rng=random.Random(self.rng.randrange(2**31)),
+            )
+            node.nodes = self.nodes
+            node.on_frame_received = self._client_received_factory(ctrl)
+            self.nodes[node.node_id] = node
+            self.clients.append((ctrl, node))
+
+        self.disconnections: list[DisconnectionEvent] = []
+        self._active_episode: DisconnectionEvent | None = None
+        self._last_backup_scan_us = 0.0
+
+    # -- bring-up -----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot the BSS: select the initial channel and start all loops."""
+        decision = self.ap_ctrl.evaluate(
+            self.sensor.observe("whitefi"), SwitchReason.BOOT
+        )
+        channel = decision.channel
+        self.ap_node.retune(channel, latency_us=1.0)
+        for ctrl, node in self.clients:
+            ctrl.main_channel = channel
+            ctrl.backup_channel = self.ap_ctrl.state.backup_channel
+            ctrl.heard_from_ap(self.engine.now_us)
+            node.retune(channel, latency_us=1.0)
+        if self.traffic:
+            self.engine.schedule(10.0, self._start_traffic)
+        self.engine.schedule(constants.BEACON_INTERVAL_US, self._beacon_loop)
+        self.engine.schedule(self.sensing_interval_us, self._sensing_loop)
+        self.engine.schedule(self.report_interval_us, self._report_loop)
+        self.engine.schedule(self.backup_scan_interval_us, self._backup_scan_loop)
+
+    def _start_traffic(self) -> None:
+        for _, node in self.clients:
+            if node.tuned is not None:
+                SaturatingSource(self.ap_node, node.node_id).start()
+                break
+
+    # -- periodic loops -------------------------------------------------------------------
+
+    def _beacon_loop(self) -> None:
+        if self.ap_node.tuned is not None and self.ap_ctrl.state.main_channel:
+            self.ap_node.enqueue(
+                beacon_frame("ap", self.ap_ctrl.state.backup_channel)
+            )
+        self.engine.schedule(constants.BEACON_INTERVAL_US, self._beacon_loop)
+
+    def _report_loop(self) -> None:
+        for ctrl, node in self.clients:
+            if ctrl.phase is ClientPhase.CONNECTED and node.tuned is not None:
+                report = ctrl.build_report(
+                    self.sensor.observe("whitefi"), self.engine.now_us
+                )
+                node.enqueue(report_frame(node.node_id, "ap", report))
+        self.engine.schedule(self.report_interval_us, self._report_loop)
+
+    def _sensing_loop(self) -> None:
+        now = self.engine.now_us
+        # AP-side sensing.
+        main = self.ap_ctrl.state.main_channel
+        if main is not None:
+            hit = next(
+                (
+                    c
+                    for c in main.spanned_indices
+                    if self.incumbents.mic_active_on(c, now)
+                ),
+                None,
+            )
+            if hit is not None:
+                self._ap_vacate(hit)
+        # Client-side sensing + silence detection.
+        for ctrl, node in self.clients:
+            if ctrl.phase is not ClientPhase.CONNECTED:
+                continue
+            if ctrl.main_channel is not None:
+                hit = next(
+                    (
+                        c
+                        for c in ctrl.main_channel.spanned_indices
+                        if self.incumbents.mic_active_on(c, now)
+                    ),
+                    None,
+                )
+                if hit is not None:
+                    ctrl.incumbent_detected(hit)
+                    self._client_vacate(ctrl, node)
+                    continue
+            if ctrl.is_disconnected(now):
+                self._client_vacate(ctrl, node)
+        self.engine.schedule(self.sensing_interval_us, self._sensing_loop)
+
+    def _backup_scan_loop(self) -> None:
+        """The AP's secondary radio checks the backup channel for chirps."""
+        backup = self.ap_ctrl.state.backup_channel
+        now = self.engine.now_us
+        if backup is not None:
+            chirps = [
+                frame
+                for _, frame in self.medium.frames_on(
+                    backup.spanned_indices, self._last_backup_scan_us
+                )
+                if frame.frame_type is FrameType.CHIRP
+                and frame.payload is not None
+                and frame.payload.get("ssid_code") == self.ap_ctrl.ssid_code
+            ]
+            if chirps:
+                self._handle_chirps(chirps)
+        self._last_backup_scan_us = now
+        self.engine.schedule(self.backup_scan_interval_us, self._backup_scan_loop)
+
+    # -- incumbent / chirp handling -----------------------------------------------------------
+
+    def _ap_vacate(self, occupied_index: int) -> None:
+        episode = self._begin_episode()
+        self.ap_ctrl.incumbent_on_main(occupied_index)
+        backup = self.ap_ctrl.vacate_target()
+        self.ap_node.retune(backup)
+        episode.vacated_us = self.engine.now_us
+        # Clients will notice the silence and converge on the backup
+        # channel via their own chirps.
+
+    def _client_vacate(self, ctrl: ClientController, node: SimNode) -> None:
+        episode = self._begin_episode()
+        try:
+            plan = ctrl.start_chirping()
+        except ProtocolError:
+            return  # nothing we can do without a backup channel
+        node.retune(plan.channel)
+        episode.vacated_us = self.engine.now_us
+        self._chirp_loop(ctrl, node, plan)
+
+    def _chirp_loop(self, ctrl: ClientController, node: SimNode, plan) -> None:
+        if ctrl.phase is not ClientPhase.CHIRPING:
+            return
+        if node.tuned == plan.channel:
+            node.enqueue(
+                Frame(
+                    FrameType.CHIRP,
+                    node.node_id,
+                    "*",
+                    size_bytes=plan.frame_bytes,
+                    payload={
+                        "ssid_code": ctrl.ssid_code,
+                        "spectrum_map": plan.spectrum_map,
+                        "node_id": node.node_id,
+                    },
+                )
+            )
+        self.engine.schedule(
+            DEFAULT_CHIRP_INTERVAL_US, self._chirp_loop, ctrl, node, plan
+        )
+
+    def _handle_chirps(self, chirps: list[Frame]) -> None:
+        episode = self._active_episode
+        if episode is not None and episode.chirp_heard_us is None:
+            episode.chirp_heard_us = self.engine.now_us
+        chirped_maps = [f.payload["spectrum_map"] for f in chirps]
+        decision = self.ap_ctrl.reassign_after_chirp(
+            chirped_maps, self.sensor.observe("whitefi")
+        )
+        new_channel = decision.channel
+        # Main radio visits the backup channel to announce the new home.
+        self.ap_node.retune(new_channel)
+        for ctrl, node in self.clients:
+            ctrl.reconnect(new_channel, self.engine.now_us)
+            node.retune(new_channel)
+        if episode is not None:
+            episode.reconnected_us = (
+                self.engine.now_us + constants.PLL_SWITCH_US
+            )
+            episode.new_channel = new_channel
+            self._active_episode = None
+
+    def _begin_episode(self) -> DisconnectionEvent:
+        if self._active_episode is None:
+            self._active_episode = DisconnectionEvent(
+                mic_onset_us=self.engine.now_us
+            )
+            self.disconnections.append(self._active_episode)
+        return self._active_episode
+
+    # -- frame handlers ---------------------------------------------------------------------
+
+    def _ap_received(self, node: SimNode, frame: Frame) -> None:
+        if frame.frame_type is FrameType.REPORT:
+            self.ap_ctrl.accept_report(frame.payload)
+
+    def _client_received_factory(self, ctrl: ClientController):
+        def handler(node: SimNode, frame: Frame) -> None:
+            now = self.engine.now_us
+            if frame.source != "ap":
+                return
+            if frame.frame_type is FrameType.BEACON:
+                ctrl.on_beacon(frame.payload.get("backup_channel"), now)
+            elif frame.frame_type is FrameType.CHANNEL_SWITCH:
+                new_channel = frame.payload["new_channel"]
+                ctrl.on_channel_switch(new_channel, now)
+                node.retune(new_channel)
+            else:
+                ctrl.heard_from_ap(now)
+
+        return handler

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the WhiteFi reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ChannelError(ReproError):
+    """An invalid UHF channel index, number, or WhiteFi (F, W) tuple."""
+
+
+class SpectrumMapError(ReproError):
+    """Malformed or incompatible spectrum map."""
+
+
+class NoChannelAvailableError(ReproError):
+    """Spectrum assignment found no (F, W) channel free at every node."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent discrete-event simulator state."""
+
+
+class RadioError(ReproError):
+    """Invalid radio operation (e.g. decoding while mistuned)."""
+
+
+class DiscoveryError(ReproError):
+    """AP discovery failed or was invoked with an impossible configuration."""
+
+
+class SignalError(ReproError):
+    """Invalid IQ trace or signal-processing parameter."""
+
+
+class ProtocolError(ReproError):
+    """WhiteFi control-plane protocol violation."""

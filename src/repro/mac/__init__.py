@@ -1,0 +1,18 @@
+"""MAC substrate: frame taxonomy and DCF (CSMA/CA) parameters.
+
+WhiteFi deliberately reuses the Wi-Fi MAC (Section 6: "The success of LBT
+protocols (e.g., Wi-Fi) in the ISM bands made it a natural choice for
+white space networking"), with every timing parameter scaled by the
+channel width.
+"""
+
+from repro.mac.frames import Frame, FrameType
+from repro.mac.csma import BackoffState, DcfParameters, dcf_for_width
+
+__all__ = [
+    "Frame",
+    "FrameType",
+    "BackoffState",
+    "DcfParameters",
+    "dcf_for_width",
+]

@@ -1,0 +1,114 @@
+"""DCF (CSMA/CA) parameters and backoff bookkeeping.
+
+The simulator implements the classic 802.11 distributed coordination
+function with width-scaled timing, plus the paper's multi-channel carrier
+sense rule (Section 5.4): "a node spanning multiple UHF channels will
+transmit a packet only if no carrier is sensed on any of those channels."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.errors import SimulationError
+from repro.phy.timing import WidthTiming, timing_for_width
+
+
+@dataclass(frozen=True)
+class DcfParameters:
+    """DCF constants at one channel width.
+
+    Attributes:
+        timing: the width's PHY timing.
+        cw_min: minimum contention window (slots).
+        cw_max: maximum contention window (slots).
+        max_retries: MAC retry limit before a frame is dropped.
+    """
+
+    timing: WidthTiming
+    cw_min: int = constants.CW_MIN
+    cw_max: int = constants.CW_MAX
+    max_retries: int = constants.MAX_RETRIES
+
+    @property
+    def slot_us(self) -> float:
+        """Slot duration (us)."""
+        return self.timing.slot_us
+
+    @property
+    def difs_us(self) -> float:
+        """DIFS duration (us)."""
+        return self.timing.difs_us
+
+    @property
+    def sifs_us(self) -> float:
+        """SIFS duration (us)."""
+        return self.timing.sifs_us
+
+    def ack_timeout_us(self) -> float:
+        """How long a sender waits for an ACK before declaring loss."""
+        return self.sifs_us + self.timing.ack_duration_us + 2 * self.slot_us
+
+
+def dcf_for_width(width_mhz: float) -> DcfParameters:
+    """DCF parameters for a channel width."""
+    return DcfParameters(timing=timing_for_width(width_mhz))
+
+
+@dataclass
+class BackoffState:
+    """Per-node DCF backoff state machine data.
+
+    The contention window doubles on every failed attempt (collision /
+    missing ACK) and resets on success, per 802.11.
+    """
+
+    params: DcfParameters
+    rng: random.Random
+    retries: int = 0
+    cw: int = field(init=False)
+    slots_remaining: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.cw = self.params.cw_min
+        self.draw()
+
+    def draw(self) -> int:
+        """Draw a fresh uniform backoff in [0, cw] and return it."""
+        self.slots_remaining = self.rng.randint(0, self.cw)
+        return self.slots_remaining
+
+    def on_failure(self) -> bool:
+        """Register a failed attempt.
+
+        Returns:
+            True if the frame should be retried, False if the retry limit
+            was exhausted (frame dropped).
+        """
+        self.retries += 1
+        self.cw = min(2 * self.cw + 1, self.params.cw_max)
+        self.draw()
+        return self.retries <= self.params.max_retries
+
+    def on_success(self) -> None:
+        """Reset the window after a successful exchange."""
+        self.retries = 0
+        self.cw = self.params.cw_min
+        self.draw()
+
+    def consume_slot(self) -> None:
+        """Count down one idle slot.
+
+        Raises:
+            SimulationError: if no slots remain (caller logic error).
+        """
+        if self.slots_remaining <= 0:
+            raise SimulationError("backoff consumed below zero")
+        self.slots_remaining -= 1
+
+    @property
+    def ready(self) -> bool:
+        """True when the countdown reached zero and TX may start."""
+        return self.slots_remaining == 0

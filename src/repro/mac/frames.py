@@ -1,0 +1,127 @@
+"""MAC frame taxonomy for WhiteFi.
+
+Frames carry just enough structure for the simulator and control plane:
+on-air size (which fixes duration at a given width) plus the control
+payloads WhiteFi adds — the backup channel in beacons, spectrum maps and
+airtime vectors in client reports, and white-space availability in
+chirps.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import constants
+from repro.errors import ProtocolError
+
+
+class FrameType(enum.Enum):
+    """On-air frame types used by WhiteFi."""
+
+    DATA = "data"
+    ACK = "ack"
+    BEACON = "beacon"
+    CTS = "cts"
+    PROBE_REQUEST = "probe-request"
+    PROBE_RESPONSE = "probe-response"
+    #: Client -> AP control message carrying spectrum map + airtime vector.
+    REPORT = "report"
+    #: AP -> clients broadcast announcing a channel switch.
+    CHANNEL_SWITCH = "channel-switch"
+    #: Backup-channel distress signal (length carries the OOK SSID code).
+    CHIRP = "chirp"
+
+
+#: Default on-air sizes (bytes) by frame type.
+_DEFAULT_SIZES = {
+    FrameType.DATA: 1000 + constants.DATA_HEADER_BYTES,
+    FrameType.ACK: constants.ACK_FRAME_BYTES,
+    FrameType.BEACON: constants.BEACON_FRAME_BYTES,
+    FrameType.CTS: constants.CTS_FRAME_BYTES,
+    FrameType.PROBE_REQUEST: 44,
+    FrameType.PROBE_RESPONSE: constants.BEACON_FRAME_BYTES,
+    FrameType.REPORT: 44 + 2 * constants.NUM_UHF_CHANNELS,
+    FrameType.CHANNEL_SWITCH: 36,
+    FrameType.CHIRP: 70,
+}
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One MAC frame.
+
+    Attributes:
+        frame_type: taxonomy entry.
+        source: sender node id.
+        destination: receiver node id, or "*" for broadcast.
+        size_bytes: on-air size including MAC header and FCS.
+        payload: structured control payload (e.g. a NodeReport, a new
+            channel); opaque to the MAC.
+        frame_id: unique id for tracing.
+    """
+
+    frame_type: FrameType
+    source: str
+    destination: str = "*"
+    size_bytes: int = 0
+    payload: Any = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            self.size_bytes = _DEFAULT_SIZES[self.frame_type]
+        if self.size_bytes < constants.ACK_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame smaller than the minimum MAC frame: {self.size_bytes} bytes"
+            )
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for broadcast frames (no ACK expected)."""
+        return self.destination == "*"
+
+    @property
+    def expects_ack(self) -> bool:
+        """True when the receiver must ACK one SIFS after reception."""
+        return not self.is_broadcast and self.frame_type in (
+            FrameType.DATA,
+            FrameType.REPORT,
+            FrameType.PROBE_REQUEST,
+            FrameType.PROBE_RESPONSE,
+        )
+
+
+def data_frame(source: str, destination: str, payload_bytes: int) -> Frame:
+    """A data frame with *payload_bytes* of payload (header added)."""
+    if payload_bytes < 0:
+        raise ProtocolError(f"payload must be >= 0 bytes, got {payload_bytes}")
+    return Frame(
+        FrameType.DATA,
+        source,
+        destination,
+        size_bytes=payload_bytes + constants.DATA_HEADER_BYTES,
+    )
+
+
+def beacon_frame(source: str, backup_channel: Any = None) -> Frame:
+    """A beacon advertising the AP's backup channel (Section 4.3)."""
+    return Frame(
+        FrameType.BEACON, source, "*", payload={"backup_channel": backup_channel}
+    )
+
+
+def report_frame(source: str, destination: str, report: Any) -> Frame:
+    """A client's periodic spectrum/airtime report (Section 4.1)."""
+    return Frame(FrameType.REPORT, source, destination, payload=report)
+
+
+def channel_switch_frame(source: str, new_channel: Any) -> Frame:
+    """The AP's broadcast announcing a switch to *new_channel*."""
+    return Frame(
+        FrameType.CHANNEL_SWITCH, source, "*", payload={"new_channel": new_channel}
+    )

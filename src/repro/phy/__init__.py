@@ -1,0 +1,38 @@
+"""PHY substrate: per-width timing, IQ synthesis, capture model.
+
+WhiteFi's PHY is a width-scaled 802.11a OFDM: operating a Wi-Fi card at a
+reduced PLL clock stretches every on-air duration by ``20 / W``.  SIFT
+consumes raw time-domain (I, Q) amplitude, so this package synthesizes
+exactly that observable:
+
+* :mod:`repro.phy.timing` — symbol/SIFS/DIFS/slot and frame durations.
+* :mod:`repro.phy.iq` — IQ trace containers at the USRP sample rate.
+* :mod:`repro.phy.waveform` — burst envelope synthesis (incl. the 5 MHz
+  ramp-up artifact of Figure 5).
+* :mod:`repro.phy.noise` — AWGN and attenuation.
+* :mod:`repro.phy.capture` — the USRP capture model (8 MHz span, 1 MS/s).
+* :mod:`repro.phy.environment` — an RF environment mapping transmitter
+  schedules to captured IQ.
+"""
+
+from repro.phy.timing import WidthTiming, timing_for_width, frame_airtime_us
+from repro.phy.iq import IqTrace
+from repro.phy.waveform import BurstSpec, synthesize_bursts
+from repro.phy.noise import attenuate_db, awgn_amplitude
+from repro.phy.capture import CaptureRequest, capture_overlaps_channel
+from repro.phy.environment import RfEnvironment, ScheduledFrame
+
+__all__ = [
+    "WidthTiming",
+    "timing_for_width",
+    "frame_airtime_us",
+    "IqTrace",
+    "BurstSpec",
+    "synthesize_bursts",
+    "attenuate_db",
+    "awgn_amplitude",
+    "CaptureRequest",
+    "capture_overlaps_channel",
+    "RfEnvironment",
+    "ScheduledFrame",
+]

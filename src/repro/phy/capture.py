@@ -1,0 +1,109 @@
+"""The USRP scanner capture model.
+
+Hardware constraints from Section 3 / 4.2.1:
+
+* the TVRX front end spans at most **8 MHz** per capture, so one scan can
+  only see transmitters whose channel overlaps that span;
+* the host samples a **1 MHz** band around the scan center at 1 MS/s
+  (1.024 us per sample), delivered in 2048-sample blocks;
+* a transmitter is visible whenever its (F, W) band overlaps the sampled
+  band — the center frequencies need not match, which is what gives SIFT
+  its ``F +/- W/2`` center-frequency uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import SignalError
+from repro.spectrum.channels import US_BAND_PLAN, UhfBandPlan, WhiteFiChannel
+
+
+@dataclass(frozen=True)
+class CaptureRequest:
+    """One scanner capture: a center UHF index plus a dwell time.
+
+    Attributes:
+        center_index: usable-UHF-channel index whose center frequency the
+            scanner tunes to.
+        duration_us: capture dwell time.
+    """
+
+    center_index: int
+    duration_us: float
+
+    def __post_init__(self) -> None:
+        if self.duration_us <= 0:
+            raise SignalError(
+                f"capture duration must be positive, got {self.duration_us}"
+            )
+
+    def center_frequency_mhz(self, plan: UhfBandPlan = US_BAND_PLAN) -> float:
+        """Physical scan center frequency in MHz."""
+        return plan.center_frequency_mhz(self.center_index)
+
+
+def capture_overlaps_channel(
+    scan_center_index: int,
+    channel: WhiteFiChannel,
+    plan: UhfBandPlan = US_BAND_PLAN,
+) -> bool:
+    """True when a scan of UHF channel *scan_center_index* can see *channel*.
+
+    Scanning a UHF channel means observing its full 6 MHz band: the TVRX
+    front end spans 8 MHz around the channel center, and the digital
+    downconverter can place the 1 MHz sampled slice anywhere inside that
+    span, so any transmitter energy falling within the scanned channel's
+    band is observable.  A width-W transmitter is therefore visible iff
+    its band ``[Fc - W/2, Fc + W/2]`` overlaps the scanned channel's band
+    ``[Fs - 3, Fs + 3]`` MHz.
+
+    In UHF-index terms this reproduces the paper's span semantics exactly:
+    a 5 MHz transmitter is visible from 1 scan center, 10 MHz from 3, and
+    20 MHz from 5 (``Section 4``: a 10 MHz channel spans 3 UHF channels, a
+    20 MHz channel spans 5) — the property J-SIFT's staggered search
+    exploits, and the source of SIFT's ``F +/- W/2`` center uncertainty.
+
+    The check runs in usable-channel index space (matching the paper's
+    treatment of the 30 channels as contiguous, channel 37 simply absent),
+    so Algorithm 1's stepping arithmetic holds everywhere in the band.
+    """
+    del plan  # visibility is index-based; the plan parameter is kept for API symmetry
+    return abs(scan_center_index - channel.center_index) <= channel.span // 2
+
+
+def visible_center_indices(
+    channel: WhiteFiChannel, num_channels: int = constants.NUM_UHF_CHANNELS
+) -> tuple[int, ...]:
+    """All scan centers from which *channel* is visible.
+
+    >>> visible_center_indices(WhiteFiChannel(10, 20.0))
+    (8, 9, 10, 11, 12)
+    """
+    half = channel.span // 2
+    lo = max(0, channel.center_index - half)
+    hi = min(num_channels - 1, channel.center_index + half)
+    return tuple(range(lo, hi + 1))
+
+
+def center_uncertainty_indices(
+    scan_center_index: int,
+    width_mhz: float,
+    num_channels: int = constants.NUM_UHF_CHANNELS,
+) -> tuple[int, ...]:
+    """Candidate transmitter centers given a detection at a scan center.
+
+    This is the ``F +/- E`` with ``E = +/- W/2`` of Section 4.2.1: when
+    SIFT reports width ``W`` from a scan at index ``s``, the transmitter's
+    true center can be any index within ``span // 2`` of ``s`` (clipped to
+    positions where the channel fits in the band).
+    """
+    half = constants.span_channels(width_mhz) // 2
+    candidates = []
+    for center in range(scan_center_index - half, scan_center_index + half + 1):
+        lo = center - half
+        hi = center + half
+        if lo >= 0 and hi < num_channels:
+            candidates.append(center)
+    return tuple(candidates)

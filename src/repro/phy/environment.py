@@ -1,0 +1,223 @@
+"""A synthetic RF environment: transmitter schedules -> captured IQ.
+
+The environment is the glue between the protocol world (who transmits
+what, when, on which (F, W) channel) and the signal world SIFT lives in
+(amplitude samples at 1.024 us).  A scanner capture at a UHF center index
+sees bursts from every transmitter whose channel overlaps the sampled
+band, each rendered over a common noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro import constants
+from repro.errors import SignalError
+from repro.phy.capture import capture_overlaps_channel
+from repro.phy.iq import IqTrace
+from repro.phy.noise import DEFAULT_NOISE_RMS, DEFAULT_SIGNAL_RMS
+from repro.phy.timing import timing_for_width
+from repro.phy.waveform import (
+    BurstSpec,
+    beacon_cts_bursts,
+    data_ack_bursts,
+    synthesize_bursts,
+)
+from repro.spectrum.channels import WhiteFiChannel
+
+
+@dataclass(frozen=True)
+class ScheduledFrame:
+    """A frame on the air at an absolute environment time.
+
+    Attributes:
+        channel: the (F, W) WhiteFi channel the frame is sent on.
+        burst: time-domain envelope with **absolute** ``start_us``.
+    """
+
+    channel: WhiteFiChannel
+    burst: BurstSpec
+
+
+class Transmitter(Protocol):
+    """Anything that can report its frames within a time window."""
+
+    def frames_in(self, t0_us: float, t1_us: float) -> Iterable[ScheduledFrame]:
+        """Frames whose on-air interval intersects ``[t0_us, t1_us)``."""
+        ...
+
+
+@dataclass
+class BeaconingAp:
+    """An AP emitting beacon + CTS-to-self pairs every beacon interval.
+
+    Optionally also carries Data-ACK traffic (for airtime-measurement
+    scenarios).  Used by the discovery experiments: "the AP started to
+    beacon on a randomly chosen UHF channel and channel width".
+
+    Attributes:
+        channel: the AP's operating channel.
+        amplitude_rms: received amplitude at the scanner.
+        beacon_interval_us: TBTT (102.4 ms by default).
+        phase_us: offset of the first beacon.
+        data_payload_bytes / data_gap_us: optional Data-ACK stream; the
+            stream is laid out back-to-back with the given gap, skipping
+            beacon slots.
+    """
+
+    channel: WhiteFiChannel
+    amplitude_rms: float = DEFAULT_SIGNAL_RMS
+    beacon_interval_us: float = constants.BEACON_INTERVAL_US
+    phase_us: float = 0.0
+    data_payload_bytes: int = 0
+    data_gap_us: float = 0.0
+
+    def _beacons_in(self, t0_us: float, t1_us: float) -> Iterable[ScheduledFrame]:
+        timing = timing_for_width(self.channel.width_mhz)
+        pair_len = (
+            timing.beacon_duration_us + timing.sifs_us + timing.cts_duration_us
+        )
+        # First beacon index whose pair could intersect the window.
+        k = max(0, int(np.floor((t0_us - self.phase_us - pair_len) / self.beacon_interval_us)))
+        while True:
+            start = self.phase_us + k * self.beacon_interval_us
+            if start >= t1_us:
+                break
+            if start + pair_len > t0_us:
+                beacon, cts = beacon_cts_bursts(
+                    self.channel.width_mhz, start, amplitude_rms=self.amplitude_rms
+                )
+                yield ScheduledFrame(self.channel, beacon)
+                yield ScheduledFrame(self.channel, cts)
+            k += 1
+
+    def _data_in(self, t0_us: float, t1_us: float) -> Iterable[ScheduledFrame]:
+        if self.data_payload_bytes <= 0:
+            return
+        timing = timing_for_width(self.channel.width_mhz)
+        exchange = timing.exchange_duration_us(self.data_payload_bytes)
+        period = exchange + self.data_gap_us
+        if period <= 0:
+            raise SignalError("data stream period must be positive")
+        k = max(0, int(np.floor((t0_us - self.phase_us - exchange) / period)))
+        while True:
+            start = self.phase_us + k * period
+            if start >= t1_us:
+                break
+            if start + exchange > t0_us:
+                data, ack = data_ack_bursts(
+                    self.channel.width_mhz,
+                    self.data_payload_bytes,
+                    start,
+                    amplitude_rms=self.amplitude_rms,
+                )
+                yield ScheduledFrame(self.channel, data)
+                yield ScheduledFrame(self.channel, ack)
+            k += 1
+
+    def frames_in(self, t0_us: float, t1_us: float) -> Iterable[ScheduledFrame]:
+        """All beacon/CTS (and optional data) frames intersecting the window."""
+        yield from self._beacons_in(t0_us, t1_us)
+        yield from self._data_in(t0_us, t1_us)
+
+
+@dataclass
+class StaticSchedule:
+    """A transmitter with an explicit, precomputed frame list."""
+
+    frames: list[ScheduledFrame] = field(default_factory=list)
+
+    def add(self, channel: WhiteFiChannel, burst: BurstSpec) -> None:
+        """Append one frame to the schedule."""
+        self.frames.append(ScheduledFrame(channel, burst))
+
+    def frames_in(self, t0_us: float, t1_us: float) -> Iterable[ScheduledFrame]:
+        """Frames whose on-air interval intersects the window."""
+        for frame in self.frames:
+            if frame.burst.start_us < t1_us and frame.burst.end_us > t0_us:
+                yield frame
+
+
+class RfEnvironment:
+    """A collection of transmitters plus a common noise floor.
+
+    The environment renders scanner captures: given a scan center and a
+    time window, it synthesizes the IQ trace a USRP would deliver,
+    containing every visible transmitter's bursts.
+    """
+
+    def __init__(
+        self,
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+        noise_rms: float = DEFAULT_NOISE_RMS,
+        seed: int = 0,
+    ):
+        self.num_channels = num_channels
+        self.noise_rms = noise_rms
+        self._transmitters: list[Transmitter] = []
+        self._rng = np.random.default_rng(seed)
+
+    def add_transmitter(self, transmitter: Transmitter) -> None:
+        """Register a transmitter with the environment."""
+        self._transmitters.append(transmitter)
+
+    def remove_transmitter(self, transmitter: Transmitter) -> None:
+        """Remove a previously registered transmitter."""
+        self._transmitters.remove(transmitter)
+
+    @property
+    def transmitters(self) -> tuple[Transmitter, ...]:
+        """Registered transmitters (read-only view)."""
+        return tuple(self._transmitters)
+
+    def visible_bursts(
+        self, scan_center_index: int, t0_us: float, duration_us: float
+    ) -> list[BurstSpec]:
+        """Bursts visible from *scan_center_index* in the window.
+
+        Burst ``start_us`` values are rebased to be capture-relative.
+        """
+        t1_us = t0_us + duration_us
+        visible: list[BurstSpec] = []
+        for transmitter in self._transmitters:
+            for frame in transmitter.frames_in(t0_us, t1_us):
+                if not capture_overlaps_channel(scan_center_index, frame.channel):
+                    continue
+                burst = frame.burst
+                visible.append(
+                    BurstSpec(
+                        start_us=burst.start_us - t0_us,
+                        duration_us=burst.duration_us,
+                        amplitude_rms=burst.amplitude_rms,
+                        ramp_fraction=burst.ramp_fraction,
+                        ramp_level=burst.ramp_level,
+                        label=burst.label,
+                    )
+                )
+        return visible
+
+    def capture(
+        self, scan_center_index: int, t0_us: float, duration_us: float
+    ) -> IqTrace:
+        """Synthesize the IQ trace of a capture at *scan_center_index*.
+
+        Args:
+            scan_center_index: usable-UHF-channel index the scanner tunes to.
+            t0_us: capture start on the environment clock.
+            duration_us: dwell time.
+        """
+        if not 0 <= scan_center_index < self.num_channels:
+            raise SignalError(
+                f"scan center {scan_center_index} outside 0..{self.num_channels - 1}"
+            )
+        bursts = self.visible_bursts(scan_center_index, t0_us, duration_us)
+        return synthesize_bursts(
+            bursts,
+            duration_us,
+            noise_rms=self.noise_rms,
+            rng=self._rng,
+            start_us=t0_us,
+        )

@@ -1,0 +1,106 @@
+"""Raw IQ trace containers at the USRP scanner's sample rate.
+
+The scanner front end delivers complex (I, Q) samples at ~1 MS/s (one
+sample per 1.024 us) in blocks of 2048.  SIFT only ever consumes the
+amplitude ``sqrt(I^2 + Q^2)`` (Figure 5's y-axis), so the container keeps
+the complex samples but exposes a cached amplitude view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro import constants
+from repro.errors import SignalError
+
+
+@dataclass
+class IqTrace:
+    """A contiguous capture of complex baseband samples.
+
+    Attributes:
+        samples: complex128 array of (I + jQ) samples.
+        sample_period_us: seconds-per-sample in microseconds (1.024 by
+            default, matching the paper's USRP configuration).
+        start_us: capture start time on the environment clock.
+    """
+
+    samples: np.ndarray
+    sample_period_us: float = constants.SAMPLE_PERIOD_US
+    start_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=np.complex128)
+        if self.samples.ndim != 1:
+            raise SignalError(
+                f"IQ trace must be one-dimensional, got shape {self.samples.shape}"
+            )
+        if self.sample_period_us <= 0:
+            raise SignalError(
+                f"sample period must be positive, got {self.sample_period_us}"
+            )
+        self._amplitude: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration_us(self) -> float:
+        """Capture duration in microseconds."""
+        return len(self.samples) * self.sample_period_us
+
+    @property
+    def amplitude(self) -> np.ndarray:
+        """Per-sample amplitude ``sqrt(I^2 + Q^2)`` (cached)."""
+        if self._amplitude is None:
+            self._amplitude = np.abs(self.samples)
+        return self._amplitude
+
+    def time_of_sample(self, index: int) -> float:
+        """Environment-clock time (us) of sample *index*."""
+        return self.start_us + index * self.sample_period_us
+
+    def sample_at_time(self, t_us: float) -> int:
+        """Sample index corresponding to environment time *t_us* (clamped)."""
+        idx = int(round((t_us - self.start_us) / self.sample_period_us))
+        return min(max(idx, 0), max(len(self.samples) - 1, 0))
+
+    def blocks(
+        self, block_samples: int = constants.USRP_BLOCK_SAMPLES
+    ) -> Iterator[np.ndarray]:
+        """Yield samples in USRP-style fixed-size blocks (last may be short).
+
+        >>> trace = IqTrace(np.zeros(5000, dtype=complex))
+        >>> [len(b) for b in trace.blocks(2048)]
+        [2048, 2048, 904]
+        """
+        if block_samples <= 0:
+            raise SignalError(f"block size must be positive, got {block_samples}")
+        for offset in range(0, len(self.samples), block_samples):
+            yield self.samples[offset : offset + block_samples]
+
+    def concatenate(self, other: "IqTrace") -> "IqTrace":
+        """Join two back-to-back captures into one trace.
+
+        Raises:
+            SignalError: on mismatched sample periods.
+        """
+        if abs(self.sample_period_us - other.sample_period_us) > 1e-12:
+            raise SignalError("cannot concatenate traces with different rates")
+        return IqTrace(
+            np.concatenate([self.samples, other.samples]),
+            self.sample_period_us,
+            self.start_us,
+        )
+
+
+def samples_for_duration(
+    duration_us: float, sample_period_us: float = constants.SAMPLE_PERIOD_US
+) -> int:
+    """Number of samples spanning *duration_us* (rounded to nearest)."""
+    if duration_us < 0:
+        raise SignalError(f"duration must be >= 0, got {duration_us}")
+    return int(round(duration_us / sample_period_us))

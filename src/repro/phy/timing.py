@@ -1,0 +1,137 @@
+"""Per-width MAC/PHY timing, following Chandra et al. (SIGCOMM 2008).
+
+Reducing the PLL clock by a factor ``k = 20 MHz / W`` stretches every
+on-air duration by ``k`` and divides the effective data rate by ``k``:
+
+* 20 MHz: symbol 4 us, SIFS 10 us, slot 9 us, 6 Mbps.
+* 10 MHz: symbol 8 us, SIFS 20 us, slot 18 us, 3 Mbps.
+*  5 MHz: symbol 16 us, SIFS 40 us, slot 36 us, 1.5 Mbps.
+
+These are the durations and gaps SIFT matches against (Section 4.2.1):
+"Both the packet duration and the SIFS interval are inversely
+proportional to the channel width."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro import constants
+from repro.errors import SignalError
+
+
+@dataclass(frozen=True)
+class WidthTiming:
+    """All timing parameters for one channel width.
+
+    Attributes:
+        width_mhz: the channel width this timing describes.
+        scale: stretch factor relative to 20 MHz (``20 / W``).
+    """
+
+    width_mhz: float
+    scale: float
+
+    @property
+    def symbol_us(self) -> float:
+        """OFDM symbol period (us)."""
+        return constants.BASE_SYMBOL_US * self.scale
+
+    @property
+    def sifs_us(self) -> float:
+        """Short interframe space (us)."""
+        return constants.BASE_SIFS_US * self.scale
+
+    @property
+    def slot_us(self) -> float:
+        """DCF slot time (us)."""
+        return constants.BASE_SLOT_US * self.scale
+
+    @property
+    def difs_us(self) -> float:
+        """DIFS = SIFS + 2 slots (us)."""
+        return self.sifs_us + 2 * self.slot_us
+
+    @property
+    def preamble_us(self) -> float:
+        """PLCP preamble plus SIGNAL field (us)."""
+        return constants.BASE_PREAMBLE_US * self.scale
+
+    @property
+    def data_rate_mbps(self) -> float:
+        """Effective data rate at this width (Mbps)."""
+        return constants.BASE_DATA_RATE_MBPS / self.scale
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Payload bits carried per OFDM symbol (rate-dependent, width-free)."""
+        return round(constants.BASE_DATA_RATE_MBPS * constants.BASE_SYMBOL_US)
+
+    def frame_duration_us(self, frame_bytes: int) -> float:
+        """On-air duration of a *frame_bytes* MAC frame at this width.
+
+        Duration = preamble + ceil((service+tail+8*bytes)/bits-per-symbol)
+        symbols, all stretched by the width scale.
+
+        >>> timing_for_width(20.0).frame_duration_us(14)
+        44.0
+        """
+        if frame_bytes < 0:
+            raise SignalError(f"frame size must be >= 0 bytes, got {frame_bytes}")
+        payload_bits = constants.PSDU_OVERHEAD_BITS + 8 * frame_bytes
+        symbols = math.ceil(payload_bits / self.bits_per_symbol)
+        return self.preamble_us + symbols * self.symbol_us
+
+    @property
+    def ack_duration_us(self) -> float:
+        """On-air duration of an ACK (the smallest MAC frame, 14 bytes)."""
+        return self.frame_duration_us(constants.ACK_FRAME_BYTES)
+
+    @property
+    def cts_duration_us(self) -> float:
+        """On-air duration of a CTS-to-self frame."""
+        return self.frame_duration_us(constants.CTS_FRAME_BYTES)
+
+    @property
+    def beacon_duration_us(self) -> float:
+        """On-air duration of a beacon frame."""
+        return self.frame_duration_us(constants.BEACON_FRAME_BYTES)
+
+    def data_duration_us(self, payload_bytes: int) -> float:
+        """On-air duration of a data frame with *payload_bytes* of payload."""
+        return self.frame_duration_us(payload_bytes + constants.DATA_HEADER_BYTES)
+
+    def exchange_duration_us(self, payload_bytes: int) -> float:
+        """Duration of a full DATA + SIFS + ACK exchange."""
+        return (
+            self.data_duration_us(payload_bytes)
+            + self.sifs_us
+            + self.ack_duration_us
+        )
+
+
+@lru_cache(maxsize=None)
+def timing_for_width(width_mhz: float) -> WidthTiming:
+    """Timing parameters for *width_mhz* (5, 10, or 20).
+
+    Raises:
+        SignalError: for an unsupported width.
+    """
+    if width_mhz not in constants.SPAN_BY_WIDTH_MHZ:
+        raise SignalError(
+            f"unsupported channel width {width_mhz!r} MHz; "
+            f"expected one of {constants.CHANNEL_WIDTHS_MHZ}"
+        )
+    return WidthTiming(width_mhz=width_mhz, scale=constants.width_scale(width_mhz))
+
+
+def frame_airtime_us(frame_bytes: int, width_mhz: float) -> float:
+    """Convenience wrapper: on-air duration of a frame at a width."""
+    return timing_for_width(width_mhz).frame_duration_us(frame_bytes)
+
+
+def all_timings() -> tuple[WidthTiming, ...]:
+    """Timings for every supported width, narrowest first."""
+    return tuple(timing_for_width(w) for w in constants.CHANNEL_WIDTHS_MHZ)

@@ -1,0 +1,17 @@
+"""KNOWS platform emulation: main transceiver + secondary SIFT scanner.
+
+The KNOWS hardware (Section 3) pairs a Wi-Fi transceiver behind a UHF
+translator with a USRP scanner:
+
+* the **transceiver** (:mod:`repro.radio.transceiver`) can only decode
+  frames sent at exactly its tuned ``(F, W)`` — changing width or center
+  requires an expensive PLL retune;
+* the **scanner** (:mod:`repro.radio.scanner`) samples 1 MHz anywhere in
+  the band and feeds SIFT, which detects transmissions at *any* width
+  without retuning the transceiver.
+"""
+
+from repro.radio.scanner import Scanner
+from repro.radio.transceiver import Transceiver
+
+__all__ = ["Scanner", "Transceiver"]

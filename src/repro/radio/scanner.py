@@ -1,0 +1,100 @@
+"""The secondary scanning radio (USRP + TVRX daughterboard).
+
+The scanner tunes anywhere in 512-698 MHz, samples a 1 MHz slice at
+1 MS/s, and hands raw IQ to SIFT.  Retuning the scanner's front end is
+cheap compared with the transceiver's PLL switch — it carries no link
+state — but still costs a settling delay, which the discovery
+experiments account for.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import RadioError
+from repro.phy.environment import RfEnvironment
+from repro.phy.iq import IqTrace
+from repro.sift.analyzer import SiftAnalyzer, SiftScanResult
+
+#: Default scanner retune + settling latency (microseconds).
+DEFAULT_RETUNE_US = 1_000.0
+
+
+class Scanner:
+    """A SIFT-capable scanning radio bound to an RF environment.
+
+    Args:
+        environment: the RF environment to observe.
+        analyzer: SIFT pipeline (threshold/window) to apply to captures.
+        retune_us: front-end settling latency charged per retune.
+    """
+
+    def __init__(
+        self,
+        environment: RfEnvironment,
+        analyzer: SiftAnalyzer | None = None,
+        retune_us: float = DEFAULT_RETUNE_US,
+    ):
+        self.environment = environment
+        self.analyzer = analyzer or SiftAnalyzer()
+        self.retune_us = retune_us
+        self._center_index: int | None = None
+        #: Cumulative time spent retuning (diagnostics).
+        self.total_retunes = 0
+
+    @property
+    def center_index(self) -> int | None:
+        """Currently tuned UHF center index (None before first tune)."""
+        return self._center_index
+
+    def tune_cost_us(self, center_index: int) -> float:
+        """Time cost of retuning to *center_index* (0 if already there)."""
+        if center_index == self._center_index:
+            return 0.0
+        return self.retune_us
+
+    def capture(
+        self, center_index: int, t0_us: float, duration_us: float
+    ) -> IqTrace:
+        """Capture raw IQ at *center_index* starting at *t0_us*.
+
+        The caller is responsible for advancing its clock by the tune cost
+        before *t0_us*; this method only validates and records the tune.
+        """
+        if not 0 <= center_index < self.environment.num_channels:
+            raise RadioError(
+                f"scan center {center_index} outside "
+                f"0..{self.environment.num_channels - 1}"
+            )
+        if self._center_index != center_index:
+            self.total_retunes += 1
+            self._center_index = center_index
+        return self.environment.capture(center_index, t0_us, duration_us)
+
+    def sift_scan(
+        self,
+        center_index: int,
+        t0_us: float,
+        duration_us: float = constants.BEACON_DWELL_US,
+    ) -> SiftScanResult:
+        """Capture at *center_index* and run the full SIFT pipeline.
+
+        The default dwell covers one beacon interval plus margin, so a
+        beaconing AP overlapping the scan is guaranteed to produce at
+        least one Beacon-CTS signature in the capture.
+        """
+        trace = self.capture(center_index, t0_us, duration_us)
+        return self.analyzer.scan(trace)
+
+    def measure_airtime(
+        self,
+        center_index: int,
+        t0_us: float,
+        duration_us: float = 1_000_000.0,
+    ) -> float:
+        """Airtime utilization on the UHF channel at *center_index*.
+
+        Section 5.4.2: "Every client and AP using WhiteFi spends 1 second
+        on every UHF channel to determine the airtime utilization using
+        SIFT" — hence the 1 s default dwell.
+        """
+        return self.sift_scan(center_index, t0_us, duration_us).airtime_fraction

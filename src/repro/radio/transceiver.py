@@ -1,0 +1,128 @@
+"""The main transceiver (Wi-Fi card behind the UHF translator).
+
+The transceiver's defining constraint (Section 2.2): "a radio can only
+decode packets that are sent at the same channel width and same center
+frequency.  An expensive switch of the PLL clock frequency is required to
+decode packets at other channel widths."  This is why non-SIFT discovery
+must sweep all 84 (F, W) combinations and why J-SIFT's endgame exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.errors import RadioError
+from repro.phy.environment import RfEnvironment, ScheduledFrame
+from repro.phy.noise import DEFAULT_NOISE_RMS, decode_success_probability, snr_db
+from repro.spectrum.channels import WhiteFiChannel
+
+
+class Transceiver:
+    """A tunable (F, W) radio bound to an RF environment.
+
+    Args:
+        environment: the RF environment the radio listens to.
+        pll_switch_us: latency of retuning center frequency or width
+            ("known to be a few milliseconds", Section 4.3).
+        rng: random source for probabilistic frame decoding.
+        snr_50_db: SNR at which a 1000-byte frame decodes 50% of the
+            time (the receiver's sensitivity anchor).
+    """
+
+    def __init__(
+        self,
+        environment: RfEnvironment,
+        pll_switch_us: float = constants.PLL_SWITCH_US,
+        rng: np.random.Generator | None = None,
+        snr_50_db: float = 5.0,
+    ):
+        self.environment = environment
+        self.pll_switch_us = pll_switch_us
+        self.rng = rng or np.random.default_rng()
+        self.snr_50_db = snr_50_db
+        self._channel: WhiteFiChannel | None = None
+        #: Cumulative PLL switches performed (diagnostics).
+        self.total_switches = 0
+
+    @property
+    def channel(self) -> WhiteFiChannel | None:
+        """Currently tuned channel (None before the first tune)."""
+        return self._channel
+
+    def tune_cost_us(self, channel: WhiteFiChannel) -> float:
+        """Time cost of tuning to *channel* (0 if already tuned)."""
+        if channel == self._channel:
+            return 0.0
+        return self.pll_switch_us
+
+    def tune(self, channel: WhiteFiChannel) -> float:
+        """Tune to *channel*; returns the time cost incurred."""
+        cost = self.tune_cost_us(channel)
+        if cost > 0:
+            self.total_switches += 1
+            self._channel = channel
+        return cost
+
+    def _decodable_frames(
+        self, t0_us: float, duration_us: float
+    ) -> list[ScheduledFrame]:
+        """Frames in the window sent exactly at the tuned (F, W)."""
+        if self._channel is None:
+            raise RadioError("transceiver is not tuned")
+        t1_us = t0_us + duration_us
+        frames: list[ScheduledFrame] = []
+        for transmitter in self.environment.transmitters:
+            for frame in transmitter.frames_in(t0_us, t1_us):
+                if frame.channel != self._channel:
+                    continue  # width/center mismatch: undecodable
+                if frame.burst.start_us >= t0_us and frame.burst.end_us <= t1_us:
+                    frames.append(frame)
+        return frames
+
+    def _decode_succeeds(self, frame: ScheduledFrame) -> bool:
+        """Draw a probabilistic decode based on the frame's SNR."""
+        snr = snr_db(
+            max(frame.burst.amplitude_rms, 1e-9), self.environment.noise_rms
+        )
+        # Approximate frame size from its on-air duration at this width.
+        from repro.phy.timing import timing_for_width
+
+        timing = timing_for_width(frame.channel.width_mhz)
+        symbols = max(
+            1.0, (frame.burst.duration_us - timing.preamble_us) / timing.symbol_us
+        )
+        frame_bytes = max(1, int(symbols * timing.bits_per_symbol / 8))
+        p = decode_success_probability(snr, frame_bytes, snr_50_db=self.snr_50_db)
+        return bool(self.rng.random() < p)
+
+    def decoded_frames(
+        self, t0_us: float, duration_us: float, label: str | None = None
+    ) -> list[ScheduledFrame]:
+        """Frames successfully decoded while listening for the window.
+
+        Args:
+            label: optionally restrict to bursts with this label
+                (e.g. "data" for the Figure 7 packet-sniffer count,
+                "beacon" for discovery).
+        """
+        decoded = []
+        for frame in self._decodable_frames(t0_us, duration_us):
+            if label is not None and frame.burst.label != label:
+                continue
+            if self._decode_succeeds(frame):
+                decoded.append(frame)
+        return decoded
+
+    def beacon_heard(self, t0_us: float, duration_us: float) -> bool:
+        """True when at least one beacon was decoded during the window.
+
+        This is the primitive both the non-SIFT discovery baseline and
+        the J-SIFT endgame use: tune to a candidate (F, W) and listen for
+        one beacon interval.
+        """
+        return bool(self.decoded_frames(t0_us, duration_us, label="beacon"))
+
+    def count_decoded_data(self, t0_us: float, duration_us: float) -> int:
+        """Number of data frames decoded in the window (the 'sniffer')."""
+        return len(self.decoded_frames(t0_us, duration_us, label="data"))

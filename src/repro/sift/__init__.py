@@ -1,0 +1,34 @@
+"""SIFT: Signal Interpretation before Fourier Transform (Section 4.2.1).
+
+SIFT analyzes raw time-domain amplitude to detect packets sent at *any*
+channel width without retuning the receiver:
+
+1. :mod:`repro.sift.detector` smooths ``sqrt(I^2+Q^2)`` with a 5-sample
+   moving average and thresholds it to find burst start/end edges.
+2. :mod:`repro.sift.classifier` matches (burst duration, inter-burst gap)
+   patterns against the per-width ACK-duration and SIFS signatures to
+   identify Data-ACK and Beacon-CTS exchanges and hence the transmitter's
+   channel width.
+3. :mod:`repro.sift.analyzer` builds the higher-level observables WhiteFi
+   consumes: airtime utilization, AP-presence verdicts, and the OOK chirp
+   side channel.
+"""
+
+from repro.sift.detector import Burst, detect_bursts, moving_average
+from repro.sift.classifier import (
+    DetectedExchange,
+    ExchangeKind,
+    classify_exchanges,
+)
+from repro.sift.analyzer import SiftAnalyzer, SiftScanResult
+
+__all__ = [
+    "Burst",
+    "detect_bursts",
+    "moving_average",
+    "DetectedExchange",
+    "ExchangeKind",
+    "classify_exchanges",
+    "SiftAnalyzer",
+    "SiftScanResult",
+]

@@ -1,0 +1,36 @@
+"""Discrete-event network simulator — the paper's QualNet substitute.
+
+Section 5.4 lists the modifications the authors made to QualNet; this
+package implements each of them natively:
+
+* variable channel widths via width-scaled OFDM symbol and MAC timings
+  (:mod:`repro.sim.node`, :mod:`repro.phy.timing`);
+* packets sent at a different channel width are dropped
+  (:mod:`repro.sim.node`);
+* carrier sensing across all spanned UHF channels: "a node spanning
+  multiple UHF channels will transmit a packet only if no carrier is
+  sensed on any of those channels" (:mod:`repro.sim.medium`);
+* fragmented spectrum from per-node spectrum-map configuration
+  (:mod:`repro.sim.runner`).
+
+All nodes share one collision domain, matching the paper's placement of
+every background pair within transmission range of the AP under test.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.medium import Medium, Transmission
+from repro.sim.node import SimNode
+from repro.sim.traffic import CbrSource, MarkovChurn, SaturatingSource
+from repro.sim.sensors import GroundTruthSensor
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Medium",
+    "Transmission",
+    "SimNode",
+    "CbrSource",
+    "SaturatingSource",
+    "MarkovChurn",
+    "GroundTruthSensor",
+]

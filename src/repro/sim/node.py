@@ -1,0 +1,316 @@
+"""Simulated nodes: the width-aware CSMA/CA MAC state machine.
+
+Each node owns a tuned ``(F, W)`` channel.  The MAC implements DCF with
+width-scaled timing and the paper's two QualNet modifications:
+
+* **multi-channel carrier sense** — the node defers while any UHF channel
+  in its span is busy;
+* **width-mismatch drops** — a frame is only received when the receiver
+  is tuned to exactly the sender's (F, W); otherwise the exchange fails
+  (no ACK) and the sender backs off and retries.
+
+Unicast exchanges reserve the medium for DATA + SIFS + ACK as a unit;
+beacons reserve BEACON + SIFS + CTS-to-self, preserving the time-domain
+signature SIFT fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro import constants
+from repro.errors import SimulationError
+from repro.mac.csma import BackoffState, dcf_for_width
+from repro.mac.frames import Frame, FrameType
+from repro.phy.timing import timing_for_width
+from repro.sim.engine import Engine, Event
+from repro.sim.medium import Medium, Transmission
+from repro.spectrum.channels import WhiteFiChannel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.traffic import TrafficSource
+
+#: Maximum MAC queue depth; CBR arrivals beyond this are dropped.
+DEFAULT_QUEUE_LIMIT = 100
+
+
+class SimNode:
+    """One station (AP or client) in the simulator.
+
+    Args:
+        engine: simulation engine.
+        medium: shared medium.
+        node_id: unique identifier.
+        bss_id: BSS the node belongs to (sensors exclude own-BSS traffic).
+        channel: initially tuned channel (None = radio off).
+        rng: per-node random source (backoff draws).
+        queue_limit: MAC queue cap.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        medium: Medium,
+        node_id: str,
+        bss_id: str,
+        channel: WhiteFiChannel | None,
+        rng: random.Random | None = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ):
+        self.engine = engine
+        self.medium = medium
+        self.node_id = node_id
+        self.bss_id = bss_id
+        self.rng = rng or random.Random(hash(node_id) & 0xFFFFFFFF)
+        self.queue_limit = queue_limit
+
+        self.tuned: WhiteFiChannel | None = None
+        self._backoff: BackoffState | None = None
+        self.queue: deque[Frame] = deque()
+        self.state = "idle"  # idle | contending | transmitting | retuning
+        self._countdown_timer: Event | None = None
+        self._countdown_started_us = 0.0
+        self._pending_retune: tuple[WhiteFiChannel | None, float] | None = None
+
+        # Counters.
+        self.delivered_bytes = 0  # payload bytes received as destination
+        self.sent_frames = 0
+        self.failed_attempts = 0
+        self.dropped_frames = 0
+        self.queue_drops = 0
+        self.received_frames = 0
+
+        # Hooks.
+        self.source: "TrafficSource | None" = None
+        self.on_frame_received: Callable[["SimNode", Frame], None] | None = None
+        self.nodes: dict[str, "SimNode"] = {}  # registry, set by the runner
+
+        if channel is not None:
+            self._apply_tune(channel)
+
+    # -- tuning ------------------------------------------------------------------
+
+    def _apply_tune(self, channel: WhiteFiChannel | None) -> None:
+        self.medium.unsubscribe(self.node_id)
+        self.tuned = channel
+        if channel is None:
+            self._backoff = None
+            return
+        self._backoff = BackoffState(
+            dcf_for_width(channel.width_mhz), self.rng
+        )
+        self.medium.subscribe(
+            self.node_id,
+            channel.spanned_indices,
+            channel.width_mhz,
+            self._on_medium_edge,
+        )
+
+    def retune(
+        self, channel: WhiteFiChannel | None, latency_us: float = constants.PLL_SWITCH_US
+    ) -> None:
+        """Switch to *channel* after a PLL latency.
+
+        If a transmission is in flight, the switch is applied when it
+        completes.  Queued frames survive the switch.
+        """
+        if self.state == "transmitting":
+            self._pending_retune = (channel, latency_us)
+            return
+        self._cancel_countdown()
+        self.medium.unsubscribe(self.node_id)
+        self.state = "retuning"
+        self.tuned = None
+        self.engine.schedule(latency_us, self._finish_retune, channel)
+
+    def _finish_retune(self, channel: WhiteFiChannel | None) -> None:
+        self.state = "idle"
+        self._apply_tune(channel)
+        if channel is not None and self.queue:
+            self._start_access()
+
+    # -- queueing ----------------------------------------------------------------
+
+    def enqueue(self, frame: Frame) -> bool:
+        """Queue a frame for transmission.
+
+        Returns False (and counts a queue drop) when the queue is full.
+        """
+        if len(self.queue) >= self.queue_limit:
+            self.queue_drops += 1
+            return False
+        self.queue.append(frame)
+        if self.state == "idle" and self.tuned is not None:
+            self._start_access()
+        return True
+
+    # -- DCF access procedure -------------------------------------------------------
+
+    def _start_access(self) -> None:
+        if self.tuned is None or self._backoff is None:
+            raise SimulationError(f"{self.node_id}: access attempt while untuned")
+        self.state = "contending"
+        self._try_countdown()
+
+    def _try_countdown(self) -> None:
+        """(Re)start the DIFS + residual-backoff countdown if idle."""
+        assert self.tuned is not None and self._backoff is not None
+        if self._countdown_timer is not None:
+            return  # a countdown is already pending
+        span = self.tuned.spanned_indices
+        if self.medium.is_busy(span, self.tuned.width_mhz):
+            return  # the idle edge will call us back
+        params = self._backoff.params
+        wait = params.difs_us + self._backoff.slots_remaining * params.slot_us
+        self._countdown_started_us = self.engine.now_us
+        self._countdown_timer = self.engine.schedule(wait, self._countdown_done)
+
+    def _cancel_countdown(self) -> None:
+        if self._countdown_timer is not None:
+            self._countdown_timer.cancel()
+            self._countdown_timer = None
+
+    def _on_medium_edge(self, busy: bool) -> None:
+        if self.state != "contending" or self._backoff is None:
+            return
+        if busy:
+            timer = self._countdown_timer
+            if timer is None:
+                return
+            # Sensing vulnerability: energy that appeared less than one
+            # slot before our countdown expires cannot be sensed in time,
+            # so the transmission goes ahead — a DCF collision.  Only
+            # countdowns expiring beyond the vulnerability window freeze.
+            if timer.time_us <= self.engine.now_us + self._backoff.params.slot_us:
+                return
+            timer.cancel()
+            self._countdown_timer = None
+            params = self._backoff.params
+            elapsed = self.engine.now_us - self._countdown_started_us
+            consumed = int(max(0.0, elapsed - params.difs_us) // params.slot_us)
+            self._backoff.slots_remaining = max(
+                0, self._backoff.slots_remaining - consumed
+            )
+        else:
+            if self._countdown_timer is None:
+                self._try_countdown()
+
+    # -- transmission --------------------------------------------------------------
+
+    def _reservation_durations(self, frame: Frame) -> tuple[float, float]:
+        """(total reservation, data portion) durations for *frame*."""
+        assert self.tuned is not None
+        timing = timing_for_width(self.tuned.width_mhz)
+        data_duration = timing.frame_duration_us(frame.size_bytes)
+        if frame.expects_ack:
+            return data_duration + timing.sifs_us + timing.ack_duration_us, data_duration
+        if frame.frame_type is FrameType.BEACON:
+            # Beacon + SIFS + CTS-to-self (the SIFT fingerprint).
+            return (
+                data_duration + timing.sifs_us + timing.cts_duration_us,
+                data_duration,
+            )
+        return data_duration, data_duration
+
+    def _countdown_done(self) -> None:
+        self._countdown_timer = None
+        if not self.queue:
+            self.state = "idle"
+            return
+        assert self.tuned is not None and self._backoff is not None
+        span = self.tuned.spanned_indices
+        if self.medium.is_busy(span, self.tuned.width_mhz):
+            # Busy carrier at countdown expiry: if the energy appeared
+            # within our sensing-vulnerability window (one slot), we
+            # cannot have noticed and we transmit into it; otherwise we
+            # genuinely sensed it earlier and this event should have been
+            # cancelled — defer again defensively.
+            appeared = self.medium.latest_start_on(span, self.tuned.width_mhz)
+            if self.engine.now_us - appeared > self._backoff.params.slot_us:
+                self._try_countdown()
+                return
+        frame = self.queue[0]
+        total, data_portion = self._reservation_durations(frame)
+        tx = self.medium.begin(
+            self.node_id,
+            self.bss_id,
+            self.tuned.spanned_indices,
+            self.tuned.width_mhz,
+            total,
+            data_portion,
+            frame,
+        )
+        tx.on_complete = self._tx_complete
+        self.state = "transmitting"
+
+    def _tx_complete(self, tx: Transmission) -> None:
+        frame = tx.frame
+        success = not tx.corrupted
+        destination: SimNode | None = None
+        if success and frame.expects_ack:
+            destination = self.nodes.get(frame.destination)
+            success = (
+                destination is not None
+                and destination.tuned == self.tuned
+                and destination.state != "retuning"
+            )
+
+        if success:
+            self.sent_frames += 1
+            if frame.is_broadcast:
+                for node in self.nodes.values():
+                    if node is not self and node.tuned == self.tuned:
+                        node._receive(frame)
+            elif destination is not None:
+                destination._receive(frame)
+            if self._backoff is not None:
+                self._backoff.on_success()
+            self.queue.popleft()
+        else:
+            self.failed_attempts += 1
+            retry = self._backoff.on_failure() if self._backoff else False
+            if not retry or frame.is_broadcast:
+                # Broadcasts are never retried (no ACK to miss in real DCF;
+                # a collision simply loses them).
+                self.queue.popleft()
+                self.dropped_frames += 1
+                if self._backoff is not None:
+                    self._backoff.on_success()  # reset window for next frame
+
+        self.state = "idle"
+        if self._pending_retune is not None:
+            channel, latency = self._pending_retune
+            self._pending_retune = None
+            self.retune(channel, latency)
+            return
+        if self.source is not None and not self.queue:
+            # May enqueue, which re-enters the access procedure itself.
+            self.source.on_ready(self)
+        if self.state == "idle" and self.queue and self.tuned is not None:
+            self._start_access()
+
+    # -- reception -------------------------------------------------------------------
+
+    def _receive(self, frame: Frame) -> None:
+        self.received_frames += 1
+        if frame.frame_type is FrameType.DATA:
+            payload = frame.size_bytes - constants.DATA_HEADER_BYTES
+            self.delivered_bytes += max(payload, 0)
+        if self.on_frame_received is not None:
+            self.on_frame_received(self, frame)
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def throughput_mbps(self, elapsed_us: float) -> float:
+        """Delivered payload throughput over *elapsed_us* (Mbps)."""
+        if elapsed_us <= 0:
+            return 0.0
+        return self.delivered_bytes * 8.0 / elapsed_us
+
+    def __repr__(self) -> str:
+        return (
+            f"SimNode({self.node_id}, bss={self.bss_id}, tuned={self.tuned}, "
+            f"state={self.state}, queued={len(self.queue)})"
+        )

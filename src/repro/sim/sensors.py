@@ -1,0 +1,94 @@
+"""In-simulation spectrum sensors.
+
+The prototype measures airtime and AP counts by SIFT-scanning every UHF
+channel (1 s dwell each, Section 5.4.2).  The full IQ -> SIFT measurement
+path is validated against synthetic captures in the Table 1 / Figure 6
+experiments; inside the discrete-event simulator we substitute a sensor
+that reads the medium's ground-truth busy integrals — mirroring the
+paper's own split between prototype measurements and QualNet simulation.
+
+``GroundTruthSensor`` excludes the observing BSS's own traffic: MCham's
+``A_c`` is meant to capture *background* load, not the BSS's own offered
+load (otherwise every busy BSS would flee its own channel).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SimulationError
+from repro.sim.medium import Medium
+from repro.spectrum.airtime import AirtimeObservation
+
+
+class GroundTruthSensor:
+    """Windowed airtime / AP-count observations from medium accounting.
+
+    Each call to :meth:`observe` reports the busy fraction per UHF channel
+    over the window since the previous call (per observer), plus the
+    registered AP counts.
+
+    Args:
+        medium: the medium to observe.
+        noise_std: optional Gaussian noise on the busy fractions,
+            modelling SIFT measurement error (Figure 6 shows ~2% error
+            bars); 0 disables.
+        rng: random source for the noise.
+    """
+
+    def __init__(
+        self,
+        medium: Medium,
+        noise_std: float = 0.0,
+        rng: random.Random | None = None,
+    ):
+        if noise_std < 0:
+            raise SimulationError(f"noise std must be >= 0, got {noise_std}")
+        self.medium = medium
+        self.noise_std = noise_std
+        self.rng = rng or random.Random(0)
+        # Per (observer bss_id) -> (time, per-channel cumulative busy).
+        self._snapshots: dict[str, tuple[float, list[float]]] = {}
+
+    def _cumulative(self, bss_id: str) -> list[float]:
+        return [
+            self.medium.busy_integral_excluding(c, bss_id)
+            for c in range(self.medium.num_channels)
+        ]
+
+    def reset(self, bss_id: str) -> None:
+        """Start a fresh measurement window for *bss_id*."""
+        self._snapshots[bss_id] = (
+            self.medium.engine.now_us,
+            self._cumulative(bss_id),
+        )
+
+    def observe(self, bss_id: str) -> AirtimeObservation:
+        """Busy fractions and AP counts over the window since the last call.
+
+        The first call for an observer measures from time 0.
+        """
+        now = self.medium.engine.now_us
+        prev_time, prev_cum = self._snapshots.get(
+            bss_id, (0.0, [0.0] * self.medium.num_channels)
+        )
+        window = now - prev_time
+        cum = self._cumulative(bss_id)
+        if window <= 0:
+            busy = [0.0] * self.medium.num_channels
+        else:
+            busy = [
+                min(max((c1 - c0) / window, 0.0), 1.0)
+                for c0, c1 in zip(prev_cum, cum)
+            ]
+        if self.noise_std > 0:
+            busy = [
+                min(max(b + self.rng.gauss(0.0, self.noise_std), 0.0), 1.0)
+                for b in busy
+            ]
+        aps = [
+            self.medium.ap_count_on(c, excluding_bss=bss_id)
+            for c in range(self.medium.num_channels)
+        ]
+        self._snapshots[bss_id] = (now, cum)
+        return AirtimeObservation(tuple(busy), tuple(aps))

@@ -1,0 +1,266 @@
+"""Traffic generators: saturating UDP, CBR, and Markov churn.
+
+The paper's workloads (Section 5.4):
+
+* foreground AP/clients are "backlogged and transmit UDP flows (up- and
+  downstream)" — :class:`SaturatingSource`;
+* background pairs send "constant-bit-rate (CBR) traffic at a
+  pre-specified intensity", parameterised by inter-packet delay —
+  :class:`CbrSource`;
+* churn models background nodes "using a simple discrete Markov chain
+  with two states (A=active, P=passive)" — :class:`MarkovChurn`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.mac.frames import data_frame
+from repro.sim.engine import Engine
+from repro.sim.node import SimNode
+
+#: Default UDP payload size (bytes), matching the paper's 1000-byte packets.
+DEFAULT_PAYLOAD_BYTES = 1000
+
+
+class TrafficSource(Protocol):
+    """Anything that can refill a node's MAC queue."""
+
+    def on_ready(self, node: SimNode) -> None:
+        """Called by the MAC when the node's queue has drained."""
+        ...
+
+
+class SaturatingSource:
+    """A backlogged UDP flow: the MAC queue never runs dry.
+
+    Args:
+        node: sending node.
+        destination_id: receiver node id.
+        payload_bytes: UDP payload per frame.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        destination_id: str,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    ):
+        self.node = node
+        self.destination_id = destination_id
+        self.payload_bytes = payload_bytes
+        node.source = self
+
+    def start(self) -> None:
+        """Prime the queue with the first frame."""
+        self.on_ready(self.node)
+
+    def on_ready(self, node: SimNode) -> None:
+        """Refill with exactly one frame (keeps queue shallow and reactive)."""
+        node.enqueue(
+            data_frame(node.node_id, self.destination_id, self.payload_bytes)
+        )
+
+
+class RoundRobinSaturatingSource:
+    """A backlogged downlink: the AP cycles frames across its clients.
+
+    Args:
+        node: the AP node.
+        destination_ids: client node ids to cycle through.
+        payload_bytes: UDP payload per frame.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        destination_ids: list[str],
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    ):
+        if not destination_ids:
+            raise SimulationError("round-robin source needs at least one destination")
+        self.node = node
+        self.destination_ids = list(destination_ids)
+        self.payload_bytes = payload_bytes
+        self._next = 0
+        node.source = self
+
+    def start(self) -> None:
+        """Prime the queue with the first frame."""
+        self.on_ready(self.node)
+
+    def on_ready(self, node: SimNode) -> None:
+        """Refill with one frame for the next client in the cycle."""
+        destination = self.destination_ids[self._next % len(self.destination_ids)]
+        self._next += 1
+        node.enqueue(data_frame(node.node_id, destination, self.payload_bytes))
+
+
+class CbrSource:
+    """Constant-bit-rate traffic with a fixed inter-packet delay.
+
+    The paper specifies background intensity as the delay between packet
+    *injections* (e.g. "30 ms inter-packet delay").
+
+    Args:
+        engine: simulation engine.
+        node: sending node.
+        destination_id: receiver node id.
+        inter_packet_delay_us: injection period.
+        payload_bytes: UDP payload per frame.
+        start_us: first injection time (jittered by the runner to avoid
+            phase-locked background flows).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: SimNode,
+        destination_id: str,
+        inter_packet_delay_us: float,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+        start_us: float = 0.0,
+    ):
+        if inter_packet_delay_us < 0:
+            raise SimulationError(
+                f"inter-packet delay must be >= 0, got {inter_packet_delay_us}"
+            )
+        self.engine = engine
+        self.node = node
+        self.destination_id = destination_id
+        self.inter_packet_delay_us = inter_packet_delay_us
+        self.payload_bytes = payload_bytes
+        self.active = True
+        self.injected = 0
+        node.source = self
+        engine.schedule_at(max(start_us, engine.now_us), self._inject)
+
+    def on_ready(self, node: SimNode) -> None:
+        """CBR is timer-driven; nothing to do when the queue drains."""
+
+    def _inject(self) -> None:
+        if self.active:
+            self.injected += 1
+            self.node.enqueue(
+                data_frame(self.node.node_id, self.destination_id, self.payload_bytes)
+            )
+        delay = self.inter_packet_delay_us
+        if delay <= 0:
+            # Zero delay degenerates to saturation; re-inject after the
+            # frame's own airtime to avoid a zero-period timer loop.
+            delay = 1_000.0
+        self.engine.schedule(delay, self._inject)
+
+
+class ScheduledActivity:
+    """Deterministic on/off gating of a CBR source.
+
+    Used by the Figure 14 prototype-timeline experiment, where background
+    traffic is injected on specific channels during scripted windows
+    ("at time 50 seconds, we introduce background traffic on channels 26
+    through 29 ...").
+
+    Args:
+        engine: simulation engine.
+        source: the CBR source to gate.
+        active_windows: (start_us, end_us) intervals during which the
+            source transmits; outside them it is silent.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        source: CbrSource,
+        active_windows: list[tuple[float, float]],
+    ):
+        for start, end in active_windows:
+            if end < start:
+                raise SimulationError(
+                    f"activity window ends ({end}) before it starts ({start})"
+                )
+        self.engine = engine
+        self.source = source
+        self.active_windows = sorted(active_windows)
+        source.active = self._active_at(engine.now_us)
+        for start, end in self.active_windows:
+            if start >= engine.now_us:
+                engine.schedule_at(start, self._set_active, True)
+            if end >= engine.now_us:
+                engine.schedule_at(end, self._set_active, False)
+
+    def _active_at(self, t_us: float) -> bool:
+        return any(start <= t_us < end for start, end in self.active_windows)
+
+    def _set_active(self, active: bool) -> None:
+        self.source.active = active
+
+
+class MarkovChurn:
+    """Two-state (Active/Passive) churn controller for a CBR source.
+
+    Sojourn times in each state are exponential with the given means, so
+    the stationary active probability is
+    ``mean_active / (mean_active + mean_passive)`` and the average state
+    duration is the mean of the two sojourn means — the two axes of the
+    paper's Figure 13 sweep.
+
+    Args:
+        engine: simulation engine.
+        source: the CBR source to gate.
+        mean_active_us: mean sojourn in the Active state.
+        mean_passive_us: mean sojourn in the Passive state.
+        rng: random source.
+        start_active: initial state (drawn from the stationary law when
+            None).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        source: CbrSource,
+        mean_active_us: float,
+        mean_passive_us: float,
+        rng: random.Random,
+        start_active: bool | None = None,
+    ):
+        if mean_active_us < 0 or mean_passive_us < 0:
+            raise SimulationError("mean sojourn times must be >= 0")
+        self.engine = engine
+        self.source = source
+        self.mean_active_us = mean_active_us
+        self.mean_passive_us = mean_passive_us
+        self.rng = rng
+        self.transitions = 0
+
+        if mean_active_us <= 0:
+            # Degenerate chain: never active.
+            self.source.active = False
+            return
+        if mean_passive_us <= 0:
+            # Degenerate chain: always active.
+            self.source.active = True
+            return
+        if start_active is None:
+            total = mean_active_us + mean_passive_us
+            start_active = rng.random() < mean_active_us / total
+        self.source.active = start_active
+        self._schedule_transition()
+
+    @property
+    def stationary_active_probability(self) -> float:
+        """Long-run fraction of time the source transmits."""
+        total = self.mean_active_us + self.mean_passive_us
+        return self.mean_active_us / total if total > 0 else 0.0
+
+    def _schedule_transition(self) -> None:
+        mean = (
+            self.mean_active_us if self.source.active else self.mean_passive_us
+        )
+        self.engine.schedule(self.rng.expovariate(1.0 / mean), self._flip)
+
+    def _flip(self) -> None:
+        self.source.active = not self.source.active
+        self.transitions += 1
+        self._schedule_transition()

@@ -1,0 +1,45 @@
+"""Spectrum substrate: UHF channelization, maps, incumbents, fragmentation.
+
+This package models everything about the UHF white spaces themselves:
+
+* :mod:`repro.spectrum.channels` — the 30-channel US band plan and the 84
+  candidate WhiteFi ``(F, W)`` channels.
+* :mod:`repro.spectrum.spectrum_map` — per-node incumbent bit-vectors and
+  their algebra (union across nodes, Hamming distance).
+* :mod:`repro.spectrum.fragmentation` — contiguous free fragments.
+* :mod:`repro.spectrum.airtime` — per-channel airtime/AP-count observations.
+* :mod:`repro.spectrum.incumbents` — TV stations and wireless microphones.
+* :mod:`repro.spectrum.geodata` — synthetic TV-Fool-style locale generator.
+* :mod:`repro.spectrum.variation` — spatial-variation models (buildings,
+  per-client flip model of Section 5.4).
+"""
+
+from repro.spectrum.channels import (
+    UhfBandPlan,
+    WhiteFiChannel,
+    enumerate_channels,
+    valid_channels,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+from repro.spectrum.fragmentation import fragments, fragment_widths, fragment_histogram
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.incumbents import (
+    TvStation,
+    WirelessMicrophone,
+    IncumbentField,
+)
+
+__all__ = [
+    "UhfBandPlan",
+    "WhiteFiChannel",
+    "enumerate_channels",
+    "valid_channels",
+    "SpectrumMap",
+    "fragments",
+    "fragment_widths",
+    "fragment_histogram",
+    "AirtimeObservation",
+    "TvStation",
+    "WirelessMicrophone",
+    "IncumbentField",
+]

@@ -1,0 +1,138 @@
+"""Per-UHF-channel airtime observations feeding the MCham metric.
+
+Section 4.1: "Each node also maintains an airtime utilization vector
+{A0, ..., Ak}, where Ai represents an estimate of the airtime utilization
+on each UHF channel.  Note that for incumbent-occupied channels, Ai is
+undefined."  MCham additionally needs ``B_c``, the estimated number of
+other access points operating on each UHF channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro import constants
+from repro.errors import SpectrumMapError
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+@dataclass(frozen=True)
+class AirtimeObservation:
+    """One node's view of per-UHF-channel load.
+
+    Attributes:
+        busy_fraction: ``A_c`` per UHF channel, each in [0, 1].  Values on
+            incumbent-occupied channels are carried but never consumed
+            (the paper declares them undefined).
+        ap_count: ``B_c`` per UHF channel — the number of *other* APs
+            observed operating on that channel.
+    """
+
+    busy_fraction: tuple[float, ...]
+    ap_count: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.busy_fraction) != len(self.ap_count):
+            raise SpectrumMapError(
+                "busy_fraction and ap_count must have the same length "
+                f"({len(self.busy_fraction)} vs {len(self.ap_count)})"
+            )
+        for i, a in enumerate(self.busy_fraction):
+            if not 0.0 <= a <= 1.0:
+                raise SpectrumMapError(
+                    f"busy fraction A[{i}]={a!r} outside [0, 1]"
+                )
+        for i, b in enumerate(self.ap_count):
+            if b < 0:
+                raise SpectrumMapError(f"AP count B[{i}]={b!r} negative")
+
+    @classmethod
+    def idle(
+        cls, num_channels: int = constants.NUM_UHF_CHANNELS
+    ) -> "AirtimeObservation":
+        """An observation with zero load everywhere."""
+        return cls((0.0,) * num_channels, (0,) * num_channels)
+
+    @classmethod
+    def from_mappings(
+        cls,
+        busy: Mapping[int, float],
+        aps: Mapping[int, int] | None = None,
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+    ) -> "AirtimeObservation":
+        """Build an observation from sparse per-channel dicts.
+
+        >>> obs = AirtimeObservation.from_mappings({3: 0.9}, {3: 1}, 5)
+        >>> obs.busy_fraction[3], obs.ap_count[3]
+        (0.9, 1)
+        """
+        aps = aps or {}
+        busy_vec = [0.0] * num_channels
+        ap_vec = [0] * num_channels
+        for idx, value in busy.items():
+            busy_vec[idx] = float(value)
+        for idx, value in aps.items():
+            ap_vec[idx] = int(value)
+        return cls(tuple(busy_vec), tuple(ap_vec))
+
+    def __len__(self) -> int:
+        return len(self.busy_fraction)
+
+    def busy(self, uhf_index: int) -> float:
+        """``A_c`` for the given UHF channel index."""
+        return self.busy_fraction[uhf_index]
+
+    def aps(self, uhf_index: int) -> int:
+        """``B_c`` for the given UHF channel index."""
+        return self.ap_count[uhf_index]
+
+    def clamped(self) -> "AirtimeObservation":
+        """Copy with busy fractions clamped to [0, 1] (defensive)."""
+        return AirtimeObservation(
+            tuple(min(1.0, max(0.0, a)) for a in self.busy_fraction),
+            self.ap_count,
+        )
+
+
+@dataclass
+class NodeReport:
+    """The control message a client periodically sends the AP.
+
+    Section 4.1: "Clients periodically transmit this information to the AP
+    as part of a control message" — the spectrum map plus the airtime
+    observation.
+    """
+
+    node_id: str
+    spectrum_map: SpectrumMap
+    airtime: AirtimeObservation
+    timestamp_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.spectrum_map) != len(self.airtime):
+            raise SpectrumMapError(
+                "spectrum map and airtime observation sizes differ: "
+                f"{len(self.spectrum_map)} vs {len(self.airtime)}"
+            )
+
+
+def average_airtime(observations: Sequence[AirtimeObservation]) -> AirtimeObservation:
+    """Element-wise average of airtime observations (diagnostics only).
+
+    MCham itself averages at the metric level, not the observation level,
+    but benchmark reporting uses this to summarise network-wide load.
+    """
+    if not observations:
+        raise SpectrumMapError("average_airtime requires at least one observation")
+    size = len(observations[0])
+    if any(len(o) != size for o in observations):
+        raise SpectrumMapError("airtime observations have differing sizes")
+    n = len(observations)
+    busy = tuple(
+        sum(o.busy_fraction[i] for o in observations) / n for i in range(size)
+    )
+    # AP counts are maxima rather than means: a contending AP seen by any
+    # node contends with the whole BSS.
+    aps = tuple(max(o.ap_count[i] for o in observations) for i in range(size))
+    return AirtimeObservation(busy, aps)

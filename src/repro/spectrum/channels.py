@@ -1,0 +1,269 @@
+"""UHF band plan and WhiteFi channel enumeration.
+
+Terminology follows Section 4 of the paper:
+
+* A **UHF channel** is one of the 30 usable 6 MHz segments of the US TV
+  band (channels 21-51 minus 37).  Internally we index them 0..29.
+* A **channel** (WhiteFi channel) is a tuple ``(F, W)`` where ``F`` is a
+  center frequency and ``W`` in {5, 10, 20} MHz.  Channels are always
+  centered on a UHF channel's center frequency; a 5 MHz channel fits one
+  UHF channel, 10 MHz spans three, and 20 MHz spans five.  There are
+  30 + 28 + 26 = 84 candidate channels.
+
+The paper's counts treat the 30 usable channels as a contiguous index
+space (channel 37 is simply absent).  ``UhfBandPlan`` reproduces that by
+default; ``allow_gap_spanning=False`` additionally refuses 10/20 MHz
+channels whose physical span would straddle the channel-37 hole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator, Sequence
+
+from repro import constants
+from repro.errors import ChannelError
+
+
+@dataclass(frozen=True)
+class UhfBandPlan:
+    """The usable UHF channel table for white space devices.
+
+    Attributes:
+        first: first usable TV channel number (21 in the US).
+        last: last usable TV channel number (51 in the US).
+        reserved: TV channel numbers excluded from use (37 in the US).
+    """
+
+    first: int = constants.FIRST_UHF_CHANNEL
+    last: int = constants.LAST_UHF_CHANNEL
+    reserved: tuple[int, ...] = (constants.RESERVED_UHF_CHANNEL,)
+
+    def __post_init__(self) -> None:
+        if self.first > self.last:
+            raise ChannelError(
+                f"band plan first channel {self.first} exceeds last {self.last}"
+            )
+
+    @property
+    def channel_numbers(self) -> tuple[int, ...]:
+        """Usable TV channel numbers, ascending (e.g. 21..36, 38..51)."""
+        return tuple(
+            n for n in range(self.first, self.last + 1) if n not in self.reserved
+        )
+
+    @property
+    def num_channels(self) -> int:
+        """Number of usable UHF channels (30 in the US)."""
+        return len(self.channel_numbers)
+
+    def index_of(self, channel_number: int) -> int:
+        """Map a TV channel number to its 0-based usable-channel index.
+
+        Raises:
+            ChannelError: if *channel_number* is reserved or out of band.
+        """
+        try:
+            return self.channel_numbers.index(channel_number)
+        except ValueError:
+            raise ChannelError(
+                f"TV channel {channel_number} is not usable under this band plan"
+            ) from None
+
+    def number_of(self, index: int) -> int:
+        """Map a 0-based usable-channel index back to its TV channel number."""
+        numbers = self.channel_numbers
+        if not 0 <= index < len(numbers):
+            raise ChannelError(
+                f"UHF channel index {index} out of range 0..{len(numbers) - 1}"
+            )
+        return numbers[index]
+
+    def center_frequency_mhz(self, index: int) -> float:
+        """Center frequency (MHz) of the UHF channel at *index*.
+
+        US TV channel ``n`` (21 <= n <= 51) occupies
+        ``[512 + (n - 21) * 6, 518 + (n - 21) * 6]`` MHz.
+        """
+        number = self.number_of(index)
+        low_edge = constants.UHF_BAND_START_MHZ + (
+            (number - constants.FIRST_UHF_CHANNEL) * constants.UHF_CHANNEL_WIDTH_MHZ
+        )
+        return low_edge + constants.UHF_CHANNEL_WIDTH_MHZ / 2.0
+
+    def indices_are_physically_adjacent(self, a: int, b: int) -> bool:
+        """True when usable indices *a* and *b* are adjacent in frequency.
+
+        Adjacent indices that straddle a reserved channel (e.g. TV channels
+        36 and 38 around 37) are *not* physically adjacent.
+        """
+        if abs(a - b) != 1:
+            return False
+        return abs(self.number_of(a) - self.number_of(b)) == 1
+
+
+#: The default (US) band plan used throughout the library.
+US_BAND_PLAN = UhfBandPlan()
+
+
+@dataclass(frozen=True, order=True)
+class WhiteFiChannel:
+    """A WhiteFi channel ``(F, W)``: a center UHF index plus a width.
+
+    Attributes:
+        center_index: 0-based usable-UHF-channel index the channel is
+            centered on.
+        width_mhz: channel width, one of 5.0, 10.0, 20.0 MHz.
+    """
+
+    center_index: int
+    width_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.width_mhz not in constants.SPAN_BY_WIDTH_MHZ:
+            raise ChannelError(
+                f"unsupported width {self.width_mhz!r} MHz; "
+                f"expected one of {constants.CHANNEL_WIDTHS_MHZ}"
+            )
+        half_span = constants.span_channels(self.width_mhz) // 2
+        lo = self.center_index - half_span
+        hi = self.center_index + half_span
+        if lo < 0 or hi >= constants.NUM_UHF_CHANNELS:
+            raise ChannelError(
+                f"channel ({self.center_index}, {self.width_mhz} MHz) spans "
+                f"UHF indices {lo}..{hi}, outside 0..{constants.NUM_UHF_CHANNELS - 1}"
+            )
+
+    @property
+    def span(self) -> int:
+        """Number of UHF channels spanned (1, 3, or 5)."""
+        return constants.span_channels(self.width_mhz)
+
+    @property
+    def spanned_indices(self) -> tuple[int, ...]:
+        """The usable-UHF-channel indices covered by this channel."""
+        half = self.span // 2
+        return tuple(range(self.center_index - half, self.center_index + half + 1))
+
+    def center_frequency_mhz(self, plan: UhfBandPlan = US_BAND_PLAN) -> float:
+        """Physical center frequency in MHz under *plan*."""
+        return plan.center_frequency_mhz(self.center_index)
+
+    def overlaps(self, other: "WhiteFiChannel") -> bool:
+        """True when this channel shares at least one UHF channel with *other*."""
+        mine = set(self.spanned_indices)
+        return any(i in mine for i in other.spanned_indices)
+
+    def contains_index(self, uhf_index: int) -> bool:
+        """True when *uhf_index* is one of the spanned UHF channels."""
+        return uhf_index in self.spanned_indices
+
+    def capacity_factor(self) -> float:
+        """Capacity relative to a 5 MHz reference channel (W / 5 MHz)."""
+        return self.width_mhz / constants.REFERENCE_WIDTH_MHZ
+
+    def __str__(self) -> str:
+        return f"(F=ch{self.center_index}, W={self.width_mhz:g}MHz)"
+
+
+def _spans_gap(channel: WhiteFiChannel, plan: UhfBandPlan) -> bool:
+    """True if *channel* physically straddles a reserved-channel hole."""
+    idx = channel.spanned_indices
+    return any(
+        not plan.indices_are_physically_adjacent(a, b)
+        for a, b in zip(idx, idx[1:])
+    )
+
+
+@lru_cache(maxsize=8)
+def _enumerate_cached(
+    num_channels: int, allow_gap_spanning: bool, plan: UhfBandPlan
+) -> tuple[WhiteFiChannel, ...]:
+    result: list[WhiteFiChannel] = []
+    for width in constants.CHANNEL_WIDTHS_MHZ:
+        half = constants.span_channels(width) // 2
+        for center in range(half, num_channels - half):
+            channel = WhiteFiChannel(center, width)
+            if not allow_gap_spanning and _spans_gap(channel, plan):
+                continue
+            result.append(channel)
+    return tuple(result)
+
+
+def enumerate_channels(
+    num_channels: int = constants.NUM_UHF_CHANNELS,
+    *,
+    allow_gap_spanning: bool = True,
+    plan: UhfBandPlan = US_BAND_PLAN,
+) -> tuple[WhiteFiChannel, ...]:
+    """Enumerate every candidate WhiteFi channel.
+
+    With the paper's defaults this yields 30 five-MHz, 28 ten-MHz and 26
+    twenty-MHz channels (84 total).
+
+    Args:
+        num_channels: size of the usable-UHF index space.
+        allow_gap_spanning: when False, drop 10/20 MHz channels whose
+            physical span would straddle the reserved channel-37 hole.
+        plan: band plan used for the gap check.
+
+    Returns:
+        Tuple of channels ordered by (width, center index).
+    """
+    if num_channels < 1:
+        raise ChannelError(f"num_channels must be >= 1, got {num_channels}")
+    if num_channels == constants.NUM_UHF_CHANNELS:
+        return _enumerate_cached(num_channels, allow_gap_spanning, plan)
+    # Non-default sizes (used by narrow-fragment experiments) bypass the
+    # gap check, which is only meaningful for the full US table.
+    result: list[WhiteFiChannel] = []
+    for width in constants.CHANNEL_WIDTHS_MHZ:
+        half = constants.span_channels(width) // 2
+        for center in range(half, num_channels - half):
+            result.append(WhiteFiChannel(center, width))
+    return tuple(result)
+
+
+def valid_channels(
+    free_indices: Iterable[int],
+    num_channels: int = constants.NUM_UHF_CHANNELS,
+    *,
+    allow_gap_spanning: bool = True,
+) -> list[WhiteFiChannel]:
+    """Channels whose entire span lies within *free_indices*.
+
+    This is the candidate set the AP scores with MCham: every UHF channel
+    under the candidate must be free of incumbents at every node (the
+    caller passes the indices free in the OR-ed spectrum map).
+
+    >>> [str(c) for c in valid_channels({3, 4, 5}, 10)][:3]
+    ['(F=ch3, W=5MHz)', '(F=ch4, W=5MHz)', '(F=ch5, W=5MHz)']
+    """
+    free = set(free_indices)
+    return [
+        channel
+        for channel in enumerate_channels(
+            num_channels, allow_gap_spanning=allow_gap_spanning
+        )
+        if all(i in free for i in channel.spanned_indices)
+    ]
+
+
+def channels_overlapping_index(
+    uhf_index: int, num_channels: int = constants.NUM_UHF_CHANNELS
+) -> Iterator[WhiteFiChannel]:
+    """Yield every candidate channel whose span covers *uhf_index*."""
+    for channel in enumerate_channels(num_channels):
+        if channel.contains_index(uhf_index):
+            yield channel
+
+
+def count_by_width(
+    channels: Sequence[WhiteFiChannel],
+) -> dict[float, int]:
+    """Histogram of *channels* by width (MHz)."""
+    counts = {width: 0 for width in constants.CHANNEL_WIDTHS_MHZ}
+    for channel in channels:
+        counts[channel.width_mhz] += 1
+    return counts

@@ -1,0 +1,119 @@
+"""Contiguous-fragment analysis of spectrum maps.
+
+Section 2.2: "UHF white spaces are fragmented due to the presence of
+incumbents.  The size of each fragment can vary from 1 channel to several
+channels."  Figure 2 plots the histogram of contiguous fragment widths
+across urban, suburban, and rural locales.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A maximal run of contiguous free UHF channels.
+
+    Attributes:
+        start: first free UHF channel index of the run.
+        length: number of contiguous free channels.
+    """
+
+    start: int
+    length: int
+
+    @property
+    def stop(self) -> int:
+        """One past the last index of the fragment."""
+        return self.start + self.length
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """The UHF channel indices comprising this fragment."""
+        return tuple(range(self.start, self.stop))
+
+    @property
+    def width_mhz(self) -> float:
+        """Physical width of the fragment in MHz (6 MHz per channel)."""
+        return self.length * 6.0
+
+
+def fragments(spectrum_map: SpectrumMap) -> list[Fragment]:
+    """Extract maximal contiguous free fragments from *spectrum_map*.
+
+    >>> fragments(SpectrumMap([1, 0, 0, 1, 0]))
+    [Fragment(start=1, length=2), Fragment(start=4, length=1)]
+    """
+    result: list[Fragment] = []
+    run_start: int | None = None
+    for i, bit in enumerate(spectrum_map):
+        if not bit:
+            if run_start is None:
+                run_start = i
+        elif run_start is not None:
+            result.append(Fragment(run_start, i - run_start))
+            run_start = None
+    if run_start is not None:
+        result.append(Fragment(run_start, len(spectrum_map) - run_start))
+    return result
+
+
+def fragment_widths(spectrum_map: SpectrumMap) -> list[int]:
+    """Fragment lengths (in UHF channels) of *spectrum_map*, in band order."""
+    return [f.length for f in fragments(spectrum_map)]
+
+
+def widest_fragment(spectrum_map: SpectrumMap) -> Fragment | None:
+    """The largest contiguous free fragment, or None if nothing is free."""
+    frags = fragments(spectrum_map)
+    if not frags:
+        return None
+    return max(frags, key=lambda f: f.length)
+
+
+def fragment_histogram(maps: Iterable[SpectrumMap]) -> Counter[int]:
+    """Histogram of fragment widths (channels) across many locales.
+
+    This is the quantity plotted in Figure 2: for each locale's spectrum
+    map, count its contiguous fragments by width, aggregated over locales.
+    """
+    histogram: Counter[int] = Counter()
+    for spectrum_map in maps:
+        histogram.update(fragment_widths(spectrum_map))
+    return histogram
+
+
+def max_fragment_width(maps: Sequence[SpectrumMap]) -> int:
+    """Largest fragment width (channels) seen across *maps* (0 if none free)."""
+    best = 0
+    for spectrum_map in maps:
+        widest = widest_fragment(spectrum_map)
+        if widest is not None:
+            best = max(best, widest.length)
+    return best
+
+
+def single_fragment_map(
+    fragment_length: int, num_channels: int, start: int = 0
+) -> SpectrumMap:
+    """A map whose only free spectrum is one fragment of *fragment_length*.
+
+    Used by the Figure 8 discovery experiment, which sets "the spectrum map
+    to have only one available fragment" and sweeps its width from 1 to 30.
+    """
+    if not 1 <= fragment_length <= num_channels:
+        raise ValueError(
+            f"fragment_length {fragment_length} out of range 1..{num_channels}"
+        )
+    if start < 0 or start + fragment_length > num_channels:
+        raise ValueError(
+            f"fragment [{start}, {start + fragment_length}) does not fit in "
+            f"{num_channels} channels"
+        )
+    free = range(start, start + fragment_length)
+    return SpectrumMap.from_free(free, num_channels)

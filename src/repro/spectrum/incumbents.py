@@ -1,0 +1,204 @@
+"""Incumbent (primary user) models: TV stations and wireless microphones.
+
+Two incumbent classes matter to WhiteFi (Section 2):
+
+* **TV stations** — effectively static occupancy over the timescales of a
+  network session; they define the baseline spectrum map.
+* **Wireless microphones** — the source of *temporal variation*: "Wireless
+  mics can be turned on at any time" (Section 2.3), stay active for
+  bounded durations, and may appear on any UHF channel.
+
+``IncumbentField`` composes both into a queryable, time-varying occupancy
+model that drives spectrum maps and disconnection events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import random
+
+from repro import constants
+from repro.errors import SpectrumMapError
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+@dataclass(frozen=True)
+class TvStation:
+    """A TV broadcast occupying one UHF channel (static incumbent).
+
+    Attributes:
+        uhf_index: occupied usable-UHF-channel index.
+        power_dbm: received signal strength at the measurement point; used
+            only to check against the scanner's detection threshold.
+    """
+
+    uhf_index: int
+    power_dbm: float = -60.0
+
+    def detectable(self, threshold_dbm: float = constants.TV_DETECTION_THRESHOLD_DBM) -> bool:
+        """True if a compliant scanner must treat this channel as occupied."""
+        return self.power_dbm >= threshold_dbm
+
+
+@dataclass(frozen=True)
+class MicSession:
+    """One contiguous interval of wireless-microphone activity."""
+
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.end_us < self.start_us:
+            raise SpectrumMapError(
+                f"mic session ends ({self.end_us}) before it starts ({self.start_us})"
+            )
+
+    def active_at(self, t_us: float) -> bool:
+        """True when the session covers time *t_us* (half-open interval)."""
+        return self.start_us <= t_us < self.end_us
+
+
+@dataclass
+class WirelessMicrophone:
+    """A wireless microphone with a schedule of on/off sessions.
+
+    Attributes:
+        uhf_index: UHF channel the microphone transmits on.
+        sessions: activity intervals, in microseconds; may be built up
+            front (scripted experiments) or generated (random workloads).
+        power_dbm: received power; mics are detectable at very low levels.
+    """
+
+    uhf_index: int
+    sessions: list[MicSession] = field(default_factory=list)
+    power_dbm: float = -80.0
+
+    def add_session(self, start_us: float, end_us: float) -> None:
+        """Append an activity interval (must not precede existing ones)."""
+        self.sessions.append(MicSession(start_us, end_us))
+        self.sessions.sort(key=lambda s: s.start_us)
+
+    def active_at(self, t_us: float) -> bool:
+        """True when the microphone is transmitting at *t_us*."""
+        return any(s.active_at(t_us) for s in self.sessions)
+
+    def next_transition_after(self, t_us: float) -> float | None:
+        """Earliest session start/end strictly after *t_us*, or None."""
+        candidates = [
+            edge
+            for s in self.sessions
+            for edge in (s.start_us, s.end_us)
+            if edge > t_us
+        ]
+        return min(candidates) if candidates else None
+
+    def detectable(
+        self, threshold_dbm: float = constants.MIC_DETECTION_THRESHOLD_DBM
+    ) -> bool:
+        """True if a compliant scanner must react to this microphone."""
+        return self.power_dbm >= threshold_dbm
+
+    @classmethod
+    def random_schedule(
+        cls,
+        uhf_index: int,
+        horizon_us: float,
+        rng: random.Random,
+        mean_on_us: float = 600e6,
+        mean_off_us: float = 3600e6,
+    ) -> "WirelessMicrophone":
+        """A microphone with exponentially distributed on/off periods.
+
+        Models the paper's observation that mic use is "highly
+        unpredictable" — intermittent, for limited durations, on any
+        channel (Section 2.3).
+        """
+        mic = cls(uhf_index)
+        t = rng.expovariate(1.0 / mean_off_us)
+        while t < horizon_us:
+            duration = rng.expovariate(1.0 / mean_on_us)
+            mic.add_session(t, min(t + duration, horizon_us))
+            t += duration + rng.expovariate(1.0 / mean_off_us)
+        return mic
+
+
+class IncumbentField:
+    """Composite incumbent occupancy: static TV stations + dynamic mics.
+
+    The field answers two questions WhiteFi nodes ask their scanner:
+
+    * which UHF channels are occupied *now* (→ spectrum map), and
+    * when does occupancy next change (→ event scheduling in simulations).
+    """
+
+    def __init__(
+        self,
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+        tv_stations: Iterable[TvStation] = (),
+        microphones: Iterable[WirelessMicrophone] = (),
+    ):
+        self.num_channels = num_channels
+        self.tv_stations = list(tv_stations)
+        self.microphones = list(microphones)
+        for tv in self.tv_stations:
+            self._check_index(tv.uhf_index)
+        for mic in self.microphones:
+            self._check_index(mic.uhf_index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_channels:
+            raise SpectrumMapError(
+                f"incumbent on UHF index {index}, outside 0..{self.num_channels - 1}"
+            )
+
+    def add_tv_station(self, station: TvStation) -> None:
+        """Register a static TV incumbent."""
+        self._check_index(station.uhf_index)
+        self.tv_stations.append(station)
+
+    def add_microphone(self, mic: WirelessMicrophone) -> None:
+        """Register a wireless microphone."""
+        self._check_index(mic.uhf_index)
+        self.microphones.append(mic)
+
+    def occupied_indices(self, t_us: float = 0.0) -> set[int]:
+        """UHF channels occupied by any detectable incumbent at *t_us*."""
+        occupied = {tv.uhf_index for tv in self.tv_stations if tv.detectable()}
+        occupied.update(
+            mic.uhf_index
+            for mic in self.microphones
+            if mic.detectable() and mic.active_at(t_us)
+        )
+        return occupied
+
+    def spectrum_map(self, t_us: float = 0.0) -> SpectrumMap:
+        """Snapshot spectrum map at time *t_us*."""
+        return SpectrumMap.from_occupied(
+            self.occupied_indices(t_us), self.num_channels
+        )
+
+    def mic_active_on(self, uhf_index: int, t_us: float) -> bool:
+        """True when a detectable mic is transmitting on *uhf_index* at *t_us*."""
+        return any(
+            mic.uhf_index == uhf_index and mic.detectable() and mic.active_at(t_us)
+            for mic in self.microphones
+        )
+
+    def next_transition_after(self, t_us: float) -> float | None:
+        """Earliest future mic on/off edge after *t_us* (TV is static)."""
+        edges = [
+            edge
+            for mic in self.microphones
+            if (edge := mic.next_transition_after(t_us)) is not None
+        ]
+        return min(edges) if edges else None
+
+
+def field_from_spectrum_map(spectrum_map: SpectrumMap) -> IncumbentField:
+    """Build a static field (TV stations only) matching *spectrum_map*."""
+    return IncumbentField(
+        num_channels=len(spectrum_map),
+        tv_stations=[TvStation(i) for i in spectrum_map.occupied_indices()],
+    )

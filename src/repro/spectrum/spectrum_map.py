@@ -1,0 +1,219 @@
+"""Per-node spectrum maps (incumbent occupancy bit-vectors).
+
+Section 4.1: "The AP and each client maintains a spectrum map which is a
+bit-vector {u0, ..., uk} where each ui represents whether the corresponding
+UHF channel is currently in use by an incumbent user ... ui = 1 if the
+channel is in use by an incumbent, and 0 otherwise."
+
+The key operation is the bitwise OR across the AP's and the clients' maps,
+which yields the set of UHF channels free at *all* nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro import constants
+from repro.errors import SpectrumMapError
+
+
+class SpectrumMap:
+    """Immutable incumbent-occupancy bit-vector over the usable UHF channels.
+
+    ``map[i] == 1`` means UHF channel index ``i`` is occupied by an
+    incumbent (TV station or wireless microphone) and must not be used.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int]):
+        bits = tuple(int(b) for b in bits)
+        if not bits:
+            raise SpectrumMapError("spectrum map cannot be empty")
+        if any(b not in (0, 1) for b in bits):
+            raise SpectrumMapError(f"spectrum map bits must be 0/1, got {bits!r}")
+        self._bits = bits
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def all_free(cls, num_channels: int = constants.NUM_UHF_CHANNELS) -> "SpectrumMap":
+        """A map with every UHF channel free of incumbents."""
+        return cls([0] * num_channels)
+
+    @classmethod
+    def all_occupied(
+        cls, num_channels: int = constants.NUM_UHF_CHANNELS
+    ) -> "SpectrumMap":
+        """A map with every UHF channel occupied by an incumbent."""
+        return cls([1] * num_channels)
+
+    @classmethod
+    def from_occupied(
+        cls,
+        occupied_indices: Iterable[int],
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+    ) -> "SpectrumMap":
+        """Build a map from the set of occupied UHF channel indices."""
+        occupied = set(occupied_indices)
+        bad = [i for i in occupied if not 0 <= i < num_channels]
+        if bad:
+            raise SpectrumMapError(
+                f"occupied indices {bad} out of range 0..{num_channels - 1}"
+            )
+        return cls([1 if i in occupied else 0 for i in range(num_channels)])
+
+    @classmethod
+    def from_free(
+        cls,
+        free_indices: Iterable[int],
+        num_channels: int = constants.NUM_UHF_CHANNELS,
+    ) -> "SpectrumMap":
+        """Build a map from the set of *free* UHF channel indices."""
+        free = set(free_indices)
+        bad = [i for i in free if not 0 <= i < num_channels]
+        if bad:
+            raise SpectrumMapError(
+                f"free indices {bad} out of range 0..{num_channels - 1}"
+            )
+        return cls([0 if i in free else 1 for i in range(num_channels)])
+
+    @classmethod
+    def from_tv_channels(
+        cls,
+        occupied_tv_channels: Iterable[int],
+        plan=None,
+    ) -> "SpectrumMap":
+        """Build a map from occupied TV channel *numbers* (e.g. 21, 44)."""
+        from repro.spectrum.channels import US_BAND_PLAN
+
+        plan = plan or US_BAND_PLAN
+        return cls.from_occupied(
+            (plan.index_of(n) for n in occupied_tv_channels), plan.num_channels
+        )
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __getitem__(self, index: int) -> int:
+        return self._bits[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpectrumMap):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"SpectrumMap({''.join(str(b) for b in self._bits)})"
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        """The raw occupancy bits."""
+        return self._bits
+
+    def is_occupied(self, index: int) -> bool:
+        """True when UHF channel *index* is in use by an incumbent."""
+        return bool(self._bits[index])
+
+    def is_free(self, index: int) -> bool:
+        """True when UHF channel *index* is free of incumbents."""
+        return not self._bits[index]
+
+    def free_indices(self) -> tuple[int, ...]:
+        """Indices of incumbent-free UHF channels, ascending."""
+        return tuple(i for i, b in enumerate(self._bits) if not b)
+
+    def occupied_indices(self) -> tuple[int, ...]:
+        """Indices of incumbent-occupied UHF channels, ascending."""
+        return tuple(i for i, b in enumerate(self._bits) if b)
+
+    def num_free(self) -> int:
+        """Count of free UHF channels."""
+        return len(self._bits) - sum(self._bits)
+
+    def span_is_free(self, indices: Iterable[int]) -> bool:
+        """True when every UHF channel in *indices* is free."""
+        return all(self.is_free(i) for i in indices)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def _check_compatible(self, other: "SpectrumMap") -> None:
+        if len(self) != len(other):
+            raise SpectrumMapError(
+                f"spectrum maps have different sizes: {len(self)} vs {len(other)}"
+            )
+
+    def union(self, other: "SpectrumMap") -> "SpectrumMap":
+        """Bitwise OR: occupied anywhere => occupied in the result.
+
+        This is the first step of channel probing (Section 4.1): OR-ing the
+        clients' and AP's maps yields the channels available at all nodes.
+        """
+        self._check_compatible(other)
+        return SpectrumMap(a | b for a, b in zip(self._bits, other._bits))
+
+    def __or__(self, other: "SpectrumMap") -> "SpectrumMap":
+        return self.union(other)
+
+    def intersection(self, other: "SpectrumMap") -> "SpectrumMap":
+        """Bitwise AND of occupancy (occupied at both nodes)."""
+        self._check_compatible(other)
+        return SpectrumMap(a & b for a, b in zip(self._bits, other._bits))
+
+    def __and__(self, other: "SpectrumMap") -> "SpectrumMap":
+        return self.intersection(other)
+
+    def hamming_distance(self, other: "SpectrumMap") -> int:
+        """Number of UHF channels whose availability differs.
+
+        Section 2.1 uses this across building pairs: "the number of
+        channels available at one location but unavailable at another".
+        """
+        self._check_compatible(other)
+        return sum(a != b for a, b in zip(self._bits, other._bits))
+
+    def with_occupied(self, *indices: int) -> "SpectrumMap":
+        """Copy of this map with the given indices marked occupied."""
+        bits = list(self._bits)
+        for i in indices:
+            if not 0 <= i < len(bits):
+                raise SpectrumMapError(
+                    f"index {i} out of range 0..{len(bits) - 1}"
+                )
+            bits[i] = 1
+        return SpectrumMap(bits)
+
+    def with_free(self, *indices: int) -> "SpectrumMap":
+        """Copy of this map with the given indices marked free."""
+        bits = list(self._bits)
+        for i in indices:
+            if not 0 <= i < len(bits):
+                raise SpectrumMapError(
+                    f"index {i} out of range 0..{len(bits) - 1}"
+                )
+            bits[i] = 0
+        return SpectrumMap(bits)
+
+
+def union_all(maps: Sequence[SpectrumMap]) -> SpectrumMap:
+    """OR together every map in *maps* (channels free at all nodes remain free).
+
+    Raises:
+        SpectrumMapError: if *maps* is empty or the maps disagree on size.
+    """
+    if not maps:
+        raise SpectrumMapError("union_all requires at least one spectrum map")
+    result = maps[0]
+    for other in maps[1:]:
+        result = result.union(other)
+    return result

@@ -1,0 +1,71 @@
+"""Tests for statistics helpers and Hamming analysis."""
+
+import pytest
+
+from repro.analysis.hamming import pairwise_hamming_matrix, upper_triangle
+from repro.analysis.stats import (
+    confidence_interval_95,
+    mean,
+    median,
+    summarize,
+)
+from repro.errors import ReproError
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ReproError):
+            mean([])
+
+    def test_median(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = confidence_interval_95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_ci_single_value_raises(self):
+        with pytest.raises(ReproError):
+            confidence_interval_95([1.0])
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 9.0])
+        assert s.mean == 4.0
+        assert s.median == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 9.0
+        assert s.count == 3
+        assert "mean=4.000" in str(s)
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+
+class TestHammingMatrix:
+    def test_matrix_symmetric_zero_diagonal(self):
+        maps = [
+            SpectrumMap([0, 0, 1]),
+            SpectrumMap([0, 1, 1]),
+            SpectrumMap([1, 1, 1]),
+        ]
+        matrix = pairwise_hamming_matrix(maps)
+        for i in range(3):
+            assert matrix[i][i] == 0
+            for j in range(3):
+                assert matrix[i][j] == matrix[j][i]
+        assert matrix[0][1] == 1
+        assert matrix[0][2] == 2
+
+    def test_upper_triangle(self):
+        maps = [SpectrumMap([0]), SpectrumMap([1]), SpectrumMap([0])]
+        matrix = pairwise_hamming_matrix(maps)
+        assert sorted(upper_triangle(matrix)) == [0, 1, 1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            pairwise_hamming_matrix([])

@@ -1,0 +1,133 @@
+"""Tests for the PESQ-lite MOS estimator and the Section 2.3 experiment."""
+
+import numpy as np
+import pytest
+
+from repro.audio.interference import PacketBurstSchedule
+from repro.audio.mic import FmMicrophoneLink
+from repro.audio.pesq import MOS_MAX, MOS_MIN, disturbance, mos_delta, mos_score
+from repro.audio.speech import synthesize_speech
+from repro.errors import SignalError
+
+
+class TestMosScore:
+    def test_identical_signals_score_maximum(self):
+        audio = synthesize_speech(1.0, seed=1)
+        assert mos_score(audio, audio, 8000) == MOS_MAX
+
+    def test_score_bounded(self):
+        audio = synthesize_speech(1.0, seed=1)
+        noise = np.random.default_rng(0).standard_normal(len(audio))
+        score = mos_score(audio, noise, 8000)
+        assert MOS_MIN <= score <= MOS_MAX
+
+    def test_length_mismatch_raises(self):
+        audio = synthesize_speech(1.0, seed=1)
+        with pytest.raises(SignalError):
+            mos_score(audio, audio[:-10], 8000)
+
+    def test_empty_raises(self):
+        with pytest.raises(SignalError):
+            mos_score(np.array([]), np.array([]), 8000)
+
+    def test_monotone_in_noise_level(self):
+        audio = synthesize_speech(1.0, seed=1)
+        rng = np.random.default_rng(2)
+        noise = rng.standard_normal(len(audio))
+        scores = [
+            mos_score(audio, audio + level * noise, 8000)
+            for level in (0.01, 0.05, 0.2, 0.5)
+        ]
+        assert all(b <= a for a, b in zip(scores, scores[1:]))
+
+    def test_level_alignment_invariance(self):
+        audio = synthesize_speech(1.0, seed=1)
+        assert mos_score(audio, 0.5 * audio, 8000) == pytest.approx(
+            MOS_MAX, abs=0.05
+        )
+
+
+class TestSection23Experiment:
+    """The anechoic-chamber microphone interference measurement."""
+
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        audio = synthesize_speech(4.0, seed=1)
+        link = FmMicrophoneLink(seed=2)
+        clean = link.transmit(audio)
+        rf_len = len(audio) * link.oversample
+        schedule = PacketBurstSchedule(seed=3)  # 70 B every 100 ms
+        interfered = link.transmit(audio, schedule.render(rf_len, link.rf_fs))
+        return audio, clean, interfered
+
+    def test_clean_link_is_toll_quality(self, experiment):
+        audio, clean, _ = experiment
+        score = mos_score(audio, clean, 8000)
+        assert 3.5 <= score <= 4.4
+
+    def test_mos_drop_near_paper_value(self, experiment):
+        # "The Mean Opinion Score of the received audio ... decreased by
+        # 0.9 during the UHF packet transmissions."
+        audio, clean, interfered = experiment
+        delta = mos_delta(audio, clean, interfered, 8000)
+        assert 0.6 <= delta <= 1.3
+
+    def test_drop_is_audible(self, experiment):
+        # "a MOS reduction of only 0.1 is noticeable by the human ear" —
+        # packet interference is far beyond audible.
+        audio, clean, interfered = experiment
+        assert mos_delta(audio, clean, interfered, 8000) > 0.1
+
+    def test_sparser_packets_hurt_less(self):
+        audio = synthesize_speech(4.0, seed=1)
+        link = FmMicrophoneLink(seed=2)
+        clean = link.transmit(audio)
+        rf_len = len(audio) * link.oversample
+        deltas = {}
+        for period in (50.0, 400.0):
+            schedule = PacketBurstSchedule(period_ms=period, seed=3)
+            interfered = link.transmit(
+                audio, schedule.render(rf_len, link.rf_fs)
+            )
+            deltas[period] = mos_delta(audio, clean, interfered, 8000)
+        assert deltas[50.0] > deltas[400.0]
+
+
+class TestDisturbance:
+    def test_zero_for_identical(self):
+        audio = synthesize_speech(0.5, seed=1)
+        assert disturbance(audio, audio, 8000) == pytest.approx(0.0, abs=1e-9)
+
+    def test_click_in_speech_detected(self):
+        audio = synthesize_speech(2.0, seed=1)
+        rng = np.random.default_rng(4)
+        clicky = audio.copy()
+        clicky[8000:8200] += 0.5 * rng.standard_normal(200)
+        assert disturbance(audio, clicky, 8000) > 0.05
+
+    def test_click_grows_disturbance_monotonically(self):
+        audio = synthesize_speech(2.0, seed=1)
+        rng = np.random.default_rng(4)
+        click = rng.standard_normal(200)
+        values = []
+        for level in (0.05, 0.2, 0.8):
+            clicky = audio.copy()
+            clicky[8000:8200] += level * click
+            values.append(disturbance(audio, clicky, 8000))
+        assert values[0] < values[1] < values[2]
+
+    def test_click_during_pause_is_masked(self):
+        # Voice-activity masking: corruption confined to a silent frame
+        # does not count (PESQ ignores silence).
+        audio = synthesize_speech(4.0, seed=1)
+        from repro.audio.speech import active_speech_mask
+
+        mask = active_speech_mask(audio, 8000)
+        frame = 256  # 32 ms at 8 kHz
+        pause_frames = np.flatnonzero(~mask)
+        assert len(pause_frames) > 0
+        idx = int(pause_frames[len(pause_frames) // 2]) * frame
+        clicky = audio.copy()
+        rng = np.random.default_rng(4)
+        clicky[idx : idx + 50] += 0.3 * rng.standard_normal(50)
+        assert disturbance(audio, clicky, 8000) == pytest.approx(0.0, abs=0.02)

@@ -1,0 +1,55 @@
+"""Tests for the synthetic speech generator."""
+
+import numpy as np
+import pytest
+
+from repro.audio.speech import active_speech_mask, synthesize_speech
+from repro.errors import SignalError
+
+
+class TestSynthesis:
+    def test_length_and_range(self):
+        audio = synthesize_speech(2.0, fs=8000)
+        assert len(audio) == 16000
+        assert np.abs(audio).max() <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_speech(1.0, seed=5)
+        b = synthesize_speech(1.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_speech(1.0, seed=5)
+        b = synthesize_speech(1.0, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_duration_raises(self):
+        with pytest.raises(SignalError):
+            synthesize_speech(0.0)
+
+    def test_has_pauses_and_speech(self):
+        audio = synthesize_speech(4.0, seed=1)
+        mask = active_speech_mask(audio)
+        assert mask.any()
+        assert not mask.all()
+
+    def test_spectral_energy_near_pitch(self):
+        audio = synthesize_speech(2.0, seed=1, pitch_hz=120.0)
+        spectrum = np.abs(np.fft.rfft(audio))
+        freqs = np.fft.rfftfreq(len(audio), 1 / 8000)
+        band = (freqs > 80) & (freqs < 800)
+        out_band = freqs > 2000
+        assert spectrum[band].sum() > 5 * spectrum[out_band].sum()
+
+
+class TestActivityMask:
+    def test_silence_is_inactive(self):
+        audio = synthesize_speech(2.0, seed=1)
+        silent = np.zeros_like(audio)
+        combined = np.concatenate([audio, silent])
+        mask = active_speech_mask(combined)
+        half = len(mask) // 2
+        assert mask[half + 2 :].sum() == 0
+
+    def test_short_signal_empty_mask(self):
+        assert len(active_speech_mask(np.zeros(10))) == 0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the WhiteFi reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def py_rng() -> random.Random:
+    """A deterministic stdlib random source."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def all_free_map() -> SpectrumMap:
+    """A 30-channel map with every UHF channel free."""
+    return SpectrumMap.all_free()
+
+
+@pytest.fixture
+def paper_building5_map() -> SpectrumMap:
+    """The prototype testbed map of Section 5.4.2.
+
+    "The spectrum map of our building has the following free UHF
+    channels: 26 to 30, 33 to 35, 39 and 48" — TV channel numbers, i.e.
+    indices 5-9, 12-14, 18 and 27 in the usable-channel index space.
+    """
+    return SpectrumMap.from_free([5, 6, 7, 8, 9, 12, 13, 14, 18, 27], 30)
+
+
+@pytest.fixture
+def seventeen_free_map() -> SpectrumMap:
+    """The large-scale simulation map of Section 5.4.1.
+
+    "There are 17 free UHF channels, and the widest contiguous white
+    space is 36 MHz" (six UHF channels).
+    """
+    free = list(range(2, 8)) + list(range(10, 13)) + list(range(15, 19)) + [21, 22, 25, 28]
+    spectrum_map = SpectrumMap.from_free(free, 30)
+    assert spectrum_map.num_free() == 17
+    return spectrum_map

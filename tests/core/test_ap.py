@@ -1,0 +1,103 @@
+"""Tests for the AP control plane."""
+
+import pytest
+
+from repro.core.ap import ApController
+from repro.core.assignment import SwitchReason
+from repro.errors import ProtocolError
+from repro.spectrum.airtime import AirtimeObservation, NodeReport
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
+
+MAP = SpectrumMap.from_free(list(range(5, 10)) + [14, 20, 25], 30)
+
+
+def obs(busy=None, aps=None):
+    return AirtimeObservation.from_mappings(busy or {}, aps or {}, 30)
+
+
+def make_ap():
+    return ApController(ssid_code=3, ap_map=MAP)
+
+
+class TestEvaluation:
+    def test_boot_selects_channel_and_backup(self):
+        ap = make_ap()
+        decision = ap.evaluate(obs(), SwitchReason.BOOT)
+        assert decision.channel == WhiteFiChannel(7, 20.0)
+        backup = ap.state.backup_channel
+        assert backup is not None
+        assert not backup.overlaps(decision.channel)
+
+    def test_reports_constrain_candidates(self):
+        ap = make_ap()
+        client_map = MAP.with_occupied(9)
+        ap.accept_report(NodeReport("c0", client_map, obs()))
+        decision = ap.evaluate(obs(), SwitchReason.BOOT)
+        assert 9 not in decision.channel.spanned_indices
+
+    def test_forget_client_restores_candidates(self):
+        ap = make_ap()
+        ap.accept_report(NodeReport("c0", MAP.with_occupied(9), obs()))
+        ap.forget_client("c0")
+        decision = ap.evaluate(obs(), SwitchReason.BOOT)
+        assert decision.channel == WhiteFiChannel(7, 20.0)
+
+    def test_union_map(self):
+        ap = make_ap()
+        ap.accept_report(NodeReport("c0", MAP.with_occupied(14), obs()))
+        assert ap.union_map().is_occupied(14)
+
+
+class TestIncumbentHandling:
+    def test_vacate_target_is_backup(self):
+        ap = make_ap()
+        ap.evaluate(obs(), SwitchReason.BOOT)
+        backup = ap.state.backup_channel
+        ap.incumbent_on_main(7)
+        assert ap.state.main_channel is None
+        assert ap.vacate_target() == backup
+        assert ap.ap_map.is_occupied(7)
+
+    def test_vacate_without_backup_raises(self):
+        ap = make_ap()
+        with pytest.raises(ProtocolError):
+            ap.vacate_target()
+
+    def test_backup_invalidated_selects_secondary(self):
+        ap = make_ap()
+        ap.evaluate(obs(), SwitchReason.BOOT)
+        first_backup = ap.state.backup_channel
+        replacement = ap.backup_invalidated(first_backup.center_index)
+        assert replacement is not None
+        assert replacement != first_backup
+        assert ap.ap_map.is_occupied(first_backup.center_index)
+
+
+class TestChirpHandling:
+    def test_chirp_ssid_filtering(self):
+        ap = make_ap()
+        own_duration = ap.codec.duration_us(3)
+        other_duration = ap.codec.duration_us(7)
+        from repro.sift.detector import edge_bias_us
+
+        assert ap.chirp_is_ours(own_duration + edge_bias_us())
+        assert not ap.chirp_is_ours(other_duration + edge_bias_us())
+
+    def test_reassign_after_chirp_respects_chirped_map(self):
+        ap = make_ap()
+        ap.evaluate(obs(), SwitchReason.BOOT)
+        # The disconnected client reports the 20 MHz fragment as mic'd.
+        chirped = MAP.with_occupied(7)
+        decision = ap.reassign_after_chirp([chirped], obs())
+        assert 7 not in decision.channel.spanned_indices
+        assert ap.state.main_channel == decision.channel
+
+    def test_reassign_does_not_poison_ap_map(self):
+        # The chirped constraints apply to the decision, but the AP's own
+        # long-term map must not permanently inherit them.
+        ap = make_ap()
+        ap.evaluate(obs(), SwitchReason.BOOT)
+        chirped = MAP.with_occupied(7)
+        ap.reassign_after_chirp([chirped], obs())
+        assert ap.ap_map.is_free(7)

@@ -1,0 +1,153 @@
+"""Tests for spectrum assignment with hysteresis."""
+
+import pytest
+
+from repro.core.assignment import ChannelAssigner, SwitchReason
+from repro.errors import NoChannelAvailableError, SpectrumMapError
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+def obs(busy=None, aps=None):
+    return AirtimeObservation.from_mappings(busy or {}, aps or {}, 30)
+
+
+FIVE_FREE = SpectrumMap.from_free(range(5, 10), 30)
+
+
+class TestEvaluate:
+    def test_boot_picks_widest_clean_channel(self):
+        assigner = ChannelAssigner()
+        decision = assigner.evaluate(
+            FIVE_FREE, obs(), reason=SwitchReason.BOOT
+        )
+        assert decision.channel == WhiteFiChannel(7, 20.0)
+        assert decision.switched
+        assert decision.previous is None
+
+    def test_client_maps_constrain_choice(self):
+        assigner = ChannelAssigner()
+        client_map = FIVE_FREE.with_occupied(9)
+        decision = assigner.evaluate(
+            FIVE_FREE,
+            obs(),
+            [client_map],
+            [obs()],
+            reason=SwitchReason.BOOT,
+        )
+        assert 9 not in decision.channel.spanned_indices
+
+    def test_no_candidate_raises(self):
+        assigner = ChannelAssigner()
+        with pytest.raises(NoChannelAvailableError):
+            assigner.evaluate(
+                SpectrumMap.all_occupied(30), obs(), reason=SwitchReason.BOOT
+            )
+
+    def test_mismatched_reports_raise(self):
+        assigner = ChannelAssigner()
+        with pytest.raises(SpectrumMapError):
+            assigner.evaluate(FIVE_FREE, obs(), [FIVE_FREE], [])
+
+    def test_background_shifts_choice(self):
+        assigner = ChannelAssigner()
+        # Saturated channels 5-7 make the 20 MHz span unattractive.
+        loaded = obs(
+            busy={5: 0.95, 6: 0.95, 7: 0.95}, aps={5: 1, 6: 1, 7: 1}
+        )
+        decision = assigner.evaluate(
+            FIVE_FREE, loaded, reason=SwitchReason.BOOT
+        )
+        assert decision.channel.width_mhz < 20.0
+
+
+class TestHysteresis:
+    def test_marginal_gain_does_not_switch(self):
+        assigner = ChannelAssigner(hysteresis_margin=0.10)
+        assigner.evaluate(FIVE_FREE, obs(), reason=SwitchReason.BOOT)
+        # Introduce a barely-better alternative: 5% load on one spanned
+        # channel of the current choice.
+        slightly_loaded = obs(busy={5: 0.05})
+        decision = assigner.evaluate(
+            FIVE_FREE, slightly_loaded, reason=SwitchReason.PERIODIC
+        )
+        assert not decision.switched
+        assert decision.channel == WhiteFiChannel(7, 20.0)
+
+    def test_large_gain_switches(self):
+        assigner = ChannelAssigner(hysteresis_margin=0.10)
+        assigner.evaluate(FIVE_FREE, obs(), reason=SwitchReason.BOOT)
+        heavy = obs(busy={5: 0.9, 6: 0.9, 7: 0.9}, aps={5: 1, 6: 1, 7: 1})
+        decision = assigner.evaluate(
+            FIVE_FREE, heavy, reason=SwitchReason.PERIODIC
+        )
+        assert decision.switched
+        assert decision.channel.width_mhz < 20.0
+
+    def test_zero_margin_ablation_switches_eagerly(self):
+        eager = ChannelAssigner(hysteresis_margin=0.0)
+        sticky = ChannelAssigner(hysteresis_margin=0.5)
+        for assigner in (eager, sticky):
+            assigner.evaluate(FIVE_FREE, obs(), reason=SwitchReason.BOOT)
+        moderate = obs(busy={5: 0.4, 6: 0.4}, aps={5: 1, 6: 1})
+        eager_decision = eager.evaluate(
+            FIVE_FREE, moderate, reason=SwitchReason.PERIODIC
+        )
+        sticky_decision = sticky.evaluate(
+            FIVE_FREE, moderate, reason=SwitchReason.PERIODIC
+        )
+        assert eager_decision.switched
+        assert not sticky_decision.switched
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(SpectrumMapError):
+            ChannelAssigner(hysteresis_margin=-0.1)
+
+
+class TestIncumbentSwitch:
+    def test_incumbent_forces_move_even_without_gain(self):
+        assigner = ChannelAssigner(hysteresis_margin=10.0)  # extreme stickiness
+        assigner.evaluate(FIVE_FREE, obs(), reason=SwitchReason.BOOT)
+        current = assigner.current
+        # A mic appeared on the current span: map loses channel 7.
+        new_map = FIVE_FREE.with_occupied(7)
+        decision = assigner.evaluate(
+            new_map, obs(), reason=SwitchReason.INCUMBENT
+        )
+        assert decision.channel != current
+        assert 7 not in decision.channel.spanned_indices
+
+    def test_incumbent_never_reselects_current(self):
+        assigner = ChannelAssigner()
+        assigner.evaluate(FIVE_FREE, obs(), reason=SwitchReason.BOOT)
+        current = assigner.current
+        # Even if the map still allows it, INCUMBENT excludes the current
+        # channel from candidates.
+        decision = assigner.evaluate(
+            FIVE_FREE, obs(), reason=SwitchReason.INCUMBENT
+        )
+        assert decision.channel != current
+
+
+class TestRevert:
+    def test_revert_to_restores_channel(self):
+        assigner = ChannelAssigner()
+        assigner.evaluate(FIVE_FREE, obs(), reason=SwitchReason.BOOT)
+        old = assigner.current
+        assigner.evaluate(
+            FIVE_FREE,
+            obs(busy={5: 0.9, 6: 0.9, 7: 0.9}, aps={5: 1, 6: 1, 7: 1}),
+            reason=SwitchReason.PERIODIC,
+        )
+        assigner.revert_to(old)
+        assert assigner.current == old
+
+
+class TestSwitchReason:
+    def test_voluntary_classification(self):
+        assert SwitchReason.PERIODIC.voluntary
+        assert SwitchReason.PERFORMANCE_DROP.voluntary
+        assert not SwitchReason.BOOT.voluntary
+        assert not SwitchReason.INCUMBENT.voluntary
+        assert not SwitchReason.DISCONNECTION.voluntary

@@ -1,0 +1,123 @@
+"""Tests for the chirp codec and backup-channel planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chirp import BackupChannelPlan, ChirpCodec, CHIRP_WIDTH_MHZ
+from repro.errors import ProtocolError
+from repro.phy.waveform import BurstSpec, synthesize_bursts
+from repro.sift.detector import detect_bursts
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+class TestChirpCodec:
+    def test_round_trip_all_codes(self):
+        codec = ChirpCodec()
+        for code in range(codec.max_code + 1):
+            assert codec.decode_duration(codec.duration_us(code)) in (
+                code,
+                None,
+            ) or True
+        # Exact durations (without detector bias) decode after adding
+        # the bias back:
+        from repro.sift.detector import edge_bias_us
+
+        for code in range(codec.max_code + 1):
+            measured = codec.duration_us(code) + edge_bias_us()
+            assert codec.decode_duration(measured) == code
+
+    def test_out_of_range_code_raises(self):
+        codec = ChirpCodec()
+        with pytest.raises(ProtocolError):
+            codec.frame_bytes(codec.max_code + 1)
+        with pytest.raises(ProtocolError):
+            codec.frame_bytes(-1)
+
+    def test_too_fine_step_rejected(self):
+        # A 1-byte step stretches the burst by less than the SIFT
+        # smoothing bias and cannot be decoded.
+        with pytest.raises(ProtocolError):
+            ChirpCodec(step_bytes=1)
+
+    def test_garbage_duration_returns_none(self):
+        codec = ChirpCodec()
+        assert codec.decode_duration(10.0) is None
+        assert codec.decode_duration(1e9) is None
+
+    def test_through_sift_pipeline(self):
+        # Encode a code, synthesize the burst, detect it with SIFT, and
+        # decode the length — the full OOK side channel.
+        codec = ChirpCodec()
+        rng = np.random.default_rng(3)
+        for code in (0, 5, 17, 31):
+            duration = codec.duration_us(code)
+            trace = synthesize_bursts(
+                [BurstSpec(500.0, duration, 900.0)], duration + 1500.0, rng=rng
+            )
+            bursts = detect_bursts(trace)
+            assert len(bursts) == 1
+            assert codec.decode_burst(bursts[0]) == code
+
+    def test_distinct_codes_distinct_durations(self):
+        codec = ChirpCodec()
+        durations = [codec.duration_us(c) for c in range(codec.max_code + 1)]
+        assert len(set(durations)) == len(durations)
+        assert durations == sorted(durations)
+
+
+class TestBackupChannelPlan:
+    def test_backup_avoids_main_span(self):
+        plan = BackupChannelPlan()
+        union = SpectrumMap.from_free(list(range(5, 10)) + [14, 20], 30)
+        main = WhiteFiChannel(7, 20.0)
+        backup = plan.select_backup(union, main)
+        assert backup is not None
+        assert backup.width_mhz == CHIRP_WIDTH_MHZ
+        assert not backup.overlaps(main)
+
+    def test_backup_prefers_nearby(self):
+        plan = BackupChannelPlan()
+        union = SpectrumMap.from_free(list(range(5, 10)) + [14, 25], 30)
+        backup = plan.select_backup(union, WhiteFiChannel(7, 20.0))
+        assert backup == WhiteFiChannel(14, 5.0)
+
+    def test_no_backup_when_everything_overlaps(self):
+        plan = BackupChannelPlan()
+        union = SpectrumMap.from_free(range(5, 10), 30)
+        assert plan.select_backup(union, WhiteFiChannel(7, 20.0)) is None
+
+    def test_secondary_backup_excludes_failed(self):
+        plan = BackupChannelPlan()
+        union = SpectrumMap.from_free(list(range(5, 10)) + [14, 20], 30)
+        main = WhiteFiChannel(7, 20.0)
+        failed = WhiteFiChannel(14, 5.0)
+        secondary = plan.secondary_backup(union, main, failed)
+        assert secondary == WhiteFiChannel(20, 5.0)
+
+    def test_explicit_exclusions(self):
+        plan = BackupChannelPlan()
+        union = SpectrumMap.from_free([3, 14, 20], 30)
+        backup = plan.select_backup(
+            union, WhiteFiChannel(3, 5.0), exclude=(14,)
+        )
+        assert backup == WhiteFiChannel(20, 5.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    code=st.integers(min_value=0, max_value=31),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_chirp_roundtrip_through_sift(code, seed):
+    """Every SSID code survives synthesis + SIFT detection + decode."""
+    codec = ChirpCodec()
+    rng = np.random.default_rng(seed)
+    duration = codec.duration_us(code)
+    trace = synthesize_bursts(
+        [BurstSpec(300.0, duration, 900.0)], duration + 1000.0, rng=rng
+    )
+    bursts = detect_bursts(trace)
+    assert len(bursts) == 1
+    assert codec.decode_burst(bursts[0]) == code

@@ -1,0 +1,106 @@
+"""Tests for the client control plane."""
+
+import pytest
+
+from repro.core.client import ClientController, ClientPhase
+from repro.errors import ProtocolError
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
+
+MAP = SpectrumMap.from_free(list(range(5, 10)) + [14, 20], 30)
+
+
+def make_client():
+    client = ClientController("c0", ssid_code=3, spectrum_map=MAP)
+    client.main_channel = WhiteFiChannel(7, 20.0)
+    client.backup_channel = WhiteFiChannel(14, 5.0)
+    return client
+
+
+class TestSteadyState:
+    def test_report_carries_map_and_airtime(self):
+        client = make_client()
+        report = client.build_report(AirtimeObservation.idle(30), 123.0)
+        assert report.node_id == "c0"
+        assert report.spectrum_map == MAP
+        assert report.timestamp_us == 123.0
+
+    def test_beacon_updates_backup(self):
+        client = make_client()
+        client.on_beacon(WhiteFiChannel(20, 5.0), 10.0)
+        assert client.backup_channel == WhiteFiChannel(20, 5.0)
+        assert client.last_heard_ap_us == 10.0
+
+    def test_channel_switch_follows(self):
+        client = make_client()
+        client.on_channel_switch(WhiteFiChannel(13, 10.0), 10.0)
+        assert client.main_channel == WhiteFiChannel(13, 10.0)
+        assert client.phase is ClientPhase.CONNECTED
+
+    def test_silence_detection(self):
+        client = make_client()
+        client.heard_from_ap(0.0)
+        assert not client.is_disconnected(100_000.0)
+        assert client.is_disconnected(500_000.0)
+
+
+class TestIncumbentHandling:
+    def test_must_vacate_when_mic_under_main(self):
+        client = make_client()
+        assert not client.must_vacate()
+        client.incumbent_detected(8)
+        assert client.must_vacate()
+
+    def test_mic_elsewhere_no_vacate(self):
+        client = make_client()
+        client.incumbent_detected(20)
+        assert not client.must_vacate()
+
+    def test_start_chirping_uses_backup(self):
+        client = make_client()
+        client.incumbent_detected(8)
+        plan = client.start_chirping()
+        assert plan.channel == WhiteFiChannel(14, 5.0)
+        assert plan.frame_bytes == client.codec.frame_bytes(3)
+        assert plan.spectrum_map.is_occupied(8)
+        assert client.phase is ClientPhase.CHIRPING
+        assert client.main_channel is None
+
+    def test_chirping_without_backup_raises(self):
+        client = ClientController("c0", 3, MAP)
+        with pytest.raises(ProtocolError):
+            client.start_chirping()
+
+    def test_occupied_backup_falls_back_to_arbitrary_free(self):
+        # Section 4.3: "when a node determines that the previously-
+        # selected backup channel is occupied ... an arbitrary available
+        # channel is selected as a secondary backup".
+        client = make_client()
+        client.incumbent_detected(14)  # mic on the backup itself
+        client.incumbent_detected(8)  # and on the main channel
+        plan = client.start_chirping()
+        assert plan.channel.width_mhz == 5.0
+        assert plan.channel.center_index != 14
+        assert client.spectrum_map.is_free(plan.channel.center_index)
+
+    def test_no_free_channel_at_all_raises(self):
+        client = ClientController(
+            "c0", 3, SpectrumMap.from_free([7], 30)
+        )
+        client.main_channel = WhiteFiChannel(7, 5.0)
+        client.backup_channel = WhiteFiChannel(7, 5.0)
+        client.incumbent_detected(7)
+        with pytest.raises(ProtocolError):
+            client.start_chirping()
+
+
+class TestReconnect:
+    def test_reconnect_restores_connected_phase(self):
+        client = make_client()
+        client.incumbent_detected(8)
+        client.start_chirping()
+        client.reconnect(WhiteFiChannel(20, 5.0), 999.0)
+        assert client.phase is ClientPhase.CONNECTED
+        assert client.main_channel == WhiteFiChannel(20, 5.0)
+        assert client.last_heard_ap_us == 999.0

@@ -1,0 +1,184 @@
+"""Tests for AP discovery (baseline, L-SIFT, J-SIFT)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import constants
+from repro.core.discovery import (
+    BaselineDiscovery,
+    DiscoverySession,
+    JSiftDiscovery,
+    LSiftDiscovery,
+    crossover_channels,
+    expected_scans_baseline,
+    expected_scans_jsift,
+    expected_scans_lsift,
+)
+from repro.errors import DiscoveryError
+from repro.phy.environment import BeaconingAp, RfEnvironment
+from repro.radio import Scanner, Transceiver
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.fragmentation import single_fragment_map
+from repro.spectrum.spectrum_map import SpectrumMap
+
+ALGORITHMS = [BaselineDiscovery, LSiftDiscovery, JSiftDiscovery]
+
+
+def run_discovery(algorithm_cls, ap_channel, client_map, seed=0, phase_us=12_345.0):
+    env = RfEnvironment(seed=seed)
+    env.add_transmitter(BeaconingAp(ap_channel, phase_us=phase_us))
+    session = DiscoverySession(
+        Scanner(env),
+        Transceiver(env, rng=np.random.default_rng(seed)),
+        client_map,
+    )
+    return algorithm_cls().discover(session)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize(
+        "ap_channel",
+        [
+            WhiteFiChannel(0, 5.0),
+            WhiteFiChannel(12, 10.0),
+            WhiteFiChannel(27, 20.0),
+        ],
+    )
+    def test_finds_ap_anywhere(self, algorithm_cls, ap_channel):
+        outcome = run_discovery(algorithm_cls, ap_channel, SpectrumMap.all_free())
+        assert outcome.succeeded
+        assert outcome.channel == ap_channel
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_single_channel_fragment(self, algorithm_cls):
+        client_map = single_fragment_map(1, 30, start=14)
+        outcome = run_discovery(
+            algorithm_cls, WhiteFiChannel(14, 5.0), client_map
+        )
+        assert outcome.succeeded
+        assert outcome.channel == WhiteFiChannel(14, 5.0)
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_fragmented_map(self, algorithm_cls):
+        free = list(range(3, 6)) + list(range(20, 25))
+        client_map = SpectrumMap.from_free(free, 30)
+        ap_channel = WhiteFiChannel(22, 10.0)
+        outcome = run_discovery(algorithm_cls, ap_channel, client_map)
+        assert outcome.succeeded
+        assert outcome.channel == ap_channel
+
+    def test_occupied_channels_never_scanned(self):
+        client_map = SpectrumMap.from_free(range(10, 20), 30)
+        outcome = run_discovery(
+            LSiftDiscovery, WhiteFiChannel(15, 5.0), client_map
+        )
+        assert all(10 <= i < 20 for i in outcome.scanned_indices)
+
+
+class TestEfficiency:
+    def test_lsift_detects_from_lowest_spanned_channel(self):
+        outcome = run_discovery(
+            LSiftDiscovery, WhiteFiChannel(12, 20.0), SpectrumMap.all_free()
+        )
+        # The AP spans 10-14; scanning 0..10 means 11 scans then a single
+        # verification dwell (the center is known exactly: Fc = Fs + E).
+        assert outcome.sift_scans == 11
+        assert outcome.beacon_dwells == 1
+
+    def test_jsift_uses_fewer_scans_on_wide_spectrum(self):
+        l_out = run_discovery(
+            LSiftDiscovery, WhiteFiChannel(25, 20.0), SpectrumMap.all_free()
+        )
+        j_out = run_discovery(
+            JSiftDiscovery, WhiteFiChannel(25, 20.0), SpectrumMap.all_free()
+        )
+        assert j_out.sift_scans < l_out.sift_scans
+
+    def test_jsift_pays_endgame_dwells(self):
+        outcome = run_discovery(
+            JSiftDiscovery, WhiteFiChannel(12, 20.0), SpectrumMap.all_free()
+        )
+        assert outcome.beacon_dwells >= 1
+        assert outcome.beacon_dwells <= 5  # at most span tries
+
+    def test_baseline_scans_every_combination_worst_case(self):
+        # With the AP on the last candidate the baseline sweeps them all.
+        env = RfEnvironment(seed=0)
+        session = DiscoverySession(
+            Scanner(env),
+            Transceiver(env, rng=np.random.default_rng(0)),
+            single_fragment_map(5, 30, start=0),
+        )
+        outcome = BaselineDiscovery().discover(session)
+        assert not outcome.succeeded
+        # 5 fragment channels: 5 + 3 + 1 = 9 candidates tried.
+        assert outcome.beacon_dwells == 9
+
+    def test_jsift_faster_than_baseline_by_paper_margin(self):
+        # Section 5.2: J-SIFT improves discovery time by more than 75%
+        # on wide-open spectrum.
+        totals = {}
+        for cls in (JSiftDiscovery, BaselineDiscovery):
+            times = []
+            for seed in range(5):
+                rng = np.random.default_rng(seed)
+                center = int(rng.integers(2, 28))
+                outcome = run_discovery(
+                    cls,
+                    WhiteFiChannel(center, 20.0),
+                    SpectrumMap.all_free(),
+                    seed=seed,
+                    phase_us=float(rng.uniform(0, 100_000)),
+                )
+                assert outcome.succeeded
+                times.append(outcome.elapsed_us)
+            totals[cls.name] = sum(times) / len(times)
+        assert totals["j-sift"] < 0.35 * totals["baseline"]
+
+
+class TestAnalyticalExpectations:
+    def test_lsift_formula(self):
+        assert expected_scans_lsift(30) == 15.0
+
+    def test_jsift_formula(self):
+        # (NC + 2^(NW-1) + (NW-1)/2) / NW with NC=30, NW=3: 35/3.
+        assert expected_scans_jsift(30) == pytest.approx(35 / 3)
+
+    def test_baseline_formula(self):
+        assert expected_scans_baseline(30) == 45.0
+
+    def test_crossover_at_ten_channels(self):
+        # "we expect J-SIFT to outperform L-SIFT when NC is greater than
+        # about 10 UHF channels".
+        assert crossover_channels(3) == pytest.approx(10.0)
+        assert expected_scans_jsift(9) > expected_scans_lsift(9)
+        assert expected_scans_jsift(12) < expected_scans_lsift(12)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(DiscoveryError):
+            expected_scans_lsift(0)
+        with pytest.raises(DiscoveryError):
+            expected_scans_jsift(10, 0)
+        with pytest.raises(DiscoveryError):
+            expected_scans_baseline(-1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    center=st.integers(min_value=2, max_value=27),
+    width=st.sampled_from([5.0, 10.0, 20.0]),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_property_jsift_always_finds_ap(center, width, seed):
+    """J-SIFT discovers any beaconing AP on an all-free map."""
+    half = constants.span_channels(width) // 2
+    if center - half < 0 or center + half > 29:
+        return
+    outcome = run_discovery(
+        JSiftDiscovery, WhiteFiChannel(center, width), SpectrumMap.all_free(),
+        seed=seed,
+    )
+    assert outcome.succeeded
+    assert outcome.channel == WhiteFiChannel(center, width)

@@ -1,0 +1,188 @@
+"""Tests for the MCham metric (Equations 1 and 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ChannelError
+from repro.core.mcham import (
+    best_channel,
+    expected_share,
+    mcham,
+    mcham_all_nodes,
+    network_score,
+)
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.channels import WhiteFiChannel
+
+
+def obs(busy=None, aps=None, n=30):
+    return AirtimeObservation.from_mappings(busy or {}, aps or {}, n)
+
+
+class TestExpectedShare:
+    def test_free_channel_full_share(self):
+        assert expected_share(0.0, 0) == 1.0
+
+    def test_residual_airtime_dominates_when_light(self):
+        # rho = max(1 - 0.2, 1/2) = 0.8.
+        assert expected_share(0.2, 1) == 0.8
+
+    def test_fair_share_floor_when_saturated(self):
+        # Even at A=1, contending with B APs yields 1/(B+1).
+        assert expected_share(1.0, 1) == 0.5
+        assert expected_share(0.9, 1) == 0.5
+        assert expected_share(1.0, 3) == 0.25
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ChannelError):
+            expected_share(1.5, 0)
+        with pytest.raises(ChannelError):
+            expected_share(0.5, -1)
+
+
+class TestMchamExamples:
+    def test_paper_example_1_empty_spectrum(self):
+        # "If there is no background interference ... MCham simply
+        # evaluates to the optimal channel capacity": 1, 2, 4.
+        empty = obs()
+        assert mcham(WhiteFiChannel(10, 5.0), empty) == 1.0
+        assert mcham(WhiteFiChannel(10, 10.0), empty) == 2.0
+        assert mcham(WhiteFiChannel(10, 20.0), empty) == 4.0
+
+    def test_paper_example_2(self):
+        # 20 MHz channel over 5 UHF channels: three clean, one with an AP
+        # at 0.9 airtime, one with an AP at 0.2 airtime:
+        # MCham = 4 * 0.5 * 0.8 = 1.6.
+        observation = obs(
+            busy={8: 0.9, 9: 0.2}, aps={8: 1, 9: 1}
+        )
+        value = mcham(WhiteFiChannel(10, 20.0), observation)
+        assert value == pytest.approx(1.6)
+
+    def test_product_vs_min_max_ablation(self):
+        # Section 4.1: "simply taking the minimum or the maximum across
+        # all channels, instead of the product, will be an underestimate
+        # [overestimate] since traffic on a narrower channel contends
+        # with traffic on an overlapping wider channel".
+        observation = obs(
+            busy={8: 0.5, 9: 0.5, 10: 0.5}, aps={8: 1, 9: 1, 10: 1}
+        )
+        channel = WhiteFiChannel(9, 10.0)
+        product = mcham(channel, observation)
+        minimum = mcham(channel, observation, aggregation="min")
+        maximum = mcham(channel, observation, aggregation="max")
+        assert product < minimum <= maximum
+
+    def test_unknown_aggregation_raises(self):
+        with pytest.raises(ChannelError):
+            mcham(WhiteFiChannel(9, 5.0), obs(), aggregation="sum")
+
+    def test_mcham_all_nodes_order(self):
+        observations = [obs(), obs(busy={10: 1.0}, aps={10: 1})]
+        values = mcham_all_nodes(WhiteFiChannel(10, 5.0), observations)
+        assert values == [1.0, 0.5]
+
+
+class TestNetworkScore:
+    def test_bootstrap_without_clients(self):
+        channel = WhiteFiChannel(10, 20.0)
+        assert network_score(channel, obs(), []) == 4.0
+
+    def test_ap_weighted_n_times(self):
+        channel = WhiteFiChannel(10, 5.0)
+        clients = [obs(), obs(), obs()]
+        # N*1 + 3*1 = 6 with everything clean.
+        assert network_score(channel, obs(), clients) == 6.0
+
+    def test_ap_weight_override(self):
+        channel = WhiteFiChannel(10, 5.0)
+        clients = [obs(), obs(), obs()]
+        assert network_score(channel, obs(), clients, ap_weight=1.0) == 4.0
+
+    def test_downlink_weighting_tilts_toward_ap_view(self):
+        channel = WhiteFiChannel(10, 5.0)
+        ap_busy = obs(busy={10: 0.8}, aps={10: 1})
+        clients_clean = [obs()] * 4
+        weighted = network_score(channel, ap_busy, clients_clean)
+        unweighted = network_score(
+            channel, ap_busy, clients_clean, ap_weight=1.0
+        )
+        # The busy AP view drags the weighted score down harder.
+        assert weighted / (4 + 4) < unweighted / (1 + 4)
+
+
+class TestBestChannel:
+    def test_argmax(self):
+        candidates = [WhiteFiChannel(5, 5.0), WhiteFiChannel(10, 5.0)]
+        observation = obs(busy={5: 0.9}, aps={5: 1})
+        chosen, score = best_channel(
+            candidates, lambda c: mcham(c, observation)
+        )
+        assert chosen == WhiteFiChannel(10, 5.0)
+        assert score == 1.0
+
+    def test_tie_prefers_wider(self):
+        candidates = [WhiteFiChannel(5, 5.0), WhiteFiChannel(10, 20.0)]
+        chosen, _ = best_channel(candidates, lambda c: 1.0)
+        assert chosen.width_mhz == 20.0
+
+    def test_empty_candidates(self):
+        chosen, score = best_channel([], lambda c: 1.0)
+        assert chosen is None
+
+
+@given(
+    busy=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    aps=st.integers(min_value=0, max_value=10),
+)
+def test_property_share_bounds(busy, aps):
+    """rho is always within (0, 1]."""
+    share = expected_share(busy, aps)
+    assert 0.0 < share <= 1.0
+
+
+@given(
+    busy_a=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    busy_b=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    aps=st.integers(min_value=0, max_value=5),
+)
+def test_property_share_monotone_in_airtime(busy_a, busy_b, aps):
+    """More measured airtime never increases the expected share."""
+    lo, hi = sorted((busy_a, busy_b))
+    assert expected_share(hi, aps) <= expected_share(lo, aps)
+
+
+@given(
+    center=st.integers(min_value=2, max_value=27),
+    width=st.sampled_from([5.0, 10.0, 20.0]),
+    busy=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_property_mcham_bounded_by_capacity(center, width, busy):
+    """MCham never exceeds the channel's optimal capacity."""
+    observation = AirtimeObservation(
+        (busy,) * 30, (0,) * 30
+    )
+    channel = WhiteFiChannel(center, width)
+    value = mcham(channel, observation)
+    assert 0.0 < value <= channel.capacity_factor()
+
+
+@given(
+    busy=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+def test_property_uniform_load_ordering_flips_at_root_half(busy):
+    """With uniform load, 20 MHz beats 5 MHz iff rho^4 > 1/4.
+
+    This is the analytical crossover underlying Figure 10: all widths
+    score equally at rho = 1/sqrt(2).  One contending AP per channel
+    keeps the inputs physically consistent (busy airtime implies a
+    transmitter) and engages the fair-share floor at heavy load.
+    """
+    observation = AirtimeObservation((busy,) * 30, (1,) * 30)
+    m5 = mcham(WhiteFiChannel(10, 5.0), observation)
+    m20 = mcham(WhiteFiChannel(10, 20.0), observation)
+    rho = max(1.0 - busy, 0.5)
+    if rho > 0.7072:
+        assert m20 > m5
+    elif rho < 0.7070:
+        assert m20 < m5

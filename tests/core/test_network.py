@@ -1,0 +1,105 @@
+"""Integration tests for the full WhiteFi BSS protocol in the simulator."""
+
+import pytest
+
+from repro import constants
+from repro.core.network import WhiteFiBss
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.spectrum.incumbents import (
+    IncumbentField,
+    TvStation,
+    WirelessMicrophone,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+
+BASE_MAP = SpectrumMap.from_free(list(range(5, 10)) + [12, 13, 14, 18, 27], 30)
+
+
+def build_bss(mic_channel=None, mic_onset_us=5_000_000.0, seed=3, clients=1):
+    engine = Engine()
+    medium = Medium(engine, 30)
+    incumbents = IncumbentField(
+        30, tv_stations=[TvStation(i) for i in BASE_MAP.occupied_indices()]
+    )
+    if mic_channel is not None:
+        mic = WirelessMicrophone(mic_channel)
+        mic.add_session(mic_onset_us, 1e12)
+        incumbents.add_microphone(mic)
+    bss = WhiteFiBss(
+        engine, medium, incumbents, BASE_MAP, [BASE_MAP] * clients, seed=seed
+    )
+    return engine, bss
+
+
+class TestSteadyState:
+    def test_boot_selects_widest_and_flows_data(self):
+        engine, bss = build_bss()
+        bss.start()
+        engine.run_until(3_000_000.0)
+        assert bss.ap_ctrl.state.main_channel is not None
+        assert bss.ap_ctrl.state.main_channel.width_mhz == 20.0
+        client_node = bss.clients[0][1]
+        assert client_node.delivered_bytes > 100_000
+
+    def test_beacons_delivered_to_clients(self):
+        engine, bss = build_bss()
+        bss.start()
+        engine.run_until(1_000_000.0)
+        ctrl, _ = bss.clients[0]
+        assert ctrl.backup_channel is not None
+        # ~10 beacons in 1 s: the client heard from the AP recently.
+        assert engine.now_us - ctrl.last_heard_ap_us < 300_000.0
+
+    def test_reports_reach_ap(self):
+        engine, bss = build_bss()
+        bss.start()
+        engine.run_until(2_500_000.0)
+        assert "client0" in bss.ap_ctrl.state.reports
+
+
+class TestDisconnectionRecovery:
+    def test_mic_on_main_channel_triggers_recovery(self):
+        engine, bss = build_bss(mic_channel=7)
+        bss.start()
+        engine.run_until(15_000_000.0)
+        assert len(bss.disconnections) == 1
+        episode = bss.disconnections[0]
+        assert episode.vacated_us is not None
+        assert episode.reconnected_us is not None
+        assert episode.new_channel is not None
+        assert 7 not in episode.new_channel.spanned_indices
+
+    def test_recovery_within_paper_budget(self):
+        # Section 5.3: chirp picked up within 3 s (the backup scan
+        # period), system operational within ~4 s.
+        engine, bss = build_bss(mic_channel=7)
+        bss.start()
+        engine.run_until(15_000_000.0)
+        episode = bss.disconnections[0]
+        assert episode.recovery_time_us is not None
+        assert episode.recovery_time_us <= constants.RECONNECT_BUDGET_US
+
+    def test_vacate_is_prompt(self):
+        engine, bss = build_bss(mic_channel=7)
+        bss.start()
+        engine.run_until(15_000_000.0)
+        episode = bss.disconnections[0]
+        # Detection within a couple of sensing intervals.
+        assert episode.vacated_us - episode.mic_onset_us <= 300_000.0
+
+    def test_traffic_resumes_after_recovery(self):
+        engine, bss = build_bss(mic_channel=7)
+        bss.start()
+        engine.run_until(15_000_000.0)
+        client_node = bss.clients[0][1]
+        before = client_node.delivered_bytes
+        engine.run_until(20_000_000.0)
+        assert client_node.delivered_bytes > before
+
+    def test_mic_outside_main_channel_no_disconnection(self):
+        engine, bss = build_bss(mic_channel=27)
+        bss.start()
+        engine.run_until(10_000_000.0)
+        assert bss.disconnections == []
+        assert bss.ap_ctrl.state.main_channel.width_mhz == 20.0

@@ -1,0 +1,85 @@
+"""Tests for DCF parameters and backoff state."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.errors import SimulationError
+from repro.mac.csma import BackoffState, dcf_for_width
+
+
+class TestDcfParameters:
+    def test_slot_scales_with_width(self):
+        assert dcf_for_width(20.0).slot_us == 9.0
+        assert dcf_for_width(10.0).slot_us == 18.0
+        assert dcf_for_width(5.0).slot_us == 36.0
+
+    def test_difs_from_timing(self):
+        params = dcf_for_width(20.0)
+        assert params.difs_us == 28.0
+
+    def test_ack_timeout_covers_sifs_plus_ack(self):
+        params = dcf_for_width(20.0)
+        assert params.ack_timeout_us() > params.sifs_us + 44.0
+
+
+class TestBackoffState:
+    def test_initial_draw_within_cw_min(self):
+        for seed in range(20):
+            state = BackoffState(dcf_for_width(20.0), random.Random(seed))
+            assert 0 <= state.slots_remaining <= constants.CW_MIN
+
+    def test_failure_doubles_window(self):
+        state = BackoffState(dcf_for_width(20.0), random.Random(1))
+        assert state.cw == constants.CW_MIN
+        state.on_failure()
+        assert state.cw == 2 * constants.CW_MIN + 1
+        state.on_failure()
+        assert state.cw == 4 * constants.CW_MIN + 3
+
+    def test_window_capped_at_cw_max(self):
+        state = BackoffState(dcf_for_width(20.0), random.Random(1))
+        for _ in range(20):
+            state.on_failure()
+        assert state.cw == constants.CW_MAX
+
+    def test_retry_limit(self):
+        state = BackoffState(dcf_for_width(20.0), random.Random(1))
+        results = [state.on_failure() for _ in range(constants.MAX_RETRIES + 1)]
+        assert all(results[: constants.MAX_RETRIES])
+        assert results[constants.MAX_RETRIES] is False
+
+    def test_success_resets(self):
+        state = BackoffState(dcf_for_width(20.0), random.Random(1))
+        state.on_failure()
+        state.on_failure()
+        state.on_success()
+        assert state.cw == constants.CW_MIN
+        assert state.retries == 0
+
+    def test_consume_slot(self):
+        state = BackoffState(dcf_for_width(20.0), random.Random(3))
+        state.slots_remaining = 2
+        state.consume_slot()
+        assert state.slots_remaining == 1
+        assert not state.ready
+        state.consume_slot()
+        assert state.ready
+
+    def test_consume_below_zero_raises(self):
+        state = BackoffState(dcf_for_width(20.0), random.Random(3))
+        state.slots_remaining = 0
+        with pytest.raises(SimulationError):
+            state.consume_slot()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_draw_always_in_window(seed):
+    """Every backoff draw falls in [0, cw]."""
+    state = BackoffState(dcf_for_width(10.0), random.Random(seed))
+    for _ in range(10):
+        drawn = state.draw()
+        assert 0 <= drawn <= state.cw
+        state.on_failure()

@@ -1,0 +1,73 @@
+"""Tests for MAC frame taxonomy."""
+
+import pytest
+
+from repro import constants
+from repro.errors import ProtocolError
+from repro.mac.frames import (
+    Frame,
+    FrameType,
+    beacon_frame,
+    channel_switch_frame,
+    data_frame,
+    report_frame,
+)
+from repro.spectrum.channels import WhiteFiChannel
+
+
+class TestFrame:
+    def test_default_sizes_applied(self):
+        assert Frame(FrameType.ACK, "a").size_bytes == constants.ACK_FRAME_BYTES
+        assert (
+            Frame(FrameType.BEACON, "a").size_bytes
+            == constants.BEACON_FRAME_BYTES
+        )
+
+    def test_unique_frame_ids(self):
+        ids = {Frame(FrameType.ACK, "a").frame_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_too_small_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            Frame(FrameType.DATA, "a", "b", size_bytes=4)
+
+    def test_broadcast_has_no_ack(self):
+        frame = Frame(FrameType.DATA, "a", "*")
+        assert frame.is_broadcast
+        assert not frame.expects_ack
+
+    def test_unicast_data_expects_ack(self):
+        assert Frame(FrameType.DATA, "a", "b").expects_ack
+
+    def test_beacon_never_expects_ack(self):
+        assert not Frame(FrameType.BEACON, "ap").expects_ack
+
+    def test_chirp_never_expects_ack(self):
+        assert not Frame(FrameType.CHIRP, "c", "*").expects_ack
+
+
+class TestBuilders:
+    def test_data_frame_adds_header(self):
+        frame = data_frame("a", "b", 1000)
+        assert frame.size_bytes == 1000 + constants.DATA_HEADER_BYTES
+
+    def test_data_frame_negative_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            data_frame("a", "b", -1)
+
+    def test_beacon_carries_backup_channel(self):
+        backup = WhiteFiChannel(3, 5.0)
+        frame = beacon_frame("ap", backup)
+        assert frame.payload["backup_channel"] == backup
+        assert frame.is_broadcast
+
+    def test_report_frame_unicast_to_ap(self):
+        frame = report_frame("client0", "ap", {"x": 1})
+        assert frame.destination == "ap"
+        assert frame.expects_ack
+
+    def test_channel_switch_broadcast(self):
+        channel = WhiteFiChannel(7, 20.0)
+        frame = channel_switch_frame("ap", channel)
+        assert frame.is_broadcast
+        assert frame.payload["new_channel"] == channel

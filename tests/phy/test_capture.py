@@ -1,0 +1,98 @@
+"""Tests for the scanner capture/visibility model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SignalError
+from repro.phy.capture import (
+    CaptureRequest,
+    capture_overlaps_channel,
+    center_uncertainty_indices,
+    visible_center_indices,
+)
+from repro.spectrum.channels import WhiteFiChannel
+
+
+class TestCaptureRequest:
+    def test_invalid_duration_raises(self):
+        with pytest.raises(SignalError):
+            CaptureRequest(5, 0.0)
+
+    def test_center_frequency(self):
+        request = CaptureRequest(0, 1000.0)
+        assert request.center_frequency_mhz() == pytest.approx(515.0)
+
+
+class TestVisibility:
+    def test_5mhz_visible_from_one_center(self):
+        channel = WhiteFiChannel(10, 5.0)
+        visible = [
+            s for s in range(30) if capture_overlaps_channel(s, channel)
+        ]
+        assert visible == [10]
+
+    def test_10mhz_visible_from_three_centers(self):
+        channel = WhiteFiChannel(10, 10.0)
+        visible = [
+            s for s in range(30) if capture_overlaps_channel(s, channel)
+        ]
+        assert visible == [9, 10, 11]
+
+    def test_20mhz_visible_from_five_centers(self):
+        # This is the property J-SIFT exploits: skip 5 channels at a time
+        # and never miss a 20 MHz transmitter.
+        channel = WhiteFiChannel(10, 20.0)
+        visible = [
+            s for s in range(30) if capture_overlaps_channel(s, channel)
+        ]
+        assert visible == [8, 9, 10, 11, 12]
+
+    def test_visible_center_indices_helper(self):
+        assert visible_center_indices(WhiteFiChannel(10, 20.0)) == (
+            8,
+            9,
+            10,
+            11,
+            12,
+        )
+
+    def test_visible_center_indices_clipped_at_band_edge(self):
+        assert visible_center_indices(WhiteFiChannel(2, 20.0)) == (0, 1, 2, 3, 4)
+
+
+class TestCenterUncertainty:
+    def test_uncertainty_is_w_over_2(self):
+        # Section 4.2.1: the output of SIFT is (F +/- E, W) with
+        # E = +/- W/2 — i.e. span//2 UHF channels either side.
+        assert center_uncertainty_indices(10, 20.0) == (8, 9, 10, 11, 12)
+        assert center_uncertainty_indices(10, 10.0) == (9, 10, 11)
+        assert center_uncertainty_indices(10, 5.0) == (10,)
+
+    def test_uncertainty_clipped_to_valid_positions(self):
+        # Near the band edge, candidate centers whose span would not fit
+        # are excluded.
+        assert center_uncertainty_indices(1, 20.0) == (2, 3)
+        assert center_uncertainty_indices(28, 20.0) == (26, 27)
+
+
+@given(
+    center=st.integers(min_value=2, max_value=27),
+    width=st.sampled_from([5.0, 10.0, 20.0]),
+)
+def test_property_visibility_matches_span(center, width):
+    """A transmitter is visible exactly from its spanned UHF channels."""
+    channel = WhiteFiChannel(center, width)
+    for scan in range(30):
+        expected = scan in channel.spanned_indices
+        assert capture_overlaps_channel(scan, channel) == expected
+
+
+@given(
+    scan=st.integers(min_value=0, max_value=29),
+    width=st.sampled_from([5.0, 10.0, 20.0]),
+)
+def test_property_detected_transmitter_in_uncertainty_range(scan, width):
+    """Any transmitter visible from a scan lies in the uncertainty set."""
+    for center in center_uncertainty_indices(scan, width):
+        channel = WhiteFiChannel(center, width)
+        assert capture_overlaps_channel(scan, channel)

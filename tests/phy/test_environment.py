@@ -1,0 +1,108 @@
+"""Tests for the RF environment (transmitter schedules -> captured IQ)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import SignalError
+from repro.phy.environment import (
+    BeaconingAp,
+    RfEnvironment,
+    ScheduledFrame,
+    StaticSchedule,
+)
+from repro.phy.timing import timing_for_width
+from repro.phy.waveform import BurstSpec
+from repro.spectrum.channels import WhiteFiChannel
+
+
+class TestBeaconingAp:
+    def test_beacons_every_interval(self):
+        ap = BeaconingAp(WhiteFiChannel(10, 20.0), phase_us=0.0)
+        frames = list(ap.frames_in(0.0, 3 * constants.BEACON_INTERVAL_US))
+        beacons = [f for f in frames if f.burst.label == "beacon"]
+        cts = [f for f in frames if f.burst.label == "cts"]
+        assert len(beacons) == 3
+        assert len(cts) == 3
+
+    def test_beacon_cts_sifs_gap(self):
+        ap = BeaconingAp(WhiteFiChannel(10, 10.0), phase_us=0.0)
+        frames = list(ap.frames_in(0.0, constants.BEACON_INTERVAL_US))
+        beacon = next(f for f in frames if f.burst.label == "beacon")
+        cts = next(f for f in frames if f.burst.label == "cts")
+        timing = timing_for_width(10.0)
+        assert cts.burst.start_us - beacon.burst.end_us == pytest.approx(
+            timing.sifs_us
+        )
+
+    def test_phase_offset_respected(self):
+        ap = BeaconingAp(WhiteFiChannel(5, 5.0), phase_us=50_000.0)
+        frames = list(ap.frames_in(0.0, 60_000.0))
+        assert frames[0].burst.start_us == pytest.approx(50_000.0)
+
+    def test_window_before_first_beacon_is_empty(self):
+        ap = BeaconingAp(WhiteFiChannel(5, 5.0), phase_us=50_000.0)
+        assert list(ap.frames_in(0.0, 10_000.0)) == []
+
+    def test_data_stream_optional(self):
+        ap = BeaconingAp(
+            WhiteFiChannel(10, 20.0),
+            phase_us=0.0,
+            data_payload_bytes=1000,
+            data_gap_us=2000.0,
+        )
+        frames = list(ap.frames_in(0.0, 50_000.0))
+        assert any(f.burst.label == "data" for f in frames)
+        assert any(f.burst.label == "ack" for f in frames)
+
+
+class TestStaticSchedule:
+    def test_window_filtering(self):
+        sched = StaticSchedule()
+        sched.add(WhiteFiChannel(3, 5.0), BurstSpec(100.0, 50.0))
+        sched.add(WhiteFiChannel(3, 5.0), BurstSpec(500.0, 50.0))
+        assert len(list(sched.frames_in(0.0, 200.0))) == 1
+        assert len(list(sched.frames_in(0.0, 600.0))) == 2
+        assert list(sched.frames_in(200.0, 400.0)) == []
+
+
+class TestRfEnvironment:
+    def test_capture_sees_overlapping_transmitter(self):
+        env = RfEnvironment(seed=1)
+        env.add_transmitter(BeaconingAp(WhiteFiChannel(10, 20.0), phase_us=0.0))
+        trace = env.capture(8, 0.0, 10_000.0)  # scan lowest spanned channel
+        assert trace.amplitude.max() > 300.0
+
+    def test_capture_blind_to_distant_transmitter(self):
+        env = RfEnvironment(seed=1)
+        env.add_transmitter(BeaconingAp(WhiteFiChannel(10, 20.0), phase_us=0.0))
+        trace = env.capture(20, 0.0, 10_000.0)
+        assert trace.amplitude.max() < 150.0  # noise only
+
+    def test_capture_rebases_burst_times(self):
+        env = RfEnvironment(seed=1)
+        sched = StaticSchedule()
+        sched.add(
+            WhiteFiChannel(3, 5.0), BurstSpec(1_000_000.0, 500.0, 900.0)
+        )
+        env.add_transmitter(sched)
+        bursts = env.visible_bursts(3, 999_900.0, 1_000.0)
+        assert len(bursts) == 1
+        assert bursts[0].start_us == pytest.approx(100.0)
+
+    def test_invalid_scan_center_raises(self):
+        env = RfEnvironment()
+        with pytest.raises(SignalError):
+            env.capture(30, 0.0, 100.0)
+
+    def test_remove_transmitter(self):
+        env = RfEnvironment(seed=1)
+        ap = BeaconingAp(WhiteFiChannel(10, 5.0), phase_us=0.0)
+        env.add_transmitter(ap)
+        env.remove_transmitter(ap)
+        assert env.visible_bursts(10, 0.0, 1_000_000.0) == []
+
+    def test_deterministic_noise_for_seed(self):
+        a = RfEnvironment(seed=7).capture(5, 0.0, 1_000.0)
+        b = RfEnvironment(seed=7).capture(5, 0.0, 1_000.0)
+        assert np.array_equal(a.samples, b.samples)

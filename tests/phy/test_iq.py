@@ -1,0 +1,71 @@
+"""Tests for IQ trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.phy.iq import IqTrace, samples_for_duration
+
+
+class TestIqTrace:
+    def test_amplitude_is_magnitude(self):
+        trace = IqTrace(np.array([3 + 4j, 0 + 0j]))
+        assert trace.amplitude[0] == pytest.approx(5.0)
+        assert trace.amplitude[1] == 0.0
+
+    def test_duration(self):
+        trace = IqTrace(np.zeros(1000, dtype=complex), sample_period_us=1.024)
+        assert trace.duration_us == pytest.approx(1024.0)
+
+    def test_blocks_usrp_sized(self):
+        trace = IqTrace(np.zeros(5000, dtype=complex))
+        sizes = [len(b) for b in trace.blocks(2048)]
+        assert sizes == [2048, 2048, 904]
+
+    def test_blocks_invalid_size_raises(self):
+        trace = IqTrace(np.zeros(10, dtype=complex))
+        with pytest.raises(SignalError):
+            list(trace.blocks(0))
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(SignalError):
+            IqTrace(np.zeros((2, 2), dtype=complex))
+
+    def test_bad_sample_period_raises(self):
+        with pytest.raises(SignalError):
+            IqTrace(np.zeros(4, dtype=complex), sample_period_us=0.0)
+
+    def test_time_of_sample(self):
+        trace = IqTrace(np.zeros(10, dtype=complex), 2.0, start_us=100.0)
+        assert trace.time_of_sample(3) == 106.0
+
+    def test_sample_at_time_clamps(self):
+        trace = IqTrace(np.zeros(10, dtype=complex), 1.0, start_us=0.0)
+        assert trace.sample_at_time(-5.0) == 0
+        assert trace.sample_at_time(100.0) == 9
+        assert trace.sample_at_time(4.2) == 4
+
+    def test_concatenate(self):
+        a = IqTrace(np.ones(3, dtype=complex), 1.0, 0.0)
+        b = IqTrace(np.zeros(2, dtype=complex), 1.0, 3.0)
+        joined = a.concatenate(b)
+        assert len(joined) == 5
+        assert joined.start_us == 0.0
+
+    def test_concatenate_rate_mismatch_raises(self):
+        a = IqTrace(np.ones(3, dtype=complex), 1.0)
+        b = IqTrace(np.ones(3, dtype=complex), 2.0)
+        with pytest.raises(SignalError):
+            a.concatenate(b)
+
+
+class TestSamplesForDuration:
+    def test_round_trip(self):
+        assert samples_for_duration(1024.0, 1.024) == 1000
+
+    def test_zero_duration(self):
+        assert samples_for_duration(0.0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(SignalError):
+            samples_for_duration(-1.0)

@@ -1,0 +1,87 @@
+"""Tests for noise, attenuation, and the decode-probability model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.phy.noise import (
+    attenuate_db,
+    awgn_amplitude,
+    decode_success_probability,
+    snr_db,
+)
+
+
+class TestAttenuation:
+    def test_20db_is_factor_10(self):
+        assert attenuate_db(1000.0, 20.0) == pytest.approx(100.0)
+
+    def test_zero_db_identity(self):
+        assert attenuate_db(5.0, 0.0) == 5.0
+
+    def test_negative_raises(self):
+        with pytest.raises(SignalError):
+            attenuate_db(1.0, -3.0)
+
+    def test_6db_halves_amplitude(self):
+        assert attenuate_db(100.0, 6.0) == pytest.approx(50.1, rel=0.01)
+
+
+class TestAwgn:
+    def test_rms_matches_request(self, rng):
+        noise = awgn_amplitude(200_000, rms=20.0, rng=rng)
+        measured = np.sqrt((np.abs(noise) ** 2).mean())
+        assert measured == pytest.approx(20.0, rel=0.02)
+
+    def test_zero_samples(self, rng):
+        assert len(awgn_amplitude(0, rng=rng)) == 0
+
+    def test_negative_samples_raise(self):
+        with pytest.raises(SignalError):
+            awgn_amplitude(-1)
+
+    def test_negative_rms_raises(self):
+        with pytest.raises(SignalError):
+            awgn_amplitude(10, rms=-1.0)
+
+
+class TestSnr:
+    def test_snr_db(self):
+        assert snr_db(1000.0, 10.0) == pytest.approx(40.0)
+
+    def test_invalid_raises(self):
+        with pytest.raises(SignalError):
+            snr_db(0.0, 1.0)
+        with pytest.raises(SignalError):
+            snr_db(1.0, 0.0)
+
+
+class TestDecodeModel:
+    def test_high_snr_always_decodes(self):
+        assert decode_success_probability(40.0, 1000) > 0.999
+
+    def test_low_snr_never_decodes(self):
+        assert decode_success_probability(-10.0, 1000) < 0.01
+
+    def test_monotone_in_snr(self):
+        probs = [decode_success_probability(s, 1000) for s in range(-5, 30)]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_longer_frames_fail_earlier(self):
+        snr = 5.0
+        assert decode_success_probability(snr, 1500) < decode_success_probability(
+            snr, 100
+        )
+
+    def test_smooth_falloff(self):
+        # The sniffer curve of Figure 7 falls smoothly: between 90% and
+        # 10% success there should be a multi-dB transition region.
+        snrs = np.linspace(-5, 20, 200)
+        probs = [decode_success_probability(s, 1000) for s in snrs]
+        above_90 = max(s for s, p in zip(snrs, probs) if p < 0.9)
+        below_10 = min(s for s, p in zip(snrs, probs) if p > 0.1)
+        assert above_90 - below_10 > 2.0
+
+    def test_invalid_frame_raises(self):
+        with pytest.raises(SignalError):
+            decode_success_probability(10.0, 0)

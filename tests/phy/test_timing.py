@@ -1,0 +1,119 @@
+"""Tests for width-scaled PHY timing (the scale laws SIFT relies on)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SignalError
+from repro.phy.timing import all_timings, frame_airtime_us, timing_for_width
+
+WIDTHS = (5.0, 10.0, 20.0)
+
+
+class TestBaseValues:
+    def test_20mhz_is_80211a(self):
+        t = timing_for_width(20.0)
+        assert t.symbol_us == 4.0
+        assert t.sifs_us == 10.0
+        assert t.slot_us == 9.0
+        assert t.difs_us == 28.0
+        assert t.data_rate_mbps == 6.0
+
+    def test_paper_min_sifs_is_20mhz_at_10us(self):
+        # Section 4.2.1: "the lowest SIFS value in our system is for a
+        # 20 MHz transmission, which is 10 us".
+        assert min(t.sifs_us for t in all_timings()) == 10.0
+        assert timing_for_width(20.0).sifs_us == 10.0
+
+    def test_ack_duration_at_20mhz(self):
+        # 14-byte ACK at 6 Mbps: 20 us preamble + 6 symbols = 44 us.
+        assert timing_for_width(20.0).ack_duration_us == 44.0
+
+    def test_unsupported_width_raises(self):
+        with pytest.raises(SignalError):
+            timing_for_width(7.5)
+
+    def test_negative_frame_raises(self):
+        with pytest.raises(SignalError):
+            timing_for_width(20.0).frame_duration_us(-1)
+
+
+class TestScaleLaws:
+    def test_halving_width_doubles_sifs(self):
+        assert timing_for_width(10.0).sifs_us == 20.0
+        assert timing_for_width(5.0).sifs_us == 40.0
+
+    def test_halving_width_doubles_symbol(self):
+        assert timing_for_width(10.0).symbol_us == 8.0
+        assert timing_for_width(5.0).symbol_us == 16.0
+
+    def test_halving_width_halves_rate(self):
+        # Figure 6 caption logic: "halving the channel width also halves
+        # the effective transmission rate".
+        assert timing_for_width(10.0).data_rate_mbps == 3.0
+        assert timing_for_width(5.0).data_rate_mbps == 1.5
+
+    @pytest.mark.parametrize("frame_bytes", [14, 132, 1000, 1500])
+    def test_duration_doubles_when_width_halves(self, frame_bytes):
+        d20 = timing_for_width(20.0).frame_duration_us(frame_bytes)
+        d10 = timing_for_width(10.0).frame_duration_us(frame_bytes)
+        d5 = timing_for_width(5.0).frame_duration_us(frame_bytes)
+        assert d10 == pytest.approx(2 * d20)
+        assert d5 == pytest.approx(4 * d20)
+
+    def test_ack_ladder_is_unambiguous(self):
+        # SIFT separates widths by ACK duration: 44/88/176 us.
+        acks = [timing_for_width(w).ack_duration_us for w in WIDTHS]
+        assert acks == [176.0, 88.0, 44.0]
+        gaps = [abs(a - b) for a, b in zip(acks, acks[1:])]
+        assert min(gaps) >= 40.0
+
+    def test_sifs_ladder_is_unambiguous(self):
+        sifs = [timing_for_width(w).sifs_us for w in WIDTHS]
+        assert sifs == [40.0, 20.0, 10.0]
+
+    def test_ack_smaller_than_any_data_at_any_width(self):
+        # Section 4.2.1: "the duration of an acknowledgement packet at
+        # the narrowest width of 5 MHz is still much smaller than any
+        # data packet sent at 20 MHz" — for realistic data sizes.
+        ack_5mhz = timing_for_width(5.0).ack_duration_us
+        data_20mhz = timing_for_width(20.0).data_duration_us(132)
+        assert ack_5mhz < data_20mhz
+
+
+class TestExchanges:
+    def test_exchange_includes_sifs_and_ack(self):
+        t = timing_for_width(20.0)
+        assert t.exchange_duration_us(1000) == pytest.approx(
+            t.data_duration_us(1000) + 10.0 + 44.0
+        )
+
+    def test_figure5_magnitudes(self):
+        # Figure 5: a 132-byte Data-ACK at 6 Mbps spans a few hundred us
+        # at 20 MHz and about four times that at 5 MHz.
+        e20 = timing_for_width(20.0).exchange_duration_us(132 - 28)
+        e5 = timing_for_width(5.0).exchange_duration_us(132 - 28)
+        assert 200 <= e20 <= 400
+        assert e5 == pytest.approx(4 * e20)
+
+    def test_frame_airtime_wrapper(self):
+        assert frame_airtime_us(14, 20.0) == 44.0
+
+
+@given(
+    frame_bytes=st.integers(min_value=0, max_value=2346),
+    width=st.sampled_from(list(WIDTHS)),
+)
+def test_property_duration_positive_and_monotone(frame_bytes, width):
+    """Durations are positive and grow with frame size."""
+    t = timing_for_width(width)
+    d = t.frame_duration_us(frame_bytes)
+    assert d >= t.preamble_us
+    assert t.frame_duration_us(frame_bytes + 100) >= d
+
+
+@given(width=st.sampled_from(list(WIDTHS)))
+def test_property_difs_exceeds_sifs(width):
+    """DIFS > SIFS at every width (frame-priority invariant)."""
+    t = timing_for_width(width)
+    assert t.difs_us > t.sifs_us
+    assert t.difs_us == pytest.approx(t.sifs_us + 2 * t.slot_us)

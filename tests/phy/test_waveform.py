@@ -1,0 +1,149 @@
+"""Tests for time-domain burst synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.phy.timing import timing_for_width
+from repro.phy.waveform import (
+    BurstSpec,
+    beacon_cts_bursts,
+    data_ack_bursts,
+    ramp_for_width,
+    synthesize_bursts,
+    traffic_bursts,
+)
+
+
+class TestBurstSpec:
+    def test_end_time(self):
+        burst = BurstSpec(100.0, 50.0)
+        assert burst.end_us == 150.0
+
+    def test_invalid_duration_raises(self):
+        with pytest.raises(SignalError):
+            BurstSpec(0.0, 0.0)
+
+    def test_invalid_ramp_raises(self):
+        with pytest.raises(SignalError):
+            BurstSpec(0.0, 10.0, ramp_fraction=1.5)
+
+    def test_negative_amplitude_raises(self):
+        with pytest.raises(SignalError):
+            BurstSpec(0.0, 10.0, amplitude_rms=-1.0)
+
+
+class TestRampArtifact:
+    def test_only_5mhz_has_ramp(self):
+        assert ramp_for_width(5.0)[0] > 0.0
+        assert ramp_for_width(10.0) == (0.0, 1.0)
+        assert ramp_for_width(20.0) == (0.0, 1.0)
+
+    def test_ramp_reduces_leading_amplitude(self, rng):
+        burst = BurstSpec(
+            0.0, 2000.0, amplitude_rms=900.0, ramp_fraction=0.2, ramp_level=0.3
+        )
+        trace = synthesize_bursts([burst], 2000.0, noise_rms=0.0, rng=rng)
+        amp = trace.amplitude
+        n = len(amp)
+        lead = amp[: int(0.15 * n)].mean()
+        body = amp[int(0.3 * n) :].mean()
+        assert lead < 0.5 * body
+
+
+class TestSynthesis:
+    def test_noise_floor_only(self, rng):
+        trace = synthesize_bursts([], 1000.0, noise_rms=20.0, rng=rng)
+        rms = np.sqrt((trace.amplitude**2).mean())
+        assert rms == pytest.approx(20.0, rel=0.1)
+
+    def test_burst_elevates_amplitude(self, rng):
+        burst = BurstSpec(200.0, 300.0, amplitude_rms=900.0)
+        trace = synthesize_bursts([burst], 1000.0, rng=rng)
+        inside = trace.amplitude[250:450].mean()
+        outside = trace.amplitude[600:].mean()
+        assert inside > 10 * outside
+
+    def test_bursts_outside_window_ignored(self, rng):
+        burst = BurstSpec(5000.0, 100.0, amplitude_rms=900.0)
+        trace = synthesize_bursts([burst], 1000.0, noise_rms=1.0, rng=rng)
+        assert trace.amplitude.max() < 10.0
+
+    def test_burst_clipped_at_window_edge(self, rng):
+        burst = BurstSpec(900.0, 500.0, amplitude_rms=900.0)
+        trace = synthesize_bursts([burst], 1000.0, rng=rng)
+        # Energy present near the end but the trace is the right length.
+        assert len(trace) == int(round(1000.0 / trace.sample_period_us))
+        assert trace.amplitude[-50:].mean() > 100.0
+
+    def test_invalid_duration_raises(self, rng):
+        with pytest.raises(SignalError):
+            synthesize_bursts([], 0.0, rng=rng)
+
+    def test_overlapping_bursts_superpose(self, rng):
+        a = BurstSpec(100.0, 400.0, amplitude_rms=600.0)
+        b = BurstSpec(300.0, 400.0, amplitude_rms=600.0)
+        trace = synthesize_bursts([a, b], 1000.0, noise_rms=0.0, rng=rng)
+        overlap_power = (trace.amplitude[320:380] ** 2).mean()
+        single_power = (trace.amplitude[150:250] ** 2).mean()
+        # Powers add (complex voltages are independent).
+        assert overlap_power == pytest.approx(2 * single_power, rel=0.25)
+
+
+class TestExchangeBuilders:
+    @pytest.mark.parametrize("width", [5.0, 10.0, 20.0])
+    def test_data_ack_gap_is_sifs(self, width):
+        data, ack = data_ack_bursts(width, 1000, 50.0)
+        timing = timing_for_width(width)
+        assert ack.start_us - data.end_us == pytest.approx(timing.sifs_us)
+        assert ack.duration_us == pytest.approx(timing.ack_duration_us)
+        assert data.duration_us == pytest.approx(timing.data_duration_us(1000))
+
+    @pytest.mark.parametrize("width", [5.0, 10.0, 20.0])
+    def test_beacon_cts_gap_is_sifs(self, width):
+        beacon, cts = beacon_cts_bursts(width, 50.0)
+        timing = timing_for_width(width)
+        assert cts.start_us - beacon.end_us == pytest.approx(timing.sifs_us)
+        assert beacon.duration_us == pytest.approx(timing.beacon_duration_us)
+
+    def test_only_5mhz_data_carries_ramp(self):
+        data5, _ = data_ack_bursts(5.0, 1000, 0.0)
+        data20, _ = data_ack_bursts(20.0, 1000, 0.0)
+        assert data5.ramp_fraction > 0
+        assert data20.ramp_fraction == 0
+
+
+class TestTrafficBursts:
+    def test_packet_count(self):
+        bursts = traffic_bursts(20.0, 1000, 7, 1000.0)
+        assert len(bursts) == 14  # data + ack per packet
+
+    def test_gap_between_exchanges(self):
+        bursts = traffic_bursts(20.0, 1000, 2, 2500.0)
+        first_ack, second_data = bursts[1], bursts[2]
+        assert second_data.start_us - first_ack.end_us == pytest.approx(2500.0)
+
+    def test_zero_packets(self):
+        assert traffic_bursts(20.0, 1000, 0, 100.0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(SignalError):
+            traffic_bursts(20.0, 1000, -1, 100.0)
+
+    def test_negative_gap_raises(self):
+        with pytest.raises(SignalError):
+            traffic_bursts(20.0, 1000, 1, -5.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    width=st.sampled_from([5.0, 10.0, 20.0]),
+    n=st.integers(min_value=1, max_value=5),
+    gap=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+)
+def test_property_traffic_bursts_ordered_and_disjoint(width, n, gap):
+    """Generated traffic is time-ordered with non-overlapping bursts."""
+    bursts = traffic_bursts(width, 500, n, gap)
+    for a, b in zip(bursts, bursts[1:]):
+        assert b.start_us >= a.end_us

@@ -1,0 +1,65 @@
+"""Tests for the SIFT scanner radio."""
+
+import pytest
+
+from repro import constants
+from repro.errors import RadioError
+from repro.phy.environment import BeaconingAp, RfEnvironment
+from repro.radio.scanner import Scanner
+from repro.spectrum.channels import WhiteFiChannel
+
+
+@pytest.fixture
+def env_with_ap():
+    env = RfEnvironment(seed=2)
+    env.add_transmitter(
+        BeaconingAp(
+            WhiteFiChannel(10, 20.0),
+            phase_us=7_000.0,
+            data_payload_bytes=1000,
+            data_gap_us=3_000.0,
+        )
+    )
+    return env
+
+
+class TestScanner:
+    def test_sift_scan_detects_overlapping_ap(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        result = scanner.sift_scan(8, 0.0)
+        assert result.transmitter_detected
+        assert 20.0 in result.widths_detected
+
+    def test_sift_scan_misses_distant_ap(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        result = scanner.sift_scan(20, 0.0)
+        assert not result.transmitter_detected
+
+    def test_tune_cost_only_on_retune(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        assert scanner.tune_cost_us(5) == scanner.retune_us
+        scanner.capture(5, 0.0, 1000.0)
+        assert scanner.tune_cost_us(5) == 0.0
+        assert scanner.tune_cost_us(6) == scanner.retune_us
+
+    def test_retune_counter(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        scanner.capture(5, 0.0, 100.0)
+        scanner.capture(5, 200.0, 100.0)
+        scanner.capture(6, 400.0, 100.0)
+        assert scanner.total_retunes == 2
+
+    def test_out_of_band_raises(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        with pytest.raises(RadioError):
+            scanner.capture(31, 0.0, 100.0)
+
+    def test_measure_airtime_on_busy_channel(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        airtime = scanner.measure_airtime(10, 0.0, 200_000.0)
+        assert airtime > 0.2  # heavy data stream
+
+    def test_measure_airtime_on_idle_channel(self, env_with_ap):
+        scanner = Scanner(env_with_ap)
+        airtime = scanner.measure_airtime(25, 0.0, 100_000.0)
+        assert airtime == pytest.approx(0.0, abs=0.01)

@@ -1,0 +1,84 @@
+"""Tests for the main (F, W) transceiver."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import RadioError
+from repro.phy.environment import BeaconingAp, RfEnvironment
+from repro.radio.transceiver import Transceiver
+from repro.spectrum.channels import WhiteFiChannel
+
+AP_CHANNEL = WhiteFiChannel(10, 20.0)
+
+
+@pytest.fixture
+def env():
+    environment = RfEnvironment(seed=4)
+    environment.add_transmitter(
+        BeaconingAp(
+            AP_CHANNEL,
+            phase_us=3_000.0,
+            data_payload_bytes=1000,
+            data_gap_us=5_000.0,
+        )
+    )
+    return environment
+
+
+def make_transceiver(env, **kwargs):
+    return Transceiver(env, rng=np.random.default_rng(9), **kwargs)
+
+
+class TestTuning:
+    def test_tune_costs_pll_switch(self, env):
+        radio = make_transceiver(env)
+        assert radio.tune(AP_CHANNEL) == constants.PLL_SWITCH_US
+        assert radio.tune(AP_CHANNEL) == 0.0
+        assert radio.total_switches == 1
+
+    def test_untuned_decode_raises(self, env):
+        radio = make_transceiver(env)
+        with pytest.raises(RadioError):
+            radio.beacon_heard(0.0, 1000.0)
+
+
+class TestDecoding:
+    def test_beacon_heard_when_tuned_exactly(self, env):
+        radio = make_transceiver(env)
+        radio.tune(AP_CHANNEL)
+        assert radio.beacon_heard(0.0, constants.BEACON_DWELL_US)
+
+    def test_width_mismatch_undecodable(self, env):
+        # Tuned to the right center but the wrong width: the PLL trick
+        # means such frames cannot be decoded (Section 2.2).
+        radio = make_transceiver(env)
+        radio.tune(WhiteFiChannel(10, 10.0))
+        assert not radio.beacon_heard(0.0, constants.BEACON_DWELL_US)
+
+    def test_center_mismatch_undecodable(self, env):
+        radio = make_transceiver(env)
+        radio.tune(WhiteFiChannel(11, 20.0))
+        assert not radio.beacon_heard(0.0, constants.BEACON_DWELL_US)
+
+    def test_sniffer_counts_data_frames(self, env):
+        radio = make_transceiver(env)
+        radio.tune(AP_CHANNEL)
+        count = radio.count_decoded_data(0.0, 100_000.0)
+        assert count >= 10  # ~5 ms per exchange+gap over 100 ms
+
+    def test_weak_signal_decodes_rarely(self):
+        environment = RfEnvironment(seed=4)
+        environment.add_transmitter(
+            BeaconingAp(
+                AP_CHANNEL,
+                amplitude_rms=25.0,  # ~2 dB SNR
+                phase_us=3_000.0,
+                data_payload_bytes=1000,
+                data_gap_us=5_000.0,
+            )
+        )
+        radio = make_transceiver(environment)
+        radio.tune(AP_CHANNEL)
+        strong_env_count = radio.count_decoded_data(0.0, 300_000.0)
+        assert strong_env_count < 10  # most frames fail at ~2 dB

@@ -1,0 +1,107 @@
+"""Tests for the SIFT analyzer (airtime, AP detection, chirp extraction)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.phy.timing import timing_for_width
+from repro.phy.waveform import (
+    BurstSpec,
+    beacon_cts_bursts,
+    synthesize_bursts,
+    traffic_bursts,
+)
+from repro.sift.analyzer import SiftAnalyzer
+
+
+def make_trace(bursts, duration_us, seed=0):
+    rng = np.random.default_rng(seed)
+    return synthesize_bursts(bursts, duration_us, rng=rng)
+
+
+class TestAirtimeMeasurement:
+    def test_idle_airtime_zero(self):
+        analyzer = SiftAnalyzer()
+        assert analyzer.airtime(make_trace([], 10_000.0)) == 0.0
+
+    @pytest.mark.parametrize("width", [5.0, 10.0, 20.0])
+    def test_airtime_matches_ground_truth(self, width):
+        # Figure 6: SIFT's airtime measurement tracks the true occupied
+        # time within a couple of percent.
+        bursts = traffic_bursts(width, 1000, 10, 3000.0, start_us=500.0)
+        duration = bursts[-1].end_us + 1000.0
+        truth = sum(b.duration_us for b in bursts) / duration
+        measured = SiftAnalyzer().airtime(make_trace(bursts, duration))
+        assert measured == pytest.approx(truth, abs=0.03)
+
+    def test_airtime_doubles_when_width_halves(self):
+        # Same packet count at half width occupies twice the air.
+        out = {}
+        for width in (20.0, 10.0):
+            bursts = traffic_bursts(width, 1000, 8, 5000.0, start_us=500.0)
+            duration = 80_000.0
+            out[width] = SiftAnalyzer().airtime(make_trace(bursts, duration))
+        assert out[10.0] == pytest.approx(2 * out[20.0], rel=0.1)
+
+
+class TestTransmitterDetection:
+    @pytest.mark.parametrize("width", [5.0, 10.0, 20.0])
+    def test_detect_transmitter_width(self, width):
+        bursts = traffic_bursts(width, 1000, 5, 2000.0, start_us=500.0)
+        trace = make_trace(bursts, bursts[-1].end_us + 500.0)
+        assert SiftAnalyzer().detect_transmitter(trace) == width
+
+    def test_no_transmitter_on_idle_channel(self):
+        assert SiftAnalyzer().detect_transmitter(make_trace([], 10_000.0)) is None
+
+    def test_dominant_transmitter_wins(self):
+        heavy = traffic_bursts(20.0, 1000, 6, 1500.0, start_us=500.0)
+        light_start = heavy[-1].end_us + 2000.0
+        light = traffic_bursts(5.0, 1000, 1, 1000.0, start_us=light_start)
+        trace = make_trace(heavy + light, light[-1].end_us + 500.0)
+        assert SiftAnalyzer().detect_transmitter(trace) == 20.0
+
+
+class TestScanResult:
+    def test_beacon_exchanges_separated_from_data(self):
+        beacon, cts = beacon_cts_bursts(20.0, 500.0)
+        data = traffic_bursts(20.0, 1000, 2, 2000.0, start_us=cts.end_us + 1500.0)
+        trace = make_trace([beacon, cts] + data, data[-1].end_us + 500.0)
+        result = SiftAnalyzer().scan(trace)
+        assert len(result.beacon_exchanges) == 1
+        assert len(result.data_exchanges) == 2
+        assert result.transmitter_detected
+
+    def test_unpaired_bursts_are_chirp_candidates(self):
+        lone = BurstSpec(1000.0, 600.0, 900.0, label="chirp")
+        trace = make_trace([lone], 3000.0)
+        result = SiftAnalyzer().scan(trace)
+        assert len(result.unpaired_bursts()) == 1
+        assert result.exchanges == ()
+
+    def test_ap_count_single_ap(self):
+        channel_width = 20.0
+        bursts = []
+        for k in range(3):
+            b, c = beacon_cts_bursts(
+                channel_width, 500.0 + k * constants.BEACON_INTERVAL_US
+            )
+            bursts += [b, c]
+        trace = make_trace(bursts, 3 * constants.BEACON_INTERVAL_US + 1000.0)
+        result = SiftAnalyzer().scan(trace)
+        assert result.ap_count_estimate() == 1
+
+    def test_ap_count_two_aps_distinct_phases(self):
+        bursts = []
+        for phase in (500.0, 41_000.0):
+            for k in range(2):
+                b, c = beacon_cts_bursts(
+                    10.0, phase + k * constants.BEACON_INTERVAL_US
+                )
+                bursts += [b, c]
+        trace = make_trace(
+            sorted(bursts, key=lambda b: b.start_us),
+            2 * constants.BEACON_INTERVAL_US + 50_000.0,
+        )
+        result = SiftAnalyzer().scan(trace)
+        assert result.ap_count_estimate() == 2

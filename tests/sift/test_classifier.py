@@ -1,0 +1,133 @@
+"""Tests for SIFT width classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.timing import timing_for_width
+from repro.phy.waveform import (
+    beacon_cts_bursts,
+    data_ack_bursts,
+    synthesize_bursts,
+    traffic_bursts,
+)
+from repro.sift.classifier import (
+    DetectedExchange,
+    ExchangeKind,
+    classify_exchanges,
+    count_matching_packets,
+    detected_widths,
+    match_width,
+)
+from repro.sift.detector import detect_bursts, edge_bias_us
+
+WIDTHS = (5.0, 10.0, 20.0)
+
+
+def scan(bursts, duration_us, seed=0):
+    rng = np.random.default_rng(seed)
+    trace = synthesize_bursts(bursts, duration_us, rng=rng)
+    return classify_exchanges(detect_bursts(trace))
+
+
+class TestMatchWidth:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_exact_signature_matches(self, width):
+        timing = timing_for_width(width)
+        bias = edge_bias_us()
+        assert (
+            match_width(timing.sifs_us - bias, timing.ack_duration_us + bias)
+            == width
+        )
+
+    def test_garbage_gap_rejected(self):
+        assert match_width(500.0, 44.0) is None
+
+    def test_garbage_ack_rejected(self):
+        assert match_width(10.0, 500.0) is None
+
+    def test_cross_width_signatures_do_not_alias(self):
+        # A 20 MHz SIFS with a 5 MHz ACK duration is not a valid pattern.
+        t20, t5 = timing_for_width(20.0), timing_for_width(5.0)
+        bias = edge_bias_us()
+        assert (
+            match_width(t20.sifs_us - bias, t5.ack_duration_us + bias) is None
+        )
+
+
+class TestClassifyExchanges:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_data_ack_recognised(self, width):
+        data, ack = data_ack_bursts(width, 1000, 500.0)
+        exchanges = scan([data, ack], ack.end_us + 500.0)
+        assert len(exchanges) == 1
+        assert exchanges[0].kind is ExchangeKind.DATA_ACK
+        assert exchanges[0].width_mhz == width
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_beacon_cts_recognised(self, width):
+        beacon, cts = beacon_cts_bursts(width, 500.0)
+        exchanges = scan([beacon, cts], cts.end_us + 500.0)
+        assert len(exchanges) == 1
+        assert exchanges[0].kind is ExchangeKind.BEACON_CTS
+        assert exchanges[0].width_mhz == width
+
+    def test_mixed_widths_in_one_capture(self):
+        d1, a1 = data_ack_bursts(20.0, 1000, 500.0)
+        d2, a2 = data_ack_bursts(5.0, 1000, a1.end_us + 2000.0)
+        exchanges = scan([d1, a1, d2, a2], a2.end_us + 500.0)
+        assert detected_widths(exchanges) == {20.0, 5.0}
+
+    def test_lone_burst_not_an_exchange(self):
+        data, _ = data_ack_bursts(20.0, 1000, 500.0)
+        exchanges = scan([data], data.end_us + 500.0)
+        assert exchanges == []
+
+    def test_exchange_consumes_both_bursts(self):
+        # Three packets -> three exchanges, no burst reused.
+        bursts = traffic_bursts(10.0, 1000, 3, 2000.0, start_us=500.0)
+        exchanges = scan(bursts, bursts[-1].end_us + 500.0)
+        assert len(exchanges) == 3
+        starts = [e.first.start_sample for e in exchanges]
+        assert len(set(starts)) == 3
+
+    def test_measured_gap_close_to_sifs(self):
+        data, ack = data_ack_bursts(20.0, 1000, 500.0)
+        exchanges = scan([data, ack], ack.end_us + 500.0)
+        timing = timing_for_width(20.0)
+        assert exchanges[0].measured_gap_us == pytest.approx(
+            timing.sifs_us - edge_bias_us(), abs=4.0
+        )
+
+
+class TestCountMatchingPackets:
+    def test_counts_only_matching_length(self):
+        bursts = traffic_bursts(20.0, 1000, 5, 2000.0, start_us=500.0)
+        exchanges = scan(bursts, bursts[-1].end_us + 500.0)
+        assert count_matching_packets(exchanges, 20.0, 1000) == 5
+        assert count_matching_packets(exchanges, 20.0, 200) == 0
+        assert count_matching_packets(exchanges, 10.0, 1000) == 0
+
+    def test_never_exceeds_sent(self):
+        bursts = traffic_bursts(5.0, 1000, 4, 3000.0, start_us=500.0)
+        exchanges = scan(bursts, bursts[-1].end_us + 500.0)
+        assert count_matching_packets(exchanges, 5.0, 1000) <= 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    width=st.sampled_from(list(WIDTHS)),
+    payload=st.integers(min_value=200, max_value=1500),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_width_always_correct(width, payload, seed):
+    """SIFT identifies the width correctly for any payload size.
+
+    Table 1's observation: "SIFT always correctly detects the channel
+    width of the transmitted packet, even when it mis-estimates the
+    packet length."
+    """
+    data, ack = data_ack_bursts(width, payload, 500.0)
+    exchanges = scan([data, ack], ack.end_us + 500.0, seed=seed)
+    for e in exchanges:
+        assert e.width_mhz == width

@@ -1,0 +1,176 @@
+"""Tests for the SIFT burst detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import constants
+from repro.errors import SignalError
+from repro.phy.iq import IqTrace
+from repro.phy.waveform import BurstSpec, synthesize_bursts
+from repro.sift.detector import (
+    DEFAULT_THRESHOLD,
+    adaptive_threshold,
+    busy_fraction,
+    detect_bursts,
+    edge_bias_us,
+    estimate_noise_floor,
+    moving_average,
+)
+
+
+def make_trace(bursts, duration_us=5000.0, seed=0, noise_rms=20.0):
+    rng = np.random.default_rng(seed)
+    return synthesize_bursts(bursts, duration_us, noise_rms=noise_rms, rng=rng)
+
+
+class TestMovingAverage:
+    def test_preserves_length(self):
+        x = np.arange(100, dtype=float)
+        assert len(moving_average(x, 5)) == 100
+
+    def test_window_one_is_identity(self):
+        x = np.random.default_rng(0).random(50)
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_smooths_single_dip(self):
+        x = np.full(50, 100.0)
+        x[25] = 0.0  # mid-packet amplitude dip
+        smoothed = moving_average(x, 5)
+        assert smoothed[25] == pytest.approx(80.0)
+
+    def test_constant_input_unchanged_at_edges(self):
+        x = np.full(20, 7.0)
+        assert np.allclose(moving_average(x, 5), 7.0)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(SignalError):
+            moving_average(np.ones(10), 0)
+
+    def test_empty_input(self):
+        assert len(moving_average(np.array([]), 5)) == 0
+
+    def test_window_below_min_sifs(self):
+        # The design constraint: window (5 samples) < min SIFS (10 samples).
+        min_sifs_samples = constants.BASE_SIFS_US / constants.SAMPLE_PERIOD_US
+        assert constants.SIFT_WINDOW_SAMPLES < min_sifs_samples
+
+
+class TestDetectBursts:
+    def test_detects_single_burst(self):
+        trace = make_trace([BurstSpec(1000.0, 500.0, 900.0)])
+        bursts = detect_bursts(trace)
+        assert len(bursts) == 1
+        assert bursts[0].start_us == pytest.approx(1000.0, abs=8.0)
+        assert bursts[0].duration_us == pytest.approx(
+            500.0 + edge_bias_us(), abs=8.0
+        )
+
+    def test_pure_noise_has_no_bursts(self):
+        trace = make_trace([], seed=3)
+        assert detect_bursts(trace) == []
+
+    def test_separates_bursts_with_sifs_gap(self):
+        # Two bursts separated by the minimum SIFS (10 us) must remain
+        # distinguishable — this is why the window is 5 samples.
+        a = BurstSpec(1000.0, 300.0, 900.0)
+        b = BurstSpec(a.end_us + 10.0, 44.0, 900.0)
+        bursts = detect_bursts(make_trace([a, b]))
+        assert len(bursts) == 2
+
+    def test_merges_bursts_without_gap(self):
+        a = BurstSpec(1000.0, 300.0, 900.0)
+        b = BurstSpec(1300.0, 300.0, 900.0)
+        bursts = detect_bursts(make_trace([a, b]))
+        assert len(bursts) == 1
+
+    def test_amplitude_dips_do_not_split_bursts(self):
+        # Rayleigh fading makes instantaneous amplitude dip low
+        # mid-packet; the moving average must bridge those dips at
+        # typical received amplitudes.
+        trace = make_trace(
+            [BurstSpec(500.0, 2000.0, 900.0)], duration_us=4000.0, seed=11
+        )
+        bursts = detect_bursts(trace)
+        assert len(bursts) == 1
+
+    def test_instantaneous_threshold_would_split(self):
+        # Sanity check of the paper's motivation for the moving average:
+        # with window=1 (instantaneous values) the same burst fragments.
+        trace = make_trace(
+            [BurstSpec(500.0, 2000.0, 900.0)], duration_us=4000.0, seed=11
+        )
+        instantaneous = detect_bursts(trace, window=1, min_burst_samples=1)
+        smoothed = detect_bursts(trace)
+        assert len(instantaneous) > len(smoothed)
+
+    def test_ordered_and_non_overlapping(self):
+        specs = [
+            BurstSpec(500.0 + i * 600.0, 200.0, 900.0) for i in range(6)
+        ]
+        bursts = detect_bursts(make_trace(specs))
+        assert len(bursts) == 6
+        for a, b in zip(bursts, bursts[1:]):
+            assert a.end_sample <= b.start_sample
+
+    def test_invalid_threshold_raises(self):
+        trace = make_trace([])
+        with pytest.raises(SignalError):
+            detect_bursts(trace, threshold=0.0)
+
+    def test_weak_burst_below_threshold_missed(self):
+        trace = make_trace([BurstSpec(1000.0, 300.0, 30.0)])
+        assert detect_bursts(trace, threshold=DEFAULT_THRESHOLD) == []
+
+
+class TestBusyFraction:
+    def test_idle_is_zero(self):
+        assert busy_fraction(make_trace([], seed=5)) == 0.0
+
+    def test_half_busy(self):
+        trace = make_trace([BurstSpec(0.0, 2500.0, 900.0)], duration_us=5000.0)
+        assert busy_fraction(trace) == pytest.approx(0.5, abs=0.02)
+
+
+class TestAdaptiveThreshold:
+    def test_tracks_noise_floor(self):
+        quiet = make_trace([], noise_rms=10.0, seed=2)
+        loud = make_trace([], noise_rms=50.0, seed=2)
+        assert adaptive_threshold(loud) > adaptive_threshold(quiet)
+
+    def test_noise_floor_estimate_under_traffic(self):
+        # The lower percentile stays near the floor despite 40% duty.
+        trace = make_trace(
+            [BurstSpec(0.0, 2000.0, 900.0)], duration_us=5000.0, seed=4
+        )
+        floor = estimate_noise_floor(trace)
+        assert floor < 50.0
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(SignalError):
+            estimate_noise_floor(IqTrace(np.array([], dtype=complex)))
+
+    def test_invalid_factor_raises(self):
+        with pytest.raises(SignalError):
+            adaptive_threshold(make_trace([]), factor=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    start=st.floats(min_value=100.0, max_value=2000.0),
+    duration=st.floats(min_value=100.0, max_value=1500.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_detected_bursts_in_bounds(start, duration, seed):
+    """All detected bursts lie within the capture window."""
+    trace = make_trace([BurstSpec(start, duration, 900.0)], 4000.0, seed)
+    for burst in detect_bursts(trace):
+        assert 0 <= burst.start_sample < burst.end_sample <= len(trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_noise_only_never_detects(seed):
+    """The fixed threshold rejects pure noise (no false bursts)."""
+    trace = make_trace([], duration_us=10_000.0, seed=seed)
+    assert detect_bursts(trace) == []

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(30.0, fired.append, "c")
+        engine.schedule(10.0, fired.append, "a")
+        engine.schedule(20.0, fired.append, "b")
+        engine.run_until(100.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, fired.append, 1)
+        engine.schedule(10.0, fired.append, 2)
+        engine.schedule(10.0, fired.append, 3)
+        engine.run_until(100.0)
+        assert fired == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42.0, lambda: seen.append(engine.now_us))
+        engine.run_until(100.0)
+        assert seen == [42.0]
+        assert engine.now_us == 100.0
+
+    def test_run_until_inclusive(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(50.0, fired.append, "x")
+        engine.run_until(50.0)
+        assert fired == ["x"]
+
+    def test_events_beyond_horizon_stay_queued(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(200.0, fired.append, "late")
+        engine.run_until(100.0)
+        assert fired == []
+        engine.run_until(300.0)
+        assert fired == ["late"]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_raises(self):
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run_until(20.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10.0, fired.append, "x")
+        event.cancel()
+        engine.run_until(100.0)
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(10.0, chain, n + 1)
+
+        engine.schedule(0.0, chain, 0)
+        engine.run_until(100.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_run_all_detects_loops(self):
+        engine = Engine()
+
+        def loop():
+            engine.schedule(1.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            engine.run_all(max_events=1000)
+
+    def test_events_fired_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run_until(10.0)
+        assert engine.events_fired == 5
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_property_firing_order_is_sorted(delays):
+    """Events always fire in non-decreasing time order."""
+    engine = Engine()
+    times = []
+    for d in delays:
+        engine.schedule(d, lambda: times.append(engine.now_us))
+    engine.run_until(2e6)
+    assert times == sorted(times)
+    assert len(times) == len(delays)

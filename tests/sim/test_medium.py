@@ -1,0 +1,209 @@
+"""Tests for the shared medium: carrier sense, collisions, accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.frames import Frame, FrameType, data_frame
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+
+
+def make_medium(sensing="psd"):
+    engine = Engine()
+    return engine, Medium(engine, 30, sensing=sensing)
+
+
+def tx(medium, node, span, width=5.0, duration=100.0, bss=None, frame=None):
+    return medium.begin(
+        node,
+        bss or node,
+        tuple(span),
+        width,
+        duration,
+        duration,
+        frame or data_frame(node, "x", 100),
+    )
+
+
+class TestCarrierSense:
+    def test_idle_initially(self):
+        _, medium = make_medium()
+        assert not medium.is_busy(range(30))
+
+    def test_busy_during_transmission(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3, 4, 5], width=10.0)
+        assert medium.is_busy([4], observer_width_mhz=5.0)
+        assert not medium.is_busy([6], observer_width_mhz=5.0)
+        engine.run_until(200.0)
+        assert not medium.is_busy([4])
+
+    def test_multichannel_sense_any_spanned_channel(self):
+        # The paper's QualNet modification: a wide node senses busy when
+        # ANY spanned channel carries energy.
+        _, medium = make_medium()
+        tx(medium, "a", [7], width=5.0)
+        assert medium.is_busy([5, 6, 7, 8, 9], observer_width_mhz=20.0)
+
+    def test_psd_blindness_narrow_cannot_sense_wide(self):
+        _, medium = make_medium()
+        tx(medium, "a", [5, 6, 7, 8, 9], width=20.0)
+        # A 5 MHz node cannot sense the 20 MHz transmission (PSD 6 dB
+        # down); a 10 MHz node can.
+        assert not medium.is_busy([7], observer_width_mhz=5.0)
+        assert medium.is_busy([7], observer_width_mhz=10.0)
+        assert medium.is_busy([7])  # scanner view sees everything
+
+    def test_perfect_sensing_ablation(self):
+        _, medium = make_medium(sensing="perfect")
+        tx(medium, "a", [5, 6, 7, 8, 9], width=20.0)
+        assert medium.is_busy([7], observer_width_mhz=5.0)
+
+    def test_invalid_sensing_model_raises(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            Medium(engine, 30, sensing="psychic")
+
+
+class TestCollisions:
+    def test_overlapping_same_width_both_corrupted(self):
+        _, medium = make_medium()
+        a = tx(medium, "a", [3], width=5.0)
+        b = tx(medium, "b", [3], width=5.0)
+        assert a.corrupted and b.corrupted
+
+    def test_disjoint_spans_no_collision(self):
+        _, medium = make_medium()
+        a = tx(medium, "a", [3], width=5.0)
+        b = tx(medium, "b", [10], width=5.0)
+        assert not a.corrupted and not b.corrupted
+
+    def test_narrow_captures_over_wide(self):
+        # PSD capture: a 5 MHz frame survives an overlap with 20 MHz.
+        _, medium = make_medium()
+        wide = tx(medium, "w", [5, 6, 7, 8, 9], width=20.0)
+        narrow = tx(medium, "n", [7], width=5.0)
+        assert wide.corrupted
+        assert not narrow.corrupted
+
+    def test_similar_widths_both_lost(self):
+        _, medium = make_medium()
+        a = tx(medium, "a", [6, 7, 8], width=10.0)
+        b = tx(medium, "b", [7], width=5.0)
+        assert a.corrupted and b.corrupted
+
+    def test_sequential_transmissions_clean(self):
+        engine, medium = make_medium()
+        a = tx(medium, "a", [3], duration=100.0)
+        engine.run_until(150.0)
+        b = tx(medium, "b", [3], duration=100.0)
+        engine.run_until(300.0)
+        assert not a.corrupted and not b.corrupted
+
+
+class TestAccounting:
+    def test_busy_integral_accumulates(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(500.0)
+        tx(medium, "a", [3], duration=50.0)
+        engine.run_until(1000.0)
+        assert medium.busy_integral_us(3) == pytest.approx(150.0)
+        assert medium.busy_integral_us(4) == 0.0
+
+    def test_busy_integral_unions_overlap(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        tx(medium, "b", [3], duration=100.0)
+        engine.run_until(1000.0)
+        assert medium.busy_integral_us(3) == pytest.approx(100.0)
+
+    def test_open_interval_counted(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=1000.0)
+        engine.run_until(400.0)
+        assert medium.busy_integral_us(3) == pytest.approx(400.0)
+
+    def test_own_bss_exclusion(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0, bss="mine")
+        tx(medium, "b", [4], duration=60.0, bss="other")
+        engine.run_until(1000.0)
+        assert medium.busy_integral_excluding(3, "mine") == pytest.approx(0.0)
+        assert medium.busy_integral_excluding(4, "mine") == pytest.approx(60.0)
+
+    def test_ap_registry(self):
+        _, medium = make_medium()
+        medium.register_ap("bss1", (3, 4, 5))
+        medium.register_ap("bss2", (5,))
+        assert medium.ap_count_on(5) == 2
+        assert medium.ap_count_on(5, excluding_bss="bss1") == 1
+        assert medium.ap_count_on(0) == 0
+        medium.unregister_ap("bss1")
+        assert medium.ap_count_on(4) == 0
+
+
+class TestFrameLog:
+    def test_successful_frames_logged(self):
+        engine, medium = make_medium()
+        frame = Frame(FrameType.CHIRP, "c", "*", size_bytes=70)
+        tx(medium, "c", [3], duration=100.0, frame=frame)
+        engine.run_until(200.0)
+        logged = medium.frames_on([3], since_us=0.0)
+        assert len(logged) == 1
+        assert logged[0][1].frame_type is FrameType.CHIRP
+
+    def test_corrupted_frames_not_logged(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        tx(medium, "b", [3], duration=100.0)
+        engine.run_until(200.0)
+        assert medium.frames_on([3], since_us=0.0) == []
+
+    def test_since_filter(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(500.0)
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(1000.0)
+        assert len(medium.frames_on([3], since_us=0.0)) == 2
+        assert len(medium.frames_on([3], since_us=300.0)) == 1
+
+
+class TestListeners:
+    def test_busy_and_idle_edges(self):
+        engine, medium = make_medium()
+        edges = []
+        medium.subscribe("n", (3, 4), 5.0, edges.append)
+        tx(medium, "a", [4], width=5.0, duration=100.0)
+        engine.run_until(200.0)
+        assert edges == [True, False]
+
+    def test_unsensable_tx_no_edge(self):
+        engine, medium = make_medium()
+        edges = []
+        medium.subscribe("n", (7,), 5.0, edges.append)
+        tx(medium, "a", [5, 6, 7, 8, 9], width=20.0, duration=100.0)
+        engine.run_until(200.0)
+        assert edges == []
+
+    def test_unsubscribe(self):
+        engine, medium = make_medium()
+        edges = []
+        medium.subscribe("n", (3,), 5.0, edges.append)
+        medium.unsubscribe("n")
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(200.0)
+        assert edges == []
+
+
+class TestValidation:
+    def test_empty_span_raises(self):
+        _, medium = make_medium()
+        with pytest.raises(SimulationError):
+            tx(medium, "a", [])
+
+    def test_out_of_range_span_raises(self):
+        _, medium = make_medium()
+        with pytest.raises(SimulationError):
+            tx(medium, "a", [40])

@@ -1,0 +1,152 @@
+"""Tests for the CSMA/CA node state machine."""
+
+import random
+
+import pytest
+
+from repro import constants
+from repro.mac.frames import Frame, FrameType, data_frame
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.node import SimNode
+from repro.spectrum.channels import WhiteFiChannel
+
+CH5 = WhiteFiChannel(7, 5.0)
+CH20 = WhiteFiChannel(7, 20.0)
+
+
+def make_pair(channel=CH5, sensing="psd"):
+    engine = Engine()
+    medium = Medium(engine, 30, sensing=sensing)
+    registry = {}
+    a = SimNode(engine, medium, "a", "bss", channel, random.Random(1))
+    b = SimNode(engine, medium, "b", "bss", channel, random.Random(2))
+    registry.update({"a": a, "b": b})
+    a.nodes = registry
+    b.nodes = registry
+    return engine, medium, a, b
+
+
+class TestUnicastExchange:
+    def test_successful_delivery(self):
+        engine, _, a, b = make_pair()
+        a.enqueue(data_frame("a", "b", 1000))
+        engine.run_until(100_000.0)
+        assert b.delivered_bytes == 1000
+        assert a.sent_frames == 1
+        assert a.failed_attempts == 0
+
+    def test_delivery_fails_across_width_mismatch(self):
+        # "at every node, we explicitly drop packets that were sent at a
+        # different channel width" — the receiver being mistuned means no
+        # ACK, so the sender retries and finally drops.
+        engine, _, a, b = make_pair()
+        b.retune(CH20, latency_us=1.0)
+        engine.run_until(10.0)
+        a.enqueue(data_frame("a", "b", 1000))
+        engine.run_until(3_000_000.0)
+        assert b.delivered_bytes == 0
+        assert a.dropped_frames == 1
+        assert a.failed_attempts == constants.MAX_RETRIES + 1
+
+    def test_queue_limit_drops(self):
+        _, _, a, _ = make_pair()
+        a.queue_limit = 3
+        accepted = [a.enqueue(data_frame("a", "b", 10)) for _ in range(5)]
+        assert accepted == [True, True, True, False, False]
+        assert a.queue_drops == 2
+
+    def test_throughput_counting(self):
+        engine, _, a, b = make_pair()
+        for _ in range(10):
+            a.enqueue(data_frame("a", "b", 1000))
+        engine.run_until(1_000_000.0)
+        assert b.delivered_bytes == 10_000
+        assert b.throughput_mbps(1_000_000.0) == pytest.approx(0.08)
+
+
+class TestBroadcast:
+    def test_beacon_received_by_cochannel_nodes(self):
+        engine, _, a, b = make_pair()
+        a.enqueue(Frame(FrameType.BEACON, "a"))
+        engine.run_until(100_000.0)
+        assert b.received_frames == 1
+
+    def test_broadcast_not_received_across_channels(self):
+        engine, _, a, b = make_pair()
+        b.retune(WhiteFiChannel(20, 5.0), latency_us=1.0)
+        engine.run_until(10.0)
+        a.enqueue(Frame(FrameType.BEACON, "a"))
+        engine.run_until(100_000.0)
+        assert b.received_frames == 0
+
+    def test_broadcast_never_retried(self):
+        engine, medium, a, b = make_pair()
+        a.enqueue(Frame(FrameType.BEACON, "a"))
+        b.enqueue(Frame(FrameType.BEACON, "b"))
+        engine.run_until(1_000_000.0)
+        # Whatever collided was dropped, not retried: queues must drain.
+        assert not a.queue and not b.queue
+
+
+class TestContention:
+    def test_two_saturating_nodes_share_medium(self):
+        engine, _, a, b = make_pair()
+        for _ in range(50):
+            a.enqueue(data_frame("a", "b", 1000))
+            b.enqueue(data_frame("b", "a", 1000))
+        engine.run_until(3_000_000.0)
+        # Both make progress (no starvation) and most exchanges succeed.
+        assert a.sent_frames >= 40
+        assert b.sent_frames >= 40
+
+    def test_nodes_defer_to_each_other(self):
+        engine, medium, a, b = make_pair()
+        # Track concurrent same-BSS transmissions via collision counters:
+        # with only two co-channel nodes, any corruption implies a
+        # simultaneous start (vulnerability-window collision) — rare but
+        # possible; the vast majority must succeed.
+        for _ in range(100):
+            a.enqueue(data_frame("a", "b", 500))
+        engine.run_until(5_000_000.0)
+        assert a.failed_attempts <= 2
+        assert b.delivered_bytes >= 98 * 500
+
+
+class TestRetune:
+    def test_retune_latency(self):
+        engine, _, a, _ = make_pair()
+        a.retune(CH20, latency_us=5_000.0)
+        assert a.state == "retuning"
+        engine.run_until(4_999.0)
+        assert a.tuned is None
+        engine.run_until(5_001.0)
+        assert a.tuned == CH20
+
+    def test_queued_frames_survive_retune(self):
+        engine, _, a, b = make_pair()
+        a.enqueue(data_frame("a", "b", 800))
+        a.retune(CH20, latency_us=100.0)
+        b.retune(CH20, latency_us=100.0)
+        engine.run_until(1_000_000.0)
+        assert b.delivered_bytes == 800
+
+    def test_retune_during_transmission_deferred(self):
+        engine, _, a, b = make_pair()
+        a.enqueue(data_frame("a", "b", 1000))
+        # Let the transmission start, then request a retune mid-air.
+        engine.run_until(400.0)
+        assert a.state == "transmitting"
+        a.retune(CH20, latency_us=50.0)
+        assert a._pending_retune is not None
+        engine.run_until(100_000.0)
+        assert a.tuned == CH20
+        # The in-flight frame completed before the switch.
+        assert b.delivered_bytes == 1000
+
+    def test_radio_off(self):
+        engine, _, a, _ = make_pair()
+        a.retune(None, latency_us=1.0)
+        engine.run_until(10.0)
+        assert a.tuned is None
+        assert a.state == "idle"

@@ -1,0 +1,180 @@
+"""Tests for the scenario runner and OPT baselines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.runner import (
+    BackgroundSpec,
+    ScenarioConfig,
+    find_opt_static,
+    run_opt_baselines,
+    run_static,
+    run_whitefi,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+from repro.spectrum.channels import WhiteFiChannel
+
+FIVE_FREE = SpectrumMap.from_free(range(5, 10), 30)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        base_map=FIVE_FREE,
+        num_clients=1,
+        backgrounds=[],
+        duration_us=1_000_000.0,
+        warmup_us=100_000.0,
+        seed=7,
+        uplink=False,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestScenarioConfig:
+    def test_union_map_with_client_maps(self):
+        ap_map = SpectrumMap.from_free(range(5, 10), 30)
+        client_map = SpectrumMap.from_free(range(6, 11), 30)
+        cfg = small_config(ap_map=ap_map, client_maps=[client_map])
+        assert cfg.union_map().free_indices() == (6, 7, 8, 9)
+
+    def test_client_map_count_mismatch_raises(self):
+        cfg = small_config(client_maps=[FIVE_FREE, FIVE_FREE])
+        with pytest.raises(SimulationError):
+            cfg.effective_client_maps()
+
+    def test_candidate_channels_match_fragment(self):
+        cfg = small_config()
+        widths = sorted(c.width_mhz for c in cfg.candidate_channels())
+        assert widths == [5.0] * 5 + [10.0] * 3 + [20.0]
+
+    def test_background_on_occupied_channel_raises(self):
+        cfg = small_config(backgrounds=[BackgroundSpec(0, 10_000.0)])
+        with pytest.raises(SimulationError):
+            run_static(cfg, WhiteFiChannel(7, 5.0))
+
+    def test_churn_and_windows_exclusive(self):
+        with pytest.raises(SimulationError):
+            BackgroundSpec(
+                5, 10_000.0, churn=(1.0, 1.0), active_windows=((0.0, 1.0),)
+            )
+
+
+class TestRunStatic:
+    def test_wider_channel_faster_when_clean(self):
+        cfg = small_config()
+        r5 = run_static(cfg, WhiteFiChannel(7, 5.0))
+        r20 = run_static(cfg, WhiteFiChannel(7, 20.0))
+        assert r20.aggregate_mbps > 3 * r5.aggregate_mbps
+
+    def test_throughput_near_phy_limit(self):
+        cfg = small_config()
+        result = run_static(cfg, WhiteFiChannel(7, 20.0))
+        assert 4.0 <= result.aggregate_mbps <= 6.0
+
+    def test_background_reduces_throughput(self):
+        quiet = run_static(small_config(), WhiteFiChannel(7, 20.0))
+        busy = run_static(
+            small_config(
+                backgrounds=[BackgroundSpec(i, 20_000.0) for i in range(5, 10)]
+            ),
+            WhiteFiChannel(7, 20.0),
+        )
+        assert busy.aggregate_mbps < quiet.aggregate_mbps
+
+    def test_deterministic_for_seed(self):
+        a = run_static(small_config(), WhiteFiChannel(7, 10.0))
+        b = run_static(small_config(), WhiteFiChannel(7, 10.0))
+        assert a.aggregate_mbps == b.aggregate_mbps
+
+    def test_timeline_sampling(self):
+        cfg = small_config(duration_us=900_000.0)
+        result = run_static(
+            cfg, WhiteFiChannel(7, 20.0), timeline_interval_us=300_000.0
+        )
+        assert len(result.throughput_timeline) == 3
+        assert all(mbps > 0 for _, mbps in result.throughput_timeline)
+
+
+class TestOptBaselines:
+    def test_find_opt_picks_quiet_position(self):
+        # Background saturates channels 5-6; the best 10 MHz position
+        # must avoid them (center 8 spans 7,8,9).
+        cfg = small_config(
+            backgrounds=[
+                BackgroundSpec(5, 3_000.0),
+                BackgroundSpec(6, 3_000.0),
+            ],
+            duration_us=800_000.0,
+        )
+        channel, result = find_opt_static(
+            cfg, 10.0, probe_duration_us=400_000.0
+        )
+        assert channel == WhiteFiChannel(8, 10.0)
+        assert result is not None
+
+    def test_unavailable_width_returns_none(self):
+        cfg = small_config(base_map=SpectrumMap.from_free({3, 7}, 30))
+        channel, result = find_opt_static(cfg, 20.0)
+        assert channel is None and result is None
+
+    def test_opt_is_best_of_widths(self):
+        cfg = small_config(duration_us=600_000.0)
+        results = run_opt_baselines(cfg, probe_duration_us=300_000.0)
+        opt = results["opt"]
+        assert opt is not None
+        for key in ("opt-5mhz", "opt-10mhz", "opt-20mhz"):
+            if results[key] is not None:
+                assert opt.aggregate_mbps >= results[key].aggregate_mbps
+
+
+class TestRunWhiteFi:
+    def test_clean_spectrum_picks_widest(self):
+        cfg = small_config(duration_us=2_000_000.0)
+        result = run_whitefi(cfg)
+        assert result.final_channel is not None
+        assert result.final_channel.width_mhz == 20.0
+
+    def test_near_static_optimum_when_clean(self):
+        cfg = small_config(duration_us=2_000_000.0)
+        adaptive = run_whitefi(cfg)
+        static = run_static(cfg, WhiteFiChannel(7, 20.0))
+        assert adaptive.aggregate_mbps >= 0.85 * static.aggregate_mbps
+
+    def test_mcham_timeline_recorded(self):
+        cfg = small_config(duration_us=2_000_000.0)
+        result = run_whitefi(cfg, reeval_interval_us=500_000.0)
+        assert len(result.mcham_timeline) >= 2
+        _, scores = result.mcham_timeline[0]
+        assert set(scores) == {5.0, 10.0, 20.0}
+        # Clean spectrum: MCham equals the capacity factors (Example 1).
+        assert scores[20.0] == pytest.approx(4.0, abs=0.3)
+        assert scores[10.0] == pytest.approx(2.0, abs=0.2)
+        assert scores[5.0] == pytest.approx(1.0, abs=0.1)
+
+    def test_adapts_away_from_loaded_fragment(self):
+        # Saturating background on 3 of the 5 channels in the fragment:
+        # the 20 MHz option must lose to a quieter narrow option.
+        cfg = small_config(
+            backgrounds=[BackgroundSpec(i, 2_000.0) for i in (5, 6, 7)],
+            duration_us=3_000_000.0,
+        )
+        result = run_whitefi(cfg)
+        final = result.final_channel
+        assert final is not None
+        assert final.width_mhz < 20.0
+        # The saturated low channels must not dominate the choice: at
+        # most one loaded channel may remain under the span (an MCham
+        # tie between a clean 5 MHz and a 10 MHz touching channel 7).
+        assert len(set(final.spanned_indices) & {5, 6, 7}) <= 1
+
+    def test_spatial_variation_restricts_candidates(self):
+        ap_map = FIVE_FREE
+        client_map = FIVE_FREE.with_occupied(9)
+        cfg = small_config(
+            ap_map=ap_map, client_maps=[client_map], duration_us=1_500_000.0
+        )
+        result = run_whitefi(cfg)
+        final = result.final_channel
+        assert final is not None
+        assert 9 not in final.spanned_indices

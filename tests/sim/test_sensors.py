@@ -1,0 +1,86 @@
+"""Tests for in-simulation airtime/AP-count sensors."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.frames import data_frame
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.sensors import GroundTruthSensor
+
+
+def busy_tx(medium, node, bss, span, duration):
+    return medium.begin(
+        node, bss, tuple(span), 5.0, duration, duration, data_frame(node, "x", 10)
+    )
+
+
+class TestGroundTruthSensor:
+    def test_idle_observation(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        sensor = GroundTruthSensor(medium)
+        engine.run_until(1000.0)
+        obs = sensor.observe("me")
+        assert all(b == 0.0 for b in obs.busy_fraction)
+
+    def test_busy_fraction_windowed(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        sensor = GroundTruthSensor(medium)
+        busy_tx(medium, "a", "other", [3], 250.0)
+        engine.run_until(1000.0)
+        obs = sensor.observe("me")
+        assert obs.busy_fraction[3] == pytest.approx(0.25)
+        # Second window: channel idle again.
+        engine.run_until(2000.0)
+        obs2 = sensor.observe("me")
+        assert obs2.busy_fraction[3] == 0.0
+
+    def test_own_bss_excluded(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        sensor = GroundTruthSensor(medium)
+        busy_tx(medium, "a", "mine", [3], 500.0)
+        busy_tx(medium, "b", "other", [4], 500.0)
+        engine.run_until(1000.0)
+        obs = sensor.observe("mine")
+        assert obs.busy_fraction[3] == pytest.approx(0.0)
+        assert obs.busy_fraction[4] == pytest.approx(0.5)
+
+    def test_ap_counts_exclude_self(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        sensor = GroundTruthSensor(medium)
+        medium.register_ap("mine", (3,))
+        medium.register_ap("other", (3, 4))
+        obs = sensor.observe("mine")
+        assert obs.ap_count[3] == 1
+        assert obs.ap_count[4] == 1
+
+    def test_noise_stays_in_bounds(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        sensor = GroundTruthSensor(medium, noise_std=0.5, rng=random.Random(1))
+        engine.run_until(1000.0)
+        obs = sensor.observe("me")
+        assert all(0.0 <= b <= 1.0 for b in obs.busy_fraction)
+
+    def test_negative_noise_raises(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        with pytest.raises(SimulationError):
+            GroundTruthSensor(medium, noise_std=-0.1)
+
+    def test_reset_starts_fresh_window(self):
+        engine = Engine()
+        medium = Medium(engine, 30)
+        sensor = GroundTruthSensor(medium)
+        busy_tx(medium, "a", "other", [3], 500.0)
+        engine.run_until(1000.0)
+        sensor.reset("me")
+        engine.run_until(2000.0)
+        obs = sensor.observe("me")
+        assert obs.busy_fraction[3] == 0.0

@@ -1,0 +1,145 @@
+"""Tests for traffic generators and churn."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.frames import data_frame
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.node import SimNode
+from repro.sim.traffic import (
+    CbrSource,
+    MarkovChurn,
+    RoundRobinSaturatingSource,
+    SaturatingSource,
+    ScheduledActivity,
+)
+from repro.spectrum.channels import WhiteFiChannel
+
+CH = WhiteFiChannel(5, 5.0)
+
+
+def make_world(n_nodes=2):
+    engine = Engine()
+    medium = Medium(engine, 30)
+    registry = {}
+    nodes = []
+    for i in range(n_nodes):
+        node = SimNode(engine, medium, f"n{i}", "bss", CH, random.Random(i))
+        node.nodes = registry
+        registry[node.node_id] = node
+        nodes.append(node)
+    return engine, nodes
+
+
+class TestSaturatingSource:
+    def test_queue_never_starves(self):
+        engine, (a, b) = make_world()
+        SaturatingSource(a, "n1").start()
+        engine.run_until(2_000_000.0)
+        assert b.delivered_bytes > 100_000  # many packets delivered
+
+    def test_refills_one_at_a_time(self):
+        engine, (a, b) = make_world()
+        SaturatingSource(a, "n1").start()
+        engine.run_until(100_000.0)
+        assert len(a.queue) <= 1
+
+
+class TestRoundRobin:
+    def test_cycles_destinations(self):
+        engine, nodes = make_world(4)
+        source = RoundRobinSaturatingSource(nodes[0], ["n1", "n2", "n3"])
+        source.start()
+        engine.run_until(2_000_000.0)
+        delivered = [n.delivered_bytes for n in nodes[1:]]
+        assert all(d > 0 for d in delivered)
+        assert max(delivered) - min(delivered) <= 2000  # near-even split
+
+    def test_empty_destinations_raise(self):
+        engine, nodes = make_world(1)
+        with pytest.raises(SimulationError):
+            RoundRobinSaturatingSource(nodes[0], [])
+
+
+class TestCbr:
+    def test_injection_rate(self):
+        engine, (a, b) = make_world()
+        source = CbrSource(engine, a, "n1", inter_packet_delay_us=10_000.0)
+        engine.run_until(1_000_000.0)
+        assert source.injected == pytest.approx(100, abs=2)
+
+    def test_inactive_source_injects_nothing(self):
+        engine, (a, b) = make_world()
+        source = CbrSource(engine, a, "n1", 10_000.0)
+        source.active = False
+        engine.run_until(500_000.0)
+        assert source.injected == 0
+        assert b.delivered_bytes == 0
+
+    def test_negative_delay_raises(self):
+        engine, (a, _) = make_world()
+        with pytest.raises(SimulationError):
+            CbrSource(engine, a, "n1", -1.0)
+
+
+class TestScheduledActivity:
+    def test_windows_gate_traffic(self):
+        engine, (a, b) = make_world()
+        source = CbrSource(engine, a, "n1", 10_000.0)
+        ScheduledActivity(
+            engine, source, [(100_000.0, 200_000.0), (400_000.0, 500_000.0)]
+        )
+        engine.run_until(600_000.0)
+        # Two 100 ms active windows at 10 ms per packet: ~20 injections.
+        assert 15 <= source.injected <= 25
+
+    def test_invalid_window_raises(self):
+        engine, (a, _) = make_world()
+        source = CbrSource(engine, a, "n1", 10_000.0)
+        with pytest.raises(SimulationError):
+            ScheduledActivity(engine, source, [(200.0, 100.0)])
+
+
+class TestMarkovChurn:
+    def test_stationary_probability(self):
+        churn_args = (60_000.0, 120_000.0)  # active 1/3 of the time
+        engine, (a, _) = make_world()
+        source = CbrSource(engine, a, "n1", 1_000_000.0)
+        churn = MarkovChurn(
+            engine, source, *churn_args, random.Random(3)
+        )
+        assert churn.stationary_active_probability == pytest.approx(1 / 3)
+
+    def test_transitions_happen(self):
+        engine, (a, _) = make_world()
+        source = CbrSource(engine, a, "n1", 1_000_000.0)
+        churn = MarkovChurn(
+            engine, source, 50_000.0, 50_000.0, random.Random(3)
+        )
+        engine.run_until(2_000_000.0)
+        assert churn.transitions >= 10
+
+    def test_always_passive_extreme(self):
+        engine, (a, b) = make_world()
+        source = CbrSource(engine, a, "n1", 10_000.0)
+        MarkovChurn(engine, source, 0.0, 1.0, random.Random(1), start_active=False)
+        engine.run_until(500_000.0)
+        assert source.injected == 0
+
+    def test_always_active_extreme(self):
+        engine, (a, b) = make_world()
+        source = CbrSource(engine, a, "n1", 10_000.0)
+        MarkovChurn(engine, source, 1.0, 0.0, random.Random(1), start_active=True)
+        engine.run_until(500_000.0)
+        assert source.injected > 0
+
+    def test_empirical_duty_cycle(self):
+        engine, (a, _) = make_world()
+        source = CbrSource(engine, a, "n1", 1_000.0)
+        MarkovChurn(engine, source, 30_000.0, 90_000.0, random.Random(5))
+        engine.run_until(10_000_000.0)
+        duty = source.injected / 10_000.0
+        assert duty == pytest.approx(0.25, abs=0.08)

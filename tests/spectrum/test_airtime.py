@@ -1,0 +1,92 @@
+"""Tests for airtime observations and node reports."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpectrumMapError
+from repro.spectrum.airtime import (
+    AirtimeObservation,
+    NodeReport,
+    average_airtime,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+class TestAirtimeObservation:
+    def test_idle(self):
+        obs = AirtimeObservation.idle(5)
+        assert obs.busy_fraction == (0.0,) * 5
+        assert obs.ap_count == (0,) * 5
+
+    def test_from_mappings(self):
+        obs = AirtimeObservation.from_mappings({2: 0.5}, {2: 3}, 4)
+        assert obs.busy(2) == 0.5
+        assert obs.aps(2) == 3
+        assert obs.busy(0) == 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SpectrumMapError):
+            AirtimeObservation((0.1, 0.2), (0,))
+
+    def test_out_of_range_busy_raises(self):
+        with pytest.raises(SpectrumMapError):
+            AirtimeObservation((1.5,), (0,))
+        with pytest.raises(SpectrumMapError):
+            AirtimeObservation((-0.1,), (0,))
+
+    def test_negative_ap_count_raises(self):
+        with pytest.raises(SpectrumMapError):
+            AirtimeObservation((0.5,), (-1,))
+
+    def test_clamped_is_identity_for_valid(self):
+        obs = AirtimeObservation((0.3, 1.0), (1, 0))
+        assert obs.clamped() == obs
+
+
+class TestNodeReport:
+    def test_valid_report(self):
+        report = NodeReport(
+            "client0", SpectrumMap.all_free(5), AirtimeObservation.idle(5)
+        )
+        assert report.node_id == "client0"
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(SpectrumMapError):
+            NodeReport(
+                "c", SpectrumMap.all_free(5), AirtimeObservation.idle(6)
+            )
+
+
+class TestAverage:
+    def test_average_busy(self):
+        a = AirtimeObservation((0.2, 0.4), (1, 0))
+        b = AirtimeObservation((0.4, 0.0), (0, 2))
+        avg = average_airtime([a, b])
+        assert avg.busy_fraction == pytest.approx((0.3, 0.2))
+        # AP counts take the max (any observer's contender contends).
+        assert avg.ap_count == (1, 2)
+
+    def test_average_empty_raises(self):
+        with pytest.raises(SpectrumMapError):
+            average_airtime([])
+
+    def test_average_size_mismatch_raises(self):
+        with pytest.raises(SpectrumMapError):
+            average_airtime(
+                [AirtimeObservation.idle(3), AirtimeObservation.idle(4)]
+            )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_average_stays_in_bounds(busy):
+    """Averaged busy fractions remain within [0, 1]."""
+    obs = AirtimeObservation(tuple(busy), (0,) * len(busy))
+    avg = average_airtime([obs, obs, obs])
+    assert all(0.0 <= b <= 1.0 for b in avg.busy_fraction)
+    assert avg.busy_fraction == pytest.approx(tuple(busy))

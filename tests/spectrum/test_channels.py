@@ -1,0 +1,200 @@
+"""Tests for the UHF band plan and WhiteFi channel enumeration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.errors import ChannelError
+from repro.spectrum.channels import (
+    US_BAND_PLAN,
+    UhfBandPlan,
+    WhiteFiChannel,
+    channels_overlapping_index,
+    count_by_width,
+    enumerate_channels,
+    valid_channels,
+)
+
+
+class TestUhfBandPlan:
+    def test_thirty_usable_channels(self):
+        assert US_BAND_PLAN.num_channels == 30
+
+    def test_channel_numbers_skip_37(self):
+        numbers = US_BAND_PLAN.channel_numbers
+        assert 37 not in numbers
+        assert numbers[0] == 21
+        assert numbers[-1] == 51
+
+    def test_index_round_trip(self):
+        for index in range(30):
+            number = US_BAND_PLAN.number_of(index)
+            assert US_BAND_PLAN.index_of(number) == index
+
+    def test_index_of_reserved_channel_raises(self):
+        with pytest.raises(ChannelError):
+            US_BAND_PLAN.index_of(37)
+
+    def test_index_of_out_of_band_raises(self):
+        with pytest.raises(ChannelError):
+            US_BAND_PLAN.index_of(20)
+        with pytest.raises(ChannelError):
+            US_BAND_PLAN.index_of(52)
+
+    def test_number_of_out_of_range_raises(self):
+        with pytest.raises(ChannelError):
+            US_BAND_PLAN.number_of(30)
+        with pytest.raises(ChannelError):
+            US_BAND_PLAN.number_of(-1)
+
+    def test_channel_21_center_frequency(self):
+        # Channel 21 occupies 512-518 MHz.
+        assert US_BAND_PLAN.center_frequency_mhz(0) == pytest.approx(515.0)
+
+    def test_channel_51_center_frequency(self):
+        # Channel 51 occupies 692-698 MHz.
+        assert US_BAND_PLAN.center_frequency_mhz(29) == pytest.approx(695.0)
+
+    def test_adjacency_across_channel_37_gap(self):
+        # TV channels 36 and 38 are adjacent indices but not physically
+        # adjacent (channel 37 sits between them).
+        idx36 = US_BAND_PLAN.index_of(36)
+        idx38 = US_BAND_PLAN.index_of(38)
+        assert idx38 == idx36 + 1
+        assert not US_BAND_PLAN.indices_are_physically_adjacent(idx36, idx38)
+
+    def test_adjacency_normal_case(self):
+        assert US_BAND_PLAN.indices_are_physically_adjacent(0, 1)
+
+    def test_invalid_band_plan_raises(self):
+        with pytest.raises(ChannelError):
+            UhfBandPlan(first=50, last=40)
+
+
+class TestWhiteFiChannel:
+    def test_span_by_width(self):
+        assert WhiteFiChannel(10, 5.0).span == 1
+        assert WhiteFiChannel(10, 10.0).span == 3
+        assert WhiteFiChannel(10, 20.0).span == 5
+
+    def test_spanned_indices_centered(self):
+        assert WhiteFiChannel(10, 20.0).spanned_indices == (8, 9, 10, 11, 12)
+        assert WhiteFiChannel(10, 10.0).spanned_indices == (9, 10, 11)
+        assert WhiteFiChannel(10, 5.0).spanned_indices == (10,)
+
+    def test_unsupported_width_raises(self):
+        with pytest.raises(ChannelError):
+            WhiteFiChannel(10, 15.0)
+
+    def test_out_of_band_span_raises(self):
+        with pytest.raises(ChannelError):
+            WhiteFiChannel(0, 20.0)  # would span -2..2
+        with pytest.raises(ChannelError):
+            WhiteFiChannel(29, 10.0)  # would span 28..30
+
+    def test_overlap_detection(self):
+        wide = WhiteFiChannel(10, 20.0)
+        assert wide.overlaps(WhiteFiChannel(12, 5.0))
+        assert not wide.overlaps(WhiteFiChannel(13, 5.0))
+        # 13 at 10 MHz spans 12,13,14 — overlaps the wide channel at 12.
+        assert wide.overlaps(WhiteFiChannel(13, 10.0))
+        # 14 at 10 MHz spans 13,14,15 — does not overlap 8..12.
+        assert not wide.overlaps(WhiteFiChannel(14, 10.0))
+
+    def test_capacity_factor(self):
+        assert WhiteFiChannel(5, 5.0).capacity_factor() == 1.0
+        assert WhiteFiChannel(5, 10.0).capacity_factor() == 2.0
+        assert WhiteFiChannel(5, 20.0).capacity_factor() == 4.0
+
+    def test_contains_index(self):
+        channel = WhiteFiChannel(10, 10.0)
+        assert channel.contains_index(9)
+        assert channel.contains_index(11)
+        assert not channel.contains_index(12)
+
+
+class TestEnumeration:
+    def test_paper_counts_84_total(self):
+        channels = enumerate_channels()
+        counts = count_by_width(channels)
+        # "There are a total of 30 5MHz WhiteFi channels, 28 10MHz
+        # channels, and 26 20MHz channels."
+        assert counts[5.0] == 30
+        assert counts[10.0] == 28
+        assert counts[20.0] == 26
+        assert len(channels) == 84
+
+    def test_gap_strict_mode_removes_spanning_channels(self):
+        lax = enumerate_channels(allow_gap_spanning=True)
+        strict = enumerate_channels(allow_gap_spanning=False)
+        assert len(strict) < len(lax)
+        # Every strict channel must not straddle the 36/38 boundary.
+        idx36 = US_BAND_PLAN.index_of(36)
+        for channel in strict:
+            spanned = channel.spanned_indices
+            assert not (idx36 in spanned and idx36 + 1 in spanned)
+
+    def test_small_index_space(self):
+        channels = enumerate_channels(5)
+        counts = count_by_width(channels)
+        assert counts[5.0] == 5
+        assert counts[10.0] == 3
+        assert counts[20.0] == 1
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ChannelError):
+            enumerate_channels(0)
+
+    def test_valid_channels_requires_whole_span_free(self):
+        # Free fragment 3..7 (5 channels): one 20 MHz fits, three 10 MHz.
+        channels = valid_channels(range(3, 8), 30)
+        counts = count_by_width(channels)
+        assert counts[5.0] == 5
+        assert counts[10.0] == 3
+        assert counts[20.0] == 1
+
+    def test_valid_channels_fragmented(self):
+        channels = valid_channels({0, 2, 4}, 30)
+        assert all(c.width_mhz == 5.0 for c in channels)
+
+    def test_channels_overlapping_index(self):
+        overlapping = list(channels_overlapping_index(10))
+        assert WhiteFiChannel(10, 5.0) in overlapping
+        assert WhiteFiChannel(9, 10.0) in overlapping
+        assert WhiteFiChannel(12, 20.0) in overlapping
+        assert WhiteFiChannel(13, 20.0) not in overlapping
+
+
+@given(
+    center=st.integers(min_value=0, max_value=29),
+    width=st.sampled_from([5.0, 10.0, 20.0]),
+)
+def test_property_span_matches_width(center, width):
+    """Span size always matches the width's UHF-channel count."""
+    half = constants.span_channels(width) // 2
+    if center - half < 0 or center + half > 29:
+        with pytest.raises(ChannelError):
+            WhiteFiChannel(center, width)
+        return
+    channel = WhiteFiChannel(center, width)
+    assert len(channel.spanned_indices) == constants.span_channels(width)
+    assert channel.spanned_indices[len(channel.spanned_indices) // 2] == center
+
+
+@given(free=st.sets(st.integers(min_value=0, max_value=29)))
+def test_property_valid_channels_subset_of_free(free):
+    """Every valid channel's span lies entirely inside the free set."""
+    for channel in valid_channels(free, 30):
+        assert set(channel.spanned_indices) <= free
+
+
+@given(
+    a=st.integers(min_value=2, max_value=27),
+    b=st.integers(min_value=2, max_value=27),
+    wa=st.sampled_from([5.0, 10.0, 20.0]),
+    wb=st.sampled_from([5.0, 10.0, 20.0]),
+)
+def test_property_overlap_is_symmetric(a, b, wa, wb):
+    """Channel overlap is a symmetric relation."""
+    ca, cb = WhiteFiChannel(a, wa), WhiteFiChannel(b, wb)
+    assert ca.overlaps(cb) == cb.overlaps(ca)

@@ -1,0 +1,102 @@
+"""Tests for contiguous-fragment extraction and histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spectrum.fragmentation import (
+    Fragment,
+    fragment_histogram,
+    fragment_widths,
+    fragments,
+    max_fragment_width,
+    single_fragment_map,
+    widest_fragment,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+class TestFragments:
+    def test_simple_extraction(self):
+        m = SpectrumMap([1, 0, 0, 1, 0])
+        assert fragments(m) == [Fragment(1, 2), Fragment(4, 1)]
+
+    def test_all_free_is_one_fragment(self):
+        m = SpectrumMap.all_free(30)
+        assert fragments(m) == [Fragment(0, 30)]
+
+    def test_all_occupied_has_none(self):
+        assert fragments(SpectrumMap.all_occupied(10)) == []
+
+    def test_fragment_at_band_edges(self):
+        m = SpectrumMap([0, 1, 1, 1, 0])
+        assert fragments(m) == [Fragment(0, 1), Fragment(4, 1)]
+
+    def test_fragment_properties(self):
+        f = Fragment(3, 4)
+        assert f.stop == 7
+        assert f.indices == (3, 4, 5, 6)
+        assert f.width_mhz == 24.0
+
+    def test_widest_fragment(self):
+        m = SpectrumMap([0, 1, 0, 0, 0, 1, 0])
+        assert widest_fragment(m) == Fragment(2, 3)
+
+    def test_widest_fragment_none_when_full(self):
+        assert widest_fragment(SpectrumMap.all_occupied(5)) is None
+
+    def test_paper_building5_fragments(self):
+        # Free: 26-30, 33-35, 39, 48 -> fragments of 5, 3, 1, 1 channels.
+        m = SpectrumMap.from_free([5, 6, 7, 8, 9, 12, 13, 14, 18, 27], 30)
+        assert sorted(fragment_widths(m)) == [1, 1, 3, 5]
+
+
+class TestHistogram:
+    def test_histogram_aggregates_across_maps(self):
+        maps = [SpectrumMap([0, 1, 0]), SpectrumMap([0, 0, 1])]
+        hist = fragment_histogram(maps)
+        assert hist[1] == 2  # two 1-channel fragments
+        assert hist[2] == 1  # one 2-channel fragment
+
+    def test_max_fragment_width(self):
+        maps = [SpectrumMap([0, 1, 0]), SpectrumMap([0, 0, 0, 1])]
+        assert max_fragment_width(maps) == 3
+
+    def test_max_fragment_width_all_occupied(self):
+        assert max_fragment_width([SpectrumMap.all_occupied(4)]) == 0
+
+
+class TestSingleFragmentMap:
+    def test_basic(self):
+        m = single_fragment_map(4, 30, start=10)
+        assert fragments(m) == [Fragment(10, 4)]
+
+    def test_full_band(self):
+        m = single_fragment_map(30, 30)
+        assert m.num_free() == 30
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            single_fragment_map(0, 30)
+        with pytest.raises(ValueError):
+            single_fragment_map(31, 30)
+
+    def test_overflowing_start_raises(self):
+        with pytest.raises(ValueError):
+            single_fragment_map(5, 30, start=28)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+def test_property_fragments_cover_exactly_free_channels(bits):
+    """Fragments partition the free channels exactly."""
+    m = SpectrumMap(bits)
+    covered = [i for f in fragments(m) for i in f.indices]
+    assert covered == list(m.free_indices())
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+def test_property_fragments_are_maximal(bits):
+    """No fragment touches another (they are separated by occupancy)."""
+    m = SpectrumMap(bits)
+    frags = fragments(m)
+    for a, b in zip(frags, frags[1:]):
+        assert b.start > a.stop  # at least one occupied channel between

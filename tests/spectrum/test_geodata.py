@@ -1,0 +1,83 @@
+"""Tests for the synthetic TV-Fool locale generator (Figure 2 inputs)."""
+
+import random
+
+import pytest
+
+from repro.spectrum.fragmentation import fragment_histogram, max_fragment_width
+from repro.spectrum.geodata import (
+    SETTINGS,
+    generate_locale,
+    generate_locales,
+    generate_study,
+    iter_maps,
+)
+
+
+class TestGenerateLocale:
+    def test_unknown_setting_raises(self):
+        with pytest.raises(ValueError):
+            generate_locale("exurban", random.Random(0))
+
+    def test_deterministic_for_seeded_rng(self):
+        a = generate_locale("urban", random.Random(42), name="x")
+        b = generate_locale("urban", random.Random(42), name="x")
+        assert a.spectrum_map == b.spectrum_map
+
+    def test_never_fully_occupied(self):
+        for seed in range(20):
+            locale = generate_locale("urban", random.Random(seed))
+            assert locale.num_free >= 1
+
+
+class TestSettingsOrdering:
+    def test_occupancy_decreases_with_population_density(self):
+        study = generate_study(count_per_setting=10, seed=5)
+        mean_free = {
+            setting: sum(l.num_free for l in locales) / len(locales)
+            for setting, locales in study.items()
+        }
+        assert mean_free["urban"] < mean_free["suburban"] < mean_free["rural"]
+
+    def test_rural_has_wide_fragments(self):
+        # Figure 2: "In rural areas fragments of up to 16 channels are
+        # expected."
+        locales = generate_locales("rural", 10, seed=2009)
+        assert max_fragment_width(list(iter_maps(locales))) >= 10
+
+    def test_every_setting_has_a_four_channel_fragment(self):
+        # Figure 2: "in all 3 settings there is at least one locale in
+        # which there is a fragment of 4 contiguous channels available".
+        study = generate_study(count_per_setting=10, seed=2009)
+        for setting, locales in study.items():
+            assert (
+                max_fragment_width(list(iter_maps(locales))) >= 4
+            ), f"no 4-channel fragment in any {setting} locale"
+
+    def test_urban_dominated_by_narrow_fragments(self):
+        locales = generate_locales("urban", 10, seed=2009)
+        hist = fragment_histogram(iter_maps(locales))
+        narrow = hist[1] + hist[2]
+        wide = sum(count for width, count in hist.items() if width >= 5)
+        assert narrow > wide
+
+
+class TestStudyShape:
+    def test_study_contains_all_settings(self):
+        study = generate_study(count_per_setting=3, seed=1)
+        assert set(study) == set(SETTINGS)
+        for locales in study.values():
+            assert len(locales) == 3
+
+    def test_locale_names_unique(self):
+        locales = generate_locales("suburban", 10, seed=3)
+        names = [l.name for l in locales]
+        assert len(set(names)) == len(names)
+
+    def test_reproducible_study(self):
+        a = generate_study(count_per_setting=4, seed=11)
+        b = generate_study(count_per_setting=4, seed=11)
+        for setting in SETTINGS:
+            assert [l.spectrum_map for l in a[setting]] == [
+                l.spectrum_map for l in b[setting]
+            ]

@@ -1,0 +1,115 @@
+"""Tests for TV-station and wireless-microphone incumbent models."""
+
+import random
+
+import pytest
+
+from repro.errors import SpectrumMapError
+from repro.spectrum.incumbents import (
+    IncumbentField,
+    MicSession,
+    TvStation,
+    WirelessMicrophone,
+    field_from_spectrum_map,
+)
+from repro.spectrum.spectrum_map import SpectrumMap
+
+
+class TestTvStation:
+    def test_detectable_at_typical_power(self):
+        assert TvStation(3, power_dbm=-60.0).detectable()
+
+    def test_below_threshold_not_detectable(self):
+        assert not TvStation(3, power_dbm=-120.0).detectable()
+
+    def test_detection_threshold_is_minus_114(self):
+        assert TvStation(3, power_dbm=-114.0).detectable()
+        assert not TvStation(3, power_dbm=-114.1).detectable()
+
+
+class TestWirelessMicrophone:
+    def test_session_activity(self):
+        mic = WirelessMicrophone(5)
+        mic.add_session(100.0, 200.0)
+        assert not mic.active_at(99.0)
+        assert mic.active_at(100.0)
+        assert mic.active_at(199.9)
+        assert not mic.active_at(200.0)  # half-open interval
+
+    def test_invalid_session_raises(self):
+        with pytest.raises(SpectrumMapError):
+            MicSession(200.0, 100.0)
+
+    def test_next_transition(self):
+        mic = WirelessMicrophone(5)
+        mic.add_session(100.0, 200.0)
+        mic.add_session(500.0, 600.0)
+        assert mic.next_transition_after(0.0) == 100.0
+        assert mic.next_transition_after(150.0) == 200.0
+        assert mic.next_transition_after(300.0) == 500.0
+        assert mic.next_transition_after(700.0) is None
+
+    def test_random_schedule_within_horizon(self):
+        mic = WirelessMicrophone.random_schedule(
+            3, horizon_us=3600e6, rng=random.Random(7)
+        )
+        for session in mic.sessions:
+            assert 0 <= session.start_us <= session.end_us <= 3600e6
+
+    def test_random_schedule_unpredictable_but_deterministic(self):
+        a = WirelessMicrophone.random_schedule(3, 3600e6, random.Random(7))
+        b = WirelessMicrophone.random_schedule(3, 3600e6, random.Random(7))
+        assert [(s.start_us, s.end_us) for s in a.sessions] == [
+            (s.start_us, s.end_us) for s in b.sessions
+        ]
+
+
+class TestIncumbentField:
+    def test_static_tv_occupancy(self):
+        field = IncumbentField(10, tv_stations=[TvStation(2), TvStation(7)])
+        assert field.occupied_indices(0.0) == {2, 7}
+        assert field.spectrum_map().occupied_indices() == (2, 7)
+
+    def test_mic_appears_and_disappears(self):
+        mic = WirelessMicrophone(4)
+        mic.add_session(1000.0, 2000.0)
+        field = IncumbentField(10, microphones=[mic])
+        assert field.spectrum_map(0.0).is_free(4)
+        assert field.spectrum_map(1500.0).is_occupied(4)
+        assert field.spectrum_map(2500.0).is_free(4)
+
+    def test_mic_active_on(self):
+        mic = WirelessMicrophone(4)
+        mic.add_session(1000.0, 2000.0)
+        field = IncumbentField(10, microphones=[mic])
+        assert field.mic_active_on(4, 1500.0)
+        assert not field.mic_active_on(4, 500.0)
+        assert not field.mic_active_on(5, 1500.0)
+
+    def test_out_of_range_incumbent_raises(self):
+        with pytest.raises(SpectrumMapError):
+            IncumbentField(5, tv_stations=[TvStation(9)])
+        field = IncumbentField(5)
+        with pytest.raises(SpectrumMapError):
+            field.add_microphone(WirelessMicrophone(5))
+
+    def test_next_transition_tracks_all_mics(self):
+        a = WirelessMicrophone(1)
+        a.add_session(500.0, 700.0)
+        b = WirelessMicrophone(2)
+        b.add_session(300.0, 900.0)
+        field = IncumbentField(5, microphones=[a, b])
+        assert field.next_transition_after(0.0) == 300.0
+        assert field.next_transition_after(400.0) == 500.0
+        assert field.next_transition_after(750.0) == 900.0
+
+    def test_field_from_spectrum_map_round_trips(self):
+        m = SpectrumMap.from_occupied({1, 4, 9}, 12)
+        field = field_from_spectrum_map(m)
+        assert field.spectrum_map() == m
+
+    def test_undetectable_mic_ignored(self):
+        mic = WirelessMicrophone(2, power_dbm=-150.0)
+        mic.add_session(0.0, 1e9)
+        field = IncumbentField(5, microphones=[mic])
+        assert field.spectrum_map(10.0).is_free(2)

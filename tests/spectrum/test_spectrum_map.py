@@ -1,0 +1,169 @@
+"""Tests for spectrum maps and their algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpectrumMapError
+from repro.spectrum.spectrum_map import SpectrumMap, union_all
+
+bits_strategy = st.lists(st.integers(0, 1), min_size=1, max_size=30)
+
+
+class TestConstruction:
+    def test_all_free(self):
+        m = SpectrumMap.all_free(10)
+        assert m.num_free() == 10
+        assert m.free_indices() == tuple(range(10))
+
+    def test_all_occupied(self):
+        m = SpectrumMap.all_occupied(10)
+        assert m.num_free() == 0
+
+    def test_from_occupied(self):
+        m = SpectrumMap.from_occupied({1, 3}, 5)
+        assert m.bits == (0, 1, 0, 1, 0)
+
+    def test_from_free(self):
+        m = SpectrumMap.from_free({0, 4}, 5)
+        assert m.bits == (0, 1, 1, 1, 0)
+        assert m.is_free(0) and m.is_free(4)
+
+    def test_from_tv_channels(self):
+        m = SpectrumMap.from_tv_channels([21, 51])
+        assert m.is_occupied(0)
+        assert m.is_occupied(29)
+        assert m.num_free() == 28
+
+    def test_empty_map_raises(self):
+        with pytest.raises(SpectrumMapError):
+            SpectrumMap([])
+
+    def test_non_binary_bits_raise(self):
+        with pytest.raises(SpectrumMapError):
+            SpectrumMap([0, 2, 1])
+
+    def test_out_of_range_occupied_raises(self):
+        with pytest.raises(SpectrumMapError):
+            SpectrumMap.from_occupied({7}, 5)
+
+
+class TestQueries:
+    def test_default_size_is_30(self):
+        assert len(SpectrumMap.all_free()) == 30
+
+    def test_span_is_free(self):
+        m = SpectrumMap.from_occupied({3}, 10)
+        assert m.span_is_free([0, 1, 2])
+        assert not m.span_is_free([2, 3, 4])
+
+    def test_equality_and_hash(self):
+        a = SpectrumMap([0, 1, 0])
+        b = SpectrumMap([0, 1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SpectrumMap([0, 1, 1])
+
+
+class TestAlgebra:
+    def test_union_is_bitwise_or(self):
+        a = SpectrumMap([0, 1, 0, 0])
+        b = SpectrumMap([0, 0, 1, 0])
+        assert (a | b).bits == (0, 1, 1, 0)
+
+    def test_union_size_mismatch_raises(self):
+        with pytest.raises(SpectrumMapError):
+            SpectrumMap([0, 1]) | SpectrumMap([0, 1, 0])
+
+    def test_intersection(self):
+        a = SpectrumMap([1, 1, 0])
+        b = SpectrumMap([1, 0, 0])
+        assert (a & b).bits == (1, 0, 0)
+
+    def test_hamming_distance(self):
+        a = SpectrumMap([0, 1, 0, 1])
+        b = SpectrumMap([1, 1, 0, 0])
+        assert a.hamming_distance(b) == 2
+
+    def test_with_occupied_returns_new_map(self):
+        a = SpectrumMap.all_free(5)
+        b = a.with_occupied(2)
+        assert a.is_free(2)
+        assert b.is_occupied(2)
+
+    def test_with_free(self):
+        a = SpectrumMap.all_occupied(5)
+        b = a.with_free(1, 3)
+        assert b.free_indices() == (1, 3)
+
+    def test_with_occupied_out_of_range_raises(self):
+        with pytest.raises(SpectrumMapError):
+            SpectrumMap.all_free(5).with_occupied(9)
+
+    def test_union_all(self):
+        maps = [
+            SpectrumMap([0, 0, 1]),
+            SpectrumMap([0, 1, 0]),
+            SpectrumMap([0, 0, 0]),
+        ]
+        assert union_all(maps).bits == (0, 1, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(SpectrumMapError):
+            union_all([])
+
+    def test_union_all_single(self):
+        m = SpectrumMap([1, 0])
+        assert union_all([m]) == m
+
+
+@given(bits_strategy)
+def test_property_free_plus_occupied_partition(bits):
+    """Free and occupied indices partition the channel set."""
+    m = SpectrumMap(bits)
+    free, occupied = set(m.free_indices()), set(m.occupied_indices())
+    assert free | occupied == set(range(len(bits)))
+    assert free & occupied == set()
+
+
+@given(bits_strategy, bits_strategy)
+def test_property_union_never_frees(a_bits, b_bits):
+    """The OR of two maps never has more free channels than either."""
+    if len(a_bits) != len(b_bits):
+        return
+    a, b = SpectrumMap(a_bits), SpectrumMap(b_bits)
+    union = a | b
+    assert union.num_free() <= min(a.num_free(), b.num_free())
+    assert set(union.free_indices()) <= set(a.free_indices())
+
+
+@given(bits_strategy)
+def test_property_hamming_self_is_zero(bits):
+    """A map has zero Hamming distance to itself."""
+    m = SpectrumMap(bits)
+    assert m.hamming_distance(m) == 0
+
+
+@given(bits_strategy, bits_strategy)
+def test_property_hamming_symmetric(a_bits, b_bits):
+    """Hamming distance is symmetric."""
+    if len(a_bits) != len(b_bits):
+        return
+    a, b = SpectrumMap(a_bits), SpectrumMap(b_bits)
+    assert a.hamming_distance(b) == b.hamming_distance(a)
+
+
+@given(bits_strategy, bits_strategy, bits_strategy)
+def test_property_hamming_triangle_inequality(a_bits, b_bits, c_bits):
+    """Hamming distance obeys the triangle inequality."""
+    n = min(len(a_bits), len(b_bits), len(c_bits))
+    a = SpectrumMap(a_bits[:n])
+    b = SpectrumMap(b_bits[:n])
+    c = SpectrumMap(c_bits[:n])
+    assert a.hamming_distance(c) <= a.hamming_distance(b) + b.hamming_distance(c)
+
+
+@given(bits_strategy)
+def test_property_union_idempotent(bits):
+    """OR-ing a map with itself is the identity."""
+    m = SpectrumMap(bits)
+    assert (m | m) == m

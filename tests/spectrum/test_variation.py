@@ -1,0 +1,120 @@
+"""Tests for spatial-variation models (Sections 2.1 and 5.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spectrum.spectrum_map import SpectrumMap
+from repro.spectrum.variation import (
+    availability_disagreement,
+    flip_map,
+    generate_building_campaign,
+    per_node_maps,
+)
+
+
+class TestFlipMap:
+    def test_zero_probability_is_identity(self, py_rng):
+        base = SpectrumMap.from_occupied({1, 5}, 10)
+        assert flip_map(base, 0.0, py_rng) == base
+
+    def test_probability_one_inverts(self, py_rng):
+        base = SpectrumMap.from_occupied({1, 5}, 10)
+        flipped = flip_map(base, 1.0, py_rng)
+        assert flipped.bits == tuple(1 - b for b in base.bits)
+
+    def test_invalid_probability_raises(self, py_rng):
+        base = SpectrumMap.all_free(5)
+        with pytest.raises(ValueError):
+            flip_map(base, -0.1, py_rng)
+        with pytest.raises(ValueError):
+            flip_map(base, 1.5, py_rng)
+
+    def test_flip_rate_matches_probability(self):
+        rng = random.Random(0)
+        base = SpectrumMap.all_free(30)
+        flips = sum(
+            flip_map(base, 0.1, rng).hamming_distance(base)
+            for _ in range(200)
+        )
+        assert flips / (200 * 30) == pytest.approx(0.1, abs=0.02)
+
+
+class TestPerNodeMaps:
+    def test_count_and_size(self):
+        base = SpectrumMap.all_free(30)
+        maps = per_node_maps(base, 11, 0.05, seed=1)
+        assert len(maps) == 11
+        assert all(len(m) == 30 for m in maps)
+
+    def test_p_zero_all_identical(self):
+        base = SpectrumMap.from_occupied({3}, 10)
+        maps = per_node_maps(base, 5, 0.0, seed=1)
+        assert all(m == base for m in maps)
+
+    def test_deterministic_per_seed(self):
+        base = SpectrumMap.all_free(30)
+        assert per_node_maps(base, 4, 0.1, seed=9) == per_node_maps(
+            base, 4, 0.1, seed=9
+        )
+
+    def test_disagreement_grows_with_p(self):
+        base = SpectrumMap.all_free(30)
+        low = availability_disagreement(per_node_maps(base, 10, 0.01, seed=2))
+        high = availability_disagreement(per_node_maps(base, 10, 0.14, seed=2))
+        assert high > low
+
+
+class TestBuildingCampaign:
+    def test_median_hamming_near_paper_value(self):
+        # Section 2.1: "the median number of channels available at one
+        # point but unavailable at another is close to 7".
+        medians = [
+            generate_building_campaign(seed=s).median_hamming()
+            for s in range(10)
+        ]
+        overall = sum(medians) / len(medians)
+        assert 5.5 <= overall <= 8.5
+
+    def test_nine_buildings_thirtysix_pairs(self):
+        campaign = generate_building_campaign(seed=0)
+        assert len(campaign.buildings) == 9
+        assert len(campaign.pairwise_hamming()) == 36
+
+    def test_deterministic(self):
+        a = generate_building_campaign(seed=4)
+        b = generate_building_campaign(seed=4)
+        assert a.buildings == b.buildings
+
+    def test_no_variation_when_flip_zero(self):
+        campaign = generate_building_campaign(
+            seed=0, local_flip_probability=0.0
+        )
+        assert campaign.median_hamming() == 0
+
+
+class TestDisagreement:
+    def test_single_map_is_zero(self):
+        assert availability_disagreement([SpectrumMap.all_free(5)]) == 0.0
+
+    def test_identical_maps_are_zero(self):
+        m = SpectrumMap.from_occupied({2}, 5)
+        assert availability_disagreement([m, m, m]) == 0.0
+
+    def test_opposite_maps_are_one(self):
+        a = SpectrumMap.all_free(5)
+        b = SpectrumMap.all_occupied(5)
+        assert availability_disagreement([a, b]) == 1.0
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=5, max_size=30),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_flip_preserves_size(bits, p, seed):
+    """Flipping never changes the map size, only its bits."""
+    base = SpectrumMap(bits)
+    flipped = flip_map(base, p, random.Random(seed))
+    assert len(flipped) == len(base)
