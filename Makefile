@@ -1,0 +1,33 @@
+# Developer entry points.  `make check` is the gate every change must
+# pass: the tier-1 test suite plus lint (when ruff is installed).
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
+
+.PHONY: check test fast bench lint
+
+## The tier-1 gate: full unit suite + lint.
+check: test lint
+
+## Full unit test suite (tier-1 command).
+test:
+	$(PYTEST) -x -q
+
+## Fast loop: unit tests without anything marked slow.
+fast:
+	$(PYTEST) -x -q -m "not slow"
+
+## Paper-figure benchmark sweeps (slow; writes benchmarks/results/).
+bench:
+	$(PYTEST) -q benchmarks
+
+## Lint src and tests.  The container may not ship ruff; skip with a
+## notice rather than fail, so `make check` works everywhere.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif python -c "import ruff" >/dev/null 2>&1; then \
+		python -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi

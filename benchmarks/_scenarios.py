@@ -1,0 +1,19 @@
+"""Shared scenario constants for the Section 5.4 benchmarks.
+
+The large-scale simulation map (Section 5.4.1): "There are 17 free UHF
+channels, and the widest contiguous white space is 36 MHz."
+"""
+
+from __future__ import annotations
+
+from repro import constants
+
+#: Free usable-channel indices of the Section 5.4.1 map.
+SEVENTEEN_FREE = tuple(range(2, 8)) + tuple(range(10, 13)) + tuple(
+    range(15, 19)
+) + (21, 22, 25, 28)
+
+#: Per-width OPT baseline names, matching run_opt_baselines's keys.
+BASELINE_NAMES = tuple(
+    f"opt-{width:g}mhz" for width in sorted(constants.CHANNEL_WIDTHS_MHZ, reverse=True)
+)

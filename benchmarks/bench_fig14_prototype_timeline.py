@@ -16,12 +16,16 @@ reports the MCham-per-width timeline plus the channel history.
 
 from __future__ import annotations
 
-from repro.sim.runner import BackgroundSpec, ScenarioConfig, run_whitefi
-from repro.spectrum.spectrum_map import SpectrumMap
+from repro.experiments import (
+    BackgroundSpec,
+    ExperimentSpec,
+    ScenarioSpec,
+    TrafficSpec,
+    run_experiment,
+)
 
 #: TV channels 26-30, 33-35, 39, 48 -> usable indices.
-FREE = [5, 6, 7, 8, 9, 12, 13, 14, 18, 27]
-BUILDING5 = SpectrumMap.from_free(FREE, 30)
+FREE = (5, 6, 7, 8, 9, 12, 13, 14, 18, 27)
 
 #: Time compression relative to the paper's 250 s experiment.
 SCALE = 0.5
@@ -31,46 +35,49 @@ PHASE_S = 50.0 * SCALE
 BG_DELAY_US = 8_000.0
 
 
-def _timeline_config() -> ScenarioConfig:
+def _timeline_spec() -> ExperimentSpec:
     def window(start_s: float, end_s: float) -> tuple[tuple[float, float], ...]:
         return ((start_s * 1e6, end_s * 1e6),)
 
-    backgrounds = [
+    backgrounds = tuple(
         # Channels 26-29 (indices 5-8) busy from t=50s to t=200s (scaled).
         BackgroundSpec(i, BG_DELAY_US, active_windows=window(PHASE_S, 4 * PHASE_S))
         for i in (5, 6, 7, 8)
-    ] + [
+    ) + tuple(
         # Channels 33-34 (indices 12-13) busy from t=100s to t=150s.
         BackgroundSpec(
             i, BG_DELAY_US, active_windows=window(2 * PHASE_S, 3 * PHASE_S)
         )
         for i in (12, 13)
-    ]
-    return ScenarioConfig(
-        base_map=BUILDING5,
+    )
+    scenario = ScenarioSpec(
+        free_indices=FREE,
+        num_channels=30,
         num_clients=1,
         backgrounds=backgrounds,
+        traffic=TrafficSpec(uplink=False),
         duration_us=5 * PHASE_S * 1e6,
         warmup_us=1_000_000.0,
         seed=11,
-        uplink=False,
     )
-
-
-def prototype_timeline():
-    """Run the scripted experiment; returns the WhiteFi run result."""
-    return run_whitefi(
-        _timeline_config(),
+    return ExperimentSpec(
+        scenario,
+        kind="whitefi",
         reeval_interval_us=2_000_000.0,
         timeline_interval_us=5_000_000.0,
     )
 
 
+def prototype_timeline():
+    """Run the scripted experiment; returns the archived run result."""
+    return run_experiment(_timeline_spec())
+
+
 def _channel_at(result, t_us: float):
     current = None
-    for switch_time, channel in result.channel_history:
+    for switch_time, center, width in result.channel_history:
         if switch_time <= t_us:
-            current = channel
+            current = (center, width)
     return current
 
 
@@ -79,16 +86,19 @@ def test_fig14_prototype_timeline(benchmark, record_table):
 
     lines = ["Figure 14: adaptive switching timeline (time scale 0.5x paper)"]
     lines.append("channel history:")
-    for t_us, channel in result.channel_history:
-        lines.append(f"  t={t_us / 1e6:7.1f}s -> {channel}")
+    for t_us, center, width in result.channel_history:
+        lines.append(f"  t={t_us / 1e6:7.1f}s -> (F=ch{center}, W={width:g}MHz)")
     lines.append("MCham per width (sampled at re-evaluations):")
-    for t_us, scores in result.mcham_timeline[:: max(1, len(result.mcham_timeline) // 12)]:
-        formatted = ", ".join(f"{w:g}MHz={v:.2f}" for w, v in sorted(scores.items()))
+    step = max(1, len(result.mcham_timeline) // 12)
+    for t_us, scores in result.mcham_timeline[::step]:
+        formatted = ", ".join(f"{w:g}MHz={v:.2f}" for w, v in scores)
         lines.append(f"  t={t_us / 1e6:7.1f}s: {formatted}")
     lines.append("throughput (5 s windows):")
     for t_us, mbps in result.throughput_timeline:
         lines.append(f"  t={t_us / 1e6:7.1f}s: {mbps:5.2f} Mbps")
-    record_table("fig14_prototype_timeline", lines)
+    record_table(
+        "fig14_prototype_timeline", lines, data=result.to_dict()
+    )
 
     phase_us = PHASE_S * 1e6
     probe_points = {
@@ -104,8 +114,8 @@ def test_fig14_prototype_timeline(benchmark, record_table):
     ch4 = _channel_at(result, probe_points[4])
     ch5 = _channel_at(result, probe_points[5])
 
-    assert ch1.width_mhz == 20.0 and ch1.center_index == 7
-    assert ch2.width_mhz == 10.0 and ch2.center_index == 13
-    assert ch3.width_mhz == 5.0 and ch3.center_index in (18, 27, 9)
-    assert ch4.width_mhz == 10.0 and ch4.center_index == 13
-    assert ch5.width_mhz == 20.0 and ch5.center_index == 7
+    assert ch1 == (7, 20.0)
+    assert ch2 == (13, 10.0)
+    assert ch3[1] == 5.0 and ch3[0] in (18, 27, 9)
+    assert ch4 == (13, 10.0)
+    assert ch5 == (7, 20.0)

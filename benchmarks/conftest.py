@@ -2,28 +2,59 @@
 
 Every benchmark regenerates one of the paper's tables or figures and
 writes the rows to ``benchmarks/results/<name>.txt`` (also echoed to
-stdout, visible with ``pytest -s``).  ``EXPERIMENTS.md`` summarises the
+stdout, visible with ``pytest -s``) plus a machine-readable
+``benchmarks/results/<name>.json`` so the accuracy/perf trajectory can
+be tracked across PRs.  ``EXPERIMENTS.md`` summarises the
 paper-vs-measured comparison from these files.
+
+Everything under ``benchmarks/`` is marked ``slow``; deselect with
+``-m "not slow"``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items in mixed invocations
+    # (e.g. `pytest tests benchmarks`); only mark our own.
+    benchmarks_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if benchmarks_dir in pathlib.Path(item.fspath).parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def record_table():
-    """Write a named result table to benchmarks/results/ and stdout."""
+    """Write a named result table to benchmarks/results/ and stdout.
 
-    def _record(name: str, lines: list[str]) -> pathlib.Path:
+    Args (of the returned recorder):
+        name: table name (file stem).
+        lines: human-readable table rows.
+        data: optional JSON-serializable structure with the raw numbers;
+            recorded alongside the text so downstream tooling does not
+            have to parse the table.
+    """
+
+    def _record(
+        name: str, lines: list[str], data: Any | None = None
+    ) -> pathlib.Path:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         text = "\n".join(lines) + "\n"
         path.write_text(text)
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(
+            json.dumps({"name": name, "lines": lines, "data": data}, indent=2)
+            + "\n"
+        )
         print(f"\n=== {name} ===")
         print(text)
         return path

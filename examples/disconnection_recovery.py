@@ -1,56 +1,54 @@
 #!/usr/bin/env python3
 """Wireless microphone interruption and chirp-based recovery.
 
-Runs a full WhiteFi BSS (beacons, reports, adaptive assignment), turns
-a wireless microphone on under the operating channel mid-transfer, and
-traces the Section 4.3 disconnection protocol: vacate, chirp on the
-backup channel, AP pickup within the 3 s scan period, reassignment,
-reconnection.
+Declares a full WhiteFi BSS scenario (beacons, reports, adaptive
+assignment) with a wireless microphone turning on under the operating
+channel mid-transfer, and traces the Section 4.3 disconnection
+protocol: vacate, chirp on the backup channel, AP pickup within the
+3 s scan period, reassignment, reconnection.
 
 Run:
     python examples/disconnection_recovery.py
 """
 
-from repro.core.network import WhiteFiBss
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
-from repro.spectrum.incumbents import (
-    IncumbentField,
-    TvStation,
-    WirelessMicrophone,
+from repro.experiments import (
+    ExperimentSpec,
+    MicSpec,
+    ScenarioSpec,
+    run_experiment,
 )
-from repro.spectrum.spectrum_map import SpectrumMap
 
 
 def main() -> None:
-    base_map = SpectrumMap.from_free([5, 6, 7, 8, 9, 12, 13, 14, 18, 27], 30)
-    engine = Engine()
-    medium = Medium(engine, 30)
-
-    incumbents = IncumbentField(
-        30, tv_stations=[TvStation(i) for i in base_map.occupied_indices()]
+    scenario = ScenarioSpec(
+        free_indices=(5, 6, 7, 8, 9, 12, 13, 14, 18, 27),
+        num_channels=30,
+        num_clients=1,
+        # The mic lands under the 20 MHz main channel at t=6s.
+        mics=(MicSpec(7, sessions=((6_000_000.0, 40_000_000.0),)),),
+        seed=5,
     )
-    mic = WirelessMicrophone(7)  # lands under the 20 MHz main channel
-    mic.add_session(6_000_000.0, 40_000_000.0)
-    incumbents.add_microphone(mic)
+    result = run_experiment(
+        ExperimentSpec(scenario, kind="protocol", run_until_us=20_000_000.0)
+    )
 
-    bss = WhiteFiBss(engine, medium, incumbents, base_map, [base_map], seed=5)
-    bss.start()
-    print(f"boot: main={bss.ap_ctrl.state.main_channel} "
-          f"backup={bss.ap_ctrl.state.backup_channel}")
-
-    engine.run_until(20_000_000.0)
-
-    client = bss.clients[0][1]
-    print(f"t=20s: client received {client.delivered_bytes / 1e6:.2f} MB")
+    t0, center, width = result.channel_history[0]
+    print(f"boot: main=(F=ch{center}, W={width:g}MHz)")
+    horizon_s = result.duration_us / 1e6
+    delivered_mb = result.aggregate_mbps * result.duration_us / 8e6
+    print(
+        f"t={horizon_s:.0f}s: BSS delivered {delivered_mb:.2f} MB "
+        f"({result.aggregate_mbps:.2f} Mbps average)"
+    )
     print()
-    for i, episode in enumerate(bss.disconnections):
+    for i, episode in enumerate(result.disconnections):
+        center, width = episode.new_channel
         print(f"disconnection episode {i}:")
         print(f"  mic active on channel 7 at t={episode.mic_onset_us / 1e6:.2f}s")
         print(f"  vacated main channel at   t={episode.vacated_us / 1e6:.2f}s")
         print(f"  chirp heard by AP at      t={episode.chirp_heard_us / 1e6:.2f}s")
         print(f"  operational again at      t={episode.reconnected_us / 1e6:.2f}s "
-              f"on {episode.new_channel}")
+              f"on (F=ch{center}, W={width:g}MHz)")
         print(f"  total outage: {episode.recovery_time_us / 1e6:.2f}s "
               f"(paper budget: 4 s)")
 

@@ -1,58 +1,59 @@
 #!/usr/bin/env python3
 """Quickstart: a WhiteFi network in sixty lines.
 
-Builds a fragmented UHF spectrum, drops in background traffic, and lets
-the WhiteFi spectrum-assignment loop pick and adapt the BSS channel.
-Compares against the omniscient static baselines.
+Declares a fragmented UHF spectrum with background traffic as a
+``ScenarioSpec``, lets the WhiteFi spectrum-assignment loop pick and
+adapt the BSS channel, and compares against the omniscient static
+baselines — all through the declarative ``repro.experiments`` API.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro.sim.runner import (
+from repro.experiments import (
     BackgroundSpec,
-    ScenarioConfig,
-    run_opt_baselines,
-    run_whitefi,
+    ExperimentSpec,
+    ScenarioSpec,
+    run_experiment,
 )
-from repro.spectrum.spectrum_map import SpectrumMap
 
 
 def main() -> None:
     # TV channels 26-30, 33-35, 39 and 48 are free (the paper's
     # Building 5 testbed): fragments of 20, 10, and two 5 MHz.
-    spectrum = SpectrumMap.from_free([5, 6, 7, 8, 9, 12, 13, 14, 18, 27], 30)
-
     # Two background AP/client pairs chat away on the 20 MHz fragment.
-    config = ScenarioConfig(
-        base_map=spectrum,
+    scenario = ScenarioSpec(
+        free_indices=(5, 6, 7, 8, 9, 12, 13, 14, 18, 27),
+        num_channels=30,
         num_clients=2,
-        backgrounds=[
+        backgrounds=(
             BackgroundSpec(uhf_index=6, inter_packet_delay_us=8_000.0),
             BackgroundSpec(uhf_index=8, inter_packet_delay_us=8_000.0),
-        ],
+        ),
         duration_us=3_000_000.0,
         seed=7,
     )
 
     print("Running WhiteFi (adaptive MCham assignment)...")
-    whitefi = run_whitefi(config)
-    print(f"  channel history:")
-    for t_us, channel in whitefi.channel_history:
-        print(f"    t={t_us / 1e6:5.2f}s  {channel}")
+    whitefi = run_experiment(ExperimentSpec(scenario, kind="whitefi"))
+    print("  channel history:")
+    for t_us, center, width in whitefi.channel_history:
+        print(f"    t={t_us / 1e6:5.2f}s  (F=ch{center}, W={width:g}MHz)")
     print(f"  aggregate goodput: {whitefi.aggregate_mbps:.2f} Mbps")
 
     print("Running the static OPT baselines (probing every position)...")
-    baselines = run_opt_baselines(config, probe_duration_us=800_000.0)
-    for name in ("opt-5mhz", "opt-10mhz", "opt-20mhz", "opt"):
-        result = baselines[name]
+    opt = run_experiment(
+        ExperimentSpec(scenario, kind="opt", probe_duration_us=800_000.0)
+    )
+    for name in ("opt-5mhz", "opt-10mhz", "opt-20mhz"):
+        result = opt.baseline(name)
         if result is None:
             print(f"  {name:>10}: (no valid position)")
         else:
             print(f"  {name:>10}: {result.aggregate_mbps:.2f} Mbps")
+    print(f"  {'opt':>10}: {opt.aggregate_mbps:.2f} Mbps")
 
-    opt = baselines["opt"]
-    if opt is not None and opt.aggregate_mbps > 0:
+    if opt.aggregate_mbps > 0:
         ratio = whitefi.aggregate_mbps / opt.aggregate_mbps
         print(f"WhiteFi achieves {ratio:.0%} of the omniscient static OPT.")
 

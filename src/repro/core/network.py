@@ -10,7 +10,7 @@ Sections 5.3 and 5.4.2.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import constants
 from repro.core.ap import ApController
@@ -21,7 +21,6 @@ from repro.mac.frames import (
     Frame,
     FrameType,
     beacon_frame,
-    channel_switch_frame,
     report_frame,
 )
 from repro.sim.engine import Engine
@@ -29,6 +28,7 @@ from repro.sim.medium import Medium
 from repro.sim.node import SimNode
 from repro.sim.sensors import GroundTruthSensor
 from repro.sim.traffic import SaturatingSource
+from repro.sim.world import NodeRoster
 from repro.spectrum.incumbents import IncumbentField
 from repro.spectrum.channels import WhiteFiChannel
 from repro.spectrum.spectrum_map import SpectrumMap
@@ -110,24 +110,21 @@ class WhiteFiBss:
         self.report_interval_us = report_interval_us
 
         self.ap_ctrl = ApController(ssid_code, ap_map, len(ap_map))
-        self.ap_node = SimNode(
-            engine, medium, "ap", "whitefi", None,
-            rng=random.Random(self.rng.randrange(2**31)),
+        self.roster = NodeRoster(engine, medium, self.rng)
+        self.nodes = self.roster.nodes
+        self.ap_node = self.roster.add_node(
+            "ap", "whitefi", None, on_frame_received=self._ap_received
         )
         self.clients: list[tuple[ClientController, SimNode]] = []
-        self.nodes: dict[str, SimNode] = {"ap": self.ap_node}
-        self.ap_node.nodes = self.nodes
-        self.ap_node.on_frame_received = self._ap_received
 
         for i, cmap in enumerate(client_maps):
             ctrl = ClientController(f"client{i}", ssid_code, cmap)
-            node = SimNode(
-                engine, medium, f"client{i}", "whitefi", None,
-                rng=random.Random(self.rng.randrange(2**31)),
+            node = self.roster.add_node(
+                f"client{i}",
+                "whitefi",
+                None,
+                on_frame_received=self._client_received_factory(ctrl),
             )
-            node.nodes = self.nodes
-            node.on_frame_received = self._client_received_factory(ctrl)
-            self.nodes[node.node_id] = node
             self.clients.append((ctrl, node))
 
         self.disconnections: list[DisconnectionEvent] = []

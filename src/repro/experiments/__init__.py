@@ -1,0 +1,73 @@
+"""Declarative experiment harness: specs, builders, sweeps, results.
+
+The paper's evaluation (Sections 5.1-5.4) is a matrix of scenarios —
+channel widths x traffic intensities x background BSS counts x churn
+rates x seeds.  This package turns each cell of that matrix into data:
+
+* :mod:`repro.experiments.spec` — frozen, JSON-round-trippable
+  :class:`ScenarioSpec` / :class:`ExperimentSpec` dataclasses describing
+  a scenario (spectrum, foreground BSS, background pool, incumbents,
+  churn, traffic model, duration, seed) and what to run on it.
+* :mod:`repro.experiments.scenario` — :class:`ScenarioBuilder`
+  materializes an Engine/Medium/node world from a spec; the single
+  place scenario wiring lives.
+* :mod:`repro.experiments.runs` — the run kinds (static, OPT baselines,
+  adaptive WhiteFi, full disconnection protocol) and the
+  :func:`run_experiment` dispatcher.
+* :mod:`repro.experiments.results` — structured :class:`ExperimentResult`
+  records, aggregation helpers, and a spec-hash-keyed result cache.
+* :mod:`repro.experiments.parallel` — :class:`ParallelRunner` fans a
+  spec x seed grid across worker processes with deterministic per-seed
+  streams, falling back to in-process sequential execution.
+"""
+
+from repro.experiments.parallel import ParallelRunner, sweep_seeds
+from repro.experiments.results import (
+    ExperimentResult,
+    ResultCache,
+    SummaryStats,
+    mean_by,
+    summarize,
+)
+from repro.experiments.runs import (
+    run_experiment,
+    run_opt_baselines,
+    run_protocol,
+    run_static,
+    run_whitefi,
+)
+from repro.experiments.scenario import ScenarioBuilder, ScenarioConfig, World
+from repro.experiments.spec import (
+    BackgroundPoolSpec,
+    BackgroundSpec,
+    ExperimentSpec,
+    MicSpec,
+    ScenarioSpec,
+    SpatialSpec,
+    TrafficSpec,
+)
+
+__all__ = [
+    "BackgroundPoolSpec",
+    "BackgroundSpec",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "MicSpec",
+    "ParallelRunner",
+    "ResultCache",
+    "ScenarioBuilder",
+    "ScenarioConfig",
+    "ScenarioSpec",
+    "SpatialSpec",
+    "SummaryStats",
+    "TrafficSpec",
+    "World",
+    "mean_by",
+    "run_experiment",
+    "run_opt_baselines",
+    "run_protocol",
+    "run_static",
+    "run_whitefi",
+    "summarize",
+    "sweep_seeds",
+]

@@ -1,0 +1,295 @@
+"""Structured experiment results, aggregation, and caching.
+
+``ExperimentResult`` is the archive-grade record of one run: every field
+is plain data with a canonical JSON form, so results from worker
+processes, caches, and live runs are interchangeable — and comparable
+byte for byte, which is how the parallel/sequential equivalence
+guarantee is tested.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "DisconnectionRecord",
+    "ExperimentResult",
+    "ResultCache",
+    "SummaryStats",
+    "mean_by",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class DisconnectionRecord:
+    """One disconnection/reconnection episode (Section 5.3 timeline).
+
+    Attributes:
+        mic_onset_us: when the incumbent became active.
+        vacated_us: when the detecting node left the main channel.
+        chirp_heard_us: when the AP's backup scan picked up the chirp.
+        reconnected_us: when data flow resumed on the new channel.
+        new_channel: (center_index, width_mhz) of the recovery channel.
+    """
+
+    mic_onset_us: float
+    vacated_us: float | None = None
+    chirp_heard_us: float | None = None
+    reconnected_us: float | None = None
+    new_channel: tuple[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.new_channel is not None:
+            center, width = self.new_channel
+            object.__setattr__(self, "new_channel", (int(center), float(width)))
+
+    @property
+    def recovery_time_us(self) -> float | None:
+        """Total outage: mic onset to resumed operation."""
+        if self.reconnected_us is None:
+            return None
+        return self.reconnected_us - self.mic_onset_us
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Metrics from one experiment run, in archival (JSON-able) form.
+
+    Attributes:
+        kind: the run kind that produced this record.
+        spec_hash: content hash of the producing ``ExperimentSpec``.
+        seed: the scenario master seed.
+        aggregate_mbps: total foreground goodput over the measured window.
+        per_client_mbps: aggregate divided by the client count.
+        duration_us: measured window length.
+        channel_history: (time_us, center_index, width_mhz) switch log.
+        throughput_timeline: (window_end_us, mbps) samples.
+        airtime_by_channel: per-UHF-channel busy fraction over the
+            measured window, as (channel, fraction) pairs.
+        mcham_timeline: (time_us, ((width, best score), ...)) samples.
+        disconnections: Section 5.3 episode timeline (protocol runs).
+        baselines: kind "opt" only — per-baseline summary metrics.
+    """
+
+    kind: str
+    spec_hash: str
+    seed: int
+    aggregate_mbps: float
+    per_client_mbps: float
+    duration_us: float
+    channel_history: tuple[tuple[float, int, float], ...] = ()
+    throughput_timeline: tuple[tuple[float, float], ...] = ()
+    airtime_by_channel: tuple[tuple[int, float], ...] = ()
+    mcham_timeline: tuple[
+        tuple[float, tuple[tuple[float, float], ...]], ...
+    ] = ()
+    disconnections: tuple[DisconnectionRecord, ...] = ()
+    baselines: tuple[tuple[str, "ExperimentResult | None"], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "channel_history",
+            tuple((float(t), int(c), float(w)) for t, c, w in self.channel_history),
+        )
+        object.__setattr__(
+            self,
+            "throughput_timeline",
+            tuple((float(t), float(m)) for t, m in self.throughput_timeline),
+        )
+        object.__setattr__(
+            self,
+            "airtime_by_channel",
+            tuple((int(c), float(f)) for c, f in self.airtime_by_channel),
+        )
+        object.__setattr__(
+            self,
+            "mcham_timeline",
+            tuple(
+                (float(t), tuple((float(w), float(s)) for w, s in scores))
+                for t, scores in self.mcham_timeline
+            ),
+        )
+        object.__setattr__(self, "disconnections", tuple(self.disconnections))
+        object.__setattr__(self, "baselines", tuple(self.baselines))
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def final_channel(self) -> tuple[int, float] | None:
+        """(center_index, width_mhz) in use at the end of the run."""
+        if not self.channel_history:
+            return None
+        _, center, width = self.channel_history[-1]
+        return (center, width)
+
+    @property
+    def num_switches(self) -> int:
+        """Channel switches after the initial selection."""
+        return max(len(self.channel_history) - 1, 0)
+
+    def airtime_fraction(self, uhf_index: int) -> float:
+        """Busy fraction measured on one UHF channel (0 when untracked)."""
+        for channel, fraction in self.airtime_by_channel:
+            if channel == uhf_index:
+                return fraction
+        return 0.0
+
+    def baseline(self, name: str) -> "ExperimentResult | None":
+        """Look up one named baseline result (kind "opt" records)."""
+        for key, result in self.baselines:
+            if key == name:
+                return result
+        return None
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-data representation (JSON-compatible)."""
+        data = asdict(self)
+        data["baselines"] = [
+            [name, None if result is None else result.to_dict()]
+            for name, result in self.baselines
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        data["disconnections"] = tuple(
+            DisconnectionRecord(**d) for d in data.get("disconnections", ())
+        )
+        data["baselines"] = tuple(
+            (name, None if result is None else cls.from_dict(result))
+            for name, result in data.get("baselines", ())
+        )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical JSON (stable key order, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Aggregate statistics of one metric over a result set."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+
+def _metric_values(
+    results: Iterable[ExperimentResult], metric: str
+) -> list[float]:
+    return [float(getattr(r, metric)) for r in results]
+
+
+def summarize(
+    results: Iterable[ExperimentResult], metric: str = "per_client_mbps"
+) -> SummaryStats:
+    """Mean/min/max/stddev of *metric* across *results*.
+
+    Raises:
+        ValueError: for an empty result set.
+    """
+    values = _metric_values(results, metric)
+    if not values:
+        raise ValueError("cannot summarize an empty result set")
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return SummaryStats(
+        count=len(values),
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        stddev=math.sqrt(variance),
+    )
+
+
+def mean_by(
+    results: Sequence[ExperimentResult],
+    key: Callable[[ExperimentResult], Hashable],
+    metric: str = "per_client_mbps",
+) -> dict[Hashable, float]:
+    """Mean of *metric* grouped by *key* — the seed-sweep reducer.
+
+    >>> # mean throughput per spec, across seeds:
+    >>> # mean_by(results, key=lambda r: r.spec_hash)
+    """
+    groups: dict[Hashable, list[float]] = {}
+    for result in results:
+        groups.setdefault(key(result), []).append(
+            float(getattr(result, metric))
+        )
+    return {k: sum(v) / len(v) for k, v in groups.items()}
+
+
+# -- caching -------------------------------------------------------------------
+
+
+class ResultCache:
+    """Spec-hash-keyed result store: one JSON file per experiment.
+
+    The key is ``ExperimentSpec.spec_hash``, which covers every spec
+    field including the scenario seed — a sweep re-run after an
+    interruption only executes the missing cells.  Entries live under a
+    per-code-version subdirectory (the ``repro`` package version), so a
+    persistent cache never serves numbers computed by an older
+    simulator: bump the version when simulation behavior changes.
+    """
+
+    def __init__(
+        self, directory: str | pathlib.Path, version: str | None = None
+    ):
+        if version is None:
+            import repro
+
+            version = getattr(repro, "__version__", "0")
+        self.directory = pathlib.Path(directory) / f"v{version}"
+
+    def _path(self, spec_hash: str) -> pathlib.Path:
+        return self.directory / f"{spec_hash}.json"
+
+    def get(self, spec_hash: str) -> ExperimentResult | None:
+        """The cached result for *spec_hash*, or None.
+
+        An unreadable or corrupted entry (e.g. a half-written file from
+        an interrupted sweep) counts as a miss: the cell re-runs and the
+        entry is overwritten.
+        """
+        path = self._path(spec_hash)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return ExperimentResult.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, result: ExperimentResult) -> pathlib.Path:
+        """Store *result* under its spec hash; returns the file path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(result.spec_hash)
+        path.write_text(result.to_json())
+        return path
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self._path(spec_hash).exists()

@@ -1,0 +1,476 @@
+"""Experiment run kinds: static, OPT baselines, WhiteFi, full protocol.
+
+This module reproduces the Section 5.4 experimental harness:
+
+* **Static runs** fix the foreground BSS on one ``(F, W)`` for the whole
+  simulation — the building block of the ``OPT 5/10/20 MHz`` baselines.
+* **OPT** baselines pick, per width, the statically best channel by
+  probing every candidate with a short simulation and then measuring the
+  winner over the full duration ("OPT is an ideal, omniscient algorithm
+  that for every experiment run picks the channel with maximum
+  throughput").
+* **WhiteFi runs** use the adaptive assignment loop: every re-evaluation
+  interval the AP collects per-node airtime observations and spectrum
+  maps, scores all candidates with MCham, and switches subject to
+  hysteresis.
+* **Protocol runs** exercise the full message-level BSS
+  (:class:`repro.core.network.WhiteFiBss`): beacons, reports, incumbent
+  sensing, chirping, and reconnection (Section 5.3).
+
+:func:`run_experiment` dispatches a declarative
+:class:`~repro.experiments.spec.ExperimentSpec` to the right run kind
+and returns an archival :class:`~repro.experiments.results.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import constants
+from repro.core.assignment import ChannelAssigner, SwitchReason
+from repro.core.mcham import mcham
+from repro.errors import NoChannelAvailableError, SimulationError
+from repro.spectrum.channels import WhiteFiChannel
+from repro.experiments.results import DisconnectionRecord, ExperimentResult
+from repro.experiments.scenario import (
+    ScenarioBuilder,
+    ScenarioConfig,
+    World,
+    build_config,
+)
+from repro.experiments.spec import ExperimentSpec, ScenarioSpec
+
+__all__ = [
+    "RunResult",
+    "find_opt_static",
+    "run_experiment",
+    "run_opt_baselines",
+    "run_protocol",
+    "run_static",
+    "run_whitefi",
+]
+
+
+@dataclass
+class RunResult:
+    """Metrics from one simulation run (rich in-process form).
+
+    Attributes:
+        aggregate_mbps: total foreground goodput over the measured window.
+        per_client_mbps: aggregate divided by the client count.
+        duration_us: measured window length.
+        channel_history: (time_us, channel) switch log (static runs have
+            a single entry).
+        throughput_timeline: (window_end_us, mbps) samples when timeline
+            sampling was requested.
+        mcham_timeline: (time_us, {width: best score}) samples for
+            WhiteFi runs.
+        airtime_by_channel: per-UHF-channel busy fraction over the
+            measured window.
+    """
+
+    aggregate_mbps: float
+    per_client_mbps: float
+    duration_us: float
+    channel_history: list[tuple[float, WhiteFiChannel]] = field(default_factory=list)
+    throughput_timeline: list[tuple[float, float]] = field(default_factory=list)
+    mcham_timeline: list[tuple[float, dict[float, float]]] = field(default_factory=list)
+    airtime_by_channel: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def final_channel(self) -> WhiteFiChannel | None:
+        """The channel in use at the end of the run."""
+        return self.channel_history[-1][1] if self.channel_history else None
+
+
+def _measure(
+    world: World,
+    start_us: float,
+    end_us: float,
+    timeline_interval_us: float | None,
+) -> tuple[float, list[tuple[float, float]], dict[int, float]]:
+    """Run the world from *start_us* to *end_us*, sampling throughput.
+
+    Returns:
+        (mbps, throughput timeline, per-channel airtime fractions).
+    """
+    timeline: list[tuple[float, float]] = []
+    baseline_bytes = world.foreground_delivered_bytes()
+    baseline_busy = [
+        world.medium.busy_integral_us(c)
+        for c in range(world.config.num_channels)
+    ]
+    if timeline_interval_us is None:
+        world.engine.run_until(end_us)
+    else:
+        t = start_us
+        prev_bytes = baseline_bytes
+        while t < end_us:
+            window_end = min(t + timeline_interval_us, end_us)
+            world.engine.run_until(window_end)
+            now_bytes = world.foreground_delivered_bytes()
+            # The final window may be partial; divide by its true span.
+            window = window_end - t
+            timeline.append((window_end, (now_bytes - prev_bytes) * 8.0 / window))
+            prev_bytes = now_bytes
+            t = window_end
+    delivered = world.foreground_delivered_bytes() - baseline_bytes
+    duration = end_us - start_us
+    mbps = delivered * 8.0 / duration if duration > 0 else 0.0
+    airtime: dict[int, float] = {}
+    if duration > 0:
+        for c in range(world.config.num_channels):
+            busy = world.medium.busy_integral_us(c) - baseline_busy[c]
+            if busy > 0.0:
+                airtime[c] = busy / duration
+    return mbps, timeline, airtime
+
+
+def run_static(
+    config: ScenarioConfig,
+    channel: WhiteFiChannel,
+    *,
+    timeline_interval_us: float | None = None,
+) -> RunResult:
+    """Simulate the foreground BSS fixed on *channel* for the full run."""
+    world = ScenarioBuilder(config).build_world()
+    world.engine.run_until(config.warmup_us)
+    world.start_foreground(channel)
+    start = config.warmup_us
+    end = start + config.duration_us
+    mbps, timeline, airtime = _measure(world, start, end, timeline_interval_us)
+    return RunResult(
+        aggregate_mbps=mbps,
+        per_client_mbps=mbps / max(config.num_clients, 1),
+        duration_us=config.duration_us,
+        channel_history=[(start, channel)],
+        throughput_timeline=timeline,
+        airtime_by_channel=airtime,
+    )
+
+
+def find_opt_static(
+    config: ScenarioConfig,
+    width_mhz: float,
+    *,
+    probe_duration_us: float = 1_500_000.0,
+) -> tuple[WhiteFiChannel | None, RunResult | None]:
+    """The best static channel of a given width, by exhaustive probing.
+
+    Every candidate position is probed with a short simulation; the
+    winner is then measured over the full duration.  Returns
+    ``(None, None)`` when the width has no valid position.
+    """
+    candidates = [
+        c for c in config.candidate_channels() if c.width_mhz == width_mhz
+    ]
+    if not candidates:
+        return None, None
+    if len(candidates) == 1:
+        best = candidates[0]
+    else:
+        probe_config = replace(config, duration_us=probe_duration_us)
+        scores = []
+        for channel in candidates:
+            result = run_static(probe_config, channel)
+            scores.append((result.aggregate_mbps, channel))
+        best = max(scores, key=lambda s: s[0])[1]
+    return best, run_static(config, best)
+
+
+def run_opt_baselines(
+    config: ScenarioConfig,
+    *,
+    probe_duration_us: float = 1_500_000.0,
+) -> dict[str, RunResult | None]:
+    """All four paper baselines: OPT 5/10/20 MHz and overall OPT.
+
+    OPT is the best of the per-width winners (the paper's omniscient
+    static choice).
+    """
+    results: dict[str, RunResult | None] = {}
+    best_overall: RunResult | None = None
+    for width in constants.CHANNEL_WIDTHS_MHZ:
+        _, result = find_opt_static(
+            config, width, probe_duration_us=probe_duration_us
+        )
+        results[f"opt-{width:g}mhz"] = result
+        if result is not None and (
+            best_overall is None
+            or result.aggregate_mbps > best_overall.aggregate_mbps
+        ):
+            best_overall = result
+    results["opt"] = best_overall
+    return results
+
+
+def run_whitefi(
+    config: ScenarioConfig,
+    *,
+    reeval_interval_us: float = 2_000_000.0,
+    hysteresis_margin: float = constants.HYSTERESIS_MARGIN,
+    ap_weight: float | None = None,
+    aggregation: str = "product",
+    timeline_interval_us: float | None = None,
+) -> RunResult:
+    """Simulate the adaptive WhiteFi spectrum-assignment loop.
+
+    The AP re-evaluates the channel every *reeval_interval_us*: it takes
+    fresh airtime observations for itself and each client (spectrum maps
+    are per-node under spatial variation), scores every candidate with
+    MCham, and switches when the hysteresis margin is cleared.
+
+    Args:
+        reeval_interval_us: period of the assignment loop.
+        hysteresis_margin: voluntary-switch margin (0 = ablation).
+        ap_weight: AP weighting override (None = paper's N-times rule).
+        aggregation: MCham aggregation ("product"/"min"/"max").
+        timeline_interval_us: optional throughput sampling period.
+    """
+    world = ScenarioBuilder(config).build_world()
+    assigner = ChannelAssigner(
+        num_channels=config.num_channels,
+        hysteresis_margin=hysteresis_margin,
+        ap_weight=ap_weight,
+        aggregation=aggregation,
+    )
+    ap_map = config.effective_ap_map()
+    client_maps = config.effective_client_maps()
+    channel_history: list[tuple[float, WhiteFiChannel]] = []
+    mcham_timeline: list[tuple[float, dict[float, float]]] = []
+
+    def observations():
+        ap_obs = world.sensor.observe("whitefi")
+        # All foreground nodes share the collision domain, so their
+        # ground-truth observations coincide; per-node maps still differ.
+        client_obs = [ap_obs] * config.num_clients
+        return ap_obs, client_obs
+
+    def record_mcham(ap_obs, client_obs) -> None:
+        del client_obs  # the timeline tracks the AP's plain metric
+        best_by_width: dict[float, float] = {}
+        for candidate in config.candidate_channels():
+            # Figures 10/14 plot the plain MCham metric per width (the
+            # best candidate of each width), not the N-weighted network
+            # score used for the decision.
+            value = mcham(candidate, ap_obs, aggregation=aggregation)
+            width = candidate.width_mhz
+            best_by_width[width] = max(best_by_width.get(width, 0.0), value)
+        mcham_timeline.append((world.engine.now_us, best_by_width))
+
+    # Warmup: sense the background before picking the boot channel.
+    world.engine.run_until(config.warmup_us)
+    ap_obs, client_obs = observations()
+    decision = assigner.evaluate(
+        ap_map,
+        ap_obs,
+        client_maps,
+        client_obs,
+        reason=SwitchReason.BOOT,
+    )
+    record_mcham(ap_obs, client_obs)
+    world.start_foreground(decision.channel)
+    channel_history.append((world.engine.now_us, decision.channel))
+
+    start = config.warmup_us
+    end = start + config.duration_us
+
+    def reevaluate() -> None:
+        if world.engine.now_us >= end:
+            return
+        ap_obs, client_obs = observations()
+        try:
+            decision = assigner.evaluate(
+                ap_map,
+                ap_obs,
+                client_maps,
+                client_obs,
+                reason=SwitchReason.PERIODIC,
+            )
+        except NoChannelAvailableError:
+            world.engine.schedule(reeval_interval_us, reevaluate)
+            return
+        record_mcham(ap_obs, client_obs)
+        if decision.switched:
+            world.retune_foreground(decision.channel)
+            channel_history.append((world.engine.now_us, decision.channel))
+        world.engine.schedule(reeval_interval_us, reevaluate)
+
+    world.engine.schedule(reeval_interval_us, reevaluate)
+    mbps, timeline, airtime = _measure(world, start, end, timeline_interval_us)
+    return RunResult(
+        aggregate_mbps=mbps,
+        per_client_mbps=mbps / max(config.num_clients, 1),
+        duration_us=config.duration_us,
+        channel_history=channel_history,
+        throughput_timeline=timeline,
+        mcham_timeline=mcham_timeline,
+        airtime_by_channel=airtime,
+    )
+
+
+def run_protocol(
+    spec: ScenarioSpec,
+    *,
+    run_until_us: float | None = None,
+    **bss_kwargs,
+):
+    """Run the full-protocol BSS (Section 5.3) over a scenario.
+
+    Boots a :class:`~repro.core.network.WhiteFiBss` with the spec's
+    spectrum maps and microphone incumbents, runs the engine to the
+    horizon, and returns the live BSS for inspection.
+
+    Args:
+        run_until_us: simulation horizon (default: warmup + duration).
+        **bss_kwargs: forwarded to ``WhiteFiBss`` (e.g.
+            ``backup_scan_interval_us``).
+
+    Returns:
+        (bss, horizon_us, boot_channel) — the channel the BSS selected
+        at start-up, before any disconnection recovery retuned it.
+    """
+    builder = ScenarioBuilder(spec)
+    engine, _, _, bss = builder.build_protocol_bss(**bss_kwargs)
+    horizon = (
+        run_until_us
+        if run_until_us is not None
+        else spec.warmup_us + spec.duration_us
+    )
+    bss.start()
+    boot = bss.ap_ctrl.state.main_channel
+    engine.run_until(horizon)
+    return bss, horizon, boot
+
+
+# -- spec dispatch -------------------------------------------------------------
+
+
+def _channel_tuple(channel: WhiteFiChannel | None) -> tuple[int, float] | None:
+    return None if channel is None else (channel.center_index, channel.width_mhz)
+
+
+def _convert(
+    legacy: RunResult,
+    spec: ExperimentSpec,
+    *,
+    kind: str | None = None,
+) -> ExperimentResult:
+    """Archive a rich in-process :class:`RunResult`."""
+    return ExperimentResult(
+        kind=kind or spec.kind,
+        spec_hash=spec.spec_hash,
+        seed=spec.scenario.seed,
+        aggregate_mbps=legacy.aggregate_mbps,
+        per_client_mbps=legacy.per_client_mbps,
+        duration_us=legacy.duration_us,
+        channel_history=tuple(
+            (t, c.center_index, c.width_mhz) for t, c in legacy.channel_history
+        ),
+        throughput_timeline=tuple(legacy.throughput_timeline),
+        airtime_by_channel=tuple(sorted(legacy.airtime_by_channel.items())),
+        mcham_timeline=tuple(
+            (t, tuple(sorted(scores.items())))
+            for t, scores in legacy.mcham_timeline
+        ),
+    )
+
+
+def _run_protocol_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    bss, horizon, boot = run_protocol(
+        spec.scenario, run_until_us=spec.run_until_us
+    )
+    delivered = bss.ap_node.delivered_bytes + sum(
+        node.delivered_bytes for _, node in bss.clients
+    )
+    mbps = delivered * 8.0 / horizon if horizon > 0 else 0.0
+    history: list[tuple[float, int, float]] = []
+    if boot is not None:
+        history.append((0.0, boot.center_index, boot.width_mhz))
+    episodes = bss.disconnections
+    for episode in episodes:
+        if episode.reconnected_us is not None and episode.new_channel is not None:
+            history.append(
+                (
+                    episode.reconnected_us,
+                    episode.new_channel.center_index,
+                    episode.new_channel.width_mhz,
+                )
+            )
+    return ExperimentResult(
+        kind="protocol",
+        spec_hash=spec.spec_hash,
+        seed=spec.scenario.seed,
+        aggregate_mbps=mbps,
+        per_client_mbps=mbps / max(len(bss.clients), 1),
+        duration_us=horizon,
+        channel_history=tuple(history),
+        disconnections=tuple(
+            DisconnectionRecord(
+                mic_onset_us=e.mic_onset_us,
+                vacated_us=e.vacated_us,
+                chirp_heard_us=e.chirp_heard_us,
+                reconnected_us=e.reconnected_us,
+                new_channel=_channel_tuple(e.new_channel),
+            )
+            for e in episodes
+        ),
+    )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one declarative experiment and archive the result.
+
+    Fully deterministic in *spec*: the same spec (including the scenario
+    seed) produces a byte-identical ``ExperimentResult`` JSON encoding in
+    any process — the property ``ParallelRunner`` relies on.
+    """
+    if spec.kind == "protocol":
+        return _run_protocol_experiment(spec)
+
+    config = build_config(spec.scenario)
+    if spec.kind == "static":
+        assert spec.channel is not None  # enforced by the spec
+        legacy = run_static(
+            config,
+            WhiteFiChannel(*spec.channel),
+            timeline_interval_us=spec.timeline_interval_us,
+        )
+        return _convert(legacy, spec)
+    if spec.kind == "whitefi":
+        legacy = run_whitefi(
+            config,
+            reeval_interval_us=spec.reeval_interval_us,
+            hysteresis_margin=(
+                constants.HYSTERESIS_MARGIN
+                if spec.hysteresis_margin is None
+                else spec.hysteresis_margin
+            ),
+            ap_weight=spec.ap_weight,
+            aggregation=spec.aggregation,
+            timeline_interval_us=spec.timeline_interval_us,
+        )
+        return _convert(legacy, spec)
+    if spec.kind == "opt":
+        baselines = run_opt_baselines(
+            config, probe_duration_us=spec.probe_duration_us
+        )
+        overall = baselines["opt"]
+        converted = tuple(
+            (name, None if result is None else _convert(result, spec, kind=name))
+            for name, result in baselines.items()
+            if name != "opt"
+        )
+        if overall is None:
+            return ExperimentResult(
+                kind="opt",
+                spec_hash=spec.spec_hash,
+                seed=spec.scenario.seed,
+                aggregate_mbps=0.0,
+                per_client_mbps=0.0,
+                duration_us=config.duration_us,
+                baselines=converted,
+            )
+        result = _convert(overall, spec)
+        return replace(result, baselines=converted)
+    raise SimulationError(f"unknown run kind {spec.kind!r}")

@@ -1,0 +1,348 @@
+"""Materializing scenarios: spec -> config -> live simulation world.
+
+``ScenarioSpec`` (pure data) resolves to ``ScenarioConfig`` (spectrum-map
+objects, expanded background pool, per-node variation applied), which
+``ScenarioBuilder`` turns into a running world: engine, medium, nodes,
+background traffic — the wiring that used to be duplicated between
+``sim/runner.py`` and ``core/network.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.node import SimNode
+from repro.sim.rng import spawn_rng, stream_seed
+from repro.sim.sensors import GroundTruthSensor
+from repro.sim.traffic import (
+    CbrSource,
+    MarkovChurn,
+    RoundRobinSaturatingSource,
+    SaturatingSource,
+    ScheduledActivity,
+)
+from repro.sim.world import NodeRoster
+from repro.spectrum.channels import WhiteFiChannel, valid_channels
+from repro.spectrum.spectrum_map import SpectrumMap, union_all
+from repro.spectrum.variation import per_node_maps
+from repro.experiments.spec import BackgroundSpec, ScenarioSpec, TrafficSpec
+
+__all__ = ["ScenarioBuilder", "ScenarioConfig", "World", "build_config"]
+
+
+@dataclass
+class ScenarioConfig:
+    """A resolved experiment scenario (maps materialized, pool expanded).
+
+    Attributes:
+        base_map: incumbent occupancy shared by all nodes (per-node maps
+            may override it under spatial variation).
+        num_clients: foreground clients associated with the AP.
+        backgrounds: background pair specifications.
+        duration_us: measured simulation time (after warmup).
+        warmup_us: sensing warmup before the foreground BSS starts.
+        seed: master seed; all randomness derives from it.
+        ap_map / client_maps: per-node spectrum maps (default: base_map).
+        downlink / uplink: enable saturating foreground flows.
+        payload_bytes: foreground UDP payload.
+    """
+
+    base_map: SpectrumMap
+    num_clients: int = 1
+    backgrounds: Sequence[BackgroundSpec] = ()
+    duration_us: float = 5_000_000.0
+    warmup_us: float = 500_000.0
+    seed: int = 0
+    ap_map: SpectrumMap | None = None
+    client_maps: Sequence[SpectrumMap] | None = None
+    downlink: bool = True
+    uplink: bool = True
+    payload_bytes: int = 1000
+
+    @property
+    def num_channels(self) -> int:
+        """UHF index space size."""
+        return len(self.base_map)
+
+    def effective_ap_map(self) -> SpectrumMap:
+        """The AP's spectrum map (base map unless overridden)."""
+        return self.ap_map if self.ap_map is not None else self.base_map
+
+    def effective_client_maps(self) -> list[SpectrumMap]:
+        """Per-client spectrum maps (base map unless overridden)."""
+        if self.client_maps is not None:
+            if len(self.client_maps) != self.num_clients:
+                raise SimulationError(
+                    f"{len(self.client_maps)} client maps for "
+                    f"{self.num_clients} clients"
+                )
+            return list(self.client_maps)
+        return [self.base_map] * self.num_clients
+
+    def union_map(self) -> SpectrumMap:
+        """OR of the AP's and all clients' maps."""
+        return union_all([self.effective_ap_map(), *self.effective_client_maps()])
+
+    def candidate_channels(self) -> list[WhiteFiChannel]:
+        """Channels free at every foreground node."""
+        return valid_channels(self.union_map().free_indices(), self.num_channels)
+
+
+def build_config(spec: ScenarioSpec) -> ScenarioConfig:
+    """Resolve a declarative spec into a runnable config.
+
+    Expands the background pool (random placements drawn from a stream
+    derived from the scenario seed, so every worker process agrees) and
+    applies spatial variation to derive per-node maps.
+    """
+    base_map = SpectrumMap.from_free(spec.free_indices, spec.num_channels)
+    backgrounds = list(spec.backgrounds)
+    pool = spec.background_pool
+    if pool is not None:
+        free = base_map.free_indices()
+        if not free and (pool.per_free_channel or pool.random_count):
+            raise SimulationError("background pool on a fully-occupied map")
+        for index in free:
+            for _ in range(pool.per_free_channel):
+                backgrounds.append(
+                    BackgroundSpec(
+                        index,
+                        pool.inter_packet_delay_us,
+                        pool.payload_bytes,
+                        churn=pool.churn,
+                    )
+                )
+        placement_rng = random.Random(stream_seed(spec.seed, "background-pool"))
+        for _ in range(pool.random_count):
+            backgrounds.append(
+                BackgroundSpec(
+                    placement_rng.choice(free),
+                    pool.inter_packet_delay_us,
+                    pool.payload_bytes,
+                    churn=pool.churn,
+                )
+            )
+
+    ap_map: SpectrumMap | None = None
+    client_maps: list[SpectrumMap] | None = None
+    if spec.spatial is not None and spec.spatial.flip_probability > 0.0:
+        maps = per_node_maps(
+            base_map,
+            spec.num_clients + 1,
+            spec.spatial.flip_probability,
+            seed=spec.seed,
+        )
+        ap_map, client_maps = maps[0], maps[1:]
+    if spec.ap_free_indices is not None:
+        ap_map = SpectrumMap.from_free(spec.ap_free_indices, spec.num_channels)
+    if spec.client_free_indices is not None:
+        client_maps = [
+            SpectrumMap.from_free(free, spec.num_channels)
+            for free in spec.client_free_indices
+        ]
+
+    return ScenarioConfig(
+        base_map=base_map,
+        num_clients=spec.num_clients,
+        backgrounds=backgrounds,
+        duration_us=spec.duration_us,
+        warmup_us=spec.warmup_us,
+        seed=spec.seed,
+        ap_map=ap_map,
+        client_maps=client_maps,
+        downlink=spec.traffic.downlink,
+        uplink=spec.traffic.uplink,
+        payload_bytes=spec.traffic.payload_bytes,
+    )
+
+
+class World:
+    """A built simulation world (engine, medium, nodes, traffic)."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        engine = Engine()
+        medium = Medium(engine, config.num_channels)
+        self.roster = NodeRoster(engine, medium, random.Random(config.seed))
+        self.sensor = GroundTruthSensor(medium)
+        self.ap: SimNode | None = None
+        self.clients: list[SimNode] = []
+        self._build_background()
+
+    # Substrate accessors (the roster owns the shared pieces).
+
+    @property
+    def engine(self) -> Engine:
+        """The simulation engine."""
+        return self.roster.engine
+
+    @property
+    def medium(self) -> Medium:
+        """The shared collision domain."""
+        return self.roster.medium
+
+    @property
+    def rng(self) -> random.Random:
+        """The scenario's master random stream."""
+        return self.roster.rng
+
+    @property
+    def nodes(self) -> dict[str, SimNode]:
+        """All registered stations by id."""
+        return self.roster.nodes
+
+    def _build_background(self) -> None:
+        config = self.config
+        for i, spec in enumerate(config.backgrounds):
+            if not config.base_map.is_free(spec.uhf_index):
+                raise SimulationError(
+                    f"background pair {i} on occupied channel {spec.uhf_index}"
+                )
+            channel = WhiteFiChannel(spec.uhf_index, 5.0)
+            bss = f"bg{i}"
+            ap = self.roster.add_node(f"bg{i}-ap", bss, channel)
+            self.roster.add_node(f"bg{i}-cl", bss, channel)
+            self.medium.register_ap(bss, channel.spanned_indices)
+            source = CbrSource(
+                self.engine,
+                ap,
+                f"bg{i}-cl",
+                spec.inter_packet_delay_us,
+                spec.payload_bytes,
+                start_us=self.rng.uniform(
+                    0.0, max(spec.inter_packet_delay_us, 1_000.0)
+                ),
+            )
+            if spec.churn is not None:
+                mean_active, mean_passive = spec.churn
+                MarkovChurn(
+                    self.engine,
+                    source,
+                    mean_active,
+                    mean_passive,
+                    spawn_rng(self.rng, f"bg{i}-churn"),
+                )
+            elif spec.active_windows is not None:
+                ScheduledActivity(self.engine, source, list(spec.active_windows))
+
+    def start_foreground(self, channel: WhiteFiChannel) -> None:
+        """Create the foreground BSS on *channel* and start its flows."""
+        config = self.config
+        self.ap = self.roster.add_node("ap", "whitefi", channel)
+        self.medium.register_ap("whitefi", channel.spanned_indices)
+        client_ids = []
+        for i in range(config.num_clients):
+            client = self.roster.add_node(f"client{i}", "whitefi", channel)
+            self.clients.append(client)
+            client_ids.append(client.node_id)
+        if config.downlink:
+            RoundRobinSaturatingSource(
+                self.ap, client_ids, config.payload_bytes
+            ).start()
+        if config.uplink:
+            for client in self.clients:
+                SaturatingSource(client, "ap", config.payload_bytes).start()
+
+    def retune_foreground(self, channel: WhiteFiChannel) -> None:
+        """Switch the whole foreground BSS to *channel*."""
+        assert self.ap is not None
+        self.medium.register_ap("whitefi", channel.spanned_indices)
+        self.ap.retune(channel)
+        for client in self.clients:
+            client.retune(channel)
+
+    def foreground_delivered_bytes(self) -> int:
+        """Total foreground goodput counter (downlink + uplink)."""
+        assert self.ap is not None
+        total = self.ap.delivered_bytes
+        total += sum(c.delivered_bytes for c in self.clients)
+        return total
+
+
+class ScenarioBuilder:
+    """Materializes specs: config resolution plus world construction.
+
+    Accepts either a declarative :class:`ScenarioSpec` or an
+    already-resolved :class:`ScenarioConfig`.
+    """
+
+    def __init__(self, scenario: ScenarioSpec | ScenarioConfig):
+        if isinstance(scenario, ScenarioSpec):
+            self.spec: ScenarioSpec | None = scenario
+            self.config = build_config(scenario)
+        else:
+            self.spec = None
+            self.config = scenario
+
+    def build_world(self) -> World:
+        """A fresh world (engine, medium, background traffic) for one run."""
+        return World(self.config)
+
+    def build_protocol_bss(self, **bss_kwargs):
+        """A fresh full-protocol BSS world for one run.
+
+        Wires an :class:`IncumbentField` (TV stations on the occupied
+        channels, microphones from the spec) and a
+        :class:`repro.core.network.WhiteFiBss` with per-node maps.
+
+        Returns:
+            (engine, medium, incumbents, bss) — the engine is not yet run.
+        """
+        # Imported here: core sits above sim but below experiments, and
+        # module-level import would pull the whole protocol stack into
+        # every spec-only consumer.
+        from repro.core.network import WhiteFiBss
+        from repro.spectrum.incumbents import (
+            IncumbentField,
+            TvStation,
+            WirelessMicrophone,
+        )
+
+        if self.spec is None:
+            raise SimulationError(
+                "protocol worlds need a declarative ScenarioSpec "
+                "(microphone incumbents are not part of ScenarioConfig)"
+            )
+        spec = self.spec
+        config = self.config
+        # Mirror the ExperimentSpec kind-mismatch guards for callers
+        # that reach the protocol world directly (run_protocol): a
+        # silently-unloaded medium would fake Section 5.3 conditions.
+        if config.backgrounds:
+            raise SimulationError(
+                "protocol worlds do not simulate background pairs; "
+                "use a scenario without backgrounds"
+            )
+        if spec.traffic != TrafficSpec():
+            raise SimulationError(
+                "protocol worlds use the BSS's built-in saturating "
+                "downlink flow; a custom TrafficSpec would be ignored"
+            )
+        engine = Engine()
+        medium = Medium(engine, config.num_channels)
+        incumbents = IncumbentField(
+            config.num_channels,
+            tv_stations=[
+                TvStation(i) for i in config.base_map.occupied_indices()
+            ],
+        )
+        for mic_spec in spec.mics:
+            mic = WirelessMicrophone(mic_spec.uhf_index)
+            for start_us, end_us in mic_spec.sessions:
+                mic.add_session(start_us, end_us)
+            incumbents.add_microphone(mic)
+        bss = WhiteFiBss(
+            engine,
+            medium,
+            incumbents,
+            config.effective_ap_map(),
+            config.effective_client_maps(),
+            seed=config.seed,
+            **bss_kwargs,
+        )
+        return engine, medium, incumbents, bss

@@ -1,0 +1,368 @@
+"""Declarative scenario and experiment specifications.
+
+Every spec here is a frozen dataclass of plain data — no engine handles,
+no spectrum-map objects — so a complete experiment can be serialized to
+JSON, shipped to a worker process, hashed for result caching, and diffed
+in a results archive.  :mod:`repro.experiments.scenario` materializes a
+spec into a live simulation world.
+
+The scenario vocabulary follows the paper's evaluation matrix
+(Section 5.4): a foreground BSS on a fragmented UHF map, a pool of
+background AP/client pairs with CBR traffic, optional two-state Markov
+churn or scripted activity windows (Figures 13/14), optional per-node
+spatial variation of the spectrum map (Figure 12), and optional
+wireless-microphone incumbents (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "BackgroundPoolSpec",
+    "BackgroundSpec",
+    "ExperimentSpec",
+    "MicSpec",
+    "ScenarioSpec",
+    "SpatialSpec",
+    "TrafficSpec",
+]
+
+#: Run kinds understood by :func:`repro.experiments.runs.run_experiment`.
+RUN_KINDS = ("whitefi", "static", "opt", "protocol")
+
+
+def _tuple2(value: Sequence[float] | None) -> tuple[float, float] | None:
+    """Normalize an optional 2-sequence (JSON gives lists) to a tuple."""
+    if value is None:
+        return None
+    a, b = value
+    return (float(a), float(b))
+
+
+@dataclass(frozen=True)
+class BackgroundSpec:
+    """One background AP/client pair.
+
+    Attributes:
+        uhf_index: the 5 MHz channel the pair occupies.
+        inter_packet_delay_us: CBR injection period.
+        payload_bytes: CBR payload size.
+        churn: optional (mean_active_us, mean_passive_us) Markov gating.
+        active_windows: optional scripted (start_us, end_us) activity
+            windows (Figure 14); mutually exclusive with churn.
+    """
+
+    uhf_index: int
+    inter_packet_delay_us: float
+    payload_bytes: int = 1000
+    churn: tuple[float, float] | None = None
+    active_windows: tuple[tuple[float, float], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.churn is not None and self.active_windows is not None:
+            raise SimulationError(
+                "churn and active_windows are mutually exclusive"
+            )
+        object.__setattr__(self, "churn", _tuple2(self.churn))
+        if self.active_windows is not None:
+            object.__setattr__(
+                self,
+                "active_windows",
+                tuple(_tuple2(w) for w in self.active_windows),
+            )
+
+
+@dataclass(frozen=True)
+class BackgroundPoolSpec:
+    """A pool of identically-parameterized background pairs.
+
+    The builder expands the pool into concrete :class:`BackgroundSpec`
+    entries: ``per_free_channel`` pairs on every free UHF channel
+    (Figures 12/13 place one or two per channel), plus ``random_count``
+    pairs each dropped on a uniformly-random free channel (Figure 11),
+    using a stream derived deterministically from the scenario seed.
+
+    Attributes:
+        random_count: randomly-placed pairs.
+        per_free_channel: deterministically-placed pairs per free channel.
+        inter_packet_delay_us: CBR injection period for every pair.
+        payload_bytes: CBR payload size for every pair.
+        churn: optional Markov gating applied to every pair.
+    """
+
+    random_count: int = 0
+    per_free_channel: int = 0
+    inter_packet_delay_us: float = 30_000.0
+    payload_bytes: int = 1000
+    churn: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.random_count < 0 or self.per_free_channel < 0:
+            raise SimulationError("background pool counts must be >= 0")
+        object.__setattr__(self, "churn", _tuple2(self.churn))
+
+
+@dataclass(frozen=True)
+class MicSpec:
+    """A wireless microphone incumbent with scripted sessions.
+
+    Attributes:
+        uhf_index: the UHF channel the microphone occupies when active.
+        sessions: (start_us, end_us) activity intervals.
+    """
+
+    uhf_index: int
+    sessions: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sessions", tuple(_tuple2(s) for s in self.sessions)
+        )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Foreground BSS traffic model.
+
+    Attributes:
+        downlink: AP runs a round-robin saturating source to the clients.
+        uplink: every client runs a saturating source to the AP.
+        payload_bytes: UDP payload size of the foreground flows.
+    """
+
+    downlink: bool = True
+    uplink: bool = True
+    payload_bytes: int = 1000
+
+
+@dataclass(frozen=True)
+class SpatialSpec:
+    """Figure 12 spatial variation: per-node map bit flips.
+
+    Attributes:
+        flip_probability: probability of flipping each map entry per node.
+    """
+
+    flip_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flip_probability <= 1.0:
+            raise SimulationError(
+                f"flip probability {self.flip_probability!r} outside [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable experiment scenario.
+
+    Attributes:
+        free_indices: incumbent-free UHF channels of the base map.
+        num_channels: UHF index space size.
+        num_clients: foreground clients associated with the AP.
+        backgrounds: explicit background pairs.
+        background_pool: optional pool expanded by the builder.
+        mics: wireless-microphone incumbents (protocol scenarios).
+        traffic: foreground traffic model.
+        spatial: optional per-node spectrum-map variation.
+        ap_free_indices: explicit AP map override (default: base map).
+        client_free_indices: explicit per-client map overrides.
+        duration_us: measured simulation time (after warmup).
+        warmup_us: sensing warmup before the foreground BSS starts.
+        seed: master seed; all randomness derives from it.
+    """
+
+    free_indices: tuple[int, ...]
+    num_channels: int = 30
+    num_clients: int = 1
+    backgrounds: tuple[BackgroundSpec, ...] = ()
+    background_pool: BackgroundPoolSpec | None = None
+    mics: tuple[MicSpec, ...] = ()
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    spatial: SpatialSpec | None = None
+    ap_free_indices: tuple[int, ...] | None = None
+    client_free_indices: tuple[tuple[int, ...], ...] | None = None
+    duration_us: float = 5_000_000.0
+    warmup_us: float = 500_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "free_indices", tuple(self.free_indices))
+        object.__setattr__(self, "backgrounds", tuple(self.backgrounds))
+        object.__setattr__(self, "mics", tuple(self.mics))
+        if self.ap_free_indices is not None:
+            object.__setattr__(
+                self, "ap_free_indices", tuple(self.ap_free_indices)
+            )
+        if self.client_free_indices is not None:
+            object.__setattr__(
+                self,
+                "client_free_indices",
+                tuple(tuple(m) for m in self.client_free_indices),
+            )
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this scenario with a different master seed."""
+        return replace(self, seed=seed)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-data representation (JSON-compatible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        data["backgrounds"] = tuple(
+            BackgroundSpec(**b) for b in data.get("backgrounds", ())
+        )
+        pool = data.get("background_pool")
+        data["background_pool"] = (
+            BackgroundPoolSpec(**pool) if pool is not None else None
+        )
+        data["mics"] = tuple(MicSpec(**m) for m in data.get("mics", ()))
+        traffic = data.get("traffic")
+        if isinstance(traffic, Mapping):
+            data["traffic"] = TrafficSpec(**traffic)
+        spatial = data.get("spatial")
+        data["spatial"] = SpatialSpec(**spatial) if spatial is not None else None
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical JSON (stable key order, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A scenario plus what to run on it.
+
+    Attributes:
+        scenario: the environment.
+        kind: "whitefi" (adaptive assignment loop), "static" (fixed
+            channel), "opt" (all four omniscient static baselines), or
+            "protocol" (full BSS with beacons/chirps/disconnections).
+        channel: (center_index, width_mhz) for kind "static".
+        reeval_interval_us: WhiteFi assignment-loop period.
+        hysteresis_margin: voluntary-switch margin override (None =
+            paper default).
+        ap_weight: AP weighting override (None = paper's N-times rule).
+        aggregation: MCham aggregation ("product"/"min"/"max").
+        timeline_interval_us: optional throughput sampling period.
+        probe_duration_us: per-candidate probe length for kind "opt".
+        run_until_us: simulation horizon for kind "protocol" (None =
+            warmup + duration).
+
+    Validation rejects combinations a run kind would silently ignore
+    where intent is unambiguous (mics outside protocol runs, a fixed
+    channel outside static runs, ...).  Tuning knobs with non-None
+    defaults (``reeval_interval_us``, ``probe_duration_us``, ...) are
+    consulted only by their own kind and left untouched otherwise, so
+    one scenario template can be re-used across kinds; note the unused
+    values still participate in ``spec_hash``.
+    """
+
+    scenario: ScenarioSpec
+    kind: str = "whitefi"
+    channel: tuple[int, float] | None = None
+    reeval_interval_us: float = 2_000_000.0
+    hysteresis_margin: float | None = None
+    ap_weight: float | None = None
+    aggregation: str = "product"
+    timeline_interval_us: float | None = None
+    probe_duration_us: float = 1_500_000.0
+    run_until_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in RUN_KINDS:
+            raise SimulationError(
+                f"unknown run kind {self.kind!r}; expected one of {RUN_KINDS}"
+            )
+        if self.kind == "static" and self.channel is None:
+            raise SimulationError("kind 'static' requires a channel")
+        # Reject scenario features the run kind would silently ignore:
+        # plausible-looking results from an unsimulated feature are
+        # worse than an error.
+        if self.kind != "protocol" and self.scenario.mics:
+            raise SimulationError(
+                f"kind {self.kind!r} does not simulate microphone "
+                "incumbents; use kind 'protocol' or drop mics"
+            )
+        if self.kind == "protocol" and (
+            self.scenario.backgrounds or self.scenario.background_pool
+        ):
+            raise SimulationError(
+                "kind 'protocol' does not simulate background pairs; "
+                "use a scenario without backgrounds"
+            )
+        if self.kind == "protocol" and self.scenario.traffic != TrafficSpec():
+            raise SimulationError(
+                "kind 'protocol' uses the BSS's built-in saturating "
+                "downlink flow; a custom TrafficSpec would be ignored"
+            )
+        if self.kind != "static" and self.channel is not None:
+            raise SimulationError(
+                f"kind {self.kind!r} picks its own channel; "
+                "a fixed channel only applies to kind 'static'"
+            )
+        if self.kind in ("opt", "protocol") and self.timeline_interval_us is not None:
+            raise SimulationError(
+                f"kind {self.kind!r} does not sample a throughput timeline"
+            )
+        if self.channel is not None:
+            center, width = self.channel
+            object.__setattr__(self, "channel", (int(center), float(width)))
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        """A copy of this experiment with a different scenario seed."""
+        return replace(self, scenario=self.scenario.with_seed(seed))
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-data representation (JSON-compatible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown experiment spec fields: {sorted(unknown)}"
+            )
+        data["scenario"] = ScenarioSpec.from_dict(data["scenario"])
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical JSON (stable key order, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def spec_hash(self) -> str:
+        """A stable content hash — the result-cache key.
+
+        Two specs hash equally iff their canonical JSON is identical,
+        so the hash covers every field including the scenario seed.
+        """
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]

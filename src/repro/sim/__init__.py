@@ -11,7 +11,7 @@ package implements each of them natively:
   multiple UHF channels will transmit a packet only if no carrier is
   sensed on any of those channels" (:mod:`repro.sim.medium`);
 * fragmented spectrum from per-node spectrum-map configuration
-  (:mod:`repro.sim.runner`).
+  (scenario wiring in :mod:`repro.experiments.scenario`).
 
 All nodes share one collision domain, matching the paper's placement of
 every background pair within transmission range of the AP under test.
@@ -20,8 +20,10 @@ every background pair within transmission range of the AP under test.
 from repro.sim.engine import Engine, Event
 from repro.sim.medium import Medium, Transmission
 from repro.sim.node import SimNode
+from repro.sim.rng import spawn_rng, stream_seed
 from repro.sim.traffic import CbrSource, MarkovChurn, SaturatingSource
 from repro.sim.sensors import GroundTruthSensor
+from repro.sim.world import NodeRoster
 
 __all__ = [
     "Engine",
@@ -29,8 +31,11 @@ __all__ = [
     "Medium",
     "Transmission",
     "SimNode",
+    "NodeRoster",
     "CbrSource",
     "SaturatingSource",
     "MarkovChurn",
     "GroundTruthSensor",
+    "spawn_rng",
+    "stream_seed",
 ]

@@ -1,460 +1,39 @@
-"""Scenario construction, WhiteFi/static runs, and OPT baselines.
+"""Compatibility shim: the scenario harness moved to ``repro.experiments``.
 
-This module reproduces the Section 5.4 experimental harness:
+Scenario construction, WhiteFi/static runs, and the OPT baselines now
+live in the unified experiments subsystem:
 
-* **Static runs** fix the foreground BSS on one ``(F, W)`` for the whole
-  simulation — the building block of the ``OPT 5/10/20 MHz`` baselines.
-* **OPT** baselines pick, per width, the statically best channel by
-  probing every candidate with a short simulation and then measuring the
-  winner over the full duration ("OPT is an ideal, omniscient algorithm
-  that for every experiment run picks the channel with maximum
-  throughput").
-* **WhiteFi runs** use the adaptive assignment loop: every re-evaluation
-  interval the AP collects per-node airtime observations and spectrum
-  maps, scores all candidates with MCham, and switches subject to
-  hysteresis.
+* :mod:`repro.experiments.spec` — declarative, JSON-serializable
+  :class:`ScenarioSpec` / :class:`ExperimentSpec` dataclasses.
+* :mod:`repro.experiments.scenario` — :class:`ScenarioConfig` (the
+  resolved form re-exported here) and :class:`ScenarioBuilder`.
+* :mod:`repro.experiments.runs` — ``run_static`` / ``find_opt_static`` /
+  ``run_opt_baselines`` / ``run_whitefi`` and the new ``run_protocol`` /
+  ``run_experiment``.
+* :mod:`repro.experiments.parallel` — :class:`ParallelRunner` seed sweeps.
 
-Background load is modelled as AP/client pairs on single UHF channels
-sending CBR traffic, optionally gated by two-state Markov churn
-(Figure 13).
+Importing from ``repro.sim.runner`` keeps working; new code should
+import from :mod:`repro.experiments` directly.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field, replace
-from typing import Sequence
-
-from repro import constants
-from repro.core.assignment import ChannelAssigner, SwitchReason
-from repro.core.mcham import mcham
-from repro.errors import NoChannelAvailableError, SimulationError
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
-from repro.sim.node import SimNode
-from repro.sim.sensors import GroundTruthSensor
-from repro.sim.traffic import (
-    CbrSource,
-    MarkovChurn,
-    RoundRobinSaturatingSource,
-    SaturatingSource,
-    ScheduledActivity,
+from repro.experiments.runs import (
+    RunResult,
+    find_opt_static,
+    run_opt_baselines,
+    run_static,
+    run_whitefi,
 )
-from repro.spectrum.channels import WhiteFiChannel, valid_channels
-from repro.spectrum.spectrum_map import SpectrumMap, union_all
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.spec import BackgroundSpec
 
-
-@dataclass(frozen=True)
-class BackgroundSpec:
-    """One background AP/client pair.
-
-    Attributes:
-        uhf_index: the 5 MHz channel the pair occupies.
-        inter_packet_delay_us: CBR injection period.
-        payload_bytes: CBR payload size.
-        churn: optional (mean_active_us, mean_passive_us) Markov gating.
-        active_windows: optional scripted (start_us, end_us) activity
-            windows (Figure 14); mutually exclusive with churn.
-    """
-
-    uhf_index: int
-    inter_packet_delay_us: float
-    payload_bytes: int = 1000
-    churn: tuple[float, float] | None = None
-    active_windows: tuple[tuple[float, float], ...] | None = None
-
-    def __post_init__(self) -> None:
-        if self.churn is not None and self.active_windows is not None:
-            raise SimulationError(
-                "churn and active_windows are mutually exclusive"
-            )
-
-
-@dataclass
-class ScenarioConfig:
-    """A complete experiment scenario.
-
-    Attributes:
-        base_map: incumbent occupancy shared by all nodes (per-node maps
-            may override it under spatial variation).
-        num_clients: foreground clients associated with the AP.
-        backgrounds: background pair specifications.
-        duration_us: measured simulation time (after warmup).
-        warmup_us: sensing warmup before the foreground BSS starts.
-        seed: master seed; all randomness derives from it.
-        ap_map / client_maps: per-node spectrum maps (default: base_map).
-        downlink / uplink: enable saturating foreground flows.
-        payload_bytes: foreground UDP payload.
-    """
-
-    base_map: SpectrumMap
-    num_clients: int = 1
-    backgrounds: Sequence[BackgroundSpec] = ()
-    duration_us: float = 5_000_000.0
-    warmup_us: float = 500_000.0
-    seed: int = 0
-    ap_map: SpectrumMap | None = None
-    client_maps: Sequence[SpectrumMap] | None = None
-    downlink: bool = True
-    uplink: bool = True
-    payload_bytes: int = 1000
-
-    @property
-    def num_channels(self) -> int:
-        """UHF index space size."""
-        return len(self.base_map)
-
-    def effective_ap_map(self) -> SpectrumMap:
-        """The AP's spectrum map (base map unless overridden)."""
-        return self.ap_map if self.ap_map is not None else self.base_map
-
-    def effective_client_maps(self) -> list[SpectrumMap]:
-        """Per-client spectrum maps (base map unless overridden)."""
-        if self.client_maps is not None:
-            if len(self.client_maps) != self.num_clients:
-                raise SimulationError(
-                    f"{len(self.client_maps)} client maps for "
-                    f"{self.num_clients} clients"
-                )
-            return list(self.client_maps)
-        return [self.base_map] * self.num_clients
-
-    def union_map(self) -> SpectrumMap:
-        """OR of the AP's and all clients' maps."""
-        return union_all([self.effective_ap_map(), *self.effective_client_maps()])
-
-    def candidate_channels(self) -> list[WhiteFiChannel]:
-        """Channels free at every foreground node."""
-        return valid_channels(self.union_map().free_indices(), self.num_channels)
-
-
-@dataclass
-class RunResult:
-    """Metrics from one simulation run.
-
-    Attributes:
-        aggregate_mbps: total foreground goodput over the measured window.
-        per_client_mbps: aggregate divided by the client count.
-        duration_us: measured window length.
-        channel_history: (time_us, channel) switch log (static runs have
-            a single entry).
-        throughput_timeline: (window_end_us, mbps) samples when timeline
-            sampling was requested.
-        mcham_timeline: (time_us, {width: best score}) samples for
-            WhiteFi runs.
-    """
-
-    aggregate_mbps: float
-    per_client_mbps: float
-    duration_us: float
-    channel_history: list[tuple[float, WhiteFiChannel]] = field(default_factory=list)
-    throughput_timeline: list[tuple[float, float]] = field(default_factory=list)
-    mcham_timeline: list[tuple[float, dict[float, float]]] = field(default_factory=list)
-
-    @property
-    def final_channel(self) -> WhiteFiChannel | None:
-        """The channel in use at the end of the run."""
-        return self.channel_history[-1][1] if self.channel_history else None
-
-
-class _World:
-    """A built simulation world (engine, medium, nodes, traffic)."""
-
-    def __init__(self, config: ScenarioConfig):
-        self.config = config
-        self.engine = Engine()
-        self.medium = Medium(self.engine, config.num_channels)
-        self.rng = random.Random(config.seed)
-        self.sensor = GroundTruthSensor(self.medium)
-        self.nodes: dict[str, SimNode] = {}
-        self.ap: SimNode | None = None
-        self.clients: list[SimNode] = []
-        self._build_background()
-
-    def _add_node(
-        self, node_id: str, bss_id: str, channel: WhiteFiChannel | None
-    ) -> SimNode:
-        node = SimNode(
-            self.engine,
-            self.medium,
-            node_id,
-            bss_id,
-            channel,
-            rng=random.Random(self.rng.randrange(2**31)),
-        )
-        node.nodes = self.nodes
-        self.nodes[node_id] = node
-        return node
-
-    def _build_background(self) -> None:
-        config = self.config
-        for i, spec in enumerate(config.backgrounds):
-            if not config.base_map.is_free(spec.uhf_index):
-                raise SimulationError(
-                    f"background pair {i} on occupied channel {spec.uhf_index}"
-                )
-            channel = WhiteFiChannel(spec.uhf_index, 5.0)
-            bss = f"bg{i}"
-            ap = self._add_node(f"bg{i}-ap", bss, channel)
-            self._add_node(f"bg{i}-cl", bss, channel)
-            self.medium.register_ap(bss, channel.spanned_indices)
-            source = CbrSource(
-                self.engine,
-                ap,
-                f"bg{i}-cl",
-                spec.inter_packet_delay_us,
-                spec.payload_bytes,
-                start_us=self.rng.uniform(0.0, max(spec.inter_packet_delay_us, 1_000.0)),
-            )
-            if spec.churn is not None:
-                mean_active, mean_passive = spec.churn
-                MarkovChurn(
-                    self.engine,
-                    source,
-                    mean_active,
-                    mean_passive,
-                    random.Random(self.rng.randrange(2**31)),
-                )
-            elif spec.active_windows is not None:
-                ScheduledActivity(self.engine, source, list(spec.active_windows))
-
-    def start_foreground(self, channel: WhiteFiChannel) -> None:
-        """Create the foreground BSS on *channel* and start its flows."""
-        config = self.config
-        self.ap = self._add_node("ap", "whitefi", channel)
-        self.medium.register_ap("whitefi", channel.spanned_indices)
-        client_ids = []
-        for i in range(config.num_clients):
-            client = self._add_node(f"client{i}", "whitefi", channel)
-            self.clients.append(client)
-            client_ids.append(client.node_id)
-        if config.downlink:
-            RoundRobinSaturatingSource(
-                self.ap, client_ids, config.payload_bytes
-            ).start()
-        if config.uplink:
-            for client in self.clients:
-                SaturatingSource(client, "ap", config.payload_bytes).start()
-
-    def retune_foreground(self, channel: WhiteFiChannel) -> None:
-        """Switch the whole foreground BSS to *channel*."""
-        assert self.ap is not None
-        self.medium.register_ap("whitefi", channel.spanned_indices)
-        self.ap.retune(channel)
-        for client in self.clients:
-            client.retune(channel)
-
-    def foreground_delivered_bytes(self) -> int:
-        """Total foreground goodput counter (downlink + uplink)."""
-        assert self.ap is not None
-        total = self.ap.delivered_bytes
-        total += sum(c.delivered_bytes for c in self.clients)
-        return total
-
-
-def _measure(
-    world: _World,
-    start_us: float,
-    end_us: float,
-    timeline_interval_us: float | None,
-) -> tuple[float, list[tuple[float, float]]]:
-    """Run the world from *start_us* to *end_us*, sampling throughput."""
-    timeline: list[tuple[float, float]] = []
-    baseline_bytes = world.foreground_delivered_bytes()
-    if timeline_interval_us is None:
-        world.engine.run_until(end_us)
-    else:
-        t = start_us
-        prev_bytes = baseline_bytes
-        while t < end_us:
-            t = min(t + timeline_interval_us, end_us)
-            world.engine.run_until(t)
-            now_bytes = world.foreground_delivered_bytes()
-            window = timeline_interval_us
-            timeline.append(((t), (now_bytes - prev_bytes) * 8.0 / window))
-            prev_bytes = now_bytes
-    delivered = world.foreground_delivered_bytes() - baseline_bytes
-    duration = end_us - start_us
-    mbps = delivered * 8.0 / duration if duration > 0 else 0.0
-    return mbps, timeline
-
-
-def run_static(
-    config: ScenarioConfig,
-    channel: WhiteFiChannel,
-    *,
-    timeline_interval_us: float | None = None,
-) -> RunResult:
-    """Simulate the foreground BSS fixed on *channel* for the full run."""
-    world = _World(config)
-    world.engine.run_until(config.warmup_us)
-    world.start_foreground(channel)
-    start = config.warmup_us
-    end = start + config.duration_us
-    mbps, timeline = _measure(world, start, end, timeline_interval_us)
-    return RunResult(
-        aggregate_mbps=mbps,
-        per_client_mbps=mbps / max(config.num_clients, 1),
-        duration_us=config.duration_us,
-        channel_history=[(start, channel)],
-        throughput_timeline=timeline,
-    )
-
-
-def find_opt_static(
-    config: ScenarioConfig,
-    width_mhz: float,
-    *,
-    probe_duration_us: float = 1_500_000.0,
-) -> tuple[WhiteFiChannel | None, RunResult | None]:
-    """The best static channel of a given width, by exhaustive probing.
-
-    Every candidate position is probed with a short simulation; the
-    winner is then measured over the full duration.  Returns
-    ``(None, None)`` when the width has no valid position.
-    """
-    candidates = [
-        c for c in config.candidate_channels() if c.width_mhz == width_mhz
-    ]
-    if not candidates:
-        return None, None
-    if len(candidates) == 1:
-        best = candidates[0]
-    else:
-        probe_config = replace(config, duration_us=probe_duration_us)
-        scores = []
-        for channel in candidates:
-            result = run_static(probe_config, channel)
-            scores.append((result.aggregate_mbps, channel))
-        best = max(scores, key=lambda s: s[0])[1]
-    return best, run_static(config, best)
-
-
-def run_opt_baselines(
-    config: ScenarioConfig,
-    *,
-    probe_duration_us: float = 1_500_000.0,
-) -> dict[str, RunResult | None]:
-    """All four paper baselines: OPT 5/10/20 MHz and overall OPT.
-
-    OPT is the best of the per-width winners (the paper's omniscient
-    static choice).
-    """
-    results: dict[str, RunResult | None] = {}
-    best_overall: RunResult | None = None
-    for width in constants.CHANNEL_WIDTHS_MHZ:
-        _, result = find_opt_static(
-            config, width, probe_duration_us=probe_duration_us
-        )
-        results[f"opt-{width:g}mhz"] = result
-        if result is not None and (
-            best_overall is None
-            or result.aggregate_mbps > best_overall.aggregate_mbps
-        ):
-            best_overall = result
-    results["opt"] = best_overall
-    return results
-
-
-def run_whitefi(
-    config: ScenarioConfig,
-    *,
-    reeval_interval_us: float = 2_000_000.0,
-    hysteresis_margin: float = constants.HYSTERESIS_MARGIN,
-    ap_weight: float | None = None,
-    aggregation: str = "product",
-    timeline_interval_us: float | None = None,
-) -> RunResult:
-    """Simulate the adaptive WhiteFi spectrum-assignment loop.
-
-    The AP re-evaluates the channel every *reeval_interval_us*: it takes
-    fresh airtime observations for itself and each client (spectrum maps
-    are per-node under spatial variation), scores every candidate with
-    MCham, and switches when the hysteresis margin is cleared.
-
-    Args:
-        reeval_interval_us: period of the assignment loop.
-        hysteresis_margin: voluntary-switch margin (0 = ablation).
-        ap_weight: AP weighting override (None = paper's N-times rule).
-        aggregation: MCham aggregation ("product"/"min"/"max").
-        timeline_interval_us: optional throughput sampling period.
-    """
-    world = _World(config)
-    assigner = ChannelAssigner(
-        num_channels=config.num_channels,
-        hysteresis_margin=hysteresis_margin,
-        ap_weight=ap_weight,
-        aggregation=aggregation,
-    )
-    ap_map = config.effective_ap_map()
-    client_maps = config.effective_client_maps()
-    channel_history: list[tuple[float, WhiteFiChannel]] = []
-    mcham_timeline: list[tuple[float, dict[float, float]]] = []
-
-    def observations():
-        ap_obs = world.sensor.observe("whitefi")
-        # All foreground nodes share the collision domain, so their
-        # ground-truth observations coincide; per-node maps still differ.
-        client_obs = [ap_obs] * config.num_clients
-        return ap_obs, client_obs
-
-    def record_mcham(ap_obs, client_obs) -> None:
-        del client_obs  # the timeline tracks the AP's plain metric
-        best_by_width: dict[float, float] = {}
-        for candidate in config.candidate_channels():
-            # Figures 10/14 plot the plain MCham metric per width (the
-            # best candidate of each width), not the N-weighted network
-            # score used for the decision.
-            value = mcham(candidate, ap_obs, aggregation=aggregation)
-            width = candidate.width_mhz
-            best_by_width[width] = max(best_by_width.get(width, 0.0), value)
-        mcham_timeline.append((world.engine.now_us, best_by_width))
-
-    # Warmup: sense the background before picking the boot channel.
-    world.engine.run_until(config.warmup_us)
-    ap_obs, client_obs = observations()
-    decision = assigner.evaluate(
-        ap_map,
-        ap_obs,
-        client_maps,
-        client_obs,
-        reason=SwitchReason.BOOT,
-    )
-    record_mcham(ap_obs, client_obs)
-    world.start_foreground(decision.channel)
-    channel_history.append((world.engine.now_us, decision.channel))
-
-    start = config.warmup_us
-    end = start + config.duration_us
-
-    def reevaluate() -> None:
-        if world.engine.now_us >= end:
-            return
-        ap_obs, client_obs = observations()
-        try:
-            decision = assigner.evaluate(
-                ap_map,
-                ap_obs,
-                client_maps,
-                client_obs,
-                reason=SwitchReason.PERIODIC,
-            )
-        except NoChannelAvailableError:
-            world.engine.schedule(reeval_interval_us, reevaluate)
-            return
-        record_mcham(ap_obs, client_obs)
-        if decision.switched:
-            world.retune_foreground(decision.channel)
-            channel_history.append((world.engine.now_us, decision.channel))
-        world.engine.schedule(reeval_interval_us, reevaluate)
-
-    world.engine.schedule(reeval_interval_us, reevaluate)
-    mbps, timeline = _measure(world, start, end, timeline_interval_us)
-    return RunResult(
-        aggregate_mbps=mbps,
-        per_client_mbps=mbps / max(config.num_clients, 1),
-        duration_us=config.duration_us,
-        channel_history=channel_history,
-        throughput_timeline=timeline,
-        mcham_timeline=mcham_timeline,
-    )
+__all__ = [
+    "BackgroundSpec",
+    "RunResult",
+    "ScenarioConfig",
+    "find_opt_static",
+    "run_opt_baselines",
+    "run_static",
+    "run_whitefi",
+]

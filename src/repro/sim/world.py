@@ -1,0 +1,69 @@
+"""Shared node-construction wiring for simulation worlds.
+
+Every harness that populates the simulator (the scenario runner's
+background pairs and foreground BSS, :class:`repro.core.network.WhiteFiBss`'s
+protocol nodes) needs the same boilerplate: create a :class:`SimNode`
+with its own deterministic random stream, register it in the shared
+node dictionary, and point the node at that dictionary for frame
+delivery.  ``NodeRoster`` is that boilerplate, written once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.mac.frames import Frame
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.node import SimNode
+from repro.sim.rng import spawn_rng
+from repro.spectrum.channels import WhiteFiChannel
+
+__all__ = ["NodeRoster"]
+
+
+class NodeRoster:
+    """The engine/medium substrate plus the registry of live nodes.
+
+    Args:
+        engine: simulation engine shared by all nodes.
+        medium: the collision domain shared by all nodes.
+        rng: master random stream; each node's backoff stream is spawned
+            from it, keyed by the node id.
+    """
+
+    def __init__(self, engine: Engine, medium: Medium, rng: random.Random):
+        self.engine = engine
+        self.medium = medium
+        self.rng = rng
+        self.nodes: dict[str, SimNode] = {}
+
+    def add_node(
+        self,
+        node_id: str,
+        bss_id: str,
+        channel: WhiteFiChannel | None,
+        *,
+        on_frame_received: Callable[[SimNode, Frame], None] | None = None,
+    ) -> SimNode:
+        """Create, wire, and register one station.
+
+        Raises:
+            KeyError: if *node_id* is already registered.
+        """
+        if node_id in self.nodes:
+            raise KeyError(f"node id {node_id!r} already registered")
+        node = SimNode(
+            self.engine,
+            self.medium,
+            node_id,
+            bss_id,
+            channel,
+            rng=spawn_rng(self.rng, node_id),
+        )
+        node.nodes = self.nodes
+        if on_frame_received is not None:
+            node.on_frame_received = on_frame_received
+        self.nodes[node_id] = node
+        return node

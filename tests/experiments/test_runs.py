@@ -1,0 +1,208 @@
+"""Tests for run_experiment dispatch and the structured result record."""
+import pytest
+
+
+from repro.experiments import (
+    BackgroundSpec,
+    ExperimentSpec,
+    ExperimentResult,
+    MicSpec,
+    ScenarioSpec,
+    run_experiment,
+    run_static,
+)
+from repro.experiments.scenario import build_config
+from repro.spectrum.channels import WhiteFiChannel
+
+FIVE_FREE = tuple(range(5, 10))
+
+
+def scenario(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        free_indices=FIVE_FREE,
+        num_channels=30,
+        duration_us=600_000.0,
+        warmup_us=100_000.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestStaticKind:
+    def test_matches_direct_run(self):
+        spec = ExperimentSpec(scenario(), kind="static", channel=(7, 20.0))
+        result = run_experiment(spec)
+        legacy = run_static(build_config(spec.scenario), WhiteFiChannel(7, 20.0))
+        assert result.aggregate_mbps == legacy.aggregate_mbps
+        assert result.kind == "static"
+        assert result.seed == 7
+        assert result.final_channel == (7, 20.0)
+        assert result.num_switches == 0
+
+    def test_airtime_recorded_on_spanned_channels(self):
+        spec = ExperimentSpec(scenario(), kind="static", channel=(7, 20.0))
+        result = run_experiment(spec)
+        # A saturating flow keeps its span busy most of the time.
+        assert result.airtime_fraction(7) > 0.5
+        assert result.airtime_fraction(20) == 0.0
+
+    def test_json_round_trip(self):
+        spec = ExperimentSpec(scenario(), kind="static", channel=(7, 10.0))
+        result = run_experiment(spec)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.to_json() == result.to_json()
+
+
+class TestWhiteFiKind:
+    def test_runs_and_archives(self):
+        spec = ExperimentSpec(
+            scenario(duration_us=1_500_000.0),
+            kind="whitefi",
+            reeval_interval_us=500_000.0,
+        )
+        result = run_experiment(spec)
+        assert result.kind == "whitefi"
+        assert result.aggregate_mbps > 0
+        assert result.final_channel is not None
+        assert len(result.mcham_timeline) >= 2
+        # Clean fragment: the widest channel wins.
+        assert result.final_channel[1] == 20.0
+
+    def test_deterministic_in_spec(self):
+        spec = ExperimentSpec(scenario(), kind="whitefi")
+        assert run_experiment(spec).to_json() == run_experiment(spec).to_json()
+
+    def test_timeline_sampling(self):
+        spec = ExperimentSpec(
+            scenario(duration_us=600_000.0),
+            kind="whitefi",
+            timeline_interval_us=200_000.0,
+        )
+        result = run_experiment(spec)
+        assert len(result.throughput_timeline) == 3
+
+
+class TestOptKind:
+    def test_overall_is_best_of_widths(self):
+        spec = ExperimentSpec(
+            scenario(), kind="opt", probe_duration_us=300_000.0
+        )
+        result = run_experiment(spec)
+        assert result.kind == "opt"
+        names = [name for name, _ in result.baselines]
+        assert names == ["opt-5mhz", "opt-10mhz", "opt-20mhz"]
+        for name, sub in result.baselines:
+            if sub is not None:
+                assert result.aggregate_mbps >= sub.aggregate_mbps
+        assert result.baseline("opt-20mhz") is not None
+
+    def test_unavailable_width_is_none(self):
+        spec = ExperimentSpec(
+            scenario(free_indices=(3, 7)),
+            kind="opt",
+            probe_duration_us=200_000.0,
+        )
+        result = run_experiment(spec)
+        assert result.baseline("opt-20mhz") is None
+        assert result.baseline("opt-5mhz") is not None
+
+    def test_json_round_trip_with_baselines(self):
+        spec = ExperimentSpec(
+            scenario(), kind="opt", probe_duration_us=200_000.0
+        )
+        result = run_experiment(spec)
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+
+class TestProtocolKind:
+    def test_disconnection_timeline_recorded(self):
+        spec = ExperimentSpec(
+            scenario(
+                free_indices=(5, 6, 7, 8, 9, 12, 13, 14, 18, 27),
+                mics=(MicSpec(7, sessions=((3_000_000.0, 1e12),)),),
+                seed=3,
+            ),
+            kind="protocol",
+            run_until_us=15_000_000.0,
+        )
+        result = run_experiment(spec)
+        assert result.kind == "protocol"
+        assert result.aggregate_mbps > 0
+        assert len(result.disconnections) == 1
+        episode = result.disconnections[0]
+        assert episode.mic_onset_us >= 3_000_000.0
+        assert episode.vacated_us is not None
+        assert episode.chirp_heard_us is not None
+        assert episode.recovery_time_us is not None
+        assert 7 not in WhiteFiChannel(*episode.new_channel).spanned_indices
+        # Boot on the 20 MHz fragment, recovery elsewhere.
+        assert result.channel_history[0][1:] == (7, 20.0)
+        assert result.final_channel != (7, 20.0)
+
+    def test_no_mic_no_disconnections(self):
+        spec = ExperimentSpec(
+            scenario(free_indices=(5, 6, 7, 8, 9, 12, 13, 14, 18, 27)),
+            kind="protocol",
+            run_until_us=3_000_000.0,
+        )
+        result = run_experiment(spec)
+        assert result.disconnections == ()
+        assert result.num_switches == 0
+
+    def test_json_round_trip_with_episodes(self):
+        spec = ExperimentSpec(
+            scenario(
+                free_indices=(5, 6, 7, 8, 9, 12, 13, 14, 18, 27),
+                mics=(MicSpec(7, sessions=((2_000_000.0, 1e12),)),),
+            ),
+            kind="protocol",
+            run_until_us=12_000_000.0,
+        )
+        result = run_experiment(spec)
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+
+class TestBackgroundEffects:
+    def test_background_reduces_static_throughput(self):
+        quiet = run_experiment(
+            ExperimentSpec(scenario(), kind="static", channel=(7, 20.0))
+        )
+        busy = run_experiment(
+            ExperimentSpec(
+                scenario(
+                    backgrounds=tuple(
+                        BackgroundSpec(i, 20_000.0) for i in FIVE_FREE
+                    )
+                ),
+                kind="static",
+                channel=(7, 20.0),
+            )
+        )
+        assert busy.aggregate_mbps < quiet.aggregate_mbps
+
+
+class TestTimelineWindows:
+    def test_partial_final_window_not_diluted(self):
+        # duration 500k with 200k sampling: windows of 200/200/100k us.
+        # The final partial window must divide by its true 100k span —
+        # a saturating flow then reports comparable Mbps in every
+        # window instead of half in the last.
+        spec = ExperimentSpec(
+            scenario(duration_us=500_000.0),
+            kind="static",
+            channel=(7, 20.0),
+            timeline_interval_us=200_000.0,
+        )
+        result = run_experiment(spec)
+        assert len(result.throughput_timeline) == 3
+        samples = [mbps for _, mbps in result.throughput_timeline]
+        assert samples[-1] > 0.6 * max(samples)
+        # Span-weighted timeline mean must reproduce the aggregate.
+        weighted = (
+            samples[0] * 200_000.0
+            + samples[1] * 200_000.0
+            + samples[2] * 100_000.0
+        ) / 500_000.0
+        assert weighted == pytest.approx(result.aggregate_mbps)

@@ -1,0 +1,155 @@
+"""Tests for scenario resolution and world building."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    BackgroundPoolSpec,
+    BackgroundSpec,
+    ScenarioBuilder,
+    ScenarioConfig,
+    ScenarioSpec,
+    SpatialSpec,
+    TrafficSpec,
+)
+from repro.experiments.scenario import build_config
+from repro.spectrum.spectrum_map import SpectrumMap
+
+FIVE_FREE = tuple(range(5, 10))
+
+
+def spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        free_indices=FIVE_FREE,
+        num_channels=30,
+        duration_us=500_000.0,
+        warmup_us=100_000.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestBuildConfig:
+    def test_base_map_from_free_indices(self):
+        config = build_config(spec())
+        assert config.base_map == SpectrumMap.from_free(FIVE_FREE, 30)
+        assert config.num_channels == 30
+
+    def test_traffic_model_applied(self):
+        config = build_config(
+            spec(traffic=TrafficSpec(uplink=False, payload_bytes=700))
+        )
+        assert config.downlink and not config.uplink
+        assert config.payload_bytes == 700
+
+    def test_explicit_backgrounds_preserved(self):
+        backgrounds = (BackgroundSpec(5, 1e4), BackgroundSpec(6, 2e4))
+        config = build_config(spec(backgrounds=backgrounds))
+        assert tuple(config.backgrounds) == backgrounds
+
+    def test_pool_per_free_channel(self):
+        config = build_config(
+            spec(background_pool=BackgroundPoolSpec(per_free_channel=2))
+        )
+        placed = [b.uhf_index for b in config.backgrounds]
+        assert placed == [i for i in FIVE_FREE for _ in range(2)]
+
+    def test_pool_random_placement_deterministic_in_seed(self):
+        pool = BackgroundPoolSpec(random_count=6)
+        a = build_config(spec(background_pool=pool, seed=3))
+        b = build_config(spec(background_pool=pool, seed=3))
+        c = build_config(spec(background_pool=pool, seed=4))
+        indices = lambda cfg: [bg.uhf_index for bg in cfg.backgrounds]
+        assert indices(a) == indices(b)
+        assert indices(a) != indices(c)
+        assert all(i in FIVE_FREE for i in indices(a))
+
+    def test_pool_churn_propagates(self):
+        config = build_config(
+            spec(
+                background_pool=BackgroundPoolSpec(
+                    per_free_channel=1, churn=(1e6, 2e6)
+                )
+            )
+        )
+        assert all(b.churn == (1e6, 2e6) for b in config.backgrounds)
+
+    def test_spatial_variation_derives_per_node_maps(self):
+        config = build_config(
+            spec(num_clients=4, spatial=SpatialSpec(flip_probability=0.3))
+        )
+        assert config.ap_map is not None
+        assert len(config.client_maps) == 4
+        maps = [config.ap_map, *config.client_maps]
+        assert any(m != config.base_map for m in maps)
+        # Same seed -> same maps.
+        again = build_config(
+            spec(num_clients=4, spatial=SpatialSpec(flip_probability=0.3))
+        )
+        assert [config.ap_map, *config.client_maps] == [
+            again.ap_map,
+            *again.client_maps,
+        ]
+
+    def test_explicit_maps_override(self):
+        config = build_config(
+            spec(
+                num_clients=1,
+                ap_free_indices=(5, 6),
+                client_free_indices=((6, 7),),
+            )
+        )
+        assert config.effective_ap_map().free_indices() == (5, 6)
+        assert config.effective_client_maps()[0].free_indices() == (6, 7)
+        assert config.union_map().free_indices() == (6,)
+
+
+class TestScenarioBuilder:
+    def test_accepts_spec_or_config(self):
+        from_spec = ScenarioBuilder(spec())
+        from_config = ScenarioBuilder(from_spec.config)
+        assert isinstance(from_config.config, ScenarioConfig)
+        assert from_spec.config.base_map == from_config.config.base_map
+
+    def test_world_builds_background_pairs(self):
+        builder = ScenarioBuilder(
+            spec(backgrounds=(BackgroundSpec(5, 1e4), BackgroundSpec(7, 1e4)))
+        )
+        world = builder.build_world()
+        assert set(world.nodes) == {"bg0-ap", "bg0-cl", "bg1-ap", "bg1-cl"}
+        assert world.engine is world.roster.engine
+        assert world.medium is world.roster.medium
+
+    def test_background_on_occupied_channel_raises(self):
+        builder = ScenarioBuilder(spec(backgrounds=(BackgroundSpec(0, 1e4),)))
+        with pytest.raises(SimulationError):
+            builder.build_world()
+
+    def test_worlds_are_independent(self):
+        builder = ScenarioBuilder(spec(backgrounds=(BackgroundSpec(5, 1e4),)))
+        a, b = builder.build_world(), builder.build_world()
+        a.engine.run_until(200_000.0)
+        assert b.engine.now_us == 0.0
+        # Determinism: same config -> identical event streams.
+        b.engine.run_until(200_000.0)
+        assert a.engine.events_fired == b.engine.events_fired
+
+    def test_protocol_bss_needs_spec(self):
+        builder = ScenarioBuilder(build_config(spec()))
+        with pytest.raises(SimulationError):
+            builder.build_protocol_bss()
+
+    def test_protocol_bss_wires_incumbents(self):
+        from repro.experiments import MicSpec
+
+        builder = ScenarioBuilder(
+            spec(mics=(MicSpec(7, sessions=((1e6, 2e6),)),))
+        )
+        engine, medium, incumbents, bss = builder.build_protocol_bss()
+        assert incumbents.mic_active_on(7, 1_500_000.0)
+        assert not incumbents.mic_active_on(7, 2_500_000.0)
+        # TV stations cover exactly the occupied base-map channels.
+        occupied = set(builder.config.base_map.occupied_indices())
+        assert occupied <= incumbents.occupied_indices(0.0)
+        assert bss.ap_node.node_id == "ap"

@@ -1,0 +1,139 @@
+"""Tests for declarative scenario/experiment specs and JSON round-trips."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    BackgroundPoolSpec,
+    BackgroundSpec,
+    ExperimentSpec,
+    MicSpec,
+    ScenarioSpec,
+    SpatialSpec,
+    TrafficSpec,
+)
+
+
+def rich_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        free_indices=(2, 3, 4, 7, 8),
+        num_channels=30,
+        num_clients=3,
+        backgrounds=(
+            BackgroundSpec(2, 30_000.0),
+            BackgroundSpec(3, 10_000.0, churn=(1_000_000.0, 2_000_000.0)),
+            BackgroundSpec(4, 5_000.0, active_windows=((0.0, 1e6), (2e6, 3e6))),
+        ),
+        background_pool=BackgroundPoolSpec(
+            random_count=4, per_free_channel=1, inter_packet_delay_us=20_000.0
+        ),
+        traffic=TrafficSpec(downlink=True, uplink=False, payload_bytes=500),
+        spatial=SpatialSpec(flip_probability=0.05),
+        duration_us=1e6,
+        warmup_us=2e5,
+        seed=42,
+    )
+
+
+def protocol_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        free_indices=(2, 3, 4, 7, 8),
+        num_channels=30,
+        mics=(MicSpec(7, sessions=((1e6, 2e6),)),),
+        duration_us=1e6,
+        seed=42,
+    )
+
+
+class TestScenarioSpec:
+    def test_json_round_trip(self):
+        for spec in (rich_scenario(), protocol_scenario()):
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_preserves_canonical_json(self):
+        spec = rich_scenario()
+        assert ScenarioSpec.from_json(spec.to_json()).to_json() == spec.to_json()
+
+    def test_lists_normalized_to_tuples(self):
+        spec = ScenarioSpec(free_indices=[1, 2, 3])
+        assert spec.free_indices == (1, 2, 3)
+        assert spec == ScenarioSpec(free_indices=(1, 2, 3))
+
+    def test_with_seed(self):
+        spec = rich_scenario()
+        reseeded = spec.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.with_seed(42) == spec
+
+    def test_churn_and_windows_exclusive(self):
+        with pytest.raises(SimulationError):
+            BackgroundSpec(
+                5, 10_000.0, churn=(1.0, 1.0), active_windows=((0.0, 1.0),)
+            )
+
+    def test_negative_pool_counts_raise(self):
+        with pytest.raises(SimulationError):
+            BackgroundPoolSpec(random_count=-1)
+
+    def test_bad_flip_probability_raises(self):
+        with pytest.raises(SimulationError):
+            SpatialSpec(flip_probability=1.5)
+
+
+class TestExperimentSpec:
+    def test_json_round_trip_all_kinds(self):
+        scenario = rich_scenario()
+        specs = [
+            ExperimentSpec(scenario, kind="whitefi", reeval_interval_us=1e6),
+            ExperimentSpec(scenario, kind="static", channel=(3, 10.0)),
+            ExperimentSpec(scenario, kind="opt", probe_duration_us=5e5),
+            ExperimentSpec(protocol_scenario(), kind="protocol", run_until_us=9e6),
+        ]
+        for spec in specs:
+            assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(rich_scenario(), kind="quantum")
+
+    def test_static_requires_channel(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(rich_scenario(), kind="static")
+
+    def test_mics_rejected_outside_protocol_runs(self):
+        # Non-protocol kinds never instantiate the incumbent field; a
+        # silent no-op would fake Section 5.3 conditions.
+        with pytest.raises(SimulationError):
+            ExperimentSpec(protocol_scenario(), kind="whitefi")
+
+    def test_backgrounds_rejected_in_protocol_runs(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(rich_scenario(), kind="protocol")
+
+    def test_unknown_field_raises(self):
+        spec = ExperimentSpec(rich_scenario())
+        data = spec.to_dict()
+        data["typo_field"] = 1
+        with pytest.raises(SimulationError):
+            ExperimentSpec.from_dict(data)
+
+    def test_spec_hash_stable_and_seed_sensitive(self):
+        spec = ExperimentSpec(rich_scenario())
+        assert spec.spec_hash == ExperimentSpec.from_json(spec.to_json()).spec_hash
+        assert spec.spec_hash != spec.with_seed(99).spec_hash
+
+    def test_spec_hash_differs_across_kinds(self):
+        scenario = rich_scenario()
+        a = ExperimentSpec(scenario, kind="whitefi")
+        b = ExperimentSpec(scenario, kind="opt")
+        assert a.spec_hash != b.spec_hash
+
+
+def test_custom_traffic_rejected_in_protocol_runs():
+    scenario = ScenarioSpec(
+        free_indices=(2, 3, 4),
+        mics=(MicSpec(3, sessions=((1e6, 2e6),)),),
+        traffic=TrafficSpec(uplink=False),
+    )
+    with pytest.raises(SimulationError):
+        ExperimentSpec(scenario, kind="protocol")

@@ -110,3 +110,82 @@ def test_property_firing_order_is_sorted(delays):
     engine.run_until(2e6)
     assert times == sorted(times)
     assert len(times) == len(delays)
+
+
+class TestTieBreakEdgeCases:
+    def test_fifo_among_schedule_and_schedule_at(self):
+        # Mixed absolute/relative scheduling at one timestamp still
+        # fires in scheduling order.
+        engine = Engine()
+        fired = []
+        engine.schedule_at(10.0, fired.append, "abs1")
+        engine.schedule(10.0, fired.append, "rel")
+        engine.schedule_at(10.0, fired.append, "abs2")
+        engine.run_until(20.0)
+        assert fired == ["abs1", "rel", "abs2"]
+
+    def test_event_scheduled_during_tie_group_fires_last(self):
+        # An event scheduled *at the current time* from inside a firing
+        # event joins the back of the same-time FIFO group.
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(0.0, fired.append, "nested")
+
+        engine.schedule(10.0, first)
+        engine.schedule(10.0, fired.append, "second")
+        engine.run_until(20.0)
+        assert fired == ["first", "second", "nested"]
+
+
+class TestCancellationEdgeCases:
+    def test_cancelled_head_skipped_without_breaking_ties(self):
+        engine = Engine()
+        fired = []
+        head = engine.schedule(10.0, fired.append, "head")
+        engine.schedule(10.0, fired.append, "a")
+        engine.schedule(10.0, fired.append, "b")
+        head.cancel()
+        engine.run_until(20.0)
+        assert fired == ["a", "b"]
+
+    def test_cancelled_events_not_counted_as_fired(self):
+        engine = Engine()
+        keep = engine.schedule(5.0, lambda: None)
+        drop = engine.schedule(6.0, lambda: None)
+        drop.cancel()
+        engine.run_until(10.0)
+        assert engine.events_fired == 1
+        del keep
+
+    def test_cancel_after_firing_is_noop(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(5.0, fired.append, "x")
+        engine.run_until(10.0)
+        event.cancel()  # already fired; must not corrupt the queue
+        engine.schedule(5.0, fired.append, "y")
+        engine.run_until(20.0)
+        assert fired == ["x", "y"]
+
+    def test_cancel_from_within_earlier_event(self):
+        # An earlier event may cancel a same-time event that is queued
+        # behind it (FIFO: the canceller must have been scheduled first).
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: victim.cancel())
+        victim = engine.schedule(10.0, fired.append, "victim")
+        engine.run_until(20.0)
+        assert fired == []
+
+    def test_cancelled_tombstones_drain_from_pending(self):
+        engine = Engine()
+        events = [engine.schedule(float(i), lambda: None) for i in range(5)]
+        for event in events:
+            event.cancel()
+        assert engine.pending == 5
+        engine.run_until(10.0)
+        assert engine.pending == 0
+        assert engine.events_fired == 0

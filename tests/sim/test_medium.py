@@ -207,3 +207,50 @@ class TestValidation:
         _, medium = make_medium()
         with pytest.raises(SimulationError):
             tx(medium, "a", [40])
+
+
+class TestBusyIntegralEdgeCases:
+    def test_abutting_intervals_sum_without_gap_or_double_count(self):
+        # b starts at the exact instant a ends: the union is one
+        # continuous 200 us interval.
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(100.0)  # a's end event fires at t=100
+        tx(medium, "b", [3], duration=100.0)
+        engine.run_until(500.0)
+        assert medium.busy_integral_us(3) == pytest.approx(200.0)
+
+    def test_abutting_before_end_event_processed(self):
+        # b begins from an event scheduled at a's end time but *before*
+        # a's end event fires (FIFO order): the channel never goes idle
+        # and the integral still covers exactly the union.
+        engine, medium = make_medium()
+        engine.schedule(0.0, tx, medium, "a", [3], 5.0, 100.0)
+        engine.schedule(100.0, tx, medium, "b", [3], 5.0, 100.0)
+        engine.run_until(500.0)
+        assert medium.busy_integral_us(3) == pytest.approx(200.0)
+
+    def test_zero_length_transmission_contributes_nothing(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=0.0)
+        engine.run_until(100.0)
+        assert medium.busy_integral_us(3) == pytest.approx(0.0)
+        assert not medium.is_busy([3])
+        assert medium.active == []
+
+    def test_zero_length_inside_busy_interval_no_double_count(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(50.0)
+        tx(medium, "b", [3], duration=0.0)
+        engine.run_until(500.0)
+        assert medium.busy_integral_us(3) == pytest.approx(100.0)
+
+    def test_zero_length_between_abutting_intervals(self):
+        engine, medium = make_medium()
+        tx(medium, "a", [3], duration=100.0)
+        engine.run_until(100.0)
+        tx(medium, "b", [3], duration=0.0)
+        tx(medium, "c", [3], duration=100.0)
+        engine.run_until(500.0)
+        assert medium.busy_integral_us(3) == pytest.approx(200.0)
