@@ -18,7 +18,15 @@ fast:
 	$(PYTEST) -x -q -m "not slow"
 
 ## Paper-figure benchmark sweeps (slow; writes benchmarks/results/).
+## Knobs (also honored as plain environment variables):
+##   make bench WORKERS=8              # worker process count
+##   make bench CACHE_DIR=.bench-cache # persistent spec-hash result cache,
+##                                     # reused across invocations
+WORKERS ?= $(WHITEFI_BENCH_WORKERS)
+CACHE_DIR ?= $(WHITEFI_BENCH_CACHE_DIR)
 bench:
+	WHITEFI_BENCH_WORKERS="$(WORKERS)" \
+	WHITEFI_BENCH_CACHE_DIR="$(CACHE_DIR)" \
 	$(PYTEST) -q benchmarks
 
 ## Lint src and tests.  The container may not ship ruff; skip with a

@@ -1,0 +1,33 @@
+"""The shared benchmark sweep runner, configured from the environment.
+
+Every ``ParallelRunner``-based benchmark builds its runner here, so one
+pair of knobs steers the whole `make bench` sweep:
+
+* ``WHITEFI_BENCH_WORKERS`` — worker process count (default: the CPU
+  count; ``1`` forces the byte-identical sequential path).
+* ``WHITEFI_BENCH_CACHE_DIR`` — a persistent spec-hash result cache;
+  re-running the benchmarks only executes cells whose specs changed.
+  The cache is versioned by the ``repro`` package version, so stale
+  simulator output is never served.
+
+Both are also reachable as ``make bench WORKERS=N CACHE_DIR=path``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import ParallelRunner, ResultCache
+
+WORKERS_ENV = "WHITEFI_BENCH_WORKERS"
+CACHE_DIR_ENV = "WHITEFI_BENCH_CACHE_DIR"
+
+
+def bench_runner() -> ParallelRunner:
+    """A ``ParallelRunner`` honoring the benchmark environment knobs."""
+    workers = os.environ.get(WORKERS_ENV) or None
+    cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    return ParallelRunner(
+        max_workers=int(workers) if workers is not None else None,
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+    )

@@ -1,100 +1,30 @@
-"""Shared workload builders for the SIFT accuracy benchmarks.
+"""Compatibility shim: the SIFT accuracy workloads moved into the library.
 
-Table 1 / Figure 6 methodology (Section 5.1): "We started an iperf
-session from one KNOWS device ... we repeated this experiment for 5, 10
-and 20 MHz channel widths, and for each width, we varied the traffic
-intensity.  ...  In every run, we sent 110 packets of size 1000 bytes
-each."
-
-Packets ride a slow log-normal fade (shadowing as devices/testers move),
-which is what occasionally drops the 5 MHz ramp below SIFT's threshold
-and produces the paper's slightly-lower 5 MHz detection rates.
+The Table 1 / Figure 6 iperf-capture builders now live in
+:mod:`repro.sift.workloads` so the ``"sift"`` run kind can synthesize
+them inside worker processes; import from there in new code.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.sift.workloads import (  # noqa: F401
+    FADING_SIGMA_DB,
+    MEDIAN_AMPLITUDE,
+    PACKETS_PER_RUN,
+    PAYLOAD_BYTES,
+    iperf_bursts,
+    run_sift_on_iperf,
+    sift_workload_metrics,
+    synthesize_iperf_capture,
+)
 
-from repro.phy.timing import timing_for_width
-from repro.phy.waveform import BurstSpec, ramp_for_width, synthesize_bursts
-from repro.sift.analyzer import SiftAnalyzer
-from repro.sift.classifier import count_matching_packets
-
-#: Paper's per-run packet count / payload.
-PACKETS_PER_RUN = 110
-PAYLOAD_BYTES = 1000
-
-#: Log-normal shadowing sigma (dB) on per-packet received amplitude.
-#: Calibrated for a bench-static link: deep fades that would fragment a
-#: full-amplitude burst are rare (10/20 MHz detection ~1.00), while the
-#: 5 MHz reduced-amplitude leading edge still occasionally dips below
-#: SIFT's threshold (5 MHz detection ~0.97-0.99, as in Table 1).
-FADING_SIGMA_DB = 2.5
-
-#: Median received amplitude (ADC counts).
-MEDIAN_AMPLITUDE = 900.0
-
-
-def iperf_bursts(
-    width_mhz: float,
-    rate_mbps: float,
-    rng: np.random.Generator,
-    num_packets: int = PACKETS_PER_RUN,
-) -> tuple[list[BurstSpec], float]:
-    """One iperf run's burst schedule at an injection rate.
-
-    Returns:
-        (bursts, capture_duration_us).
-    """
-    timing = timing_for_width(width_mhz)
-    period_us = PAYLOAD_BYTES * 8.0 / rate_mbps  # injection period
-    exchange_us = timing.exchange_duration_us(PAYLOAD_BYTES)
-    ramp_fraction, ramp_level = ramp_for_width(width_mhz)
-    bursts: list[BurstSpec] = []
-    t = 500.0
-    for _ in range(num_packets):
-        fade_db = rng.normal(0.0, FADING_SIGMA_DB)
-        amplitude = MEDIAN_AMPLITUDE * 10.0 ** (fade_db / 20.0)
-        data = BurstSpec(
-            start_us=t,
-            duration_us=timing.data_duration_us(PAYLOAD_BYTES),
-            amplitude_rms=amplitude,
-            ramp_fraction=ramp_fraction,
-            ramp_level=ramp_level,
-            label="data",
-        )
-        ack = BurstSpec(
-            start_us=data.end_us + timing.sifs_us,
-            duration_us=timing.ack_duration_us,
-            amplitude_rms=amplitude,
-            label="ack",
-        )
-        bursts.extend((data, ack))
-        t += max(period_us, exchange_us + 200.0)
-    return bursts, t + 500.0
-
-
-def run_sift_on_iperf(
-    width_mhz: float,
-    rate_mbps: float,
-    seed: int,
-    num_packets: int = PACKETS_PER_RUN,
-) -> dict[str, float]:
-    """Run SIFT over one iperf run; returns detection/airtime metrics."""
-    rng = np.random.default_rng(seed)
-    bursts, duration_us = iperf_bursts(width_mhz, rate_mbps, rng, num_packets)
-    trace = synthesize_bursts(bursts, duration_us, rng=rng)
-    result = SiftAnalyzer().scan(trace)
-    detected = count_matching_packets(
-        list(result.exchanges), width_mhz, PAYLOAD_BYTES
-    )
-    true_busy_us = sum(b.duration_us for b in bursts)
-    return {
-        "sent": num_packets,
-        "detected": detected,
-        "detection_rate": detected / num_packets,
-        "airtime_fraction": result.airtime_fraction,
-        "busy_us_measured": result.airtime_fraction * duration_us,
-        "busy_us_true": true_busy_us,
-        "capture_us": duration_us,
-    }
+__all__ = [
+    "FADING_SIGMA_DB",
+    "MEDIAN_AMPLITUDE",
+    "PACKETS_PER_RUN",
+    "PAYLOAD_BYTES",
+    "iperf_bursts",
+    "run_sift_on_iperf",
+    "sift_workload_metrics",
+    "synthesize_iperf_capture",
+]

@@ -8,53 +8,54 @@ fraction of the total time taken by the non-SIFT baseline."
 Paper shape: at one channel all algorithms tie; the SIFT algorithms'
 fraction falls as the fragment widens; L-SIFT wins for narrow white
 spaces, J-SIFT overtakes beyond ~10 channels (60 MHz).
+
+The race grid is declarative: one ``ExperimentSpec`` per (fragment
+width, seed, algorithm) cell, fanned out by ``ParallelRunner`` with
+spec-hash caching — the same scenario seed hides the same AP from all
+three algorithms.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.experiments import ExperimentSpec, ScenarioSpec
 
-from repro.core.discovery import (
-    BaselineDiscovery,
-    DiscoverySession,
-    JSiftDiscovery,
-    LSiftDiscovery,
-)
-from repro.phy.environment import BeaconingAp, RfEnvironment
-from repro.radio import Scanner, Transceiver
-from repro.spectrum.channels import valid_channels
-from repro.spectrum.fragmentation import single_fragment_map
+from _runner import bench_runner
 
 FRAGMENT_WIDTHS = (1, 2, 4, 6, 8, 10, 14, 18, 24, 30)
 REPEATS = 5
+ALGORITHMS = ("baseline", "l-sift", "j-sift")
 
 
-def _one_run(algorithm_cls, fragment_width: int, seed: int) -> float:
-    rng = np.random.default_rng(seed)
-    client_map = single_fragment_map(fragment_width, 30, start=0)
-    candidates = valid_channels(range(fragment_width), 30)
-    ap_channel = candidates[int(rng.integers(len(candidates)))]
-    env = RfEnvironment(seed=seed)
-    env.add_transmitter(
-        BeaconingAp(ap_channel, phase_us=float(rng.uniform(0, 100_000)))
+def _scenario(fragment_width: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        free_indices=tuple(range(fragment_width)),
+        num_channels=30,
+        seed=seed,
     )
-    session = DiscoverySession(
-        Scanner(env), Transceiver(env, rng=rng), client_map
-    )
-    outcome = algorithm_cls().discover(session)
-    assert outcome.succeeded, (algorithm_cls.name, fragment_width, ap_channel)
-    return outcome.elapsed_us
 
 
 def discovery_fraction_curve() -> dict[int, dict[str, float]]:
     """Mean discovery time per algorithm, as a fraction of baseline."""
+    jobs = [
+        ExperimentSpec(
+            _scenario(width, seed=1000 * width + repeat),
+            kind="discovery",
+            discovery_algorithm=algorithm,
+        )
+        for width in FRAGMENT_WIDTHS
+        for repeat in range(REPEATS)
+        for algorithm in ALGORITHMS
+    ]
+    results = iter(bench_runner().run_grid(jobs))
+
     curve: dict[int, dict[str, float]] = {}
     for width in FRAGMENT_WIDTHS:
-        times = {"baseline": [], "l-sift": [], "j-sift": []}
-        for repeat in range(REPEATS):
-            seed = 1000 * width + repeat
-            for cls in (BaselineDiscovery, LSiftDiscovery, JSiftDiscovery):
-                times[cls.name].append(_one_run(cls, width, seed))
+        times: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+        for _ in range(REPEATS):
+            for algorithm in ALGORITHMS:
+                result = next(results)
+                assert result.metric("discovery_succeeded"), (algorithm, width)
+                times[algorithm].append(result.metric("discovery_us"))
         base = sum(times["baseline"]) / REPEATS
         curve[width] = {
             "l-sift": (sum(times["l-sift"]) / REPEATS) / base,
@@ -77,7 +78,11 @@ def test_fig08_discovery_vs_fragment(benchmark, record_table):
             f"{width:>9} | {row['l-sift']:7.2f} | {row['j-sift']:7.2f} | "
             f"{row['baseline_s']:10.2f}"
         )
-    record_table("fig08_discovery_contig", lines)
+    record_table(
+        "fig08_discovery_contig",
+        lines,
+        data={"fraction_of_baseline": {str(w): curve[w] for w in FRAGMENT_WIDTHS}},
+    )
 
     # One channel: everything costs about the same (degenerate case).
     assert 0.9 <= curve[1]["l-sift"] <= 1.1

@@ -6,65 +6,65 @@ areas, where there are fewer contiguous channels, J-SIFT is 34% faster
 than the baseline.  In rural areas (more contiguous channels), we see
 that J-SIFT can discover APs in less than one-third the time taken by
 the baseline algorithm."
+
+Each (locale, run, algorithm) cell is a declarative ``ExperimentSpec``
+over the locale's spectrum map, fanned out by ``ParallelRunner`` —
+the scenario seed places the AP, so every algorithm races toward the
+same hidden channel.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.discovery import (
-    BaselineDiscovery,
-    DiscoverySession,
-    JSiftDiscovery,
-    LSiftDiscovery,
-)
-from repro.phy.environment import BeaconingAp, RfEnvironment
-from repro.radio import Scanner, Transceiver
+from repro.experiments import ExperimentSpec, ScenarioSpec
 from repro.spectrum.channels import valid_channels
 from repro.spectrum.geodata import SETTINGS, generate_study
 
+from _runner import bench_runner
+
 RUNS_PER_SETTING = 10
+ALGORITHMS = ("baseline", "l-sift", "j-sift")
 
 
 def locale_discovery_times(seed: int = 2009) -> dict[str, dict[str, float]]:
     """Mean discovery time (seconds) per algorithm per setting."""
     study = generate_study(count_per_setting=10, seed=seed)
-    results: dict[str, dict[str, float]] = {}
-    for setting, locales in study.items():
-        times = {"baseline": [], "l-sift": [], "j-sift": []}
-        rng = np.random.default_rng(seed + hash(setting) % 1000)
-        run = 0
-        locale_cycle = [l for l in locales if l.spectrum_map.num_free() > 0]
-        while run < RUNS_PER_SETTING:
+    jobs: list[ExperimentSpec] = []
+    for setting_index, setting in enumerate(SETTINGS):
+        # Only locales whose map admits at least one (F, W) candidate
+        # can hide an AP ("the client did not scan these channels").
+        locale_cycle = [
+            locale
+            for locale in study[setting]
+            if valid_channels(locale.spectrum_map.free_indices(), 30)
+        ]
+        for run in range(RUNS_PER_SETTING):
             locale = locale_cycle[run % len(locale_cycle)]
-            candidates = valid_channels(
-                locale.spectrum_map.free_indices(), 30
+            scenario = ScenarioSpec(
+                free_indices=locale.spectrum_map.free_indices(),
+                num_channels=30,
+                seed=seed + 1000 * setting_index + run,
             )
-            if not candidates:
-                run += 1
-                continue
-            ap_channel = candidates[int(rng.integers(len(candidates)))]
-            for cls in (BaselineDiscovery, LSiftDiscovery, JSiftDiscovery):
-                env = RfEnvironment(seed=seed + run)
-                env.add_transmitter(
-                    BeaconingAp(
-                        ap_channel, phase_us=float(rng.uniform(0, 100_000))
-                    )
+            jobs.extend(
+                ExperimentSpec(
+                    scenario, kind="discovery", discovery_algorithm=algorithm
                 )
-                session = DiscoverySession(
-                    Scanner(env),
-                    Transceiver(env, rng=np.random.default_rng(seed + run)),
-                    locale.spectrum_map,
-                )
-                outcome = cls().discover(session)
-                assert outcome.succeeded
-                times[cls.name].append(outcome.elapsed_us)
-            run += 1
-        results[setting] = {
+                for algorithm in ALGORITHMS
+            )
+    results = iter(bench_runner().run_grid(jobs))
+
+    table: dict[str, dict[str, float]] = {}
+    for setting in SETTINGS:
+        times: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+        for _ in range(RUNS_PER_SETTING):
+            for algorithm in ALGORITHMS:
+                result = next(results)
+                assert result.metric("discovery_succeeded"), (setting, algorithm)
+                times[algorithm].append(result.metric("discovery_us"))
+        table[setting] = {
             name: sum(values) / len(values) / 1e6
             for name, values in times.items()
         }
-    return results
+    return table
 
 
 def test_fig09_discovery_by_locale(benchmark, record_table):
@@ -85,7 +85,11 @@ def test_fig09_discovery_by_locale(benchmark, record_table):
             f"{row['j-sift']:7.2f} | {ratio:10.2f}"
         )
     lines.append("paper: metro J-SIFT ~34% faster; rural < 1/3 of baseline")
-    record_table("fig09_discovery_locales", lines)
+    record_table(
+        "fig09_discovery_locales",
+        lines,
+        data={"mean_seconds": results},
+    )
 
     # Urban (metro): J-SIFT meaningfully faster than the baseline.
     urban_ratio = results["urban"]["j-sift"] / results["urban"]["baseline"]

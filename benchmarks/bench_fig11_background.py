@@ -19,10 +19,10 @@ from __future__ import annotations
 from repro.experiments import (
     BackgroundPoolSpec,
     ExperimentSpec,
-    ParallelRunner,
     ScenarioSpec,
 )
 
+from _runner import bench_runner
 from _scenarios import BASELINE_NAMES, SEVENTEEN_FREE as FREE
 
 PAIR_COUNTS = (0, 5, 10, 15, 20, 25)
@@ -55,7 +55,7 @@ def background_sweep() -> dict[int, dict[str, float]]:
                 )
             )
             jobs.append(ExperimentSpec(scenario, kind="whitefi"))
-    results = iter(ParallelRunner().run_grid(jobs))
+    results = iter(bench_runner().run_grid(jobs))
 
     sweep: dict[int, dict[str, float]] = {}
     for num_pairs in PAIR_COUNTS:

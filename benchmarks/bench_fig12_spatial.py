@@ -17,12 +17,12 @@ from __future__ import annotations
 from repro.experiments import (
     BackgroundPoolSpec,
     ExperimentSpec,
-    ParallelRunner,
     ScenarioSpec,
     SpatialSpec,
     TrafficSpec,
 )
 
+from _runner import bench_runner
 from _scenarios import BASELINE_NAMES, SEVENTEEN_FREE as FREE
 from repro.experiments.scenario import build_config
 
@@ -66,7 +66,7 @@ def spatial_sweep() -> dict[float, dict[str, float]]:
                 )
             )
             jobs.append(ExperimentSpec(scenario, kind="whitefi"))
-    results = iter(ParallelRunner().run_grid(jobs))
+    results = iter(bench_runner().run_grid(jobs))
 
     sweep: dict[float, dict[str, float]] = {}
     for p in FLIP_PROBABILITIES:

@@ -21,11 +21,11 @@ from __future__ import annotations
 from repro.experiments import (
     BackgroundPoolSpec,
     ExperimentSpec,
-    ParallelRunner,
     ScenarioSpec,
     TrafficSpec,
 )
 
+from _runner import bench_runner
 from _scenarios import BASELINE_NAMES, SEVENTEEN_FREE as FREE
 
 
@@ -77,7 +77,7 @@ def churn_sweep() -> dict[str, dict[str, float]]:
                 scenario, kind="whitefi", reeval_interval_us=1_000_000.0
             )
         )
-    results = iter(ParallelRunner().run_grid(jobs))
+    results = iter(bench_runner().run_grid(jobs))
 
     sweep: dict[str, dict[str, float]] = {}
     for label, *_ in CHURN_POINTS:

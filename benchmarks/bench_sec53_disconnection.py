@@ -19,9 +19,10 @@ from repro import constants
 from repro.experiments import (
     ExperimentSpec,
     MicSpec,
-    ParallelRunner,
     ScenarioSpec,
 )
+
+from _runner import bench_runner
 
 FREE = (5, 6, 7, 8, 9, 12, 13, 14, 18, 27)
 RUNS = 5
@@ -48,7 +49,7 @@ def disconnection_experiment() -> list[dict[str, float]]:
         for seed in range(RUNS)
     ]
     episodes = []
-    for result in ParallelRunner().run_grid(specs):
+    for result in bench_runner().run_grid(specs):
         assert result.disconnections, "mic never triggered a disconnection"
         episode = result.disconnections[0]
         assert episode.reconnected_us is not None, "BSS never reconnected"

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """AP discovery race: non-SIFT baseline vs L-SIFT vs J-SIFT.
 
-Places a beaconing AP at a random (F, W) in a fragmented spectrum and
-times each discovery algorithm (Section 4.2.2 / Figures 8-9).
+Hides a beaconing AP at a seed-chosen (F, W) in a fragmented spectrum
+and times each discovery algorithm (Section 4.2.2 / Figures 8-9) —
+declaratively: each racer is a ``kind="discovery"`` ``ExperimentSpec``,
+all three fan out through ``ParallelRunner``, and the same scenario
+seed guarantees they chase the same hidden AP.
 
 Run:
     python examples/ap_discovery.py [seed]
@@ -10,52 +13,41 @@ Run:
 
 import sys
 
-import numpy as np
-
 from repro.core.discovery import (
-    BaselineDiscovery,
-    DiscoverySession,
-    JSiftDiscovery,
-    LSiftDiscovery,
+    DISCOVERY_ALGORITHMS,
     expected_scans_jsift,
     expected_scans_lsift,
 )
-from repro.phy.environment import BeaconingAp, RfEnvironment
-from repro.radio import Scanner, Transceiver
+from repro.experiments import ExperimentSpec, ParallelRunner, ScenarioSpec
 from repro.spectrum.channels import valid_channels
-from repro.spectrum.spectrum_map import SpectrumMap
 
 
 def main(seed: int = 42) -> None:
-    rng = np.random.default_rng(seed)
-
     # A realistic fragmented map: 14 free channels across 4 fragments.
-    free = list(range(3, 9)) + list(range(12, 16)) + [20, 21, 25, 28]
-    client_map = SpectrumMap.from_free(free, 30)
+    free = tuple(range(3, 9)) + tuple(range(12, 16)) + (20, 21, 25, 28)
+    scenario = ScenarioSpec(free_indices=free, num_channels=30, seed=seed)
     candidates = valid_channels(free, 30)
-    ap_channel = candidates[int(rng.integers(len(candidates)))]
-    print(f"spectrum: {client_map.num_free()} free channels, "
+    print(f"spectrum: {len(free)} free channels, "
           f"{len(candidates)} candidate (F, W) combinations")
-    print(f"hidden AP is on {ap_channel}")
     print(f"analytic expectations: L-SIFT ~{expected_scans_lsift(len(free)):.1f} "
           f"scans, J-SIFT ~{expected_scans_jsift(len(free)):.1f} scans")
     print()
 
-    for algorithm in (BaselineDiscovery(), LSiftDiscovery(), JSiftDiscovery()):
-        env = RfEnvironment(seed=seed)
-        env.add_transmitter(
-            BeaconingAp(ap_channel, phase_us=float(rng.uniform(0, 100_000)))
-        )
-        session = DiscoverySession(
-            Scanner(env),
-            Transceiver(env, rng=np.random.default_rng(seed)),
-            client_map,
-        )
-        outcome = algorithm.discover(session)
-        status = "found " + str(outcome.channel) if outcome.succeeded else "FAILED"
+    algorithms = sorted(DISCOVERY_ALGORITHMS)
+    specs = [
+        ExperimentSpec(scenario, kind="discovery", discovery_algorithm=name)
+        for name in algorithms
+    ]
+    results = ParallelRunner().run_grid(specs)
+
+    print(f"hidden AP is on {tuple(results[0].metric('ap_channel'))}")
+    for name, result in zip(algorithms, results):
+        found = result.metric("discovered_channel")
+        status = f"found {tuple(found)}" if found else "FAILED"
         print(
-            f"{algorithm.name:>9}: {status:28} in {outcome.elapsed_us / 1e6:5.2f} s "
-            f"({outcome.sift_scans} SIFT scans, {outcome.beacon_dwells} dwells)"
+            f"{name:>9}: {status:22} in {result.metric('discovery_us') / 1e6:5.2f} s "
+            f"({result.metric('sift_scans')} SIFT scans, "
+            f"{result.metric('beacon_dwells')} dwells)"
         )
 
 

@@ -32,9 +32,10 @@ from repro.errors import (
     SignalError,
     SimulationError,
     SpectrumMapError,
+    UnknownRunKindError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "constants",
@@ -43,6 +44,7 @@ __all__ = [
     "SpectrumMapError",
     "NoChannelAvailableError",
     "SimulationError",
+    "UnknownRunKindError",
     "RadioError",
     "DiscoveryError",
     "SignalError",

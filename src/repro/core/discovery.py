@@ -257,6 +257,30 @@ class JSiftDiscovery:
         )
 
 
+#: Discovery algorithms by protocol name — the vocabulary the
+#: ``"discovery"`` run kind (:mod:`repro.experiments`) accepts.
+DISCOVERY_ALGORITHMS: dict[str, type] = {
+    cls.name: cls
+    for cls in (BaselineDiscovery, LSiftDiscovery, JSiftDiscovery)
+}
+
+
+def discovery_algorithm(name: str):
+    """Instantiate a discovery algorithm by its protocol name.
+
+    Raises:
+        DiscoveryError: for an unknown name, listing the known
+            algorithms in sorted order.
+    """
+    try:
+        return DISCOVERY_ALGORITHMS[name]()
+    except KeyError:
+        raise DiscoveryError(
+            f"unknown discovery algorithm {name!r}; expected one of "
+            f"{tuple(sorted(DISCOVERY_ALGORITHMS))}"
+        ) from None
+
+
 def _single_candidate(session: DiscoverySession) -> WhiteFiChannel | None:
     """The only possible AP channel, when the map admits exactly one.
 

@@ -27,6 +27,16 @@ class SimulationError(ReproError):
     """Inconsistent discrete-event simulator state."""
 
 
+class UnknownRunKindError(SimulationError):
+    """A run kind name with no registration in the RunKind registry.
+
+    A distinct subclass so :class:`~repro.experiments.parallel.ParallelRunner`
+    can tell "this worker process lacks a plugin registration" (retry
+    sequentially in the parent, which has it) from any other simulation
+    failure (fail fast).
+    """
+
+
 class RadioError(ReproError):
     """Invalid radio operation (e.g. decoding while mistuned)."""
 

@@ -1,0 +1,405 @@
+"""The built-in run kinds: the paper's whole evaluation matrix.
+
+Each kind is a :class:`~repro.experiments.registry.RunKind` plugin
+owning its spec validation, its world-building hook on
+:class:`~repro.experiments.scenario.ScenarioBuilder`, its execution,
+and its probe set:
+
+========== ==================================================== =========================================
+kind       simulates                                            probes
+========== ==================================================== =========================================
+static     foreground BSS fixed on one (F, W)                   throughput, switch-log, timeline, airtime
+opt        omniscient per-width static baselines (Figs 10-13)   + nested per-baseline records
+whitefi    adaptive MCham assignment loop (Figs 10-13)          + MCham timeline
+protocol   full message-level BSS (Fig 14 / Section 5.3)        goodput, switch-log, disconnections
+discovery  L-SIFT / J-SIFT / baseline AP races (Figs 8-9)       discovery latency + scan counters
+sift       SIFT detection/classification accuracy (Table 1)     detection rate + width confusion
+========== ==================================================== =========================================
+
+Importing this module registers all six; adding an evaluation axis is a
+new ``RunKind`` subclass plus ``register_run_kind`` — no dispatcher
+edits anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro import constants
+from repro.errors import SimulationError
+from repro.experiments.probes import (
+    AirtimeProbe,
+    BaselinesProbe,
+    DisconnectionProbe,
+    DiscoveryProbe,
+    MchamTimelineProbe,
+    ProtocolGoodputProbe,
+    ProtocolSwitchLogProbe,
+    SiftAccuracyProbe,
+    SiftConfusionProbe,
+    SwitchLogProbe,
+    ThroughputProbe,
+    TimelineProbe,
+)
+from repro.experiments.registry import (
+    RunKind,
+    assemble_result,
+    register_run_kind,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runs import (
+    run_opt_baselines,
+    run_protocol,
+    run_static,
+    run_whitefi,
+)
+from repro.experiments.scenario import ScenarioBuilder, build_config
+from repro.experiments.spec import ExperimentSpec, TrafficSpec
+from repro.spectrum.channels import WhiteFiChannel
+
+__all__ = [
+    "DiscoveryKind",
+    "OptKind",
+    "ProtocolKind",
+    "SiftKind",
+    "StaticKind",
+    "WhiteFiKind",
+]
+
+
+# -- shared validation helpers -------------------------------------------------
+#
+# The philosophy (unchanged from the monolithic ExperimentSpec checks):
+# reject scenario features and kind-specific knobs a run kind would
+# silently ignore where intent is unambiguous — plausible-looking
+# results from an unsimulated feature are worse than an error.  Knobs
+# with None defaults are unambiguous (setting one states intent) and
+# are rejected outside their owner kind; tuning knobs with non-None
+# defaults (reeval_interval_us, probe_duration_us, aggregation, ...)
+# stay unchecked so one scenario template can be reused across kinds.
+
+
+def _reject_mics(spec: ExperimentSpec) -> None:
+    if spec.scenario.mics:
+        raise SimulationError(
+            f"kind {spec.kind!r} does not simulate microphone "
+            "incumbents; use kind 'protocol' or drop mics"
+        )
+
+
+def _reject_backgrounds(spec: ExperimentSpec) -> None:
+    if spec.scenario.backgrounds or spec.scenario.background_pool:
+        raise SimulationError(
+            f"kind {spec.kind!r} does not simulate background pairs; "
+            "use a scenario without backgrounds"
+        )
+
+
+def _reject_channel(spec: ExperimentSpec) -> None:
+    if spec.channel is not None:
+        raise SimulationError(
+            f"kind {spec.kind!r} picks its own channel; "
+            "a fixed channel only applies to kind 'static'"
+        )
+
+
+def _reject_timeline(spec: ExperimentSpec) -> None:
+    if spec.timeline_interval_us is not None:
+        raise SimulationError(
+            f"kind {spec.kind!r} does not sample a throughput timeline"
+        )
+
+
+def _reject_custom_traffic(spec: ExperimentSpec, reason: str) -> None:
+    if spec.scenario.traffic != TrafficSpec():
+        raise SimulationError(
+            f"kind {spec.kind!r} {reason}; "
+            "a custom TrafficSpec would be ignored"
+        )
+
+
+def _reject_spatial(spec: ExperimentSpec) -> None:
+    if spec.scenario.spatial is not None:
+        raise SimulationError(
+            f"kind {spec.kind!r} uses a single client-side spectrum map; "
+            "spatial variation only applies to the world-simulation kinds"
+        )
+
+
+def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
+    """Reject kind-specific knobs (None defaults) set for another kind."""
+    owners = {
+        "hysteresis_margin": "whitefi",
+        "ap_weight": "whitefi",
+        "run_until_us": "protocol",
+        "discovery_algorithm": "discovery",
+        "sift_width_mhz": "sift",
+        "sift_rate_mbps": "sift",
+        "sift_num_packets": "sift",
+    }
+    for knob, owner in owners.items():
+        if knob not in owned and getattr(spec, knob) is not None:
+            raise SimulationError(
+                f"kind {spec.kind!r} does not use {knob}; "
+                f"it only applies to kind {owner!r}"
+            )
+
+
+#: The probe set every RunResult-producing kind shares.
+_RUN_PROBES = (
+    ThroughputProbe(),
+    SwitchLogProbe(),
+    TimelineProbe(),
+    AirtimeProbe(),
+)
+
+
+def _archive_run(
+    kind: RunKind, run, spec: ExperimentSpec, kind_name: str
+) -> ExperimentResult:
+    """Archive a rich in-process RunResult under an explicit kind name.
+
+    Used for the nested per-baseline records of kind "opt", whose kind
+    strings ("opt-5mhz", ...) differ from the producing spec's.
+    """
+    return assemble_result(
+        kind,
+        spec,
+        {"run": run},
+        kind_name=kind_name,
+        probes=_RUN_PROBES + (MchamTimelineProbe(),),
+    )
+
+
+# -- world-simulation kinds (engine/medium worlds) -----------------------------
+
+
+class StaticKind(RunKind):
+    """Foreground BSS fixed on one (F, W) for the whole run."""
+
+    name = "static"
+    summary = "foreground BSS fixed on one (F, W) channel"
+    probes = _RUN_PROBES
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        if spec.channel is None:
+            raise SimulationError("kind 'static' requires a channel")
+        _reject_mics(spec)
+        _reject_foreign_knobs(spec)
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        config = build_config(spec.scenario)
+        run = run_static(
+            config,
+            WhiteFiChannel(*spec.channel),
+            timeline_interval_us=spec.timeline_interval_us,
+        )
+        return {"spec": spec, "run": run}
+
+
+class WhiteFiKind(RunKind):
+    """The adaptive WhiteFi spectrum-assignment loop (Figures 10-13)."""
+
+    name = "whitefi"
+    summary = "adaptive MCham assignment loop with hysteresis"
+    probes = _RUN_PROBES + (MchamTimelineProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        _reject_channel(spec)
+        _reject_mics(spec)
+        _reject_foreign_knobs(spec, "hysteresis_margin", "ap_weight")
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        config = build_config(spec.scenario)
+        run = run_whitefi(
+            config,
+            reeval_interval_us=spec.reeval_interval_us,
+            hysteresis_margin=(
+                constants.HYSTERESIS_MARGIN
+                if spec.hysteresis_margin is None
+                else spec.hysteresis_margin
+            ),
+            ap_weight=spec.ap_weight,
+            aggregation=spec.aggregation,
+            timeline_interval_us=spec.timeline_interval_us,
+        )
+        return {"spec": spec, "run": run}
+
+
+class OptKind(RunKind):
+    """The paper's omniscient per-width static baselines."""
+
+    name = "opt"
+    summary = "omniscient OPT 5/10/20 MHz static baselines"
+    probes = _RUN_PROBES + (BaselinesProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        _reject_channel(spec)
+        _reject_mics(spec)
+        _reject_timeline(spec)
+        _reject_foreign_knobs(spec)
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        config = build_config(spec.scenario)
+        baselines = run_opt_baselines(
+            config, probe_duration_us=spec.probe_duration_us
+        )
+        converted = tuple(
+            (name, None if run is None else _archive_run(self, run, spec, name))
+            for name, run in baselines.items()
+            if name != "opt"
+        )
+        return {
+            "spec": spec,
+            "run": baselines["opt"],
+            "duration_us": config.duration_us,
+            "baselines": converted,
+        }
+
+
+class ProtocolKind(RunKind):
+    """The full message-level BSS (Section 5.3 / Figure 14)."""
+
+    name = "protocol"
+    summary = "full BSS protocol: beacons, sensing, chirps, recovery"
+    probes = (
+        ProtocolGoodputProbe(),
+        ProtocolSwitchLogProbe(),
+        DisconnectionProbe(),
+    )
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        _reject_channel(spec)
+        _reject_backgrounds(spec)
+        _reject_timeline(spec)
+        _reject_foreign_knobs(spec, "run_until_us")
+        _reject_custom_traffic(
+            spec, "uses the BSS's built-in saturating downlink flow"
+        )
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        bss, horizon, boot = run_protocol(
+            spec.scenario, run_until_us=spec.run_until_us
+        )
+        return {
+            "spec": spec,
+            "bss": bss,
+            "horizon_us": horizon,
+            "boot_channel": boot,
+        }
+
+
+# -- measurement kinds (RF-environment worlds) ---------------------------------
+
+
+class DiscoveryKind(RunKind):
+    """AP-discovery races: baseline vs L-SIFT vs J-SIFT (Figures 8-9)."""
+
+    name = "discovery"
+    summary = "timed AP-discovery race on the scenario's spectrum map"
+    probes = (DiscoveryProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        from repro.core.discovery import DISCOVERY_ALGORITHMS, discovery_algorithm
+        from repro.errors import DiscoveryError
+
+        if spec.discovery_algorithm is None:
+            raise SimulationError(
+                "kind 'discovery' requires discovery_algorithm; one of "
+                f"{tuple(sorted(DISCOVERY_ALGORITHMS))}"
+            )
+        try:
+            # The algorithm registry owns the unknown-name message.
+            discovery_algorithm(spec.discovery_algorithm)
+        except DiscoveryError as err:
+            raise SimulationError(str(err)) from None
+        _reject_channel(spec)
+        _reject_mics(spec)
+        _reject_backgrounds(spec)
+        _reject_spatial(spec)
+        _reject_timeline(spec)
+        _reject_custom_traffic(
+            spec, "races a lone beaconing AP against a scanning client"
+        )
+        _reject_foreign_knobs(spec, "discovery_algorithm")
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        from repro.core.discovery import discovery_algorithm
+
+        session, ap_channel = ScenarioBuilder(
+            spec.scenario
+        ).build_discovery_session()
+        outcome = discovery_algorithm(spec.discovery_algorithm).discover(
+            session
+        )
+        return {"spec": spec, "outcome": outcome, "ap_channel": ap_channel}
+
+
+class SiftKind(RunKind):
+    """SIFT detection/classification accuracy sweeps (Table 1)."""
+
+    name = "sift"
+    summary = "SIFT accuracy over one synthesized iperf capture"
+    probes = (SiftAccuracyProbe(), SiftConfusionProbe())
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        if spec.sift_width_mhz is None or spec.sift_rate_mbps is None:
+            raise SimulationError(
+                "kind 'sift' requires sift_width_mhz and sift_rate_mbps"
+            )
+        if spec.sift_width_mhz not in constants.CHANNEL_WIDTHS_MHZ:
+            raise SimulationError(
+                f"sift_width_mhz {spec.sift_width_mhz!r} is not a WhiteFi "
+                f"width; expected one of {constants.CHANNEL_WIDTHS_MHZ}"
+            )
+        if spec.sift_rate_mbps <= 0:
+            raise SimulationError(
+                f"sift_rate_mbps must be > 0, got {spec.sift_rate_mbps!r}"
+            )
+        if spec.sift_num_packets is not None and spec.sift_num_packets < 1:
+            raise SimulationError(
+                f"sift_num_packets must be >= 1, got {spec.sift_num_packets!r}"
+            )
+        _reject_channel(spec)
+        _reject_mics(spec)
+        _reject_backgrounds(spec)
+        _reject_spatial(spec)
+        _reject_timeline(spec)
+        _reject_custom_traffic(
+            spec, "synthesizes its own iperf burst schedule"
+        )
+        _reject_foreign_knobs(
+            spec, "sift_width_mhz", "sift_rate_mbps", "sift_num_packets"
+        )
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        from repro.sift.analyzer import SiftAnalyzer
+        from repro.sift.workloads import sift_workload_metrics
+
+        trace, bursts, duration_us = ScenarioBuilder(
+            spec.scenario
+        ).build_sift_capture(
+            spec.sift_width_mhz, spec.sift_rate_mbps, spec.sift_num_packets
+        )
+        scan = SiftAnalyzer().scan(trace)
+        workload = sift_workload_metrics(
+            # One Data-ACK pair per sent packet is the ground truth.
+            scan, bursts, duration_us, spec.sift_width_mhz, len(bursts) // 2
+        )
+        return {
+            "spec": spec,
+            "scan": scan,
+            "workload": workload,
+            "true_width_mhz": spec.sift_width_mhz,
+        }
+
+
+for _kind in (
+    StaticKind(),
+    WhiteFiKind(),
+    OptKind(),
+    ProtocolKind(),
+    DiscoveryKind(),
+    SiftKind(),
+):
+    register_run_kind(_kind)

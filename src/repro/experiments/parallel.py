@@ -18,8 +18,9 @@ import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Iterable, Sequence
 
+from repro.errors import UnknownRunKindError
+from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult, ResultCache
-from repro.experiments.runs import run_experiment
 from repro.experiments.spec import ExperimentSpec
 from repro.sim.rng import stream_seed
 
@@ -129,11 +130,17 @@ class ParallelRunner:
             self.last_execution_mode = "parallel"
             try:
                 self._run_parallel(pending, results)
-            except (OSError, BrokenExecutor):
+            except (OSError, BrokenExecutor, UnknownRunKindError):
                 # Process pools need fork/spawn and semaphores (OSError
                 # inside restricted sandboxes) and workers can die
                 # mid-sweep (BrokenProcessPool): degrade gracefully,
                 # re-running only the cells that did not complete.
+                # UnknownRunKindError from a worker covers plugin
+                # RunKinds under spawn-based multiprocessing (the
+                # registration only exists in the parent): the
+                # sequential path can still run them.  Any other
+                # simulation failure is deterministic and propagates
+                # without a wasteful sequential replay.
                 self.last_execution_mode = "sequential"
                 remaining = [p for p in pending if p[0] not in results]
                 self._run_sequential(remaining, results)

@@ -1,0 +1,283 @@
+"""Composable metric probes shared by the built-in run kinds.
+
+Each probe reads one family of raw artifacts (see the conventional keys
+below) and emits a flat mapping; :func:`repro.experiments.registry.assemble_result`
+routes keys that name ``ExperimentResult`` fields into the typed record
+and everything else into the per-kind ``metrics`` payload.
+
+Conventional artifact keys:
+
+* ``"run"`` — a :class:`~repro.experiments.runs.RunResult` (or None),
+  produced by the world-simulation kinds (static / opt / whitefi).
+* ``"duration_us"`` — measured-window fallback when ``"run"`` is None
+  (an OPT sweep with no valid channel).
+* ``"bss"`` / ``"horizon_us"`` / ``"boot_channel"`` — a finished
+  :class:`~repro.core.network.WhiteFiBss` (protocol kind).
+* ``"outcome"`` / ``"ap_channel"`` — a
+  :class:`~repro.core.discovery.DiscoveryOutcome` plus the hidden AP's
+  channel (discovery kind).
+* ``"scan"`` / ``"workload"`` — a SIFT scan over a synthesized capture
+  plus its ground truth (sift kind).
+
+A new kind composes these freely — reusing ``"run"`` gets the whole
+throughput/airtime/switch-log family for free — or adds its own probe
+emitting payload metrics only.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping
+
+__all__ = [
+    "AirtimeProbe",
+    "BaselinesProbe",
+    "DisconnectionProbe",
+    "DiscoveryProbe",
+    "MchamTimelineProbe",
+    "ProtocolGoodputProbe",
+    "ProtocolSwitchLogProbe",
+    "SiftAccuracyProbe",
+    "SiftConfusionProbe",
+    "SwitchLogProbe",
+    "ThroughputProbe",
+    "TimelineProbe",
+    "channel_tuple",
+]
+
+
+def channel_tuple(channel) -> tuple[int, float] | None:
+    """(center_index, width_mhz) of a WhiteFiChannel (None passthrough)."""
+    if channel is None:
+        return None
+    return (channel.center_index, channel.width_mhz)
+
+
+class ThroughputProbe:
+    """Goodput over the measured window (from a ``RunResult``)."""
+
+    name = "throughput"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        run = raw.get("run")
+        if run is None:
+            return {
+                "aggregate_mbps": 0.0,
+                "per_client_mbps": 0.0,
+                "duration_us": float(raw.get("duration_us", 0.0)),
+            }
+        return {
+            "aggregate_mbps": run.aggregate_mbps,
+            "per_client_mbps": run.per_client_mbps,
+            "duration_us": run.duration_us,
+        }
+
+
+class SwitchLogProbe:
+    """The (time, channel) switch log of a ``RunResult``."""
+
+    name = "switch-log"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        run = raw.get("run")
+        if run is None:
+            return {"channel_history": ()}
+        return {
+            "channel_history": tuple(
+                (t, c.center_index, c.width_mhz) for t, c in run.channel_history
+            )
+        }
+
+
+class TimelineProbe:
+    """Windowed throughput samples of a ``RunResult``."""
+
+    name = "throughput-timeline"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        run = raw.get("run")
+        return {
+            "throughput_timeline": ()
+            if run is None
+            else tuple(run.throughput_timeline)
+        }
+
+
+class AirtimeProbe:
+    """Per-UHF-channel busy fraction of a ``RunResult``."""
+
+    name = "airtime"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        run = raw.get("run")
+        return {
+            "airtime_by_channel": ()
+            if run is None
+            else tuple(sorted(run.airtime_by_channel.items()))
+        }
+
+
+class MchamTimelineProbe:
+    """Per-width best MCham score samples of a ``RunResult``."""
+
+    name = "mcham-timeline"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        run = raw.get("run")
+        return {
+            "mcham_timeline": ()
+            if run is None
+            else tuple(
+                (t, tuple(sorted(scores.items())))
+                for t, scores in run.mcham_timeline
+            )
+        }
+
+
+class BaselinesProbe:
+    """Pass-through for pre-converted per-baseline sub-results (OPT)."""
+
+    name = "baselines"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        return {"baselines": raw.get("baselines", ())}
+
+
+class ProtocolGoodputProbe:
+    """BSS-wide goodput over the full protocol horizon."""
+
+    name = "protocol-goodput"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        bss = raw["bss"]
+        horizon = raw["horizon_us"]
+        delivered = bss.ap_node.delivered_bytes + sum(
+            node.delivered_bytes for _, node in bss.clients
+        )
+        mbps = delivered * 8.0 / horizon if horizon > 0 else 0.0
+        return {
+            "aggregate_mbps": mbps,
+            "per_client_mbps": mbps / max(len(bss.clients), 1),
+            "duration_us": horizon,
+        }
+
+
+class ProtocolSwitchLogProbe:
+    """Boot channel plus every post-recovery retune of the BSS."""
+
+    name = "protocol-switch-log"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        bss = raw["bss"]
+        boot = raw["boot_channel"]
+        history: list[tuple[float, int, float]] = []
+        if boot is not None:
+            history.append((0.0, boot.center_index, boot.width_mhz))
+        for episode in bss.disconnections:
+            if (
+                episode.reconnected_us is not None
+                and episode.new_channel is not None
+            ):
+                history.append(
+                    (
+                        episode.reconnected_us,
+                        episode.new_channel.center_index,
+                        episode.new_channel.width_mhz,
+                    )
+                )
+        return {"channel_history": tuple(history)}
+
+
+class DisconnectionProbe:
+    """The Section 5.3 disconnection/recovery episode timeline."""
+
+    name = "disconnections"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        from repro.experiments.results import DisconnectionRecord
+
+        bss = raw["bss"]
+        return {
+            "disconnections": tuple(
+                DisconnectionRecord(
+                    mic_onset_us=e.mic_onset_us,
+                    vacated_us=e.vacated_us,
+                    chirp_heard_us=e.chirp_heard_us,
+                    reconnected_us=e.reconnected_us,
+                    new_channel=channel_tuple(e.new_channel),
+                )
+                for e in bss.disconnections
+            )
+        }
+
+
+class DiscoveryProbe:
+    """AP-discovery race metrics (Figures 8-9).
+
+    Emits the discovered channel as the run's single switch-log entry
+    (so ``final_channel`` works uniformly) plus a payload with the
+    latency breakdown: total elapsed time, SIFT scans, beacon dwells,
+    and whether the race found the hidden AP.
+    """
+
+    name = "discovery"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        outcome = raw["outcome"]
+        found = channel_tuple(outcome.channel)
+        history = (
+            ((outcome.elapsed_us, found[0], found[1]),) if found else ()
+        )
+        return {
+            "duration_us": outcome.elapsed_us,
+            "channel_history": history,
+            "discovery_us": outcome.elapsed_us,
+            "discovery_succeeded": outcome.succeeded,
+            "discovered_channel": found,
+            "ap_channel": channel_tuple(raw["ap_channel"]),
+            "sift_scans": outcome.sift_scans,
+            "beacon_dwells": outcome.beacon_dwells,
+            "scanned_indices": tuple(outcome.scanned_indices),
+        }
+
+
+class SiftAccuracyProbe:
+    """Table 1 detection-rate metrics over one synthesized iperf run."""
+
+    name = "sift-accuracy"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        workload = raw["workload"]
+        return {
+            "duration_us": workload["capture_us"],
+            "sift_sent": workload["sent"],
+            "sift_detected": workload["detected"],
+            "detection_rate": workload["detection_rate"],
+            "airtime_measured": workload["airtime_fraction"],
+            "busy_us_measured": workload["busy_us_measured"],
+            "busy_us_true": workload["busy_us_true"],
+        }
+
+
+class SiftConfusionProbe:
+    """Width-classification confusion counts of one SIFT scan.
+
+    For a capture whose ground truth is a single width, a perfect
+    classifier puts every matched exchange in that width's bucket;
+    off-width counts are confusions (the reduced-amplitude 5 MHz
+    leading edge is the paper's canonical source).
+    """
+
+    name = "sift-confusion"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        scan = raw["scan"]
+        true_width = raw["true_width_mhz"]
+        counts = Counter(e.width_mhz for e in scan.exchanges)
+        total = sum(counts.values())
+        correct = counts.get(true_width, 0)
+        return {
+            "true_width_mhz": true_width,
+            "width_counts": tuple(sorted(counts.items())),
+            "classification_accuracy": correct / total if total else 0.0,
+        }

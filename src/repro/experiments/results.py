@@ -9,6 +9,7 @@ guarantee is tested.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import pathlib
@@ -21,6 +22,7 @@ __all__ = [
     "ResultCache",
     "SummaryStats",
     "mean_by",
+    "metric_value",
     "summarize",
 ]
 
@@ -56,9 +58,29 @@ class DisconnectionRecord:
         return self.reconnected_us - self.mic_onset_us
 
 
+def _freeze(value: Any) -> Any:
+    """Recursively normalize JSON containers to hashable plain data.
+
+    Mappings become sorted (key, value) tuples: the canonical JSON form
+    must be hashable and round-trip losslessly, which dicts (whose JSON
+    keys are always strings) cannot guarantee.
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentResult:
     """Metrics from one experiment run, in archival (JSON-able) form.
+
+    The typed fields cover the world-simulation metric families; run
+    kinds whose observables do not fit them (discovery latency, SIFT
+    confusion counts, any plugin kind) publish a per-kind ``metrics``
+    payload instead — probe outputs routed by
+    :func:`repro.experiments.registry.probe_metrics`.
 
     Attributes:
         kind: the run kind that produced this record.
@@ -74,14 +96,16 @@ class ExperimentResult:
         mcham_timeline: (time_us, ((width, best score), ...)) samples.
         disconnections: Section 5.3 episode timeline (protocol runs).
         baselines: kind "opt" only — per-baseline summary metrics.
+        metrics: per-kind payload as (name, value) pairs of plain JSON
+            data, in probe-emission order; read with :meth:`metric`.
     """
 
     kind: str
     spec_hash: str
     seed: int
-    aggregate_mbps: float
-    per_client_mbps: float
-    duration_us: float
+    aggregate_mbps: float = 0.0
+    per_client_mbps: float = 0.0
+    duration_us: float = 0.0
     channel_history: tuple[tuple[float, int, float], ...] = ()
     throughput_timeline: tuple[tuple[float, float], ...] = ()
     airtime_by_channel: tuple[tuple[int, float], ...] = ()
@@ -90,6 +114,7 @@ class ExperimentResult:
     ] = ()
     disconnections: tuple[DisconnectionRecord, ...] = ()
     baselines: tuple[tuple[str, "ExperimentResult | None"], ...] = ()
+    metrics: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -117,6 +142,7 @@ class ExperimentResult:
         )
         object.__setattr__(self, "disconnections", tuple(self.disconnections))
         object.__setattr__(self, "baselines", tuple(self.baselines))
+        object.__setattr__(self, "metrics", _freeze(self.metrics))
 
     # -- derived views --------------------------------------------------------
 
@@ -146,6 +172,16 @@ class ExperimentResult:
             if key == name:
                 return result
         return None
+
+    def metric(self, name: str, default: Any = None) -> Any:
+        """Look up one per-kind payload metric by name.
+
+        >>> # result.metric("discovery_us"), result.metric("detection_rate")
+        """
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        return default
 
     # -- serialization -------------------------------------------------------
 
@@ -195,16 +231,51 @@ class SummaryStats:
     stddev: float
 
 
+def metric_value(result: ExperimentResult, metric: str) -> float:
+    """One numeric metric: a typed field, payload entry, or property.
+
+    Lookup order: dataclass fields, then the per-kind ``metrics``
+    payload (so a payload entry is never shadowed by a same-named
+    method or property), then derived properties (``num_switches``).
+
+    Raises:
+        ValueError: when the result carries no such metric, or it is
+            not numeric.
+    """
+    if any(f.name == metric for f in dataclasses.fields(result)):
+        value = getattr(result, metric)
+    else:
+        value = result.metric(metric)
+        if value is None:
+            value = getattr(result, metric, None)
+            if callable(value):  # methods are never metrics
+                value = None
+    if value is None:
+        raise ValueError(
+            f"result of kind {result.kind!r} has no metric {metric!r}"
+        )
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"metric {metric!r} of kind {result.kind!r} is not numeric: "
+            f"{value!r}"
+        ) from None
+
+
 def _metric_values(
     results: Iterable[ExperimentResult], metric: str
 ) -> list[float]:
-    return [float(getattr(r, metric)) for r in results]
+    return [metric_value(r, metric) for r in results]
 
 
 def summarize(
     results: Iterable[ExperimentResult], metric: str = "per_client_mbps"
 ) -> SummaryStats:
     """Mean/min/max/stddev of *metric* across *results*.
+
+    The metric may be a typed field (``aggregate_mbps``) or a payload
+    entry (``discovery_us``, ``detection_rate``).
 
     Raises:
         ValueError: for an empty result set.
@@ -235,9 +306,7 @@ def mean_by(
     """
     groups: dict[Hashable, list[float]] = {}
     for result in results:
-        groups.setdefault(key(result), []).append(
-            float(getattr(result, metric))
-        )
+        groups.setdefault(key(result), []).append(metric_value(result, metric))
     return {k: sum(v) / len(v) for k, v in groups.items()}
 
 

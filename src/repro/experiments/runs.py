@@ -17,9 +17,11 @@ This module reproduces the Section 5.4 experimental harness:
   (:class:`repro.core.network.WhiteFiBss`): beacons, reports, incumbent
   sensing, chirping, and reconnection (Section 5.3).
 
-:func:`run_experiment` dispatches a declarative
-:class:`~repro.experiments.spec.ExperimentSpec` to the right run kind
-and returns an archival :class:`~repro.experiments.results.ExperimentResult`.
+These are the imperative workhorses the world-simulation
+:class:`~repro.experiments.registry.RunKind` plugins
+(:mod:`repro.experiments.kinds`) drive; declarative dispatch lives in
+:func:`repro.experiments.registry.run_experiment` (re-exported here for
+compatibility).
 """
 
 from __future__ import annotations
@@ -29,16 +31,15 @@ from dataclasses import dataclass, field, replace
 from repro import constants
 from repro.core.assignment import ChannelAssigner, SwitchReason
 from repro.core.mcham import mcham
-from repro.errors import NoChannelAvailableError, SimulationError
+from repro.errors import NoChannelAvailableError
 from repro.spectrum.channels import WhiteFiChannel
-from repro.experiments.results import DisconnectionRecord, ExperimentResult
+from repro.experiments.registry import run_experiment
 from repro.experiments.scenario import (
     ScenarioBuilder,
     ScenarioConfig,
     World,
-    build_config,
 )
-from repro.experiments.spec import ExperimentSpec, ScenarioSpec
+from repro.experiments.spec import ScenarioSpec
 
 __all__ = [
     "RunResult",
@@ -341,136 +342,3 @@ def run_protocol(
     boot = bss.ap_ctrl.state.main_channel
     engine.run_until(horizon)
     return bss, horizon, boot
-
-
-# -- spec dispatch -------------------------------------------------------------
-
-
-def _channel_tuple(channel: WhiteFiChannel | None) -> tuple[int, float] | None:
-    return None if channel is None else (channel.center_index, channel.width_mhz)
-
-
-def _convert(
-    legacy: RunResult,
-    spec: ExperimentSpec,
-    *,
-    kind: str | None = None,
-) -> ExperimentResult:
-    """Archive a rich in-process :class:`RunResult`."""
-    return ExperimentResult(
-        kind=kind or spec.kind,
-        spec_hash=spec.spec_hash,
-        seed=spec.scenario.seed,
-        aggregate_mbps=legacy.aggregate_mbps,
-        per_client_mbps=legacy.per_client_mbps,
-        duration_us=legacy.duration_us,
-        channel_history=tuple(
-            (t, c.center_index, c.width_mhz) for t, c in legacy.channel_history
-        ),
-        throughput_timeline=tuple(legacy.throughput_timeline),
-        airtime_by_channel=tuple(sorted(legacy.airtime_by_channel.items())),
-        mcham_timeline=tuple(
-            (t, tuple(sorted(scores.items())))
-            for t, scores in legacy.mcham_timeline
-        ),
-    )
-
-
-def _run_protocol_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    bss, horizon, boot = run_protocol(
-        spec.scenario, run_until_us=spec.run_until_us
-    )
-    delivered = bss.ap_node.delivered_bytes + sum(
-        node.delivered_bytes for _, node in bss.clients
-    )
-    mbps = delivered * 8.0 / horizon if horizon > 0 else 0.0
-    history: list[tuple[float, int, float]] = []
-    if boot is not None:
-        history.append((0.0, boot.center_index, boot.width_mhz))
-    episodes = bss.disconnections
-    for episode in episodes:
-        if episode.reconnected_us is not None and episode.new_channel is not None:
-            history.append(
-                (
-                    episode.reconnected_us,
-                    episode.new_channel.center_index,
-                    episode.new_channel.width_mhz,
-                )
-            )
-    return ExperimentResult(
-        kind="protocol",
-        spec_hash=spec.spec_hash,
-        seed=spec.scenario.seed,
-        aggregate_mbps=mbps,
-        per_client_mbps=mbps / max(len(bss.clients), 1),
-        duration_us=horizon,
-        channel_history=tuple(history),
-        disconnections=tuple(
-            DisconnectionRecord(
-                mic_onset_us=e.mic_onset_us,
-                vacated_us=e.vacated_us,
-                chirp_heard_us=e.chirp_heard_us,
-                reconnected_us=e.reconnected_us,
-                new_channel=_channel_tuple(e.new_channel),
-            )
-            for e in episodes
-        ),
-    )
-
-
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Execute one declarative experiment and archive the result.
-
-    Fully deterministic in *spec*: the same spec (including the scenario
-    seed) produces a byte-identical ``ExperimentResult`` JSON encoding in
-    any process — the property ``ParallelRunner`` relies on.
-    """
-    if spec.kind == "protocol":
-        return _run_protocol_experiment(spec)
-
-    config = build_config(spec.scenario)
-    if spec.kind == "static":
-        assert spec.channel is not None  # enforced by the spec
-        legacy = run_static(
-            config,
-            WhiteFiChannel(*spec.channel),
-            timeline_interval_us=spec.timeline_interval_us,
-        )
-        return _convert(legacy, spec)
-    if spec.kind == "whitefi":
-        legacy = run_whitefi(
-            config,
-            reeval_interval_us=spec.reeval_interval_us,
-            hysteresis_margin=(
-                constants.HYSTERESIS_MARGIN
-                if spec.hysteresis_margin is None
-                else spec.hysteresis_margin
-            ),
-            ap_weight=spec.ap_weight,
-            aggregation=spec.aggregation,
-            timeline_interval_us=spec.timeline_interval_us,
-        )
-        return _convert(legacy, spec)
-    if spec.kind == "opt":
-        baselines = run_opt_baselines(
-            config, probe_duration_us=spec.probe_duration_us
-        )
-        overall = baselines["opt"]
-        converted = tuple(
-            (name, None if result is None else _convert(result, spec, kind=name))
-            for name, result in baselines.items()
-            if name != "opt"
-        )
-        if overall is None:
-            return ExperimentResult(
-                kind="opt",
-                spec_hash=spec.spec_hash,
-                seed=spec.scenario.seed,
-                aggregate_mbps=0.0,
-                per_client_mbps=0.0,
-                duration_us=config.duration_us,
-                baselines=converted,
-            )
-        result = _convert(overall, spec)
-        return replace(result, baselines=converted)
-    raise SimulationError(f"unknown run kind {spec.kind!r}")

@@ -283,6 +283,96 @@ class ScenarioBuilder:
         """A fresh world (engine, medium, background traffic) for one run."""
         return World(self.config)
 
+    def build_discovery_session(self, *, dwell_us: float | None = None):
+        """A fresh AP-discovery race world (Section 5.2 / Figures 8-9).
+
+        Hides a beaconing AP on a seed-chosen candidate ``(F, W)`` of
+        the scenario's spectrum map and wires the client's two radios
+        (SIFT scanner + main transceiver) into a
+        :class:`~repro.core.discovery.DiscoverySession` over a synthetic
+        RF environment.  Every random draw (AP placement, beacon phase,
+        probabilistic frame decoding) derives from the scenario seed, so
+        the race is byte-reproducible in any process.
+
+        Args:
+            dwell_us: listen/capture duration override (default: one
+                beacon interval plus margin).
+
+        Returns:
+            (session, ap_channel) — the session is ready for one
+            ``algorithm.discover(session)`` call; ``ap_channel`` is the
+            hidden ground truth.
+        """
+        # Imported here, like build_protocol_bss: the discovery stack
+        # (synthetic RF environment + radios) sits above sim and would
+        # otherwise load into every spec-only consumer.
+        import numpy as np
+
+        from repro.core.discovery import DiscoverySession
+        from repro.phy.environment import BeaconingAp, RfEnvironment
+        from repro.radio.scanner import Scanner
+        from repro.radio.transceiver import Transceiver
+
+        config = self.config
+        candidates = valid_channels(
+            config.base_map.free_indices(), config.num_channels
+        )
+        if not candidates:
+            raise SimulationError(
+                "discovery needs at least one candidate (F, W) channel; "
+                "the scenario map admits none"
+            )
+        seed = config.seed
+        placement_rng = np.random.default_rng(
+            stream_seed(seed, "discovery-placement")
+        )
+        ap_channel = candidates[int(placement_rng.integers(len(candidates)))]
+        env = RfEnvironment(
+            num_channels=config.num_channels,
+            seed=stream_seed(seed, "discovery-env"),
+        )
+        env.add_transmitter(
+            BeaconingAp(
+                ap_channel,
+                phase_us=float(placement_rng.uniform(0, 100_000)),
+            )
+        )
+        session = DiscoverySession(
+            Scanner(env),
+            Transceiver(
+                env,
+                rng=np.random.default_rng(stream_seed(seed, "discovery-radio")),
+            ),
+            config.base_map,
+            **({} if dwell_us is None else {"dwell_us": dwell_us}),
+        )
+        return session, ap_channel
+
+    def build_sift_capture(
+        self,
+        width_mhz: float,
+        rate_mbps: float,
+        num_packets: int | None = None,
+    ):
+        """A synthesized iperf capture for SIFT accuracy runs (Table 1).
+
+        The capture's burst schedule and noise derive from the scenario
+        seed; the spectrum map plays no role (the paper's methodology is
+        a single bench link observed by the scanner).
+
+        Returns:
+            (trace, bursts, capture_duration_us) — raw IQ plus the
+            ground-truth schedule.
+        """
+        from repro.sift.workloads import PACKETS_PER_RUN, synthesize_iperf_capture
+
+        return synthesize_iperf_capture(
+            width_mhz,
+            rate_mbps,
+            seed=stream_seed(self.config.seed, "sift-capture"),
+            num_packets=PACKETS_PER_RUN if num_packets is None else num_packets,
+        )
+
     def build_protocol_bss(self, **bss_kwargs):
         """A fresh full-protocol BSS world for one run.
 

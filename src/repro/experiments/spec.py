@@ -28,13 +28,23 @@ __all__ = [
     "BackgroundSpec",
     "ExperimentSpec",
     "MicSpec",
+    "RUN_KINDS",
     "ScenarioSpec",
     "SpatialSpec",
     "TrafficSpec",
 ]
 
-#: Run kinds understood by :func:`repro.experiments.runs.run_experiment`.
-RUN_KINDS = ("whitefi", "static", "opt", "protocol")
+
+def __getattr__(name: str):
+    # RUN_KINDS is derived from the RunKind registry (the single source
+    # of truth), so plugin registrations show up here too.  Resolved
+    # lazily (PEP 562) because the registry's built-ins import this
+    # module.
+    if name == "RUN_KINDS":
+        from repro.experiments.registry import run_kind_names
+
+        return run_kind_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _tuple2(value: Sequence[float] | None) -> tuple[float, float] | None:
@@ -252,9 +262,12 @@ class ExperimentSpec:
 
     Attributes:
         scenario: the environment.
-        kind: "whitefi" (adaptive assignment loop), "static" (fixed
-            channel), "opt" (all four omniscient static baselines), or
-            "protocol" (full BSS with beacons/chirps/disconnections).
+        kind: a registered run kind — built-ins: "whitefi" (adaptive
+            assignment loop), "static" (fixed channel), "opt" (all four
+            omniscient static baselines), "protocol" (full BSS with
+            beacons/chirps/disconnections), "discovery" (timed AP
+            discovery race), "sift" (SIFT accuracy over a synthesized
+            capture).
         channel: (center_index, width_mhz) for kind "static".
         reeval_interval_us: WhiteFi assignment-loop period.
         hysteresis_margin: voluntary-switch margin override (None =
@@ -265,13 +278,23 @@ class ExperimentSpec:
         probe_duration_us: per-candidate probe length for kind "opt".
         run_until_us: simulation horizon for kind "protocol" (None =
             warmup + duration).
+        discovery_algorithm: kind "discovery" — "baseline", "l-sift",
+            or "j-sift".
+        sift_width_mhz: kind "sift" — true channel width of the
+            synthesized capture.
+        sift_rate_mbps: kind "sift" — iperf injection rate.
+        sift_num_packets: kind "sift" — packets per run (None = the
+            paper's 110).
 
-    Validation rejects combinations a run kind would silently ignore
-    where intent is unambiguous (mics outside protocol runs, a fixed
-    channel outside static runs, ...).  Tuning knobs with non-None
-    defaults (``reeval_interval_us``, ``probe_duration_us``, ...) are
-    consulted only by their own kind and left untouched otherwise, so
-    one scenario template can be re-used across kinds; note the unused
+    The kind is resolved through the
+    :mod:`~repro.experiments.registry` and validation is delegated to
+    the kind object itself (``RunKind.validate_spec``): each kind
+    rejects combinations it would silently ignore where intent is
+    unambiguous (mics outside protocol runs, a fixed channel outside
+    static runs, ...).  Tuning knobs with non-None defaults
+    (``reeval_interval_us``, ``probe_duration_us``, ...) are consulted
+    only by their own kind and left untouched otherwise, so one
+    scenario template can be re-used across kinds; note the unused
     values still participate in ``spec_hash``.
     """
 
@@ -285,46 +308,32 @@ class ExperimentSpec:
     timeline_interval_us: float | None = None
     probe_duration_us: float = 1_500_000.0
     run_until_us: float | None = None
+    discovery_algorithm: str | None = None
+    sift_width_mhz: float | None = None
+    sift_rate_mbps: float | None = None
+    sift_num_packets: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in RUN_KINDS:
-            raise SimulationError(
-                f"unknown run kind {self.kind!r}; expected one of {RUN_KINDS}"
-            )
-        if self.kind == "static" and self.channel is None:
-            raise SimulationError("kind 'static' requires a channel")
-        # Reject scenario features the run kind would silently ignore:
-        # plausible-looking results from an unsimulated feature are
-        # worse than an error.
-        if self.kind != "protocol" and self.scenario.mics:
-            raise SimulationError(
-                f"kind {self.kind!r} does not simulate microphone "
-                "incumbents; use kind 'protocol' or drop mics"
-            )
-        if self.kind == "protocol" and (
-            self.scenario.backgrounds or self.scenario.background_pool
-        ):
-            raise SimulationError(
-                "kind 'protocol' does not simulate background pairs; "
-                "use a scenario without backgrounds"
-            )
-        if self.kind == "protocol" and self.scenario.traffic != TrafficSpec():
-            raise SimulationError(
-                "kind 'protocol' uses the BSS's built-in saturating "
-                "downlink flow; a custom TrafficSpec would be ignored"
-            )
-        if self.kind != "static" and self.channel is not None:
-            raise SimulationError(
-                f"kind {self.kind!r} picks its own channel; "
-                "a fixed channel only applies to kind 'static'"
-            )
-        if self.kind in ("opt", "protocol") and self.timeline_interval_us is not None:
-            raise SimulationError(
-                f"kind {self.kind!r} does not sample a throughput timeline"
-            )
+        # Resolve the kind first: unknown kinds raise here, listing the
+        # registered names sorted.
+        from repro.experiments.registry import get_run_kind
+
+        run_kind = get_run_kind(self.kind)
         if self.channel is not None:
             center, width = self.channel
             object.__setattr__(self, "channel", (int(center), float(width)))
+        # Normalize numeric kind knobs so equivalent spellings (5 vs
+        # 5.0) share one canonical JSON form and therefore one
+        # spec_hash / cache key.
+        if self.sift_width_mhz is not None:
+            object.__setattr__(self, "sift_width_mhz", float(self.sift_width_mhz))
+        if self.sift_rate_mbps is not None:
+            object.__setattr__(self, "sift_rate_mbps", float(self.sift_rate_mbps))
+        if self.sift_num_packets is not None:
+            object.__setattr__(
+                self, "sift_num_packets", int(self.sift_num_packets)
+            )
+        run_kind.validate_spec(self)
 
     def with_seed(self, seed: int) -> "ExperimentSpec":
         """A copy of this experiment with a different scenario seed."""

@@ -12,21 +12,33 @@ live in the unified experiments subsystem:
   ``run_experiment``.
 * :mod:`repro.experiments.parallel` — :class:`ParallelRunner` seed sweeps.
 
-Importing from ``repro.sim.runner`` keeps working; new code should
-import from :mod:`repro.experiments` directly.
+Importing from ``repro.sim.runner`` keeps working but emits a
+``DeprecationWarning``; new code should import from
+:mod:`repro.experiments` directly (``ScenarioBuilder`` replaces the old
+world-wiring helpers).
 """
 
 from __future__ import annotations
 
-from repro.experiments.runs import (
+import warnings
+
+warnings.warn(
+    "repro.sim.runner is deprecated; import ScenarioBuilder, "
+    "ScenarioConfig, and the run_* functions from repro.experiments "
+    "instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.experiments.runs import (  # noqa: E402
     RunResult,
     find_opt_static,
     run_opt_baselines,
     run_static,
     run_whitefi,
 )
-from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.spec import BackgroundSpec
+from repro.experiments.scenario import ScenarioConfig  # noqa: E402
+from repro.experiments.spec import BackgroundSpec  # noqa: E402
 
 __all__ = [
     "BackgroundSpec",

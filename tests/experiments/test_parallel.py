@@ -56,6 +56,38 @@ class TestGridExpansion:
 
 
 class TestParallelSequentialEquivalence:
+    def test_byte_identical_results_discovery_kind(self):
+        spec = ExperimentSpec(
+            ScenarioSpec(free_indices=tuple(range(4, 12)), seed=5),
+            kind="discovery",
+            discovery_algorithm="j-sift",
+        )
+        seeds = sweep_seeds(13, 3)
+        sequential = ParallelRunner(max_workers=1).run_grid(spec, seeds)
+        parallel = ParallelRunner(max_workers=4).run_grid(spec, seeds)
+        assert [r.to_json() for r in sequential] == [
+            r.to_json() for r in parallel
+        ]
+        assert all(r.metric("discovery_succeeded") for r in sequential)
+
+    def test_byte_identical_results_sift_kind(self):
+        spec = ExperimentSpec(
+            ScenarioSpec(free_indices=FIVE_FREE, seed=5),
+            kind="sift",
+            sift_width_mhz=10.0,
+            sift_rate_mbps=0.5,
+            sift_num_packets=15,
+        )
+        seeds = sweep_seeds(17, 3)
+        sequential = ParallelRunner(max_workers=1).run_grid(spec, seeds)
+        parallel = ParallelRunner(max_workers=4).run_grid(spec, seeds)
+        assert [r.to_json() for r in sequential] == [
+            r.to_json() for r in parallel
+        ]
+        assert summarize(sequential, metric="detection_rate") == summarize(
+            parallel, metric="detection_rate"
+        )
+
     def test_byte_identical_results(self):
         # The acceptance bar: N>=4 workers produce byte-identical
         # aggregated results to the in-process sequential fallback.

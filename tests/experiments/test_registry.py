@@ -1,0 +1,217 @@
+"""Tests for the RunKind registry: dispatch, hygiene, and the Probe API."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    ExperimentSpec,
+    RunKind,
+    ScenarioSpec,
+    get_run_kind,
+    register_run_kind,
+    run_experiment,
+    run_kind_names,
+    unregister_run_kind,
+)
+from repro.experiments.registry import probe_metrics
+
+BUILTIN_KINDS = ("discovery", "opt", "protocol", "sift", "static", "whitefi")
+
+
+def scenario(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        free_indices=tuple(range(5, 10)),
+        duration_us=200_000.0,
+        warmup_us=50_000.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class _ToyProbe:
+    name = "toy"
+
+    def extract(self, raw):
+        return {"aggregate_mbps": 1.5, "echo_seed": raw["spec"].scenario.seed}
+
+
+class ToyKind(RunKind):
+    name = "toy"
+    summary = "test double"
+    probes = (_ToyProbe(),)
+
+    def execute(self, spec):
+        return {"spec": spec}
+
+
+@pytest.fixture
+def toy_kind():
+    kind = register_run_kind(ToyKind())
+    yield kind
+    unregister_run_kind("toy")
+
+
+class TestRegistryHygiene:
+    def test_builtins_registered_sorted(self):
+        assert run_kind_names() == BUILTIN_KINDS
+
+    def test_run_kinds_derived_from_registry(self, toy_kind):
+        # RUN_KINDS is a live view of the registry, importable from the
+        # package and from the spec module.
+        import repro.experiments
+        import repro.experiments.spec
+
+        assert "toy" in repro.experiments.RUN_KINDS
+        assert "toy" in repro.experiments.spec.RUN_KINDS
+        assert repro.experiments.RUN_KINDS == tuple(sorted(BUILTIN_KINDS + ("toy",)))
+
+    def test_duplicate_registration_raises(self):
+        class Shadow(RunKind):
+            name = "static"
+
+            def execute(self, spec):
+                return {}
+
+        with pytest.raises(SimulationError, match="already registered"):
+            register_run_kind(Shadow())
+
+    def test_nameless_kind_rejected(self):
+        class Nameless(RunKind):
+            def execute(self, spec):
+                return {}
+
+        with pytest.raises(SimulationError, match="non-empty string"):
+            register_run_kind(Nameless())
+
+    def test_unknown_kind_error_lists_sorted_kinds(self):
+        from repro.errors import UnknownRunKindError
+
+        with pytest.raises(UnknownRunKindError) as err:
+            get_run_kind("quantum")
+        assert str(BUILTIN_KINDS) in str(err.value)
+
+    def test_failed_builtin_import_rolls_back_cleanly(self, monkeypatch):
+        # A plugin squatting on a built-in name before the built-ins
+        # load makes the kinds import fail; the partial registrations
+        # must roll back so the root-cause error repeats identically
+        # instead of wedging the registry.
+        import sys
+
+        import repro.experiments.registry as reg
+
+        kinds_module = sys.modules["repro.experiments.kinds"]
+        saved = dict(reg._REGISTRY)
+        try:
+            reg._REGISTRY.clear()
+            monkeypatch.setattr(reg, "_BUILTINS_LOADED", False)
+            sys.modules.pop("repro.experiments.kinds")
+
+            class Squatter(RunKind):
+                name = "whitefi"
+
+                def execute(self, spec):
+                    return {}
+
+            reg._REGISTRY["whitefi"] = Squatter()
+            for _ in range(2):  # identical failure on every access
+                with pytest.raises(
+                    SimulationError, match="'whitefi' is already registered"
+                ):
+                    run_kind_names()
+                assert set(reg._REGISTRY) == {"whitefi"}
+        finally:
+            reg._REGISTRY.clear()
+            reg._REGISTRY.update(saved)
+            sys.modules["repro.experiments.kinds"] = kinds_module
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            unregister_run_kind("quantum")
+
+
+class TestPluginDispatch:
+    def test_spec_accepts_registered_kind(self, toy_kind):
+        spec = ExperimentSpec(scenario(), kind="toy")
+        assert spec.kind == "toy"
+        # ...and JSON round-trips like any built-in.
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_run_experiment_dispatches_to_plugin(self, toy_kind):
+        result = run_experiment(ExperimentSpec(scenario(seed=11), kind="toy"))
+        assert result.kind == "toy"
+        # Probe keys matching result fields populate the typed record;
+        # the rest land in the per-kind metrics payload.
+        assert result.aggregate_mbps == 1.5
+        assert result.metric("echo_seed") == 11
+        assert result.metric("missing", default="x") == "x"
+
+    def test_spec_rejects_unregistered_kind(self):
+        with pytest.raises(SimulationError, match="unknown run kind"):
+            ExperimentSpec(scenario(), kind="toy")
+
+
+class TestProbeMetrics:
+    def test_duplicate_probe_key_raises(self):
+        with pytest.raises(SimulationError, match="re-emits"):
+            probe_metrics((_ToyProbe(), _ToyProbe()), {"spec": ExperimentSpec(scenario())})
+
+    def test_field_metric_split(self):
+        fields, metrics = probe_metrics(
+            (_ToyProbe(),), {"spec": ExperimentSpec(scenario())}
+        )
+        assert fields == {"aggregate_mbps": 1.5}
+        assert metrics == (("echo_seed", 3),)
+
+
+class TestMetricsPayloadNormalization:
+    def test_dict_metric_values_stay_round_trippable(self):
+        # A plugin probe may emit a dict; the result must stay hashable
+        # and byte-identical through JSON (dict keys stringify in JSON,
+        # so dicts are frozen into sorted pairs).
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult(
+            kind="toy",
+            spec_hash="abc",
+            seed=1,
+            metrics=(("histogram", {5: 2, 3: 1}),),
+        )
+        assert result.metric("histogram") == ((3, 1), (5, 2))
+        hash(result)  # hashable
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.to_json() == result.to_json()
+
+    def test_payload_metric_not_shadowed_by_result_attributes(self):
+        from repro.experiments import ExperimentResult, metric_value, summarize
+
+        result = ExperimentResult(
+            kind="toy",
+            spec_hash="abc",
+            seed=1,
+            channel_history=((0.0, 7, 20.0), (1.0, 9, 10.0)),
+            metrics=(("final_channel", 42.0),),
+        )
+        # Payload entries win over same-named properties/methods...
+        assert metric_value(result, "final_channel") == 42.0
+        # ...derived numeric properties still work when no entry exists...
+        assert metric_value(result, "num_switches") == 1.0
+        # ...and methods or missing names raise the documented error.
+        with pytest.raises(ValueError):
+            metric_value(result, "to_dict")
+        with pytest.raises(ValueError):
+            summarize([result], metric="nonexistent")
+
+
+class TestDispatchEquivalence:
+    def test_no_per_kind_branches_in_run_experiment(self):
+        # The acceptance bar: dispatch is a registry lookup, not a
+        # kind-name if/elif ladder.
+        import inspect
+
+        import repro.experiments.registry as registry
+
+        source = inspect.getsource(registry.run_experiment)
+        for kind in BUILTIN_KINDS:
+            assert f"'{kind}'" not in source and f'"{kind}"' not in source

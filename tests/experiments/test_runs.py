@@ -164,6 +164,102 @@ class TestProtocolKind:
         assert ExperimentResult.from_json(result.to_json()) == result
 
 
+class TestDiscoveryKind:
+    def race(self, algorithm: str, **scenario_overrides) -> ExperimentResult:
+        spec = ExperimentSpec(
+            scenario(**scenario_overrides),
+            kind="discovery",
+            discovery_algorithm=algorithm,
+        )
+        return run_experiment(spec)
+
+    def test_finds_the_hidden_ap(self):
+        result = self.race("l-sift")
+        assert result.kind == "discovery"
+        assert result.metric("discovery_succeeded") is True
+        # The discovered channel is the hidden ground truth, and it is
+        # also the run's single switch-log entry.
+        assert result.metric("discovered_channel") == result.metric("ap_channel")
+        assert result.final_channel == tuple(result.metric("discovered_channel"))
+        assert result.metric("discovery_us") == result.duration_us > 0
+
+    def test_same_scenario_same_ap_across_algorithms(self):
+        # The AP placement derives from the scenario seed only, so the
+        # three algorithms race toward the same hidden AP.
+        outcomes = {
+            algo: self.race(algo).metric("ap_channel")
+            for algo in ("baseline", "l-sift", "j-sift")
+        }
+        assert len(set(map(tuple, outcomes.values()))) == 1
+
+    def test_sift_beats_baseline_on_wide_fragment(self):
+        free = tuple(range(0, 20))
+        baseline = self.race("baseline", free_indices=free)
+        j_sift = self.race("j-sift", free_indices=free)
+        assert baseline.metric("sift_scans") == 0
+        assert j_sift.metric("sift_scans") > 0
+        assert j_sift.metric("discovery_us") < baseline.metric("discovery_us")
+
+    def test_deterministic_in_spec(self):
+        spec = ExperimentSpec(
+            scenario(), kind="discovery", discovery_algorithm="j-sift"
+        )
+        assert run_experiment(spec).to_json() == run_experiment(spec).to_json()
+
+    def test_empty_map_raises(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="at least one candidate"):
+            self.race("l-sift", free_indices=())
+
+
+class TestSiftKind:
+    def accuracy(self, **spec_overrides) -> ExperimentResult:
+        defaults = dict(
+            kind="sift",
+            sift_width_mhz=20.0,
+            sift_rate_mbps=0.5,
+            sift_num_packets=30,
+        )
+        defaults.update(spec_overrides)
+        return run_experiment(ExperimentSpec(scenario(), **defaults))
+
+    def test_detects_most_packets(self):
+        result = self.accuracy()
+        assert result.kind == "sift"
+        assert result.metric("sift_sent") == 30
+        assert result.metric("detection_rate") >= 0.9
+        assert 0.0 < result.metric("airtime_measured") < 1.0
+
+    def test_confusion_counts_dominated_by_true_width(self):
+        result = self.accuracy()
+        assert result.metric("true_width_mhz") == 20.0
+        counts = dict(result.metric("width_counts"))
+        assert counts.get(20.0, 0) == max(counts.values())
+        assert result.metric("classification_accuracy") >= 0.9
+
+    def test_deterministic_in_spec_and_seed_sensitive(self):
+        a = self.accuracy()
+        b = self.accuracy()
+        assert a.to_json() == b.to_json()
+        reseeded = run_experiment(
+            ExperimentSpec(
+                scenario(seed=8),
+                kind="sift",
+                sift_width_mhz=20.0,
+                sift_rate_mbps=0.5,
+                sift_num_packets=30,
+            )
+        )
+        assert reseeded.spec_hash != a.spec_hash
+
+    def test_json_round_trip_with_metrics_payload(self):
+        result = self.accuracy()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.metric("width_counts") == result.metric("width_counts")
+
+
 class TestBackgroundEffects:
     def test_background_reduces_static_throughput(self):
         quiet = run_experiment(

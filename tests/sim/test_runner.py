@@ -1,11 +1,13 @@
-"""Tests for the scenario runner and OPT baselines."""
+"""Tests for the scenario run functions, OPT baselines, and the shim."""
+
+import importlib
+import sys
 
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.runner import (
-    BackgroundSpec,
-    ScenarioConfig,
+from repro.experiments import BackgroundSpec, ScenarioConfig
+from repro.experiments.runs import (
     find_opt_static,
     run_opt_baselines,
     run_static,
@@ -13,6 +15,15 @@ from repro.sim.runner import (
 )
 from repro.spectrum.spectrum_map import SpectrumMap
 from repro.spectrum.channels import WhiteFiChannel
+
+
+def test_sim_runner_shim_emits_deprecation_warning():
+    # The shim warns on (re-)import and still re-exports the moved API.
+    sys.modules.pop("repro.sim.runner", None)
+    with pytest.warns(DeprecationWarning, match="repro.sim.runner is deprecated"):
+        shim = importlib.import_module("repro.sim.runner")
+    assert shim.run_static is run_static
+    assert shim.ScenarioConfig is ScenarioConfig
 
 FIVE_FREE = SpectrumMap.from_free(range(5, 10), 30)
 
