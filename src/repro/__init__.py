@@ -35,7 +35,7 @@ from repro.errors import (
     UnknownRunKindError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "constants",

@@ -133,24 +133,34 @@ def network_score(
     )
 
 
+def channel_preference_key(
+    score: float, channel: WhiteFiChannel
+) -> tuple[float, float, int]:
+    """The canonical channel-ranking key (higher tuple = preferred).
+
+    Score first; ties prefer wider channels, then lower center
+    indices, so repeated evaluations are stable.  Shared by
+    :func:`best_channel` and any ranked candidate list (the citywide
+    backup-channel ordering) so primary and backup preferences can
+    never diverge.
+    """
+    return (score, channel.width_mhz, -channel.center_index)
+
+
 def best_channel(
     candidates: Iterable[WhiteFiChannel],
     score: Callable[[WhiteFiChannel], float],
 ) -> tuple[WhiteFiChannel | None, float]:
     """Argmax of *score* over *candidates* (deterministic tie-break).
 
-    Ties prefer wider channels, then lower center indices, so repeated
-    evaluations are stable.
+    Ties break via :func:`channel_preference_key`.
     """
     best: WhiteFiChannel | None = None
     best_score = -math.inf
     for channel in candidates:
         s = score(channel)
-        key = (s, channel.width_mhz, -channel.center_index)
-        if best is None or key > (
-            best_score,
-            best.width_mhz,
-            -best.center_index,
-        ):
+        if best is None or channel_preference_key(
+            s, channel
+        ) > channel_preference_key(best_score, best):
             best, best_score = channel, s
     return best, best_score

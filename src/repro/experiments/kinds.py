@@ -14,10 +14,11 @@ whitefi    adaptive MCham assignment loop (Figs 10-13)          + MCham timeline
 protocol   full message-level BSS (Fig 14 / Section 5.3)        goodput, switch-log, disconnections
 discovery  L-SIFT / J-SIFT / baseline AP races (Figs 8-9)       discovery latency + scan counters
 sift       SIFT detection/classification accuracy (Table 1)     detection rate + width confusion
+citywide   many APs on one metro wsdb (post-FCC-2010 regime)    per-AP throughput, disagreement, db cache
 ========== ==================================================== =========================================
 
-Importing this module registers all six; adding an evaluation axis is a
-new ``RunKind`` subclass plus ``register_run_kind`` — no dispatcher
+Importing this module registers all seven; adding an evaluation axis is
+a new ``RunKind`` subclass plus ``register_run_kind`` — no dispatcher
 edits anywhere.
 """
 
@@ -30,6 +31,7 @@ from repro.errors import SimulationError
 from repro.experiments.probes import (
     AirtimeProbe,
     BaselinesProbe,
+    CitywideProbe,
     DisconnectionProbe,
     DiscoveryProbe,
     MchamTimelineProbe,
@@ -58,6 +60,7 @@ from repro.experiments.spec import ExperimentSpec, TrafficSpec
 from repro.spectrum.channels import WhiteFiChannel
 
 __all__ = [
+    "CitywideKind",
     "DiscoveryKind",
     "OptKind",
     "ProtocolKind",
@@ -79,12 +82,15 @@ __all__ = [
 # stay unchecked so one scenario template can be reused across kinds.
 
 
-def _reject_mics(spec: ExperimentSpec) -> None:
+def _reject_mics(
+    spec: ExperimentSpec,
+    reason: str = (
+        "does not simulate microphone incumbents; "
+        "use kind 'protocol' or drop mics"
+    ),
+) -> None:
     if spec.scenario.mics:
-        raise SimulationError(
-            f"kind {spec.kind!r} does not simulate microphone "
-            "incumbents; use kind 'protocol' or drop mics"
-        )
+        raise SimulationError(f"kind {spec.kind!r} {reason}")
 
 
 def _reject_backgrounds(spec: ExperimentSpec) -> None:
@@ -136,6 +142,9 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
         "sift_width_mhz": "sift",
         "sift_rate_mbps": "sift",
         "sift_num_packets": "sift",
+        "citywide_aps": "citywide",
+        "citywide_extent_km": "citywide",
+        "citywide_mic_events": "citywide",
     }
     for knob, owner in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
@@ -394,6 +403,73 @@ class SiftKind(RunKind):
         }
 
 
+class CitywideKind(RunKind):
+    """City-scale White-Fi over a geolocation database (wsdb).
+
+    Many APs across a metro plane query the
+    :class:`~repro.wsdb.service.WhiteSpaceDatabase` (instead of
+    sensing), pick channels with the existing MCham assignment, and
+    recover from mid-session microphone registrations via their backup
+    channels.  The scenario's occupied channels seed the metro dial;
+    every placement, EIRP, and mic event derives from the scenario
+    seed.
+    """
+
+    name = "citywide"
+    summary = "many APs sharing one metro white-space database"
+    probes = (CitywideProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        if spec.citywide_aps is None or spec.citywide_aps < 1:
+            raise SimulationError(
+                "kind 'citywide' requires citywide_aps >= 1, "
+                f"got {spec.citywide_aps!r}"
+            )
+        if spec.citywide_extent_km is not None and spec.citywide_extent_km <= 0:
+            raise SimulationError(
+                f"citywide_extent_km must be > 0, got {spec.citywide_extent_km!r}"
+            )
+        if spec.citywide_mic_events is not None and spec.citywide_mic_events < 0:
+            raise SimulationError(
+                "citywide_mic_events must be >= 0, "
+                f"got {spec.citywide_mic_events!r}"
+            )
+        _reject_channel(spec)
+        _reject_backgrounds(spec)
+        _reject_spatial(spec)
+        _reject_timeline(spec)
+        _reject_custom_traffic(
+            spec, "models AP load analytically via MCham, not packet flows"
+        )
+        _reject_mics(
+            spec,
+            "generates its own microphone registrations; "
+            "use citywide_mic_events instead of scenario mics",
+        )
+        _reject_foreign_knobs(
+            spec, "citywide_aps", "citywide_extent_km", "citywide_mic_events"
+        )
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        from repro.wsdb.citywide import simulate_citywide
+
+        db = ScenarioBuilder(spec.scenario).build_citywide_db(
+            extent_m=(
+                None
+                if spec.citywide_extent_km is None
+                else spec.citywide_extent_km * 1_000.0
+            )
+        )
+        city = simulate_citywide(
+            db,
+            num_aps=spec.citywide_aps,
+            duration_us=spec.scenario.duration_us,
+            seed=spec.scenario.seed,
+            mic_events=spec.citywide_mic_events or 0,
+        )
+        return {"spec": spec, "city": city}
+
+
 for _kind in (
     StaticKind(),
     WhiteFiKind(),
@@ -401,5 +477,6 @@ for _kind in (
     ProtocolKind(),
     DiscoveryKind(),
     SiftKind(),
+    CitywideKind(),
 ):
     register_run_kind(_kind)

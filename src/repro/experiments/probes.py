@@ -18,6 +18,9 @@ Conventional artifact keys:
   channel (discovery kind).
 * ``"scan"`` / ``"workload"`` — a SIFT scan over a synthesized capture
   plus its ground truth (sift kind).
+* ``"city"`` — the plain-data report of one
+  :func:`repro.wsdb.citywide.simulate_citywide` session (citywide
+  kind).
 
 A new kind composes these freely — reusing ``"run"`` gets the whole
 throughput/airtime/switch-log family for free — or adds its own probe
@@ -32,6 +35,7 @@ from typing import Any, Mapping
 __all__ = [
     "AirtimeProbe",
     "BaselinesProbe",
+    "CitywideProbe",
     "DisconnectionProbe",
     "DiscoveryProbe",
     "MchamTimelineProbe",
@@ -239,6 +243,46 @@ class DiscoveryProbe:
             "beacon_dwells": outcome.beacon_dwells,
             "scanned_indices": tuple(outcome.scanned_indices),
         }
+
+
+class CitywideProbe:
+    """City-scale deployment metrics off one ``simulate_citywide`` report.
+
+    Routes the city's aggregate/mean throughput into the typed result
+    fields (per "client" reads per AP at city scale) and everything
+    else — assignment outcomes, mic-displacement accounting, the
+    availability-disagreement summary, and the flattened wsdb cache
+    counters (``db_*``) — into the payload.
+    """
+
+    name = "citywide"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        city = raw["city"]
+        metrics: dict[str, Any] = {
+            "aggregate_mbps": city["aggregate_mbps"],
+            "per_client_mbps": city["mean_ap_mbps"],
+            "duration_us": city["duration_us"],
+        }
+        for key in (
+            "num_aps",
+            "assigned_aps",
+            "unserved_aps",
+            "min_ap_mbps",
+            "width_counts",
+            "availability_disagreement",
+            "mic_events",
+            "displaced_aps",
+            "backup_recoveries",
+            "full_reassignments",
+            "outages",
+            "noncompliant_aps",
+            "per_ap",
+        ):
+            metrics[key] = city[key]
+        for key, value in city["db"].items():
+            metrics[f"db_{key}"] = value
+        return metrics
 
 
 class SiftAccuracyProbe:

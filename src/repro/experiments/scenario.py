@@ -373,6 +373,36 @@ class ScenarioBuilder:
             num_packets=PACKETS_PER_RUN if num_packets is None else num_packets,
         )
 
+    def build_citywide_db(self, extent_m: float | None = None):
+        """A fresh geolocation white-space database for one citywide run.
+
+        The scenario's occupied channels become the metro dial
+        (:func:`repro.wsdb.model.generate_metro` places 1-2 TV
+        transmitter sites per occupied channel, with positions, EIRPs,
+        and therefore protected contours drawn from a stream derived
+        from the scenario seed).  The returned
+        :class:`~repro.wsdb.service.WhiteSpaceDatabase` starts with a
+        cold response cache and zeroed counters, so cache metrics are a
+        pure function of the spec.
+
+        Args:
+            extent_m: metro plane edge override (default: the wsdb
+                default, 20 km).
+        """
+        # Imported here like the other stacks above sim: wsdb must not
+        # load into every spec-only consumer.
+        from repro.wsdb.model import DEFAULT_EXTENT_M, generate_metro
+        from repro.wsdb.service import WhiteSpaceDatabase
+
+        config = self.config
+        metro = generate_metro(
+            config.base_map.occupied_indices(),
+            extent_m=DEFAULT_EXTENT_M if extent_m is None else extent_m,
+            seed=stream_seed(config.seed, "citywide-metro"),
+            num_channels=config.num_channels,
+        )
+        return WhiteSpaceDatabase(metro)
+
     def build_protocol_bss(self, **bss_kwargs):
         """A fresh full-protocol BSS world for one run.
 

@@ -267,7 +267,8 @@ class ExperimentSpec:
             omniscient static baselines), "protocol" (full BSS with
             beacons/chirps/disconnections), "discovery" (timed AP
             discovery race), "sift" (SIFT accuracy over a synthesized
-            capture).
+            capture), "citywide" (many APs sharing one metro
+            white-space database).
         channel: (center_index, width_mhz) for kind "static".
         reeval_interval_us: WhiteFi assignment-loop period.
         hysteresis_margin: voluntary-switch margin override (None =
@@ -285,6 +286,12 @@ class ExperimentSpec:
         sift_rate_mbps: kind "sift" — iperf injection rate.
         sift_num_packets: kind "sift" — packets per run (None = the
             paper's 110).
+        citywide_aps: kind "citywide" — number of APs placed across
+            the metro plane.
+        citywide_extent_km: kind "citywide" — metro plane edge length
+            (None = the wsdb default, 20 km).
+        citywide_mic_events: kind "citywide" — mid-session microphone
+            registrations (None = 0).
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -312,6 +319,9 @@ class ExperimentSpec:
     sift_width_mhz: float | None = None
     sift_rate_mbps: float | None = None
     sift_num_packets: int | None = None
+    citywide_aps: int | None = None
+    citywide_extent_km: float | None = None
+    citywide_mic_events: int | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -332,6 +342,16 @@ class ExperimentSpec:
         if self.sift_num_packets is not None:
             object.__setattr__(
                 self, "sift_num_packets", int(self.sift_num_packets)
+            )
+        if self.citywide_aps is not None:
+            object.__setattr__(self, "citywide_aps", int(self.citywide_aps))
+        if self.citywide_extent_km is not None:
+            object.__setattr__(
+                self, "citywide_extent_km", float(self.citywide_extent_km)
+            )
+        if self.citywide_mic_events is not None:
+            object.__setattr__(
+                self, "citywide_mic_events", int(self.citywide_mic_events)
             )
         run_kind.validate_spec(self)
 

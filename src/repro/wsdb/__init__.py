@@ -1,0 +1,56 @@
+"""Geolocation white-space database: the post-sensing FCC regime.
+
+WhiteFi's nodes *sense* incumbents; the ecosystem that followed
+standardized on **geolocation databases** — APs query a service for the
+channels available at their coordinate.  This package supplies that
+missing layer as a deterministic, seedable simulation component:
+
+* :mod:`repro.wsdb.model` — the spatial ground truth: TV transmitter
+  sites and wireless-microphone registrations on a 2-D metro plane,
+  with protected contours derived from power (reusing the
+  :mod:`repro.spectrum.incumbents` records and the
+  :mod:`repro.spectrum.geodata` locale settings).
+* :mod:`repro.wsdb.index` — a uniform-grid spatial index answering
+  point availability queries without scanning every incumbent.
+* :mod:`repro.wsdb.service` — :class:`WhiteSpaceDatabase`: the query
+  façade with a TTL + LRU response cache, mic-registration
+  invalidation, and query/hit/miss counters.
+* :mod:`repro.wsdb.citywide` — the city-scale workload driver behind
+  the ``citywide`` run kind: many APs assigning channels off database
+  responses via MCham, with backup-channel recovery on mic events.
+"""
+
+from repro.wsdb.citywide import (
+    CityAp,
+    MicEvent,
+    assign_ap,
+    generate_mic_events,
+    simulate_citywide,
+)
+from repro.wsdb.index import GridIndex
+from repro.wsdb.model import (
+    Metro,
+    MicRegistration,
+    TvTransmitterSite,
+    generate_metro,
+    generate_metro_for_setting,
+    protected_radius_m,
+)
+from repro.wsdb.service import WhiteSpaceDatabase, WsdbStats
+
+__all__ = [
+    "CityAp",
+    "GridIndex",
+    "Metro",
+    "MicEvent",
+    "MicRegistration",
+    "TvTransmitterSite",
+    "WhiteSpaceDatabase",
+    "WsdbStats",
+    "assign_ap",
+    "generate_metro",
+    "generate_metro_for_setting",
+    "generate_mic_events",
+    "protected_radius_m",
+    "simulate_citywide",
+]

@@ -1,0 +1,322 @@
+"""City-scale WhiteFi: many APs sharing one metro through the wsdb.
+
+The paper evaluates one BSS at a time; the regime that followed
+("Optimizing City-Wide White-Fi Networks in TV White Spaces") is
+hundreds of APs drawing on one metro spectrum pool.  This driver models
+that workload on top of :class:`~repro.wsdb.service.WhiteSpaceDatabase`:
+
+* Every AP is dropped at a coordinate and — instead of sensing — asks
+  the database for the channels available *there*, then picks its
+  ``(F, W)`` with the paper's own MCham machinery
+  (:class:`~repro.core.assignment.ChannelAssigner`), seeing neighboring
+  APs' load as per-channel airtime/AP counts.
+* Each AP keeps a short ranked list of **backup channels** (the
+  disconnection protocol's backup-channel idea, Section 4.3).  When a
+  wireless microphone registers mid-session, the database invalidates
+  the cached responses inside the protection zone and every covered AP
+  on the mic's channel vacates, walking its backup list against a fresh
+  database response — in ranked order, the way SIFT walks candidate
+  channels — before falling back to a full MCham re-assignment.
+* The run ends with a compliance re-query per AP (generating the
+  repeated same-coordinate queries the response cache exists for) and a
+  city-wide availability-disagreement summary
+  (:func:`~repro.spectrum.variation.availability_disagreement` over the
+  per-AP database responses — the Section 2.1 metric, metro-scale).
+
+Everything derives from the master seed through labelled
+:func:`~repro.sim.rng.stream_seed` streams, so a run is byte-identical
+in any process — the contract the ``citywide`` run kind and
+``ParallelRunner`` rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro import constants
+from repro.core.assignment import ChannelAssigner, SwitchReason
+from repro.core.mcham import channel_preference_key
+from repro.errors import NoChannelAvailableError, SimulationError
+from repro.sim.rng import stream_seed
+from repro.spectrum.airtime import AirtimeObservation
+from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.variation import availability_disagreement
+from repro.wsdb.model import MicRegistration
+from repro.wsdb.service import WhiteSpaceDatabase
+
+__all__ = [
+    "CityAp",
+    "MicEvent",
+    "assign_ap",
+    "generate_mic_events",
+    "simulate_citywide",
+]
+
+#: Radius within which two APs contend (meters).  City-scale APs are
+#: sectorized/low-power; a few km of mutual interference is the regime
+#: the city-wide White-Fi literature optimizes.
+DEFAULT_INTERFERENCE_RADIUS_M = 2_500.0
+
+#: Busy-airtime fraction one neighboring AP contributes to each UHF
+#: channel it spans (heavy-traffic assumption; fractions add and cap
+#: at 1, where MCham's 1/(B+1) fair-share floor takes over).
+AP_LOAD_FRACTION = 0.35
+
+#: Throughput of one MCham score unit (an empty 5 MHz reference
+#: channel): the prototype's 20 MHz rate scaled down by width.
+REFERENCE_RATE_MBPS = constants.BASE_DATA_RATE_MBPS / (
+    20.0 / constants.REFERENCE_WIDTH_MHZ
+)
+
+#: Backup channels each AP keeps ranked for mic-event recovery.
+NUM_BACKUP_CHANNELS = 3
+
+
+@dataclass
+class CityAp:
+    """One access point of the citywide deployment."""
+
+    ap_id: int
+    x_m: float
+    y_m: float
+    channel: WhiteFiChannel | None = None
+    backups: tuple[WhiteFiChannel, ...] = ()
+
+
+@dataclass(frozen=True)
+class MicEvent:
+    """One mid-session microphone registration."""
+
+    t_us: float
+    end_us: float
+    x_m: float
+    y_m: float
+    uhf_index: int
+
+    def registration(self) -> MicRegistration:
+        """The wsdb registration protecting this event's session."""
+        return MicRegistration.single_session(
+            self.uhf_index, self.x_m, self.y_m, self.t_us, self.end_us
+        )
+
+
+def generate_mic_events(
+    count: int,
+    duration_us: float,
+    extent_m: float,
+    num_channels: int,
+    seed: int,
+) -> list[MicEvent]:
+    """*count* random registrations in start-time order, seeded."""
+    rng = random.Random(seed)
+    # Sessions may outlive the measured window (a venue's booking does
+    # not end with the experiment): mics still active at the horizon
+    # keep shaping the end-of-session availability sweep.
+    events = [
+        MicEvent(
+            t_us=(t := rng.uniform(0.0, duration_us)),
+            end_us=t + rng.uniform(30e6, 300e6),
+            x_m=rng.uniform(0.0, extent_m),
+            y_m=rng.uniform(0.0, extent_m),
+            uhf_index=rng.randrange(num_channels),
+        )
+        for _ in range(count)
+    ]
+    events.sort(key=lambda e: (e.t_us, e.uhf_index))
+    return events
+
+
+def _neighbor_observation(
+    ap: CityAp,
+    aps: list[CityAp],
+    num_channels: int,
+    interference_radius_m: float,
+) -> AirtimeObservation:
+    """*ap*'s per-channel view of neighboring APs' load.
+
+    ``B_c`` counts assigned neighbors whose channel spans ``c``;
+    ``A_c`` models each as a saturating contender contributing
+    :data:`AP_LOAD_FRACTION` of airtime.
+    """
+    counts = [0] * num_channels
+    for other in aps:
+        if other is ap or other.channel is None:
+            continue
+        if (
+            math.hypot(other.x_m - ap.x_m, other.y_m - ap.y_m)
+            <= interference_radius_m
+        ):
+            for c in other.channel.spanned_indices:
+                counts[c] += 1
+    busy = tuple(min(1.0, AP_LOAD_FRACTION * n) for n in counts)
+    return AirtimeObservation(busy, tuple(counts))
+
+
+def assign_ap(
+    ap: CityAp,
+    db: WhiteSpaceDatabase,
+    aps: list[CityAp],
+    t_us: float,
+    interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+) -> bool:
+    """Query the database at *ap*'s coordinate and pick (F, W) via MCham.
+
+    Also refreshes the AP's ranked backup list.  Returns False (and
+    leaves the AP unserved) when no candidate span is available.
+    """
+    num_channels = db.metro.num_channels
+    avail = db.spectrum_map_at(ap.x_m, ap.y_m, t_us)
+    obs = _neighbor_observation(ap, aps, num_channels, interference_radius_m)
+    assigner = ChannelAssigner(num_channels)
+    try:
+        decision = assigner.evaluate(avail, obs, reason=SwitchReason.BOOT)
+    except NoChannelAvailableError:
+        ap.channel = None
+        ap.backups = ()
+        return False
+    ap.channel = decision.channel
+    ranked = sorted(
+        (
+            c
+            for c in assigner.candidate_channels([avail])
+            if c != decision.channel
+        ),
+        key=lambda c: channel_preference_key(assigner.score(c, obs, ()), c),
+        reverse=True,
+    )
+    ap.backups = tuple(ranked[:NUM_BACKUP_CHANNELS])
+    return True
+
+
+def simulate_citywide(
+    db: WhiteSpaceDatabase,
+    num_aps: int,
+    duration_us: float,
+    seed: int,
+    mic_events: int = 0,
+    interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+) -> dict[str, Any]:
+    """Run one citywide session; returns a plain-data report.
+
+    The report is JSON-plain throughout (the ``citywide`` run kind's
+    probe routes it into an ``ExperimentResult`` unchanged).
+    """
+    if num_aps < 1:
+        raise SimulationError(f"citywide needs >= 1 AP, got {num_aps!r}")
+    if duration_us <= 0:
+        raise SimulationError(
+            f"citywide duration must be > 0, got {duration_us!r}"
+        )
+    extent_m = db.metro.extent_m
+    placement = random.Random(stream_seed(seed, "citywide-aps"))
+    aps = [
+        CityAp(
+            i,
+            placement.uniform(0.0, extent_m),
+            placement.uniform(0.0, extent_m),
+        )
+        for i in range(num_aps)
+    ]
+
+    # Boot: sequential greedy assignment (earlier APs are incumbent
+    # load for later ones — the deterministic stand-in for staggered
+    # power-on across a city).
+    for ap in aps:
+        assign_ap(ap, db, aps, 0.0, interference_radius_m)
+
+    events = generate_mic_events(
+        mic_events,
+        duration_us,
+        extent_m,
+        db.metro.num_channels,
+        stream_seed(seed, "citywide-mics"),
+    )
+    displaced = backup_recoveries = full_reassignments = outages = 0
+    for event in events:
+        registration = event.registration()
+        db.register_mic(registration)
+        for ap in aps:
+            if (
+                ap.channel is None
+                or event.uhf_index not in ap.channel.spanned_indices
+                or not registration.covers(ap.x_m, ap.y_m)
+            ):
+                continue
+            displaced += 1
+            # Backup-channel discovery: walk the ranked list against a
+            # fresh (post-invalidation) response before re-planning.
+            free = set(db.channels_at(ap.x_m, ap.y_m, event.t_us))
+            backup = next(
+                (
+                    b
+                    for b in ap.backups
+                    if all(i in free for i in b.spanned_indices)
+                ),
+                None,
+            )
+            if backup is not None:
+                ap.channel = backup
+                ap.backups = tuple(b for b in ap.backups if b != backup)
+                backup_recoveries += 1
+            elif assign_ap(ap, db, aps, event.t_us, interference_radius_m):
+                full_reassignments += 1
+            else:
+                outages += 1
+
+    # End-of-session sweep: per-AP availability (disagreement metric)
+    # plus a compliance re-query — the repeated same-coordinate queries
+    # the response cache is for.
+    final_maps = [
+        db.spectrum_map_at(ap.x_m, ap.y_m, duration_us) for ap in aps
+    ]
+    noncompliant = 0
+    per_ap: list[tuple[int, int | None, float | None, float]] = []
+    total_mbps = 0.0
+    width_counts: dict[float, int] = {}
+    for ap in aps:
+        free = set(db.channels_at(ap.x_m, ap.y_m, duration_us))
+        if ap.channel is None:
+            per_ap.append((ap.ap_id, None, None, 0.0))
+            continue
+        if not all(i in free for i in ap.channel.spanned_indices):
+            noncompliant += 1
+        obs = _neighbor_observation(
+            ap, aps, db.metro.num_channels, interference_radius_m
+        )
+        score = ChannelAssigner(db.metro.num_channels).score(
+            ap.channel, obs, ()
+        )
+        mbps = score * REFERENCE_RATE_MBPS
+        total_mbps += mbps
+        width_counts[ap.channel.width_mhz] = (
+            width_counts.get(ap.channel.width_mhz, 0) + 1
+        )
+        per_ap.append(
+            (ap.ap_id, ap.channel.center_index, ap.channel.width_mhz, mbps)
+        )
+
+    assigned = sum(1 for ap in aps if ap.channel is not None)
+    assigned_mbps = [m for _, center, _, m in per_ap if center is not None]
+    return {
+        "num_aps": num_aps,
+        "extent_m": extent_m,
+        "duration_us": duration_us,
+        "assigned_aps": assigned,
+        "unserved_aps": num_aps - assigned,
+        "aggregate_mbps": total_mbps,
+        "mean_ap_mbps": (total_mbps / assigned) if assigned else 0.0,
+        "min_ap_mbps": min(assigned_mbps) if assigned_mbps else 0.0,
+        "width_counts": tuple(sorted(width_counts.items())),
+        "availability_disagreement": availability_disagreement(final_maps),
+        "mic_events": len(events),
+        "displaced_aps": displaced,
+        "backup_recoveries": backup_recoveries,
+        "full_reassignments": full_reassignments,
+        "outages": outages,
+        "noncompliant_aps": noncompliant,
+        "per_ap": tuple(per_ap),
+        "db": db.stats.as_dict(),
+    }

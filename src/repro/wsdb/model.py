@@ -1,0 +1,320 @@
+"""The wsdb spatial model: incumbents with protected contours on a plane.
+
+WhiteFi (2009) builds spectrum maps from *local sensing*; the regime the
+FCC standardized shortly afterwards replaces sensing with a **geolocation
+database**: fixed incumbents are registered at coordinates, each with a
+protected contour derived from its transmit power, and a white space
+device queries the database for the channels usable at its own
+coordinate.  This module is the generative ground truth behind such a
+database — a 2-D metro plane populated with
+
+* **TV transmitter sites** — :class:`~repro.spectrum.incumbents.TvStation`
+  records placed at a position; their ``power_dbm`` is interpreted as the
+  site's EIRP and turned into a protected-contour radius via a
+  log-distance path-loss model (the contour is where the signal decays to
+  the scanner detection threshold).
+* **Wireless-microphone registrations** — a
+  :class:`~repro.spectrum.incumbents.WirelessMicrophone` (channel plus
+  on/off schedule) pinned at a position with a fixed protection zone,
+  modeled on the FCC Part 74 venue registrations (~1 km).
+
+:class:`Metro` composes both into a point-queryable occupancy model.
+Its :meth:`Metro.occupied_at` is the *reference* implementation — a
+linear scan over every incumbent — used by tests to validate the spatial
+index in :mod:`repro.wsdb.index`; the service façade never calls it on
+the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro import constants
+from repro.errors import SpectrumMapError
+from repro.spectrum.incumbents import MicSession, TvStation, WirelessMicrophone
+from repro.spectrum.spectrum_map import SpectrumMap
+
+__all__ = [
+    "Metro",
+    "MicRegistration",
+    "TvTransmitterSite",
+    "generate_metro",
+    "generate_metro_for_setting",
+    "protected_radius_m",
+]
+
+#: Path-loss exponent of the contour model.  3.5 sits between free space
+#: (2) and dense urban clutter (4-5) — UHF propagates well, which is the
+#: whole appeal of the band (Section 1 of the paper).
+PATH_LOSS_EXPONENT = 3.5
+
+#: Reference distance (meters) at which the EIRP is measured.
+REFERENCE_DISTANCE_M = 1.0
+
+#: Default protection radius for a registered wireless microphone
+#: (meters).  Part 74 venue registrations carve out ~1 km around the
+#: coordinates regardless of the mic's actual (tiny) EIRP.
+MIC_PROTECTED_RADIUS_M = 1_000.0
+
+#: Default EIRP range (dBm) for generated TV sites.  Through the contour
+#: model these give protected radii of roughly 6-14 km — metro-scale
+#: contours that cover large parts of a default plane without blanketing
+#: it, so availability genuinely varies across the city.
+DEFAULT_TV_EIRP_DBM = (20.0, 32.0)
+
+#: Default metro plane edge length (meters).
+DEFAULT_EXTENT_M = 20_000.0
+
+
+def protected_radius_m(
+    eirp_dbm: float,
+    threshold_dbm: float = constants.TV_DETECTION_THRESHOLD_DBM,
+    path_loss_exponent: float = PATH_LOSS_EXPONENT,
+) -> float:
+    """Contour radius where *eirp_dbm* decays to *threshold_dbm*.
+
+    Log-distance model: ``P(d) = EIRP - 10 n log10(d / d0)``; solving
+    ``P(d) = threshold`` for ``d`` gives the protected radius.  Inside
+    the contour the incumbent is detectable and the channel is denied.
+    """
+    if path_loss_exponent <= 0:
+        raise SpectrumMapError(
+            f"path-loss exponent must be > 0, got {path_loss_exponent!r}"
+        )
+    return REFERENCE_DISTANCE_M * 10.0 ** (
+        (eirp_dbm - threshold_dbm) / (10.0 * path_loss_exponent)
+    )
+
+
+@dataclass(frozen=True)
+class TvTransmitterSite:
+    """A TV station pinned at a coordinate with a protected contour.
+
+    Attributes:
+        station: the spectral identity (channel + EIRP) — the same
+            record the sensing-era :class:`IncumbentField` uses, with
+            ``power_dbm`` read as the site EIRP.
+        x_m / y_m: site coordinates on the metro plane.
+    """
+
+    station: TvStation
+    x_m: float
+    y_m: float
+
+    @property
+    def uhf_index(self) -> int:
+        """The UHF channel this site occupies."""
+        return self.station.uhf_index
+
+    @property
+    def radius_m(self) -> float:
+        """Protected-contour radius derived from the site EIRP."""
+        return protected_radius_m(self.station.power_dbm)
+
+    def active_at(self, t_us: float) -> bool:
+        """TV broadcasts are always on (static incumbents)."""
+        return True
+
+    def covers(self, x_m: float, y_m: float) -> bool:
+        """True when (x, y) lies inside the protected contour."""
+        return math.hypot(x_m - self.x_m, y_m - self.y_m) <= self.radius_m
+
+
+@dataclass(frozen=True)
+class MicRegistration:
+    """A registered wireless microphone with a fixed protection zone.
+
+    Attributes:
+        microphone: channel plus on/off schedule (the registration only
+            protects the mic while a session is active).
+        x_m / y_m: registered venue coordinates.
+        radius_m: protection-zone radius (FCC-style fixed carve-out).
+    """
+
+    microphone: WirelessMicrophone
+    x_m: float
+    y_m: float
+    radius_m: float = MIC_PROTECTED_RADIUS_M
+
+    @property
+    def uhf_index(self) -> int:
+        """The UHF channel the registration protects."""
+        return self.microphone.uhf_index
+
+    def active_at(self, t_us: float) -> bool:
+        """True while a registered session covers *t_us*."""
+        return self.microphone.active_at(t_us)
+
+    def covers(self, x_m: float, y_m: float) -> bool:
+        """True when (x, y) lies inside the protection zone."""
+        return math.hypot(x_m - self.x_m, y_m - self.y_m) <= self.radius_m
+
+    @classmethod
+    def single_session(
+        cls,
+        uhf_index: int,
+        x_m: float,
+        y_m: float,
+        start_us: float,
+        end_us: float,
+        radius_m: float = MIC_PROTECTED_RADIUS_M,
+    ) -> "MicRegistration":
+        """A registration protecting one contiguous activity interval."""
+        return cls(
+            WirelessMicrophone(uhf_index, [MicSession(start_us, end_us)]),
+            x_m,
+            y_m,
+            radius_m,
+        )
+
+
+@dataclass
+class Metro:
+    """A metro plane of protected incumbents — the wsdb ground truth.
+
+    Attributes:
+        extent_m: plane edge length; coordinates live in
+            ``[0, extent_m] x [0, extent_m]``.
+        num_channels: UHF index space size.
+        sites: static TV transmitter sites.
+        registrations: wireless-microphone registrations (mutable, but
+            see :meth:`add_registration` for the mutation contract once
+            a service wraps this metro).
+    """
+
+    extent_m: float = DEFAULT_EXTENT_M
+    num_channels: int = constants.NUM_UHF_CHANNELS
+    sites: tuple[TvTransmitterSite, ...] = ()
+    registrations: list[MicRegistration] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.extent_m <= 0:
+            raise SpectrumMapError(
+                f"metro extent must be > 0, got {self.extent_m!r}"
+            )
+        self.sites = tuple(self.sites)
+        self.registrations = list(self.registrations)
+        for incumbent in (*self.sites, *self.registrations):
+            self._check_index(incumbent.uhf_index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_channels:
+            raise SpectrumMapError(
+                f"incumbent on UHF index {index}, "
+                f"outside 0..{self.num_channels - 1}"
+            )
+
+    def add_registration(self, registration: MicRegistration) -> None:
+        """Register a wireless microphone venue.
+
+        Once a :class:`~repro.wsdb.service.WhiteSpaceDatabase` wraps
+        this metro, register through
+        :meth:`~repro.wsdb.service.WhiteSpaceDatabase.register_mic`
+        instead (which calls back here): mutating the metro directly
+        bypasses the service's spatial index and cache invalidation,
+        leaving stale availability in circulation.
+        """
+        self._check_index(registration.uhf_index)
+        self.registrations.append(registration)
+
+    def dial(self) -> tuple[int, ...]:
+        """UHF channels occupied by any TV site, ascending (the metro dial)."""
+        return tuple(sorted({site.uhf_index for site in self.sites}))
+
+    def occupied_at(self, x_m: float, y_m: float, t_us: float = 0.0) -> set[int]:
+        """Channels denied at (x, y) at *t_us* — reference linear scan.
+
+        A channel protected by both a TV contour and an active mic zone
+        is denied exactly once (set semantics — occupancy never double
+        counts, mirroring :meth:`IncumbentField.occupied_indices`).
+        Detectability needs no separate check here: an EIRP below the
+        detection threshold yields a sub-reference-distance contour, so
+        the radius model already excludes undetectable sites.
+        """
+        occupied = {
+            site.uhf_index
+            for site in self.sites
+            if site.covers(x_m, y_m)
+        }
+        occupied.update(
+            reg.uhf_index
+            for reg in self.registrations
+            if reg.active_at(t_us) and reg.covers(x_m, y_m)
+        )
+        return occupied
+
+    def spectrum_map_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> SpectrumMap:
+        """Occupancy bit-vector at (x, y) at *t_us* (reference path)."""
+        return SpectrumMap.from_occupied(
+            self.occupied_at(x_m, y_m, t_us), self.num_channels
+        )
+
+
+def generate_metro(
+    occupied_indices: Iterable[int],
+    extent_m: float = DEFAULT_EXTENT_M,
+    seed: int = 0,
+    num_channels: int = constants.NUM_UHF_CHANNELS,
+    sites_per_channel: tuple[int, int] = (1, 2),
+    eirp_range_dbm: tuple[float, float] = DEFAULT_TV_EIRP_DBM,
+) -> Metro:
+    """Place TV sites for a known dial of occupied channels.
+
+    Every channel in *occupied_indices* gets 1-2 transmitter sites (the
+    bounds are configurable) dropped uniformly on the plane with EIRP
+    drawn from *eirp_range_dbm*; between their contours the channel is
+    locally free, which is what makes the database spatially
+    interesting.  Deterministic in *seed*.
+    """
+    lo, hi = sites_per_channel
+    if not 1 <= lo <= hi:
+        raise SpectrumMapError(
+            f"sites_per_channel bounds must satisfy 1 <= lo <= hi, "
+            f"got {sites_per_channel!r}"
+        )
+    rng = random.Random(seed)
+    sites: list[TvTransmitterSite] = []
+    for index in sorted(set(occupied_indices)):
+        for _ in range(rng.randint(lo, hi)):
+            sites.append(
+                TvTransmitterSite(
+                    TvStation(index, power_dbm=rng.uniform(*eirp_range_dbm)),
+                    x_m=rng.uniform(0.0, extent_m),
+                    y_m=rng.uniform(0.0, extent_m),
+                )
+            )
+    return Metro(extent_m=extent_m, num_channels=num_channels, sites=sites)
+
+
+def generate_metro_for_setting(
+    setting: str,
+    seed: int = 2009,
+    extent_m: float = DEFAULT_EXTENT_M,
+    num_channels: int = constants.NUM_UHF_CHANNELS,
+) -> Metro:
+    """A metro whose dial follows one of the paper's locale settings.
+
+    Draws the occupied-channel set from the Figure 2 generative model
+    (:func:`repro.spectrum.geodata.generate_locale`) — urban metros get
+    dense, clustered dials; rural ones sparse dials — then places sites
+    with :func:`generate_metro`.
+    """
+    from repro.sim.rng import stream_seed
+    from repro.spectrum.geodata import generate_locale
+
+    locale = generate_locale(
+        setting, random.Random(seed), num_channels=num_channels
+    )
+    return generate_metro(
+        locale.spectrum_map.occupied_indices(),
+        extent_m=extent_m,
+        # A labelled child stream, not the raw seed: the dial draws and
+        # the site placements must not replay the same value sequence.
+        seed=stream_seed(seed, "metro-sites"),
+        num_channels=num_channels,
+    )

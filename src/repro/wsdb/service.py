@@ -1,0 +1,271 @@
+"""The geolocation database service façade: cached availability queries.
+
+:class:`WhiteSpaceDatabase` is what a city of APs talks to.  It answers
+point and batch availability queries off the :class:`GridIndex` (never a
+full incumbent scan), memoizes responses in a TTL + LRU cache, accepts
+live microphone registrations that surgically invalidate the cached
+responses inside the new protection zone, and counts
+queries/hits/misses/invalidations so benchmarks can report cache
+behavior alongside throughput.
+
+Caching semantics mirror the real FCC regime, transplanted to simulation
+time: a response is keyed by the query coordinate (quantized to
+``cache_resolution_m`` — devices must re-query after moving, so nearby
+points sharing a key is the modeled behavior, not an accident) plus a
+TTL bucket of simulation time (devices must re-query periodically).
+Within one bucket a cached response may lag a mic *session* edge by up
+to the TTL — the staleness bound the TTL contract allows — but an
+explicit :meth:`register_mic` invalidates the affected area immediately,
+so newly registered incumbents are never served stale.
+
+Determinism: for a fixed query sequence the service is a pure function
+of (metro state, sequence) — the property the citywide run kind's
+byte-identical parallel/sequential contract leans on.  Note the cache
+*does* shape individual answers: a cached response is shared across its
+whole quantization square and TTL bucket, so a query near a contour
+edge may receive the square's memoized answer where an uncached service
+(``cache_capacity=0``) would recompute exactly.  That coordinate
+sharing is the modeled FCC behavior (devices re-query per ~100 m
+square), not an implementation accident — but it means cached and
+cache-disabled runs are *not* interchangeable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SpectrumMapError
+from repro.spectrum.spectrum_map import SpectrumMap
+from repro.wsdb.index import GridIndex
+from repro.wsdb.model import Metro, MicRegistration
+
+__all__ = ["WhiteSpaceDatabase", "WsdbStats"]
+
+#: Default cache TTL (simulation microseconds): 60 s of validity before a
+#: device must re-query, a compressed stand-in for the FCC's daily
+#: re-check requirement.
+DEFAULT_TTL_US = 60_000_000.0
+
+#: Default coordinate quantization for cache keys (meters).  The FCC
+#: requires devices to re-query after moving 100 m; responses within one
+#: 100 m square are shared.
+DEFAULT_CACHE_RESOLUTION_M = 100.0
+
+#: Default LRU capacity (responses).
+DEFAULT_CACHE_CAPACITY = 8_192
+
+
+@dataclass
+class WsdbStats:
+    """Service counters for benchmarking the query path.
+
+    Attributes:
+        queries: availability queries answered (point or batch cell).
+        cache_hits / cache_misses: response-cache outcomes.
+        evictions: LRU evictions.
+        invalidations: cached responses dropped by mic registrations.
+        mic_registrations: registrations accepted.
+        candidates_scanned: incumbents inspected by the spatial index
+            on the service's own query path (the full-scan equivalent
+            is ``queries * incumbents``); direct ``db.index`` use is
+            not counted here.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    mic_registrations: int = 0
+    candidates_scanned: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over all queries (0 when nothing was asked)."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-data snapshot (for probes and benchmark JSON)."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "mic_registrations": self.mic_registrations,
+            "candidates_scanned": self.candidates_scanned,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class _CacheKey:
+    """One response-cache slot: a quantized coordinate + TTL bucket."""
+
+    qx: int
+    qy: int
+    bucket: int
+
+
+class WhiteSpaceDatabase:
+    """A queryable, cacheable geolocation white-space database.
+
+    Args:
+        metro: the incumbent ground truth (sites + registrations).
+        cell_m: spatial-index cell edge (None: ~the mean TV contour
+            radius, a reasonable pruning granularity).
+        ttl_us: response validity window in simulation time.
+        cache_resolution_m: coordinate quantization of cache keys.
+        cache_capacity: LRU capacity; 0 disables response caching
+            (the spatial index still serves every query).
+    """
+
+    def __init__(
+        self,
+        metro: Metro,
+        cell_m: float | None = None,
+        ttl_us: float = DEFAULT_TTL_US,
+        cache_resolution_m: float = DEFAULT_CACHE_RESOLUTION_M,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ):
+        if ttl_us <= 0:
+            raise SpectrumMapError(f"ttl_us must be > 0, got {ttl_us!r}")
+        if cache_resolution_m <= 0:
+            raise SpectrumMapError(
+                f"cache_resolution_m must be > 0, got {cache_resolution_m!r}"
+            )
+        if cache_capacity < 0:
+            raise SpectrumMapError(
+                f"cache_capacity must be >= 0, got {cache_capacity!r}"
+            )
+        self.metro = metro
+        if cell_m is None:
+            radii = [site.radius_m for site in metro.sites]
+            cell_m = (sum(radii) / len(radii)) if radii else metro.extent_m / 16
+        self.index = GridIndex(metro.extent_m, cell_m)
+        self.index.extend(metro.sites)
+        self.index.extend(metro.registrations)
+        self.ttl_us = ttl_us
+        self.cache_resolution_m = cache_resolution_m
+        self.cache_capacity = cache_capacity
+        self._cache: OrderedDict[_CacheKey, tuple[int, ...]] = OrderedDict()
+        self.stats = WsdbStats()
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _key(self, x_m: float, y_m: float, t_us: float) -> _CacheKey:
+        return _CacheKey(
+            qx=int(x_m // self.cache_resolution_m),
+            qy=int(y_m // self.cache_resolution_m),
+            bucket=int(t_us // self.ttl_us),
+        )
+
+    def _lookup(self, key: _CacheKey) -> tuple[int, ...] | None:
+        channels = self._cache.get(key)
+        if channels is not None:
+            self._cache.move_to_end(key)
+        return channels
+
+    def _store(self, key: _CacheKey, channels: tuple[int, ...]) -> None:
+        if self.cache_capacity == 0:
+            return
+        self._cache[key] = channels
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def _compute(self, x_m: float, y_m: float, t_us: float) -> tuple[int, ...]:
+        scanned_before = self.index.candidates_scanned
+        occupied = set()
+        for entry in self.index.covering(x_m, y_m):
+            if entry.active_at(t_us):
+                occupied.add(entry.uhf_index)
+        # Accumulate the delta (not the index's running total): the
+        # index is a public attribute, and direct use of it must not
+        # leak into the service's own counters.
+        self.stats.candidates_scanned += (
+            self.index.candidates_scanned - scanned_before
+        )
+        return tuple(
+            i for i in range(self.metro.num_channels) if i not in occupied
+        )
+
+    def channels_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> tuple[int, ...]:
+        """Available (incumbent-free) UHF channels at (x, y) at *t_us*."""
+        self.stats.queries += 1
+        key = self._key(x_m, y_m, t_us)
+        cached = self._lookup(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        channels = self._compute(x_m, y_m, t_us)
+        self._store(key, channels)
+        return channels
+
+    def channels_at_many(
+        self,
+        points: Sequence[tuple[float, float]],
+        t_us: float = 0.0,
+    ) -> list[tuple[int, ...]]:
+        """Batch availability: one response per point, in point order."""
+        return [self.channels_at(x, y, t_us) for x, y in points]
+
+    def spectrum_map_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> SpectrumMap:
+        """The availability response as an occupancy bit-vector."""
+        return SpectrumMap.from_free(
+            self.channels_at(x_m, y_m, t_us), self.metro.num_channels
+        )
+
+    # -- updates -------------------------------------------------------------
+
+    def _zone_touches_key_cell(
+        self, registration: MicRegistration, key: _CacheKey
+    ) -> bool:
+        """True when the protection zone intersects a cache key's square.
+
+        Cached responses are shared across a whole quantization square,
+        so invalidation must be cell-granular too: an entry produced
+        *outside* the zone can still be served to a query point
+        *inside* it if their coordinates share a square.  Standard
+        circle/axis-aligned-rectangle intersection via the clamped
+        nearest point.
+        """
+        res = self.cache_resolution_m
+        nearest_x = min(max(registration.x_m, key.qx * res), (key.qx + 1) * res)
+        nearest_y = min(max(registration.y_m, key.qy * res), (key.qy + 1) * res)
+        return (
+            math.hypot(registration.x_m - nearest_x, registration.y_m - nearest_y)
+            <= registration.radius_m
+        )
+
+    def register_mic(self, registration: MicRegistration) -> int:
+        """Accept a mic registration; invalidate the affected responses.
+
+        Every cached response whose quantization square intersects the
+        new protection zone is dropped (any query point in such a
+        square may now get a different answer).  Returns the number of
+        invalidated responses.
+        """
+        self.metro.add_registration(registration)
+        self.index.insert(registration)
+        self.stats.mic_registrations += 1
+        stale = [
+            key
+            for key in self._cache
+            if self._zone_touches_key_cell(registration, key)
+        ]
+        for key in stale:
+            del self._cache[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)

@@ -1,0 +1,112 @@
+"""Tests for the "citywide" run kind on the RunKind plugin API."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    ExperimentSpec,
+    ParallelRunner,
+    ScenarioSpec,
+    run_experiment,
+    run_kind_names,
+)
+
+FREE = tuple(range(4, 18))
+
+
+def citywide_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        scenario=ScenarioSpec(
+            free_indices=FREE, duration_us=300e6, seed=13
+        ),
+        kind="citywide",
+        citywide_aps=25,
+        citywide_mic_events=4,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestRegistration:
+    def test_citywide_in_run_kinds(self):
+        assert "citywide" in run_kind_names()
+
+    def test_requires_ap_count(self):
+        with pytest.raises(SimulationError, match="citywide_aps"):
+            ExperimentSpec(
+                ScenarioSpec(free_indices=FREE), kind="citywide"
+            )
+
+    def test_rejects_invalid_knobs(self):
+        with pytest.raises(SimulationError):
+            citywide_spec(citywide_aps=0)
+        with pytest.raises(SimulationError):
+            citywide_spec(citywide_extent_km=-1.0)
+        with pytest.raises(SimulationError):
+            citywide_spec(citywide_mic_events=-2)
+
+    def test_rejects_ignored_scenario_features(self):
+        from repro.experiments import MicSpec
+
+        with pytest.raises(SimulationError):
+            citywide_spec(channel=(7, 5.0))
+        with pytest.raises(SimulationError):
+            citywide_spec(timeline_interval_us=1e6)
+        with pytest.raises(SimulationError):
+            citywide_spec(
+                scenario=ScenarioSpec(
+                    free_indices=FREE,
+                    mics=(MicSpec(5, ((0.0, 1.0),)),),
+                )
+            )
+
+    def test_citywide_knobs_rejected_on_other_kinds(self):
+        with pytest.raises(SimulationError, match="citywide_aps"):
+            ExperimentSpec(
+                ScenarioSpec(free_indices=FREE),
+                kind="whitefi",
+                citywide_aps=10,
+            )
+
+
+class TestExecution:
+    def test_metrics_and_typed_fields(self):
+        result = run_experiment(citywide_spec())
+        assert result.kind == "citywide"
+        assert result.metric("num_aps") == 25
+        assert result.metric("assigned_aps") + result.metric("unserved_aps") == 25
+        assert result.aggregate_mbps > 0
+        assert result.per_client_mbps > 0
+        assert result.duration_us == 300e6
+        assert 0.0 <= result.metric("availability_disagreement") <= 1.0
+        assert result.metric("db_queries") > 0
+        assert result.metric("db_cache_hits") > 0
+        assert 0.0 <= result.metric("db_hit_rate") <= 1.0
+
+    def test_spec_json_round_trip(self):
+        spec = citywide_spec(citywide_extent_km=12.5)
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.spec_hash == spec.spec_hash
+
+    def test_deterministic_per_seed(self):
+        a = run_experiment(citywide_spec())
+        b = run_experiment(citywide_spec())
+        assert a.to_json() == b.to_json()
+        c = run_experiment(citywide_spec().with_seed(99))
+        assert c.to_json() != a.to_json()
+
+    def test_parallel_sequential_byte_identical(self):
+        specs = [citywide_spec(), citywide_spec().with_seed(21)]
+        sequential = ParallelRunner(max_workers=1).run_grid(specs)
+        parallel = ParallelRunner(max_workers=2).run_grid(specs)
+        assert [r.to_json() for r in sequential] == [
+            r.to_json() for r in parallel
+        ]
+
+    def test_result_json_round_trip(self):
+        from repro.experiments import ExperimentResult
+
+        result = run_experiment(citywide_spec())
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone == result

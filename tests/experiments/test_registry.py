@@ -15,7 +15,15 @@ from repro.experiments import (
 )
 from repro.experiments.registry import probe_metrics
 
-BUILTIN_KINDS = ("discovery", "opt", "protocol", "sift", "static", "whitefi")
+BUILTIN_KINDS = (
+    "citywide",
+    "discovery",
+    "opt",
+    "protocol",
+    "sift",
+    "static",
+    "whitefi",
+)
 
 
 def scenario(**overrides) -> ScenarioSpec:

@@ -1,7 +1,4 @@
-"""Tests for the scenario run functions, OPT baselines, and the shim."""
-
-import importlib
-import sys
+"""Tests for the scenario run functions and OPT baselines."""
 
 import pytest
 
@@ -17,13 +14,12 @@ from repro.spectrum.spectrum_map import SpectrumMap
 from repro.spectrum.channels import WhiteFiChannel
 
 
-def test_sim_runner_shim_emits_deprecation_warning():
-    # The shim warns on (re-)import and still re-exports the moved API.
-    sys.modules.pop("repro.sim.runner", None)
-    with pytest.warns(DeprecationWarning, match="repro.sim.runner is deprecated"):
-        shim = importlib.import_module("repro.sim.runner")
-    assert shim.run_static is run_static
-    assert shim.ScenarioConfig is ScenarioConfig
+def test_sim_runner_shim_is_gone():
+    # The deprecated repro.sim.runner compatibility shim was removed
+    # after downstreams migrated to repro.experiments; a stale import
+    # must fail loudly rather than silently resurrect old wiring.
+    with pytest.raises(ModuleNotFoundError):
+        import repro.sim.runner  # noqa: F401
 
 FIVE_FREE = SpectrumMap.from_free(range(5, 10), 30)
 

@@ -6,12 +6,18 @@ import pytest
 
 from repro.spectrum.fragmentation import fragment_histogram, max_fragment_width
 from repro.spectrum.geodata import (
+    _OCCUPIED_BOUNDS,
     SETTINGS,
     generate_locale,
     generate_locales,
     generate_study,
     iter_maps,
 )
+
+#: Seeds the drift-guard invariants are checked over: the docstring's
+#: fragmentation claims must hold for *any* study seed, not just the
+#: default 2009 one the figures use.
+DRIFT_SEEDS = (2009, 2010, 2011, 2012, 2013)
 
 
 class TestGenerateLocale:
@@ -34,7 +40,7 @@ class TestSettingsOrdering:
     def test_occupancy_decreases_with_population_density(self):
         study = generate_study(count_per_setting=10, seed=5)
         mean_free = {
-            setting: sum(l.num_free for l in locales) / len(locales)
+            setting: sum(loc.num_free for loc in locales) / len(locales)
             for setting, locales in study.items()
         }
         assert mean_free["urban"] < mean_free["suburban"] < mean_free["rural"]
@@ -62,6 +68,67 @@ class TestSettingsOrdering:
         assert narrow > wide
 
 
+class TestDocstringInvariants:
+    """Drift guards for the module docstring's generative claims.
+
+    The wsdb metro generator and the Figure 2/9 benches all build on
+    these distributional properties; a silent change to the generative
+    model would skew every downstream figure, so each claim is pinned
+    across several seeds rather than the single default one.
+    """
+
+    def test_every_setting_has_a_four_channel_fragment_across_seeds(self):
+        for seed in DRIFT_SEEDS:
+            study = generate_study(count_per_setting=10, seed=seed)
+            for setting, locales in study.items():
+                assert max_fragment_width(list(iter_maps(locales))) >= 4, (
+                    f"no 4-channel fragment in any {setting} locale "
+                    f"(seed {seed})"
+                )
+
+    def test_rural_fragments_reach_toward_sixteen(self):
+        # "rural locales exhibit fragments up to 16 channels": the
+        # widest rural fragment over a few studies must actually get
+        # there, and every study must stay comfortably wide.
+        widest = 0
+        for seed in DRIFT_SEEDS:
+            locales = generate_locales("rural", 10, seed=seed)
+            width = max_fragment_width(list(iter_maps(locales)))
+            assert width >= 10, f"rural fragments collapsed (seed {seed})"
+            widest = max(widest, width)
+        assert widest >= 16
+
+    def test_urban_dominated_by_narrow_fragments_across_seeds(self):
+        for seed in DRIFT_SEEDS:
+            locales = generate_locales("urban", 10, seed=seed)
+            hist = fragment_histogram(iter_maps(locales))
+            narrow = hist[1] + hist[2]
+            wide = sum(count for width, count in hist.items() if width >= 5)
+            assert narrow > wide, f"urban fragments too wide (seed {seed})"
+
+    def test_occupied_counts_stay_within_setting_bounds(self):
+        for seed in DRIFT_SEEDS:
+            for setting, locales in generate_study(10, seed=seed).items():
+                lo, hi = _OCCUPIED_BOUNDS[setting]
+                for locale in locales:
+                    occupied = 30 - locale.num_free
+                    assert lo <= occupied <= hi, (
+                        f"{locale.name} (seed {seed}) occupies {occupied} "
+                        f"channels, outside {setting} bounds [{lo}, {hi}]"
+                    )
+
+    def test_settings_strictly_ordered_by_occupancy_across_seeds(self):
+        for seed in DRIFT_SEEDS:
+            study = generate_study(count_per_setting=10, seed=seed)
+            mean_free = {
+                setting: sum(loc.num_free for loc in locales) / len(locales)
+                for setting, locales in study.items()
+            }
+            assert (
+                mean_free["urban"] < mean_free["suburban"] < mean_free["rural"]
+            ), f"setting occupancy ordering broke (seed {seed})"
+
+
 class TestStudyShape:
     def test_study_contains_all_settings(self):
         study = generate_study(count_per_setting=3, seed=1)
@@ -71,13 +138,13 @@ class TestStudyShape:
 
     def test_locale_names_unique(self):
         locales = generate_locales("suburban", 10, seed=3)
-        names = [l.name for l in locales]
+        names = [loc.name for loc in locales]
         assert len(set(names)) == len(names)
 
     def test_reproducible_study(self):
         a = generate_study(count_per_setting=4, seed=11)
         b = generate_study(count_per_setting=4, seed=11)
         for setting in SETTINGS:
-            assert [l.spectrum_map for l in a[setting]] == [
-                l.spectrum_map for l in b[setting]
+            assert [loc.spectrum_map for loc in a[setting]] == [
+                loc.spectrum_map for loc in b[setting]
             ]

@@ -113,3 +113,35 @@ class TestIncumbentField:
         mic.add_session(0.0, 1e9)
         field = IncumbentField(5, microphones=[mic])
         assert field.spectrum_map(10.0).is_free(2)
+
+    def test_mic_on_tv_channel_does_not_double_count(self):
+        # Regression: a mic activating on a channel a TV station
+        # already occupies must not double-count that channel in the
+        # availability summaries — the occupancy set, the spectrum
+        # map, and the free-channel count are all unchanged by the
+        # mic's activation.
+        mic = WirelessMicrophone(3)
+        mic.add_session(1_000.0, 2_000.0)
+        field = IncumbentField(
+            10, tv_stations=[TvStation(3)], microphones=[mic]
+        )
+        before = field.spectrum_map(0.0)
+        during = field.spectrum_map(1_500.0)
+        assert field.occupied_indices(1_500.0) == {3}
+        assert during == before
+        assert during.num_free() == 9
+        # The mic is still individually visible (the disconnection
+        # trigger), even though it adds nothing to the map.
+        assert field.mic_active_on(3, 1_500.0)
+
+    def test_mic_on_tv_channel_transition_leaves_map_unchanged(self):
+        # The field still schedules the mic's on/off edges; consumers
+        # re-reading the map at those times must see no change.
+        mic = WirelessMicrophone(3)
+        mic.add_session(1_000.0, 2_000.0)
+        field = IncumbentField(
+            10, tv_stations=[TvStation(3)], microphones=[mic]
+        )
+        edge = field.next_transition_after(0.0)
+        assert edge == 1_000.0
+        assert field.spectrum_map(edge) == field.spectrum_map(0.0)

@@ -1,0 +1,148 @@
+"""Tests for the wsdb spatial model (contours, metros, generators)."""
+
+import random
+
+import pytest
+
+from repro import constants
+from repro.errors import SpectrumMapError
+from repro.spectrum.geodata import generate_locale
+from repro.spectrum.incumbents import TvStation
+from repro.wsdb.model import (
+    Metro,
+    MicRegistration,
+    TvTransmitterSite,
+    generate_metro,
+    generate_metro_for_setting,
+    protected_radius_m,
+)
+
+
+class TestProtectedRadius:
+    def test_monotone_in_power(self):
+        assert protected_radius_m(30.0) > protected_radius_m(20.0)
+
+    def test_threshold_power_gives_reference_distance(self):
+        radius = protected_radius_m(constants.TV_DETECTION_THRESHOLD_DBM)
+        assert radius == pytest.approx(1.0)
+
+    def test_sub_threshold_power_gives_negligible_contour(self):
+        # Detectability is subsumed by the radius model: an EIRP below
+        # the detection threshold protects less than the reference
+        # distance, i.e. effectively nothing at metro scale.
+        assert protected_radius_m(-120.0) < 1.0
+
+    def test_invalid_exponent_raises(self):
+        with pytest.raises(SpectrumMapError):
+            protected_radius_m(30.0, path_loss_exponent=0.0)
+
+
+class TestSitesAndRegistrations:
+    def test_site_covers_inside_contour_only(self):
+        site = TvTransmitterSite(TvStation(3, power_dbm=20.0), 0.0, 0.0)
+        assert site.covers(site.radius_m * 0.9, 0.0)
+        assert not site.covers(site.radius_m * 1.1, 0.0)
+
+    def test_registration_protects_only_active_sessions(self):
+        reg = MicRegistration.single_session(4, 0.0, 0.0, 100.0, 200.0)
+        assert not reg.active_at(50.0)
+        assert reg.active_at(150.0)
+        assert not reg.active_at(200.0)  # half-open, like MicSession
+
+    def test_registration_default_radius_is_fcc_scale(self):
+        reg = MicRegistration.single_session(4, 0.0, 0.0, 0.0, 1.0)
+        assert reg.covers(999.0, 0.0)
+        assert not reg.covers(1_001.0, 0.0)
+
+
+class TestMetro:
+    def test_occupied_at_unions_tv_and_mics_without_double_count(self):
+        # A mic registered on a channel already under a TV contour must
+        # not make the channel count twice in the availability summary.
+        site = TvTransmitterSite(TvStation(5, power_dbm=30.0), 100.0, 100.0)
+        metro = Metro(extent_m=5_000.0, num_channels=10, sites=(site,))
+        metro.add_registration(
+            MicRegistration.single_session(5, 100.0, 100.0, 0.0, 1e9)
+        )
+        occupied = metro.occupied_at(100.0, 100.0, t_us=10.0)
+        assert occupied == {5}
+        assert metro.spectrum_map_at(100.0, 100.0, 10.0).num_free() == 9
+
+    def test_out_of_range_incumbent_raises(self):
+        with pytest.raises(SpectrumMapError):
+            Metro(
+                num_channels=5,
+                sites=(TvTransmitterSite(TvStation(7), 0.0, 0.0),),
+            )
+        metro = Metro(num_channels=5)
+        with pytest.raises(SpectrumMapError):
+            metro.add_registration(
+                MicRegistration.single_session(5, 0.0, 0.0, 0.0, 1.0)
+            )
+
+    def test_invalid_extent_raises(self):
+        with pytest.raises(SpectrumMapError):
+            Metro(extent_m=0.0)
+
+    def test_tuple_registrations_normalized(self):
+        # Passing registrations as a tuple (symmetric with sites) must
+        # still leave add_registration working afterwards.
+        reg = MicRegistration.single_session(2, 0.0, 0.0, 0.0, 1.0)
+        metro = Metro(num_channels=5, registrations=(reg,))
+        metro.add_registration(
+            MicRegistration.single_session(3, 0.0, 0.0, 0.0, 1.0)
+        )
+        assert len(metro.registrations) == 2
+
+
+class TestGenerateMetro:
+    def test_dial_matches_requested_channels(self):
+        metro = generate_metro({3, 7, 19}, seed=1)
+        assert metro.dial() == (3, 7, 19)
+
+    def test_sites_within_plane(self):
+        metro = generate_metro(range(10), extent_m=8_000.0, seed=2)
+        for site in metro.sites:
+            assert 0.0 <= site.x_m <= 8_000.0
+            assert 0.0 <= site.y_m <= 8_000.0
+
+    def test_deterministic_per_seed(self):
+        a = generate_metro(range(8), seed=9)
+        b = generate_metro(range(8), seed=9)
+        assert a.sites == b.sites
+        assert a.sites != generate_metro(range(8), seed=10).sites
+
+    def test_sites_per_channel_bounds(self):
+        metro = generate_metro(range(6), seed=0, sites_per_channel=(2, 3))
+        per_channel = {}
+        for site in metro.sites:
+            per_channel[site.uhf_index] = per_channel.get(site.uhf_index, 0) + 1
+        assert all(2 <= n <= 3 for n in per_channel.values())
+        with pytest.raises(SpectrumMapError):
+            generate_metro(range(3), sites_per_channel=(0, 2))
+
+    def test_availability_varies_across_plane(self):
+        # Contours must not blanket the metro: somewhere between them a
+        # dial channel is locally free.
+        metro = generate_metro(range(12), seed=4)
+        maps = {
+            metro.spectrum_map_at(x, y)
+            for x in (1_000.0, 10_000.0, 19_000.0)
+            for y in (1_000.0, 10_000.0, 19_000.0)
+        }
+        assert len(maps) > 1
+
+
+class TestGenerateMetroForSetting:
+    def test_dial_follows_locale_generative_model(self):
+        metro = generate_metro_for_setting("suburban", seed=7)
+        locale = generate_locale("suburban", random.Random(7))
+        assert metro.dial() == locale.spectrum_map.occupied_indices()
+
+    def test_urban_denser_dial_than_rural(self):
+        # The geodata bounds guarantee this for every seed (urban
+        # occupies >= 13 channels, rural <= 8).
+        for seed in (2009, 2010, 2011):
+            urban = generate_metro_for_setting("urban", seed=seed)
+            rural = generate_metro_for_setting("rural", seed=seed)
+            assert len(urban.dial()) > len(rural.dial())

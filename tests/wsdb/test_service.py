@@ -1,0 +1,160 @@
+"""Tests for the WhiteSpaceDatabase façade: caching, TTL, invalidation."""
+
+import pytest
+
+from repro.errors import SpectrumMapError
+from repro.spectrum.incumbents import TvStation
+from repro.wsdb.model import Metro, MicRegistration, TvTransmitterSite
+from repro.wsdb.service import WhiteSpaceDatabase
+
+
+def one_station_metro() -> Metro:
+    # A ~2.5 km contour on channel 3 in the middle of a 10 km plane.
+    return Metro(
+        extent_m=10_000.0,
+        num_channels=8,
+        sites=(TvTransmitterSite(TvStation(3, power_dbm=5.0), 5_000.0, 5_000.0),),
+    )
+
+
+class TestResponseCache:
+    def test_repeat_query_hits(self):
+        db = WhiteSpaceDatabase(one_station_metro())
+        first = db.channels_at(5_100.0, 5_100.0, t_us=0.0)
+        second = db.channels_at(5_100.0, 5_100.0, t_us=1.0)
+        assert first == second
+        assert 3 not in first
+        assert db.stats.queries == 2
+        assert db.stats.cache_hits == 1
+        assert db.stats.cache_misses == 1
+
+    def test_nearby_points_share_a_quantized_response(self):
+        db = WhiteSpaceDatabase(one_station_metro(), cache_resolution_m=100.0)
+        db.channels_at(5_110.0, 5_110.0)
+        db.channels_at(5_190.0, 5_190.0)  # same 100 m square
+        assert db.stats.cache_hits == 1
+
+    def test_ttl_bucket_expires_responses(self):
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(5_100.0, 5_100.0, t_us=0.0)
+        db.channels_at(5_100.0, 5_100.0, t_us=1_500.0)  # next bucket
+        assert db.stats.cache_hits == 0
+        assert db.stats.cache_misses == 2
+
+    def test_lru_eviction(self):
+        db = WhiteSpaceDatabase(one_station_metro(), cache_capacity=2)
+        for x in (1_000.0, 2_000.0, 3_000.0):
+            db.channels_at(x, 1_000.0)
+        assert db.stats.evictions == 1
+        # The oldest entry was evicted: re-querying it misses.
+        db.channels_at(1_000.0, 1_000.0)
+        assert db.stats.cache_misses == 4
+
+    def test_capacity_zero_disables_caching(self):
+        db = WhiteSpaceDatabase(one_station_metro(), cache_capacity=0)
+        db.channels_at(5_100.0, 5_100.0)
+        db.channels_at(5_100.0, 5_100.0)
+        assert db.stats.cache_hits == 0
+        assert db.stats.cache_misses == 2
+
+    def test_caching_never_changes_availability(self):
+        cached = WhiteSpaceDatabase(one_station_metro())
+        uncached = WhiteSpaceDatabase(one_station_metro(), cache_capacity=0)
+        points = [(x, y) for x in range(0, 10_000, 500) for y in (4_000.0, 5_000.0)]
+        assert cached.channels_at_many(points) == uncached.channels_at_many(points)
+        assert cached.channels_at_many(points) == uncached.channels_at_many(points)
+        assert cached.stats.cache_hits > 0
+
+    def test_invalid_parameters_raise(self):
+        for kwargs in (
+            {"ttl_us": 0.0},
+            {"cache_resolution_m": 0.0},
+            {"cache_capacity": -1},
+        ):
+            with pytest.raises(SpectrumMapError):
+                WhiteSpaceDatabase(one_station_metro(), **kwargs)
+
+
+class TestMicRegistration:
+    def test_registration_invalidates_covered_responses_only(self):
+        db = WhiteSpaceDatabase(one_station_metro())
+        inside = (1_000.0, 1_000.0)
+        outside = (9_000.0, 9_000.0)
+        assert 5 in db.channels_at(*inside)
+        db.channels_at(*outside)
+        dropped = db.register_mic(
+            MicRegistration.single_session(5, 1_200.0, 1_000.0, 0.0, 1e9)
+        )
+        assert dropped == 1
+        assert db.stats.invalidations == 1
+        assert db.stats.mic_registrations == 1
+        # Fresh answer inside the zone excludes the mic channel...
+        assert 5 not in db.channels_at(*inside, t_us=10.0)
+        # ...while the far response was untouched (served from cache).
+        assert 5 in db.channels_at(*outside, t_us=10.0)
+        assert db.stats.cache_hits == 1
+
+    def test_invalidation_is_cell_granular(self):
+        # Regression: cached responses are shared across a whole 100 m
+        # quantization square, so invalidation must drop any entry
+        # whose *square* touches the zone — even when the coordinate
+        # that produced it lies just outside.  Here the response is
+        # produced at (1095, 50), 1090 m from the venue (outside the
+        # 1 km zone), but its square also contains (1005, 50), which
+        # is inside.
+        db = WhiteSpaceDatabase(one_station_metro(), cache_resolution_m=100.0)
+        assert 5 in db.channels_at(1_095.0, 50.0)
+        dropped = db.register_mic(
+            MicRegistration.single_session(5, 5.0, 50.0, 0.0, 1e9)
+        )
+        assert dropped == 1
+        # The inside point shares the cached square; it must get a
+        # fresh response, not the stale pre-registration one.
+        assert 5 not in db.channels_at(1_005.0, 50.0, t_us=10.0)
+
+    def test_inactive_session_not_protected(self):
+        # TTL below the session granularity: every query sees the
+        # current session state.
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=10.0)
+        db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 100.0, 200.0)
+        )
+        assert 5 in db.channels_at(1_000.0, 1_000.0, t_us=50.0)
+        assert 5 not in db.channels_at(1_000.0, 1_000.0, t_us=150.0)
+        assert 5 in db.channels_at(1_000.0, 1_000.0, t_us=250.0)
+
+    def test_session_edge_staleness_bounded_by_ttl(self):
+        # Within one TTL bucket a cached response may lag a *session*
+        # edge of an already-registered mic (the staleness the TTL
+        # contract allows); explicit registrations invalidate
+        # immediately, so this never applies to new incumbents.
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 100.0, 2_000.0)
+        )
+        assert 5 in db.channels_at(1_000.0, 1_000.0, t_us=50.0)
+        # Same bucket: the pre-onset response is served unchanged.
+        assert 5 in db.channels_at(1_000.0, 1_000.0, t_us=150.0)
+        assert db.stats.cache_hits == 1
+        # Next bucket: the edge is visible.
+        assert 5 not in db.channels_at(1_000.0, 1_000.0, t_us=1_150.0)
+
+    def test_mic_on_tv_channel_does_not_double_count(self):
+        # The wsdb-level mirror of the IncumbentField regression: a mic
+        # registered on a channel already under a TV contour changes
+        # nothing in the availability summary.
+        db = WhiteSpaceDatabase(one_station_metro())
+        point = (5_100.0, 5_100.0)
+        before = db.channels_at(*point)
+        db.register_mic(
+            MicRegistration.single_session(3, 5_100.0, 5_100.0, 0.0, 1e9)
+        )
+        after = db.channels_at(*point, t_us=10.0)
+        assert before == after
+        assert len(after) == db.metro.num_channels - 1
+
+    def test_spectrum_map_round_trip(self):
+        db = WhiteSpaceDatabase(one_station_metro())
+        smap = db.spectrum_map_at(5_100.0, 5_100.0)
+        assert smap.occupied_indices() == (3,)
+        assert len(smap) == 8
