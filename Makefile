@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: check test fast bench lint
+.PHONY: check test fast bench bench-smoke lint
 
 ## The tier-1 gate: full unit suite + lint.
 check: test lint
@@ -28,6 +28,14 @@ bench:
 	WHITEFI_BENCH_WORKERS="$(WORKERS)" \
 	WHITEFI_BENCH_CACHE_DIR="$(CACHE_DIR)" \
 	$(PYTEST) -q benchmarks
+
+## Smoke-run the wsdb benchmark drivers with tiny parameters (CI runs
+## this so sweep drivers cannot silently rot between full `make bench`
+## invocations; paper-scale assertions are skipped).
+bench-smoke:
+	WHITEFI_BENCH_SMOKE=1 \
+	WHITEFI_BENCH_WORKERS="$(WORKERS)" \
+	$(PYTEST) -q benchmarks/bench_citywide_wsdb.py benchmarks/bench_roaming_wsdb.py
 
 ## Lint src and tests.  The container may not ship ruff; skip with a
 ## notice rather than fail, so `make check` works everywhere.

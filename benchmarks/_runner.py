@@ -9,8 +9,13 @@ pair of knobs steers the whole `make bench` sweep:
   re-running the benchmarks only executes cells whose specs changed.
   The cache is versioned by the ``repro`` package version, so stale
   simulator output is never served.
+* ``WHITEFI_BENCH_SMOKE`` — when set (and not ``0``), benchmarks that
+  support it shrink to tiny sweeps: the drivers, spec wiring, and
+  result plumbing are exercised end to end (so CI catches rot) while
+  the paper-scale physics assertions — meaningless at toy sizes — are
+  skipped.  ``make bench-smoke`` is the entry point.
 
-Both are also reachable as ``make bench WORKERS=N CACHE_DIR=path``.
+All are also reachable as ``make bench WORKERS=N CACHE_DIR=path``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,13 @@ from repro.experiments import ParallelRunner, ResultCache
 
 WORKERS_ENV = "WHITEFI_BENCH_WORKERS"
 CACHE_DIR_ENV = "WHITEFI_BENCH_CACHE_DIR"
+SMOKE_ENV = "WHITEFI_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when the smoke-bench knob is set: tiny parameters, no
+    paper-scale assertions."""
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0")
 
 
 def bench_runner() -> ParallelRunner:

@@ -14,6 +14,7 @@ Everything under ``benchmarks/`` is marked ``slow``; deselect with
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Any
 
@@ -46,6 +47,10 @@ def record_table():
     def _record(
         name: str, lines: list[str], data: Any | None = None
     ) -> pathlib.Path:
+        # Smoke runs (`make bench-smoke`) record under their own stem:
+        # they must never clobber the checked-in paper-scale tables.
+        if os.environ.get("WHITEFI_BENCH_SMOKE", "") not in ("", "0"):
+            name = f"{name}-smoke"
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         text = "\n".join(lines) + "\n"

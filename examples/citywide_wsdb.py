@@ -44,12 +44,15 @@ def main() -> None:
     )
 
     # 3. A venue registers a wireless microphone on ap0's channel,
-    #    right at ap0's coordinates, for minutes 1-6 of the session.
+    #    right at ap0's coordinates, from t=30 s to minute 6.  The
+    #    session overlaps the boot responses' TTL bucket, so the
+    #    time-aware invalidation drops them (a session starting after
+    #    the bucket ends would — correctly — leave them alone).
     victim = aps[0]
     mic_channel = victim.channel.center_index
     dropped = db.register_mic(
         MicRegistration.single_session(
-            mic_channel, victim.x_m, victim.y_m, 60e6, 360e6
+            mic_channel, victim.x_m, victim.y_m, 30e6, 360e6
         )
     )
     print(

@@ -35,7 +35,11 @@ from repro.errors import (
     UnknownRunKindError,
 )
 
-__version__ = "1.2.0"
+# 1.3.0: cell-granular wsdb response protocol + roaming run kind.  The
+# ResultCache is versioned by this string — responses changed semantics
+# (area answers, time-aware invalidation), so 1.2 cache entries must
+# never be served.
+__version__ = "1.3.0"
 
 __all__ = [
     "constants",

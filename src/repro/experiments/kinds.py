@@ -15,9 +15,10 @@ protocol   full message-level BSS (Fig 14 / Section 5.3)        goodput, switch-
 discovery  L-SIFT / J-SIFT / baseline AP races (Figs 8-9)       discovery latency + scan counters
 sift       SIFT detection/classification accuracy (Table 1)     detection rate + width confusion
 citywide   many APs on one metro wsdb (post-FCC-2010 regime)    per-AP throughput, disagreement, db cache
+roaming    mobile clients on the wsdb (100 m re-check rule)     re-queries, handoffs, hit rate, violations
 ========== ==================================================== =========================================
 
-Importing this module registers all seven; adding an evaluation axis is
+Importing this module registers all eight; adding an evaluation axis is
 a new ``RunKind`` subclass plus ``register_run_kind`` — no dispatcher
 edits anywhere.
 """
@@ -37,6 +38,7 @@ from repro.experiments.probes import (
     MchamTimelineProbe,
     ProtocolGoodputProbe,
     ProtocolSwitchLogProbe,
+    RoamingProbe,
     SiftAccuracyProbe,
     SiftConfusionProbe,
     SwitchLogProbe,
@@ -64,6 +66,7 @@ __all__ = [
     "DiscoveryKind",
     "OptKind",
     "ProtocolKind",
+    "RoamingKind",
     "SiftKind",
     "StaticKind",
     "WhiteFiKind",
@@ -135,22 +138,26 @@ def _reject_spatial(spec: ExperimentSpec) -> None:
 def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
     """Reject kind-specific knobs (None defaults) set for another kind."""
     owners = {
-        "hysteresis_margin": "whitefi",
-        "ap_weight": "whitefi",
-        "run_until_us": "protocol",
-        "discovery_algorithm": "discovery",
-        "sift_width_mhz": "sift",
-        "sift_rate_mbps": "sift",
-        "sift_num_packets": "sift",
-        "citywide_aps": "citywide",
-        "citywide_extent_km": "citywide",
-        "citywide_mic_events": "citywide",
+        "hysteresis_margin": ("whitefi",),
+        "ap_weight": ("whitefi",),
+        "run_until_us": ("protocol",),
+        "discovery_algorithm": ("discovery",),
+        "sift_width_mhz": ("sift",),
+        "sift_rate_mbps": ("sift",),
+        "sift_num_packets": ("sift",),
+        "citywide_aps": ("citywide", "roaming"),
+        "citywide_extent_km": ("citywide", "roaming"),
+        "citywide_mic_events": ("citywide", "roaming"),
+        "roaming_clients": ("roaming",),
+        "roaming_speed_mps": ("roaming",),
+        "roaming_recheck_m": ("roaming",),
     }
-    for knob, owner in owners.items():
+    for knob, owner_kinds in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
+            names = " / ".join(repr(k) for k in owner_kinds)
             raise SimulationError(
                 f"kind {spec.kind!r} does not use {knob}; "
-                f"it only applies to kind {owner!r}"
+                f"it only applies to kind {names}"
             )
 
 
@@ -470,6 +477,102 @@ class CitywideKind(RunKind):
         return {"spec": spec, "city": city}
 
 
+class RoamingKind(RunKind):
+    """Mobile clients roaming a metro wsdb under the 100 m re-check rule.
+
+    The portable-device workload of the FCC regime: ``roaming_clients``
+    mobile clients follow seeded waypoint paths across the
+    ``citywide_aps`` deployment, re-querying the
+    :class:`~repro.wsdb.service.WhiteSpaceDatabase` only on crossing a
+    quantization-square boundary (``roaming_recheck_m``) or TTL
+    expiry, associating with the nearest AP their response permits and
+    vacating channels when a path enters a mic protection zone.
+    ``roaming_recheck_m`` also sets the database's response cell edge,
+    keeping the cell-granular protocol aligned with the re-check rule.
+    """
+
+    name = "roaming"
+    summary = "mobile clients re-querying a metro wsdb as they move"
+    probes = (RoamingProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        if spec.roaming_clients is None or spec.roaming_clients < 1:
+            raise SimulationError(
+                "kind 'roaming' requires roaming_clients >= 1, "
+                f"got {spec.roaming_clients!r}"
+            )
+        if spec.citywide_aps is None or spec.citywide_aps < 1:
+            raise SimulationError(
+                "kind 'roaming' requires citywide_aps >= 1 "
+                f"(the fixed deployment clients roam), got {spec.citywide_aps!r}"
+            )
+        if spec.roaming_speed_mps is not None and spec.roaming_speed_mps <= 0:
+            raise SimulationError(
+                f"roaming_speed_mps must be > 0, got {spec.roaming_speed_mps!r}"
+            )
+        if spec.roaming_recheck_m is not None and spec.roaming_recheck_m <= 0:
+            raise SimulationError(
+                f"roaming_recheck_m must be > 0, got {spec.roaming_recheck_m!r}"
+            )
+        if spec.citywide_extent_km is not None and spec.citywide_extent_km <= 0:
+            raise SimulationError(
+                f"citywide_extent_km must be > 0, got {spec.citywide_extent_km!r}"
+            )
+        if spec.citywide_mic_events is not None and spec.citywide_mic_events < 0:
+            raise SimulationError(
+                "citywide_mic_events must be >= 0, "
+                f"got {spec.citywide_mic_events!r}"
+            )
+        _reject_channel(spec)
+        _reject_backgrounds(spec)
+        _reject_spatial(spec)
+        _reject_timeline(spec)
+        _reject_custom_traffic(
+            spec, "models association and compliance, not packet flows"
+        )
+        _reject_mics(
+            spec,
+            "generates its own microphone registrations; "
+            "use citywide_mic_events instead of scenario mics",
+        )
+        _reject_foreign_knobs(
+            spec,
+            "roaming_clients",
+            "roaming_speed_mps",
+            "roaming_recheck_m",
+            "citywide_aps",
+            "citywide_extent_km",
+            "citywide_mic_events",
+        )
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        from repro.wsdb.mobility import simulate_roaming
+
+        db = ScenarioBuilder(spec.scenario).build_citywide_db(
+            extent_m=(
+                None
+                if spec.citywide_extent_km is None
+                else spec.citywide_extent_km * 1_000.0
+            ),
+            cache_resolution_m=spec.roaming_recheck_m,
+        )
+        kwargs: dict[str, float] = {}
+        if spec.roaming_speed_mps is not None:
+            kwargs["speed_mps"] = spec.roaming_speed_mps
+        if spec.roaming_recheck_m is not None:
+            kwargs["recheck_m"] = spec.roaming_recheck_m
+        roaming = simulate_roaming(
+            db,
+            num_aps=spec.citywide_aps,
+            num_clients=spec.roaming_clients,
+            duration_us=spec.scenario.duration_us,
+            seed=spec.scenario.seed,
+            mic_events=spec.citywide_mic_events or 0,
+            **kwargs,
+        )
+        return {"spec": spec, "roaming": roaming}
+
+
 for _kind in (
     StaticKind(),
     WhiteFiKind(),
@@ -478,5 +581,6 @@ for _kind in (
     DiscoveryKind(),
     SiftKind(),
     CitywideKind(),
+    RoamingKind(),
 ):
     register_run_kind(_kind)

@@ -21,6 +21,8 @@ Conventional artifact keys:
 * ``"city"`` — the plain-data report of one
   :func:`repro.wsdb.citywide.simulate_citywide` session (citywide
   kind).
+* ``"roaming"`` — the plain-data report of one
+  :func:`repro.wsdb.mobility.simulate_roaming` session (roaming kind).
 
 A new kind composes these freely — reusing ``"run"`` gets the whole
 throughput/airtime/switch-log family for free — or adds its own probe
@@ -41,6 +43,7 @@ __all__ = [
     "MchamTimelineProbe",
     "ProtocolGoodputProbe",
     "ProtocolSwitchLogProbe",
+    "RoamingProbe",
     "SiftAccuracyProbe",
     "SiftConfusionProbe",
     "SwitchLogProbe",
@@ -281,6 +284,51 @@ class CitywideProbe:
         ):
             metrics[key] = city[key]
         for key, value in city["db"].items():
+            metrics[f"db_{key}"] = value
+        return metrics
+
+
+class RoamingProbe:
+    """Mobile-client metrics off one ``simulate_roaming`` report.
+
+    Everything is payload: re-query counts (the pull-based 100 m
+    re-check rule), handoffs, channel vacations, connectivity and
+    violation-free fractions, the mic-displacement accounting shared
+    with the citywide kind, and the flattened wsdb cache counters
+    (``db_*`` — the cell-granular protocol's hit rate is the headline
+    number for dense mobile deployments).
+    """
+
+    name = "roaming"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        roaming = raw["roaming"]
+        metrics: dict[str, Any] = {"duration_us": roaming["duration_us"]}
+        for key in (
+            "num_aps",
+            "num_clients",
+            "tick_us",
+            "speed_mps",
+            "recheck_m",
+            "assigned_aps",
+            "requeries",
+            "requeries_per_client",
+            "handoffs",
+            "vacations",
+            "connected_ticks",
+            "disconnected_ticks",
+            "connected_fraction",
+            "violation_ticks",
+            "violation_free_fraction",
+            "mic_events",
+            "displaced_aps",
+            "backup_recoveries",
+            "full_reassignments",
+            "outages",
+            "per_client",
+        ):
+            metrics[key] = roaming[key]
+        for key, value in roaming["db"].items():
             metrics[f"db_{key}"] = value
         return metrics
 

@@ -373,11 +373,18 @@ class ScenarioBuilder:
             num_packets=PACKETS_PER_RUN if num_packets is None else num_packets,
         )
 
-    def build_citywide_db(self, extent_m: float | None = None):
-        """A fresh geolocation white-space database for one citywide run.
+    def build_citywide_db(
+        self,
+        extent_m: float | None = None,
+        cache_resolution_m: float | None = None,
+    ):
+        """A fresh geolocation white-space database for one wsdb run.
 
-        The scenario's occupied channels become the metro dial
-        (:func:`repro.wsdb.model.generate_metro` places 1-2 TV
+        Shared by the ``citywide`` and ``roaming`` kinds: both build
+        their metro from the same ``"citywide-metro"`` seed stream, so
+        the two workloads run against identical ground truth for one
+        scenario.  The scenario's occupied channels become the metro
+        dial (:func:`repro.wsdb.model.generate_metro` places 1-2 TV
         transmitter sites per occupied channel, with positions, EIRPs,
         and therefore protected contours drawn from a stream derived
         from the scenario seed).  The returned
@@ -388,11 +395,18 @@ class ScenarioBuilder:
         Args:
             extent_m: metro plane edge override (default: the wsdb
                 default, 20 km).
+            cache_resolution_m: response-cell edge override (default:
+                the wsdb default, 100 m).  The roaming kind passes its
+                ``roaming_recheck_m`` here so the cell-granular
+                protocol stays aligned with the re-check rule.
         """
         # Imported here like the other stacks above sim: wsdb must not
         # load into every spec-only consumer.
         from repro.wsdb.model import DEFAULT_EXTENT_M, generate_metro
-        from repro.wsdb.service import WhiteSpaceDatabase
+        from repro.wsdb.service import (
+            DEFAULT_CACHE_RESOLUTION_M,
+            WhiteSpaceDatabase,
+        )
 
         config = self.config
         metro = generate_metro(
@@ -401,7 +415,14 @@ class ScenarioBuilder:
             seed=stream_seed(config.seed, "citywide-metro"),
             num_channels=config.num_channels,
         )
-        return WhiteSpaceDatabase(metro)
+        return WhiteSpaceDatabase(
+            metro,
+            cache_resolution_m=(
+                DEFAULT_CACHE_RESOLUTION_M
+                if cache_resolution_m is None
+                else cache_resolution_m
+            ),
+        )
 
     def build_protocol_bss(self, **bss_kwargs):
         """A fresh full-protocol BSS world for one run.

@@ -268,7 +268,8 @@ class ExperimentSpec:
             beacons/chirps/disconnections), "discovery" (timed AP
             discovery race), "sift" (SIFT accuracy over a synthesized
             capture), "citywide" (many APs sharing one metro
-            white-space database).
+            white-space database), "roaming" (mobile clients
+            re-querying the database under the 100 m re-check rule).
         channel: (center_index, width_mhz) for kind "static".
         reeval_interval_us: WhiteFi assignment-loop period.
         hysteresis_margin: voluntary-switch margin override (None =
@@ -286,12 +287,20 @@ class ExperimentSpec:
         sift_rate_mbps: kind "sift" — iperf injection rate.
         sift_num_packets: kind "sift" — packets per run (None = the
             paper's 110).
-        citywide_aps: kind "citywide" — number of APs placed across
-            the metro plane.
-        citywide_extent_km: kind "citywide" — metro plane edge length
-            (None = the wsdb default, 20 km).
-        citywide_mic_events: kind "citywide" — mid-session microphone
-            registrations (None = 0).
+        citywide_aps: kinds "citywide"/"roaming" — number of APs
+            placed across the metro plane.
+        citywide_extent_km: kinds "citywide"/"roaming" — metro plane
+            edge length (None = the wsdb default, 20 km).
+        citywide_mic_events: kinds "citywide"/"roaming" — mid-session
+            microphone registrations (None = 0).
+        roaming_clients: kind "roaming" — mobile clients following
+            seeded waypoint paths.
+        roaming_speed_mps: kind "roaming" — client speed (None = the
+            mobility default, 14 m/s).
+        roaming_recheck_m: kind "roaming" — movement granularity of
+            the FCC re-check rule; also sets the database's response
+            cell edge so the protocol and the rule stay aligned
+            (None = the wsdb default, 100 m).
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -322,6 +331,9 @@ class ExperimentSpec:
     citywide_aps: int | None = None
     citywide_extent_km: float | None = None
     citywide_mic_events: int | None = None
+    roaming_clients: int | None = None
+    roaming_speed_mps: float | None = None
+    roaming_recheck_m: float | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -352,6 +364,16 @@ class ExperimentSpec:
         if self.citywide_mic_events is not None:
             object.__setattr__(
                 self, "citywide_mic_events", int(self.citywide_mic_events)
+            )
+        if self.roaming_clients is not None:
+            object.__setattr__(self, "roaming_clients", int(self.roaming_clients))
+        if self.roaming_speed_mps is not None:
+            object.__setattr__(
+                self, "roaming_speed_mps", float(self.roaming_speed_mps)
+            )
+        if self.roaming_recheck_m is not None:
+            object.__setattr__(
+                self, "roaming_recheck_m", float(self.roaming_recheck_m)
             )
         run_kind.validate_spec(self)
 

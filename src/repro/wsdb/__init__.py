@@ -18,15 +18,22 @@ missing layer as a deterministic, seedable simulation component:
 * :mod:`repro.wsdb.citywide` — the city-scale workload driver behind
   the ``citywide`` run kind: many APs assigning channels off database
   responses via MCham, with backup-channel recovery on mic events.
+* :mod:`repro.wsdb.mobility` — the mobile-client workload behind the
+  ``roaming`` run kind: seeded waypoint paths, the FCC 100 m re-check
+  rule (re-query on cell crossing or TTL expiry), nearest-AP
+  association with handoffs, and mic-zone channel vacation.
 """
 
 from repro.wsdb.citywide import (
     CityAp,
     MicEvent,
     assign_ap,
+    boot_aps,
+    displace_covered_aps,
     generate_mic_events,
     simulate_citywide,
 )
+from repro.wsdb.mobility import RoamingClient, simulate_roaming
 from repro.wsdb.index import GridIndex
 from repro.wsdb.model import (
     Metro,
@@ -44,13 +51,17 @@ __all__ = [
     "Metro",
     "MicEvent",
     "MicRegistration",
+    "RoamingClient",
     "TvTransmitterSite",
     "WhiteSpaceDatabase",
     "WsdbStats",
     "assign_ap",
+    "boot_aps",
+    "displace_covered_aps",
     "generate_metro",
     "generate_metro_for_setting",
     "generate_mic_events",
     "protected_radius_m",
     "simulate_citywide",
+    "simulate_roaming",
 ]

@@ -43,6 +43,7 @@ from repro.errors import NoChannelAvailableError, SimulationError
 from repro.sim.rng import stream_seed
 from repro.spectrum.airtime import AirtimeObservation
 from repro.spectrum.channels import WhiteFiChannel
+from repro.spectrum.spectrum_map import SpectrumMap
 from repro.spectrum.variation import availability_disagreement
 from repro.wsdb.model import MicRegistration
 from repro.wsdb.service import WhiteSpaceDatabase
@@ -51,6 +52,8 @@ __all__ = [
     "CityAp",
     "MicEvent",
     "assign_ap",
+    "boot_aps",
+    "displace_covered_aps",
     "generate_mic_events",
     "simulate_citywide",
 ]
@@ -191,6 +194,86 @@ def assign_ap(
     return True
 
 
+def boot_aps(
+    db: WhiteSpaceDatabase,
+    num_aps: int,
+    seed: int,
+    stream: str = "citywide-aps",
+    interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+) -> list[CityAp]:
+    """Place *num_aps* APs on the metro plane and assign their channels.
+
+    Boot is a sequential greedy assignment (earlier APs are incumbent
+    load for later ones — the deterministic stand-in for staggered
+    power-on across a city).  Placement derives from the *stream*
+    labelled child of *seed*, so different drivers (citywide, roaming)
+    booting on the same master seed do not replay one another's draws.
+    """
+    if num_aps < 1:
+        raise SimulationError(
+            f"boot_aps needs num_aps >= 1, got {num_aps!r}"
+        )
+    extent_m = db.metro.extent_m
+    placement = random.Random(stream_seed(seed, stream))
+    aps = [
+        CityAp(
+            i,
+            placement.uniform(0.0, extent_m),
+            placement.uniform(0.0, extent_m),
+        )
+        for i in range(num_aps)
+    ]
+    for ap in aps:
+        assign_ap(ap, db, aps, 0.0, interference_radius_m)
+    return aps
+
+
+def displace_covered_aps(
+    db: WhiteSpaceDatabase,
+    aps: list[CityAp],
+    event: MicEvent,
+    registration: MicRegistration,
+    interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+) -> tuple[int, int, int, int]:
+    """Vacate and recover the APs whose response *event* invalidated.
+
+    Coverage is protocol-level (:meth:`WhiteSpaceDatabase.zone_affects`
+    — the zone touches the AP's response cell), not point containment:
+    an AP just outside the zone whose cell the zone clips receives the
+    denying cell response too, and must move with the rest.  Returns
+    ``(displaced, backup_recoveries, full_reassignments, outages)``.
+    """
+    displaced = backup_recoveries = full_reassignments = outages = 0
+    for ap in aps:
+        if (
+            ap.channel is None
+            or event.uhf_index not in ap.channel.spanned_indices
+            or not db.zone_affects(registration, ap.x_m, ap.y_m)
+        ):
+            continue
+        displaced += 1
+        # Backup-channel discovery: walk the ranked list against a
+        # fresh (post-invalidation) response before re-planning.
+        free = set(db.channels_at(ap.x_m, ap.y_m, event.t_us))
+        backup = next(
+            (
+                b
+                for b in ap.backups
+                if all(i in free for i in b.spanned_indices)
+            ),
+            None,
+        )
+        if backup is not None:
+            ap.channel = backup
+            ap.backups = tuple(b for b in ap.backups if b != backup)
+            backup_recoveries += 1
+        elif assign_ap(ap, db, aps, event.t_us, interference_radius_m):
+            full_reassignments += 1
+        else:
+            outages += 1
+    return displaced, backup_recoveries, full_reassignments, outages
+
+
 def simulate_citywide(
     db: WhiteSpaceDatabase,
     num_aps: int,
@@ -204,28 +287,12 @@ def simulate_citywide(
     The report is JSON-plain throughout (the ``citywide`` run kind's
     probe routes it into an ``ExperimentResult`` unchanged).
     """
-    if num_aps < 1:
-        raise SimulationError(f"citywide needs >= 1 AP, got {num_aps!r}")
     if duration_us <= 0:
         raise SimulationError(
             f"citywide duration must be > 0, got {duration_us!r}"
         )
     extent_m = db.metro.extent_m
-    placement = random.Random(stream_seed(seed, "citywide-aps"))
-    aps = [
-        CityAp(
-            i,
-            placement.uniform(0.0, extent_m),
-            placement.uniform(0.0, extent_m),
-        )
-        for i in range(num_aps)
-    ]
-
-    # Boot: sequential greedy assignment (earlier APs are incumbent
-    # load for later ones — the deterministic stand-in for staggered
-    # power-on across a city).
-    for ap in aps:
-        assign_ap(ap, db, aps, 0.0, interference_radius_m)
+    aps = boot_aps(db, num_aps, seed, "citywide-aps", interference_radius_m)
 
     events = generate_mic_events(
         mic_events,
@@ -238,49 +305,35 @@ def simulate_citywide(
     for event in events:
         registration = event.registration()
         db.register_mic(registration)
-        for ap in aps:
-            if (
-                ap.channel is None
-                or event.uhf_index not in ap.channel.spanned_indices
-                or not registration.covers(ap.x_m, ap.y_m)
-            ):
-                continue
-            displaced += 1
-            # Backup-channel discovery: walk the ranked list against a
-            # fresh (post-invalidation) response before re-planning.
-            free = set(db.channels_at(ap.x_m, ap.y_m, event.t_us))
-            backup = next(
-                (
-                    b
-                    for b in ap.backups
-                    if all(i in free for i in b.spanned_indices)
-                ),
-                None,
-            )
-            if backup is not None:
-                ap.channel = backup
-                ap.backups = tuple(b for b in ap.backups if b != backup)
-                backup_recoveries += 1
-            elif assign_ap(ap, db, aps, event.t_us, interference_radius_m):
-                full_reassignments += 1
-            else:
-                outages += 1
+        d, b, r, o = displace_covered_aps(
+            db, aps, event, registration, interference_radius_m
+        )
+        displaced += d
+        backup_recoveries += b
+        full_reassignments += r
+        outages += o
 
-    # End-of-session sweep: per-AP availability (disagreement metric)
-    # plus a compliance re-query — the repeated same-coordinate queries
-    # the response cache is for.
+    # End-of-session sweep: one compliance re-query per AP — the
+    # repeated same-coordinate queries the response cache is for — with
+    # both the disagreement map and the compliance free-set derived
+    # from that single response (querying twice at the same t would
+    # double-count stats.queries and inflate the reported hit rate).
+    num_channels = db.metro.num_channels
+    final_responses = [
+        db.channels_at(ap.x_m, ap.y_m, duration_us) for ap in aps
+    ]
     final_maps = [
-        db.spectrum_map_at(ap.x_m, ap.y_m, duration_us) for ap in aps
+        SpectrumMap.from_free(free, num_channels) for free in final_responses
     ]
     noncompliant = 0
     per_ap: list[tuple[int, int | None, float | None, float]] = []
     total_mbps = 0.0
     width_counts: dict[float, int] = {}
-    for ap in aps:
-        free = set(db.channels_at(ap.x_m, ap.y_m, duration_us))
+    for ap, response in zip(aps, final_responses):
         if ap.channel is None:
             per_ap.append((ap.ap_id, None, None, 0.0))
             continue
+        free = set(response)
         if not all(i in free for i in ap.channel.spanned_indices):
             noncompliant += 1
         obs = _neighbor_observation(

@@ -21,7 +21,28 @@ from typing import Iterable, Iterator, Protocol, Sequence
 
 from repro.errors import SpectrumMapError
 
-__all__ = ["GridIndex", "SpatialEntry"]
+__all__ = ["GridIndex", "SpatialEntry", "circle_intersects_rect"]
+
+
+def circle_intersects_rect(
+    cx_m: float,
+    cy_m: float,
+    radius_m: float,
+    x0_m: float,
+    y0_m: float,
+    x1_m: float,
+    y1_m: float,
+) -> bool:
+    """True when a circle intersects an axis-aligned rectangle.
+
+    Standard clamped-nearest-point test, boundary-inclusive.  This is
+    the one geometry predicate behind the cell-granular protocol: the
+    index uses it to *compute* area responses and the service uses it
+    to *invalidate* them, so both sides agree exactly at contour edges.
+    """
+    nearest_x = min(max(cx_m, x0_m), x1_m)
+    nearest_y = min(max(cy_m, y0_m), y1_m)
+    return math.hypot(cx_m - nearest_x, cy_m - nearest_y) <= radius_m
 
 
 class SpatialEntry(Protocol):
@@ -117,4 +138,33 @@ class GridIndex:
         self.candidates_scanned += len(bucket)
         for entry in bucket:
             if entry.covers(x_m, y_m):
+                yield entry
+
+    def covering_rect(
+        self, x0_m: float, y0_m: float, x1_m: float, y1_m: float
+    ) -> Iterator[SpatialEntry]:
+        """Entries whose contour intersects the rectangle; counts the scan.
+
+        The area-query twin of :meth:`covering`, used for cell-granular
+        database responses: an entry qualifies when any point of
+        ``[x0, x1] x [y0, y1]`` lies inside its contour (exact test via
+        the clamped nearest point).  A contour bucketed into several of
+        the rectangle's cells is scanned — and yielded — once.
+        """
+        lo_cx, lo_cy = self.cell_of(x0_m, y0_m)
+        hi_cx, hi_cy = self.cell_of(x1_m, y1_m)
+        candidates: list[SpatialEntry] = []
+        seen: set[int] = set()
+        for cx in range(lo_cx, hi_cx + 1):
+            for cy in range(lo_cy, hi_cy + 1):
+                for entry in self._buckets.get((cx, cy), ()):
+                    if id(entry) not in seen:
+                        seen.add(id(entry))
+                        candidates.append(entry)
+        self.queries += 1
+        self.candidates_scanned += len(candidates)
+        for entry in candidates:
+            if circle_intersects_rect(
+                entry.x_m, entry.y_m, entry.radius_m, x0_m, y0_m, x1_m, y1_m
+            ):
                 yield entry

@@ -1,0 +1,327 @@
+"""Mobile white-space clients roaming a metro: the 100 m re-check rule.
+
+The FCC regime the wsdb models is built around *portable* devices: a
+white space device that moves must re-query the database after
+traveling ~100 m (and periodically even when parked).  This driver
+models that workload — the one a per-coordinate response cache serves
+worst and the cell-granular protocol
+(:meth:`~repro.wsdb.service.WhiteSpaceDatabase.channels_in_cell`) was
+built for:
+
+* ``M`` mobile clients follow seeded waypoint paths across the metro
+  plane at a fixed speed, each re-querying the database **only** when
+  it crosses a quantization-square boundary (``recheck_m``) or its
+  response's TTL bucket expires — the pull-based compliance rule, not
+  continuous polling.
+* Between re-queries a client acts on its last response (valid for its
+  whole cell), associating with the nearest assigned
+  :class:`~repro.wsdb.citywide.CityAp` whose channel the response
+  permits at the client's location; association changes are counted as
+  handoffs.
+* Mid-session microphone registrations invalidate cached responses and
+  displace covered APs (the citywide backup-channel walk).  A client
+  whose path — or whose fresh response — runs into a protection zone
+  on its AP's channel **vacates** the channel and hands off or
+  disconnects.
+* Compliance is scored against ground truth: a connected client whose
+  channel is actually protected at its true position (it moved into a
+  zone, or a mic session started, before its next re-check) is in
+  violation for that tick.  The ``violation_free_fraction`` is the
+  quality of the re-check rule itself — the staleness the pull model
+  admits.
+
+Everything derives from the master seed through labelled
+:func:`~repro.sim.rng.stream_seed` streams, so a run is byte-identical
+in any process — the contract the ``roaming`` run kind and
+``ParallelRunner`` rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.rng import stream_seed
+from repro.wsdb.citywide import (
+    DEFAULT_INTERFERENCE_RADIUS_M,
+    CityAp,
+    MicEvent,
+    boot_aps,
+    displace_covered_aps,
+    generate_mic_events,
+)
+from repro.wsdb.service import WhiteSpaceDatabase
+
+__all__ = ["RoamingClient", "simulate_roaming"]
+
+#: Default client speed (meters/second): ~50 km/h, a metro vehicle.
+DEFAULT_SPEED_MPS = 14.0
+
+#: Default simulation tick (microseconds).  At the default speed a
+#: client moves 14 m per tick — fine-grained against the 100 m rule.
+DEFAULT_TICK_US = 1_000_000.0
+
+
+@dataclass
+class RoamingClient:
+    """One mobile client: a position, a path, and a cached response."""
+
+    client_id: int
+    x_m: float
+    y_m: float
+    waypoint: tuple[float, float]
+    rng: random.Random = field(repr=False, default_factory=random.Random)
+    known_free: frozenset[int] = frozenset()
+    last_cell: tuple[int, int] | None = None
+    last_bucket: int = -1
+    ap: CityAp | None = None
+
+
+def _advance(client: RoamingClient, distance_m: float, extent_m: float) -> None:
+    """Move *client* along its waypoint path by *distance_m* meters."""
+    remaining = distance_m
+    while remaining > 0.0:
+        wx, wy = client.waypoint
+        dx, dy = wx - client.x_m, wy - client.y_m
+        leg = math.hypot(dx, dy)
+        if leg <= remaining:
+            client.x_m, client.y_m = wx, wy
+            remaining -= leg
+            client.waypoint = (
+                client.rng.uniform(0.0, extent_m),
+                client.rng.uniform(0.0, extent_m),
+            )
+            if leg == 0.0 and client.waypoint == (wx, wy):
+                # Degenerate double-draw of the same point; give up the
+                # remainder of this tick rather than spin.
+                return
+        else:
+            client.x_m += dx / leg * remaining
+            client.y_m += dy / leg * remaining
+            remaining = 0.0
+
+
+def simulate_roaming(
+    db: WhiteSpaceDatabase,
+    num_aps: int,
+    num_clients: int,
+    duration_us: float,
+    seed: int,
+    speed_mps: float = DEFAULT_SPEED_MPS,
+    recheck_m: float | None = None,
+    mic_events: int = 0,
+    tick_us: float = DEFAULT_TICK_US,
+    interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+) -> dict[str, Any]:
+    """Run one roaming session; returns a plain-data report.
+
+    The report is JSON-plain throughout (the ``roaming`` run kind's
+    probe routes it into an ``ExperimentResult`` unchanged).
+
+    Args:
+        db: the metro database (APs and clients share it).
+        num_aps: fixed APs booted across the plane (citywide-style).
+        num_clients: mobile clients following waypoint paths.
+        duration_us: session length; the tick loop covers [0, duration].
+        seed: master seed; placement, paths, and mic events derive
+            from labelled streams of it.
+        speed_mps: client speed along its path.
+        recheck_m: movement granularity of the re-check rule (None:
+            the database's own ``cache_resolution_m``, the aligned —
+            and intended — configuration).
+        mic_events: mid-session microphone registrations.
+        tick_us: simulation step; movement, re-checks, association,
+            and compliance are evaluated per tick.
+        interference_radius_m: AP mutual-interference radius.
+    """
+    if num_clients < 1:
+        raise SimulationError(
+            f"roaming needs >= 1 client, got {num_clients!r}"
+        )
+    if duration_us <= 0:
+        raise SimulationError(
+            f"roaming duration must be > 0, got {duration_us!r}"
+        )
+    if speed_mps <= 0:
+        raise SimulationError(f"speed must be > 0, got {speed_mps!r}")
+    if tick_us <= 0:
+        raise SimulationError(f"tick must be > 0, got {tick_us!r}")
+    if recheck_m is None:
+        recheck_m = db.cache_resolution_m
+    if recheck_m <= 0:
+        raise SimulationError(f"recheck_m must be > 0, got {recheck_m!r}")
+
+    extent_m = db.metro.extent_m
+    aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
+
+    clients: list[RoamingClient] = []
+    for i in range(num_clients):
+        rng = random.Random(stream_seed(seed, f"roaming-client-{i}"))
+        clients.append(
+            RoamingClient(
+                client_id=i,
+                x_m=rng.uniform(0.0, extent_m),
+                y_m=rng.uniform(0.0, extent_m),
+                waypoint=(rng.uniform(0.0, extent_m), rng.uniform(0.0, extent_m)),
+                rng=rng,
+            )
+        )
+
+    events = generate_mic_events(
+        mic_events,
+        duration_us,
+        extent_m,
+        db.metro.num_channels,
+        stream_seed(seed, "roaming-mics"),
+    )
+    next_event = 0
+    displaced = backup_recoveries = full_reassignments = outages = 0
+
+    requeries = [0] * num_clients
+    handoffs = [0] * num_clients
+    vacations = [0] * num_clients
+    connected = [0] * num_clients
+    violations = [0] * num_clients
+    disconnected_ticks = 0
+
+    def register_event(event: MicEvent) -> None:
+        nonlocal displaced, backup_recoveries, full_reassignments, outages
+        registration = event.registration()
+        db.register_mic(registration)
+        d, b, r, o = displace_covered_aps(
+            db, aps, event, registration, interference_radius_m
+        )
+        displaced += d
+        backup_recoveries += b
+        full_reassignments += r
+        outages += o
+
+    def snapshot_aps():
+        live = [
+            (ap, frozenset(ap.channel.spanned_indices))
+            for ap in aps
+            if ap.channel is not None
+        ]
+        return live, {ap.ap_id: spans for ap, spans in live}
+
+    # AP channels only change on mic events, so the span sets the
+    # association loop compares against are snapshot once and rebuilt
+    # only after an event fires.
+    live_aps, spans_by_id = snapshot_aps()
+
+    step_m = speed_mps * tick_us / 1e6
+    ticks = int(duration_us // tick_us)
+    for k in range(ticks + 1):
+        t_us = k * tick_us
+        # Registrations whose session starts by this tick go live:
+        # cached responses inside the zone are invalidated and covered
+        # APs walk their backups, exactly as in the citywide driver.
+        fired = False
+        while next_event < len(events) and events[next_event].t_us <= t_us:
+            register_event(events[next_event])
+            next_event += 1
+            fired = True
+        if fired:
+            live_aps, spans_by_id = snapshot_aps()
+
+        for client in clients:
+            if k > 0:
+                _advance(client, step_m, extent_m)
+            # The re-check rule: query only on crossing a
+            # quantization-square boundary or on TTL expiry — never
+            # merely because time passed within a valid response.
+            cell = (
+                int(math.floor(client.x_m / recheck_m)),
+                int(math.floor(client.y_m / recheck_m)),
+            )
+            bucket = int(t_us // db.ttl_us)
+            if cell != client.last_cell or bucket != client.last_bucket:
+                client.known_free = frozenset(
+                    db.channels_at(client.x_m, client.y_m, t_us)
+                )
+                client.last_cell = cell
+                client.last_bucket = bucket
+                requeries[client.client_id] += 1
+
+            # Association: nearest assigned AP whose channel the
+            # client's response permits here.  A previously-associated
+            # AP whose channel the response now denies forces a
+            # channel vacation (the path entered a protection zone).
+            prev = client.ap
+            prev_spans = (
+                spans_by_id.get(prev.ap_id) if prev is not None else None
+            )
+            if prev_spans is not None and not prev_spans <= client.known_free:
+                vacations[client.client_id] += 1
+            eligible = [
+                ap
+                for ap, spans in live_aps
+                if spans <= client.known_free
+            ]
+            client.ap = min(
+                eligible,
+                key=lambda ap: (
+                    math.hypot(ap.x_m - client.x_m, ap.y_m - client.y_m),
+                    ap.ap_id,
+                ),
+                default=None,
+            )
+            if client.ap is None:
+                disconnected_ticks += 1
+                continue
+            if prev is not None and client.ap.ap_id != prev.ap_id:
+                handoffs[client.client_id] += 1
+            connected[client.client_id] += 1
+            # Compliance against ground truth (reference linear scan,
+            # not a database query: measuring must not perturb the
+            # cache stats).  A violation means the client transmitted
+            # on a protected channel between re-checks.
+            truth = db.metro.occupied_at(client.x_m, client.y_m, t_us)
+            if any(i in truth for i in client.ap.channel.spanned_indices):
+                violations[client.client_id] += 1
+
+    # When duration_us is not a tick multiple, events can start after
+    # the last evaluated tick; register them anyway so the database,
+    # the displacement accounting, and the reported event count agree
+    # with simulate_citywide's process-every-event semantics.
+    while next_event < len(events):
+        register_event(events[next_event])
+        next_event += 1
+
+    connected_ticks = sum(connected)
+    violation_ticks = sum(violations)
+    client_ticks = num_clients * (ticks + 1)
+    return {
+        "num_aps": num_aps,
+        "num_clients": num_clients,
+        "duration_us": duration_us,
+        "tick_us": tick_us,
+        "speed_mps": speed_mps,
+        "recheck_m": recheck_m,
+        "extent_m": extent_m,
+        "assigned_aps": sum(1 for ap in aps if ap.channel is not None),
+        "requeries": sum(requeries),
+        "requeries_per_client": sum(requeries) / num_clients,
+        "handoffs": sum(handoffs),
+        "vacations": sum(vacations),
+        "connected_ticks": connected_ticks,
+        "disconnected_ticks": disconnected_ticks,
+        "connected_fraction": connected_ticks / client_ticks,
+        "violation_ticks": violation_ticks,
+        "violation_free_fraction": (
+            1.0 - violation_ticks / connected_ticks if connected_ticks else 1.0
+        ),
+        "mic_events": len(events),
+        "displaced_aps": displaced,
+        "backup_recoveries": backup_recoveries,
+        "full_reassignments": full_reassignments,
+        "outages": outages,
+        "per_client": tuple(
+            (i, requeries[i], handoffs[i], vacations[i], connected[i])
+            for i in range(num_clients)
+        ),
+        "db": db.stats.as_dict(),
+    }

@@ -1,33 +1,51 @@
-"""The geolocation database service façade: cached availability queries.
+"""The geolocation database service façade: cell-granular cached queries.
 
-:class:`WhiteSpaceDatabase` is what a city of APs talks to.  It answers
-point and batch availability queries off the :class:`GridIndex` (never a
-full incumbent scan), memoizes responses in a TTL + LRU cache, accepts
-live microphone registrations that surgically invalidate the cached
-responses inside the new protection zone, and counts
-queries/hits/misses/invalidations so benchmarks can report cache
-behavior alongside throughput.
+:class:`WhiteSpaceDatabase` is what a city of APs — and a street of
+roaming clients — talks to.  It answers availability queries off the
+:class:`GridIndex` (never a full incumbent scan), memoizes responses in
+a TTL + LRU cache, accepts live microphone registrations that
+surgically invalidate the cached responses inside the new protection
+zone, and counts queries/hits/misses/expirations/invalidations so
+benchmarks can report cache behavior alongside throughput.
 
-Caching semantics mirror the real FCC regime, transplanted to simulation
-time: a response is keyed by the query coordinate (quantized to
-``cache_resolution_m`` — devices must re-query after moving, so nearby
-points sharing a key is the modeled behavior, not an accident) plus a
-TTL bucket of simulation time (devices must re-query periodically).
-Within one bucket a cached response may lag a mic *session* edge by up
-to the TTL — the staleness bound the TTL contract allows — but an
-explicit :meth:`register_mic` invalidates the affected area immediately,
-so newly registered incumbents are never served stale.
+**Cell-granular response protocol.**  Real WSDB providers serve *area*
+responses: the FCC requires a device to re-query after moving ~100 m,
+so a response is computed for — and valid anywhere inside — a whole
+quantization square of ``cache_resolution_m`` on a side.
+:meth:`channels_in_cell` is that protocol's primitive: it computes the
+channels free throughout one square (a channel is denied when any
+active incumbent's protected contour intersects the square — the
+conservative area semantics a protection regime requires) and caches
+the response under the (cell, TTL bucket) key.  :meth:`channels_at` and
+:meth:`channels_at_many` are point-shaped conveniences that quantize
+the coordinate and ride the cell path, which is why dense or mobile
+deployments hit the cache instead of recomputing per coordinate.
+
+Because the computation itself is per-cell (not per first-querying
+coordinate), a response is a pure function of (metro state, cell,
+query time): cached and cache-disabled (``cache_capacity=0``) services
+return **identical answers** for the same query sequence.  The one
+remaining cache-visible effect is the TTL staleness contract: within a
+TTL bucket a cached response may lag a mic *session* edge of an
+already-registered incumbent by up to the TTL, while a cache-disabled
+service re-evaluates the schedule at every query.  An explicit
+:meth:`register_mic` invalidates the affected cells immediately, so
+newly registered incumbents are never served stale.
+
+Invalidation is cell-exact and time-aware: a registration drops exactly
+the cached responses whose quantization square intersects the new
+protection zone *and* whose TTL bucket overlaps one of the mic's
+sessions — a response whose bucket ends before the session starts (or
+begins after it ends) is still valid for every query it can legally
+serve.  Expired buckets are purged as simulation time advances, so the
+LRU holds live responses only.
 
 Determinism: for a fixed query sequence the service is a pure function
-of (metro state, sequence) — the property the citywide run kind's
-byte-identical parallel/sequential contract leans on.  Note the cache
-*does* shape individual answers: a cached response is shared across its
-whole quantization square and TTL bucket, so a query near a contour
-edge may receive the square's memoized answer where an uncached service
-(``cache_capacity=0``) would recompute exactly.  That coordinate
-sharing is the modeled FCC behavior (devices re-query per ~100 m
-square), not an implementation accident — but it means cached and
-cache-disabled runs are *not* interchangeable.
+of (metro state, sequence) — the property the citywide and roaming run
+kinds' byte-identical parallel/sequential contract leans on.  Shrinking
+``cache_resolution_m`` toward zero degenerates the protocol to
+per-coordinate responses (every query point its own cell) — the
+baseline the roaming benchmark compares against.
 """
 
 from __future__ import annotations
@@ -39,7 +57,7 @@ from typing import Sequence
 
 from repro.errors import SpectrumMapError
 from repro.spectrum.spectrum_map import SpectrumMap
-from repro.wsdb.index import GridIndex
+from repro.wsdb.index import GridIndex, circle_intersects_rect
 from repro.wsdb.model import Metro, MicRegistration
 
 __all__ = ["WhiteSpaceDatabase", "WsdbStats"]
@@ -49,9 +67,9 @@ __all__ = ["WhiteSpaceDatabase", "WsdbStats"]
 #: re-check requirement.
 DEFAULT_TTL_US = 60_000_000.0
 
-#: Default coordinate quantization for cache keys (meters).  The FCC
-#: requires devices to re-query after moving 100 m; responses within one
-#: 100 m square are shared.
+#: Default response-cell edge (meters).  The FCC requires devices to
+#: re-query after moving 100 m; one response covers — and is valid
+#: throughout — a 100 m quantization square.
 DEFAULT_CACHE_RESOLUTION_M = 100.0
 
 #: Default LRU capacity (responses).
@@ -63,10 +81,13 @@ class WsdbStats:
     """Service counters for benchmarking the query path.
 
     Attributes:
-        queries: availability queries answered (point or batch cell).
+        queries: availability queries answered (point or cell).
         cache_hits / cache_misses: response-cache outcomes.
-        evictions: LRU evictions.
-        invalidations: cached responses dropped by mic registrations.
+        evictions: LRU capacity evictions (live responses displaced).
+        expirations: responses purged because their TTL bucket ended
+            (dead responses dropped as simulation time advances).
+        invalidations: live cached responses dropped by mic
+            registrations.
         mic_registrations: registrations accepted.
         candidates_scanned: incumbents inspected by the spatial index
             on the service's own query path (the full-scan equivalent
@@ -78,6 +99,7 @@ class WsdbStats:
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
+    expirations: int = 0
     invalidations: int = 0
     mic_registrations: int = 0
     candidates_scanned: int = 0
@@ -94,6 +116,7 @@ class WsdbStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
+            "expirations": self.expirations,
             "invalidations": self.invalidations,
             "mic_registrations": self.mic_registrations,
             "candidates_scanned": self.candidates_scanned,
@@ -103,7 +126,7 @@ class WsdbStats:
 
 @dataclass(frozen=True)
 class _CacheKey:
-    """One response-cache slot: a quantized coordinate + TTL bucket."""
+    """One response-cache slot: a quantization cell + TTL bucket."""
 
     qx: int
     qy: int
@@ -118,9 +141,11 @@ class WhiteSpaceDatabase:
         cell_m: spatial-index cell edge (None: ~the mean TV contour
             radius, a reasonable pruning granularity).
         ttl_us: response validity window in simulation time.
-        cache_resolution_m: coordinate quantization of cache keys.
-        cache_capacity: LRU capacity; 0 disables response caching
-            (the spatial index still serves every query).
+        cache_resolution_m: response-cell edge — one response covers a
+            whole ``cache_resolution_m`` quantization square.
+        cache_capacity: LRU capacity; 0 disables response caching (the
+            spatial index still serves every query, and answers are
+            identical to a caching service's).
     """
 
     def __init__(
@@ -152,16 +177,25 @@ class WhiteSpaceDatabase:
         self.cache_resolution_m = cache_resolution_m
         self.cache_capacity = cache_capacity
         self._cache: OrderedDict[_CacheKey, tuple[int, ...]] = OrderedDict()
+        self._latest_bucket = 0
         self.stats = WsdbStats()
 
     # -- cache plumbing ------------------------------------------------------
 
-    def _key(self, x_m: float, y_m: float, t_us: float) -> _CacheKey:
-        return _CacheKey(
-            qx=int(x_m // self.cache_resolution_m),
-            qy=int(y_m // self.cache_resolution_m),
-            bucket=int(t_us // self.ttl_us),
+    def cell_of(self, x_m: float, y_m: float) -> tuple[int, int]:
+        """The quantization cell containing (x, y).
+
+        Floor division, so negative coordinates land in negative cells
+        (cell (-1, -1) spans ``[-resolution, 0)`` on each axis) rather
+        than sharing cell (0, 0) with the origin's square.
+        """
+        return (
+            int(math.floor(x_m / self.cache_resolution_m)),
+            int(math.floor(y_m / self.cache_resolution_m)),
         )
+
+    def _bucket_of(self, t_us: float) -> int:
+        return int(t_us // self.ttl_us)
 
     def _lookup(self, key: _CacheKey) -> tuple[int, ...] | None:
         channels = self._cache.get(key)
@@ -178,12 +212,39 @@ class WhiteSpaceDatabase:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
 
+    def _purge_expired(self, bucket: int) -> None:
+        """Drop responses from TTL buckets wholly before *bucket*.
+
+        Expired responses can never be served again (their bucket is
+        part of the cache key), but left in place they occupy LRU
+        capacity — evicting live responses — and are scanned by every
+        ``register_mic`` invalidation pass.  Purged on the query path
+        whenever the observed TTL bucket advances; queries are the
+        service's only clock, so ``register_mic`` relies on this
+        rather than purging itself.
+        """
+        if bucket <= self._latest_bucket:
+            return
+        self._latest_bucket = bucket
+        stale = [key for key in self._cache if key.bucket < bucket]
+        for key in stale:
+            del self._cache[key]
+        self.stats.expirations += len(stale)
+
     # -- queries -------------------------------------------------------------
 
-    def _compute(self, x_m: float, y_m: float, t_us: float) -> tuple[int, ...]:
+    def _compute_cell(self, qx: int, qy: int, t_us: float) -> tuple[int, ...]:
+        """Channels free throughout cell (qx, qy) at *t_us*.
+
+        Conservative area semantics: a channel is denied when any
+        active incumbent's contour intersects the cell square, so the
+        response is safe to act on from any coordinate inside the cell.
+        """
+        res = self.cache_resolution_m
+        x0, y0 = qx * res, qy * res
         scanned_before = self.index.candidates_scanned
         occupied = set()
-        for entry in self.index.covering(x_m, y_m):
+        for entry in self.index.covering_rect(x0, y0, x0 + res, y0 + res):
             if entry.active_at(t_us):
                 occupied.add(entry.uhf_index)
         # Accumulate the delta (not the index's running total): the
@@ -196,27 +257,49 @@ class WhiteSpaceDatabase:
             i for i in range(self.metro.num_channels) if i not in occupied
         )
 
-    def channels_at(
-        self, x_m: float, y_m: float, t_us: float = 0.0
+    def channels_in_cell(
+        self, qx: int, qy: int, t_us: float = 0.0
     ) -> tuple[int, ...]:
-        """Available (incumbent-free) UHF channels at (x, y) at *t_us*."""
+        """The cell-granular response: channels free throughout a cell.
+
+        This is the protocol primitive every query path rides.  The
+        response is valid anywhere inside quantization cell (qx, qy)
+        for the remainder of the TTL bucket containing *t_us*; it is
+        cached under that (cell, bucket) key.
+        """
         self.stats.queries += 1
-        key = self._key(x_m, y_m, t_us)
+        bucket = self._bucket_of(t_us)
+        self._purge_expired(bucket)
+        key = _CacheKey(qx=qx, qy=qy, bucket=bucket)
         cached = self._lookup(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
         self.stats.cache_misses += 1
-        channels = self._compute(x_m, y_m, t_us)
+        channels = self._compute_cell(qx, qy, t_us)
         self._store(key, channels)
         return channels
+
+    def channels_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> tuple[int, ...]:
+        """Available (incumbent-free) UHF channels at (x, y) at *t_us*.
+
+        Served from the cell-granular path: the answer is the response
+        for the whole quantization square containing (x, y).
+        """
+        return self.channels_in_cell(*self.cell_of(x_m, y_m), t_us)
 
     def channels_at_many(
         self,
         points: Sequence[tuple[float, float]],
         t_us: float = 0.0,
     ) -> list[tuple[int, ...]]:
-        """Batch availability: one response per point, in point order."""
+        """Batch availability: one response per point, in point order.
+
+        Each point counts as one query; points sharing a quantization
+        cell share its cached cell response.
+        """
         return [self.channels_at(x, y, t_us) for x, y in points]
 
     def spectrum_map_at(
@@ -229,37 +312,84 @@ class WhiteSpaceDatabase:
 
     # -- updates -------------------------------------------------------------
 
+    def _zone_touches_cell(
+        self, registration: MicRegistration, qx: int, qy: int
+    ) -> bool:
+        """True when the protection zone intersects quantization cell (qx, qy).
+
+        Uses the same :func:`circle_intersects_rect` predicate as
+        :meth:`_compute_cell` (via ``GridIndex.covering_rect``), so
+        invalidation drops exactly the cells whose responses the new
+        zone can change.
+        """
+        res = self.cache_resolution_m
+        return circle_intersects_rect(
+            registration.x_m,
+            registration.y_m,
+            registration.radius_m,
+            qx * res,
+            qy * res,
+            (qx + 1) * res,
+            (qy + 1) * res,
+        )
+
+    def zone_affects(
+        self, registration: MicRegistration, x_m: float, y_m: float
+    ) -> bool:
+        """True when *registration* can change the response served at (x, y).
+
+        Cell-granular responses deny a channel anywhere in a cell the
+        zone touches, so protocol-level coverage checks (is this AP's
+        response invalidated by the new mic?) must use this, not point
+        containment — a device just outside the zone whose cell touches
+        it still receives the denying response.
+        """
+        qx, qy = self.cell_of(x_m, y_m)
+        return self._zone_touches_cell(registration, qx, qy)
+
     def _zone_touches_key_cell(
         self, registration: MicRegistration, key: _CacheKey
     ) -> bool:
-        """True when the protection zone intersects a cache key's square.
+        """True when *registration* can change the response cached at *key*.
 
-        Cached responses are shared across a whole quantization square,
-        so invalidation must be cell-granular too: an entry produced
-        *outside* the zone can still be served to a query point
-        *inside* it if their coordinates share a square.  Standard
-        circle/axis-aligned-rectangle intersection via the clamped
-        nearest point.
+        Cell-exact in space and time-aware in the TTL dimension: a
+        cached response is only ever served for query times inside its
+        own bucket, so a bucket that does not overlap any of the mic's
+        sessions — wholly before the session starts, or wholly after it
+        ends — holds a response the registration cannot change, and
+        invalidating it would only force a recompute to the same
+        answer (and misreport ``stats.invalidations``).
         """
-        res = self.cache_resolution_m
-        nearest_x = min(max(registration.x_m, key.qx * res), (key.qx + 1) * res)
-        nearest_y = min(max(registration.y_m, key.qy * res), (key.qy + 1) * res)
-        return (
-            math.hypot(registration.x_m - nearest_x, registration.y_m - nearest_y)
-            <= registration.radius_m
-        )
+        bucket_start = key.bucket * self.ttl_us
+        bucket_end = bucket_start + self.ttl_us
+        # Both intervals are half-open ([start, end) sessions against
+        # [bucket_start, bucket_end) buckets), so both edges test
+        # strictly: a session ending exactly at the bucket boundary is
+        # never active inside the bucket.
+        if not any(
+            session.start_us < bucket_end and session.end_us > bucket_start
+            for session in registration.microphone.sessions
+        ):
+            return False
+        return self._zone_touches_cell(registration, key.qx, key.qy)
 
     def register_mic(self, registration: MicRegistration) -> int:
         """Accept a mic registration; invalidate the affected responses.
 
         Every cached response whose quantization square intersects the
-        new protection zone is dropped (any query point in such a
-        square may now get a different answer).  Returns the number of
+        new protection zone — in a TTL bucket overlapping one of the
+        mic's sessions — is dropped (any query in such a cell and
+        bucket may now get a different answer).  Returns the number of
         invalidated responses.
         """
         self.metro.add_registration(registration)
         self.index.insert(registration)
         self.stats.mic_registrations += 1
+        # Queries purge buckets behind the observed clock as they
+        # advance it, so the scan below visits at most the entries at
+        # or after the last observed bucket (out-of-order query times
+        # can park older entries here, but the time-aware check still
+        # judges them correctly).
         stale = [
             key
             for key in self._cache

@@ -76,6 +76,26 @@ class TestSimulateCitywide:
         assert report["db"]["mic_registrations"] == 25
         assert report["db"]["invalidations"] > 0
 
+    def test_final_sweep_queries_each_ap_exactly_once(self):
+        # Regression: the end-of-session sweep used to ask the database
+        # twice per AP at the same t (once for the disagreement map,
+        # once for the compliance free-set), double-counting
+        # stats.queries and inflating the reported hit rate.  One boot
+        # query plus one final-sweep query per AP, nothing else.
+        report = simulate_citywide(
+            empty_dial_db(extent_m=20_000.0),
+            num_aps=12,
+            duration_us=1e6,
+            seed=4,
+        )
+        db = report["db"]
+        assert db["queries"] == 2 * 12
+        assert db["cache_hits"] + db["cache_misses"] == db["queries"]
+        # Boot and sweep share one TTL bucket here, so every sweep
+        # query is a hit: the honest hit rate is exactly one half.
+        assert db["cache_hits"] == 12
+        assert db["hit_rate"] == pytest.approx(0.5)
+
     def test_deterministic_per_seed(self):
         def run(seed):
             db = WhiteSpaceDatabase(

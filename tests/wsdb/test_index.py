@@ -91,11 +91,23 @@ class TestBatchQueryProof:
         assert db.stats.candidates_scanned < 0.33 * full_scan
         assert db.stats.candidates_scanned > 0
 
-        # Exactness: the indexed answers match the reference linear
-        # scan over every incumbent.
+        # Exactness: the indexed answers match a reference linear scan
+        # over every incumbent, under the cell-granular area semantics
+        # (a channel is denied when any contour intersects the query
+        # point's quantization square).  Denial is therefore a superset
+        # of the point-occupancy reference, never a subset.
+        res = db.cache_resolution_m
         for point, channels in list(zip(points, responses))[::97]:
-            expected = db.metro.occupied_at(*point)
-            assert set(range(30)) - set(channels) == expected
+            qx, qy = db.cell_of(*point)
+            expected = set()
+            for site in db.metro.sites:
+                nx = min(max(site.x_m, qx * res), (qx + 1) * res)
+                ny = min(max(site.y_m, qy * res), (qy + 1) * res)
+                if (site.x_m - nx) ** 2 + (site.y_m - ny) ** 2 <= site.radius_m**2:
+                    expected.add(site.uhf_index)
+            denied = set(range(30)) - set(channels)
+            assert denied == expected
+            assert denied >= db.metro.occupied_at(*point)
 
     def test_batch_results_deterministic_per_seed(self):
         points = self.grid_points(20_000.0)

@@ -1,4 +1,5 @@
-"""Tests for the WhiteSpaceDatabase façade: caching, TTL, invalidation."""
+"""Tests for the WhiteSpaceDatabase façade: cell-granular responses,
+caching, TTL-bucket expiry, and time-aware invalidation."""
 
 import pytest
 
@@ -9,12 +10,76 @@ from repro.wsdb.service import WhiteSpaceDatabase
 
 
 def one_station_metro() -> Metro:
-    # A ~2.5 km contour on channel 3 in the middle of a 10 km plane.
+    # A ~2511.9 m contour on channel 3 in the middle of a 10 km plane.
     return Metro(
         extent_m=10_000.0,
         num_channels=8,
         sites=(TvTransmitterSite(TvStation(3, power_dbm=5.0), 5_000.0, 5_000.0),),
     )
+
+
+class TestCellGranularResponses:
+    def test_response_covers_the_whole_cell_conservatively(self):
+        # The contour edge sits at x ~= 7511.9.  (7520, 5000) is outside
+        # the contour itself, but its 100 m cell [7500, 7600) reaches
+        # back to x=7500, inside the contour — the area response denies
+        # the channel anywhere a contour clips the cell.
+        db = WhiteSpaceDatabase(one_station_metro())
+        assert 3 not in db.metro.occupied_at(7_520.0, 5_000.0)
+        assert 3 not in db.channels_at(7_520.0, 5_000.0)
+        # One cell further out the contour no longer touches: free.
+        assert 3 in db.channels_at(7_620.0, 5_000.0)
+
+    def test_channels_at_rides_channels_in_cell(self):
+        db = WhiteSpaceDatabase(one_station_metro())
+        direct = db.channels_in_cell(*db.cell_of(5_110.0, 5_150.0))
+        assert db.channels_at(5_105.0, 5_177.0) == direct
+        assert db.stats.queries == 2
+        assert db.stats.cache_hits == 1
+
+    def test_cache_disabled_identical_answers_with_zero_hits(self):
+        # The compute path is canonical per cell, so disabling the
+        # cache changes performance counters only, never answers.
+        cached = WhiteSpaceDatabase(one_station_metro())
+        uncached = WhiteSpaceDatabase(one_station_metro(), cache_capacity=0)
+        points = [
+            (x, y)
+            for x in (-250.0, 0.0, 2_505.0, 5_050.0, 7_520.0, 9_990.0)
+            for y in (4_980.0, 5_020.0, 7_511.0)
+        ]
+        for _ in range(2):
+            assert cached.channels_at_many(points) == uncached.channels_at_many(
+                points
+            )
+        assert uncached.stats.cache_hits == 0
+        assert uncached.stats.cache_misses == uncached.stats.queries
+        assert cached.stats.cache_hits > 0
+
+    def test_negative_coordinates_get_their_own_cells(self):
+        # Floor quantization: (-50, -50) lives in cell (-1, -1), not in
+        # the origin's cell — truncation toward zero would alias the
+        # two and serve one side the other's response.
+        db = WhiteSpaceDatabase(one_station_metro())
+        assert db.cell_of(-50.0, -50.0) == (-1, -1)
+        assert db.cell_of(50.0, 50.0) == (0, 0)
+        db.channels_at(-50.0, -50.0)
+        db.channels_at(-1.0, -99.0)  # same negative cell: a hit
+        assert db.stats.cache_hits == 1
+        db.channels_at(50.0, 50.0)  # across the origin: a different slot
+        assert db.stats.cache_misses == 2
+
+    def test_mic_registered_at_exact_plane_border(self):
+        # The grid index clamps off-plane and border coordinates to the
+        # edge cells; a venue registered exactly at (extent, extent)
+        # must still deny the corner and leave the far corner alone.
+        db = WhiteSpaceDatabase(one_station_metro())
+        extent = db.metro.extent_m
+        db.register_mic(
+            MicRegistration.single_session(5, extent, extent, 0.0, 1e9)
+        )
+        assert 5 not in db.channels_at(extent - 10.0, extent - 10.0, t_us=1.0)
+        assert 5 not in db.channels_at(extent, extent, t_us=1.0)
+        assert 5 in db.channels_at(10.0, 10.0, t_us=1.0)
 
 
 class TestResponseCache:
@@ -73,6 +138,124 @@ class TestResponseCache:
         ):
             with pytest.raises(SpectrumMapError):
                 WhiteSpaceDatabase(one_station_metro(), **kwargs)
+
+
+class TestTtlExpiry:
+    def test_expired_buckets_are_purged_when_time_advances(self):
+        # Dead responses must not occupy LRU capacity: once the
+        # observed TTL bucket advances, everything behind it is purged
+        # (counted as expirations, not evictions).
+        db = WhiteSpaceDatabase(
+            one_station_metro(), ttl_us=1_000.0, cache_capacity=4
+        )
+        for x in (1_000.0, 2_000.0, 3_000.0):
+            db.channels_at(x, 1_000.0, t_us=0.0)
+        assert len(db._cache) == 3
+        db.channels_at(1_000.0, 1_000.0, t_us=1_500.0)  # next bucket
+        assert db.stats.expirations == 3
+        assert len(db._cache) == 1
+        # The freed capacity holds live responses without evicting.
+        for x in (2_000.0, 3_000.0, 4_000.0):
+            db.channels_at(x, 1_000.0, t_us=1_500.0)
+        assert len(db._cache) == 4
+        assert db.stats.evictions == 0
+
+    def test_live_entries_survive_the_purge(self):
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(1_000.0, 1_000.0, t_us=1_200.0)  # bucket 1
+        db.channels_at(2_000.0, 1_000.0, t_us=1_500.0)  # bucket 1 too
+        assert db.stats.expirations == 0
+        db.channels_at(1_000.0, 1_000.0, t_us=1_900.0)
+        assert db.stats.cache_hits == 1
+
+    def test_register_mic_does_not_count_expired_entries(self):
+        # Regression: invalidation used to scan (and drop) responses
+        # from long-dead buckets, polluting stats.invalidations.
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(1_000.0, 1_000.0, t_us=0.0)  # bucket 0
+        db.channels_at(1_000.0, 1_000.0, t_us=5_500.0)  # bucket 5
+        assert db.stats.expirations == 1
+        db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 0.0, 1e9)
+        )
+        # Only the live bucket-5 response is invalidated.
+        assert db.stats.invalidations == 1
+
+
+class TestTimeAwareInvalidation:
+    def test_buckets_wholly_before_the_session_are_kept(self):
+        # Two live responses for the same cell in buckets 0 and 2; a
+        # session starting at t=2500 can only change answers served
+        # from bucket 2 on — bucket 0's window [0, 1000) ended long
+        # before the mic goes live, so dropping it would only force a
+        # recompute to the same answer and misreport the counter.
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(1_000.0, 1_000.0, t_us=2_200.0)  # bucket 2 (live)
+        db.channels_at(1_000.0, 1_000.0, t_us=100.0)  # bucket 0 (late query)
+        dropped = db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 2_500.0, 5_000.0)
+        )
+        assert dropped == 1
+        assert db.stats.invalidations == 1
+        # The bucket-0 response is still served from cache.
+        db.channels_at(1_000.0, 1_000.0, t_us=200.0)
+        assert db.stats.cache_hits == 1
+
+    def test_buckets_wholly_after_the_session_are_kept(self):
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(1_000.0, 1_000.0, t_us=2_500.0)  # bucket 2
+        dropped = db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 100.0, 900.0)
+        )
+        # The session lives and dies inside bucket 0: the cached
+        # bucket-2 response (mic inactive throughout) is untouched.
+        assert dropped == 0
+        assert db.stats.invalidations == 0
+        assert 5 in db.channels_at(1_000.0, 1_000.0, t_us=2_600.0)
+        assert db.stats.cache_hits == 1
+
+    def test_session_ending_exactly_at_bucket_start_is_kept(self):
+        # Sessions are half-open [start, end): one ending exactly at a
+        # bucket boundary is never active inside that bucket, so the
+        # bucket's cached response must survive the registration.
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(1_000.0, 1_000.0, t_us=2_500.0)  # bucket 2
+        dropped = db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 100.0, 2_000.0)
+        )
+        assert dropped == 0
+        assert db.stats.invalidations == 0
+        db.channels_at(1_000.0, 1_000.0, t_us=2_600.0)
+        assert db.stats.cache_hits == 1
+
+    def test_overlapping_bucket_is_invalidated(self):
+        db = WhiteSpaceDatabase(one_station_metro(), ttl_us=1_000.0)
+        db.channels_at(1_000.0, 1_000.0, t_us=2_500.0)  # bucket 2
+        dropped = db.register_mic(
+            MicRegistration.single_session(5, 1_000.0, 1_000.0, 2_900.0, 9_000.0)
+        )
+        assert dropped == 1
+        assert 5 not in db.channels_at(1_000.0, 1_000.0, t_us=2_950.0)
+
+
+class TestZoneAffects:
+    def test_cell_touch_beats_point_containment(self):
+        # A device outside the zone whose response cell the zone clips
+        # is still served the denying cell response — protocol-level
+        # coverage checks must agree with what the cache serves.
+        db = WhiteSpaceDatabase(one_station_metro())
+        registration = MicRegistration.single_session(
+            5, 5.0, 50.0, 0.0, 1e9
+        )
+        db.register_mic(registration)
+        # (1095, 50): 1090 m from the venue (outside the 1 km zone)
+        # but cell [1000, 1100) reaches back to 995 m.
+        assert not registration.covers(1_095.0, 50.0)
+        assert db.zone_affects(registration, 1_095.0, 50.0)
+        assert 5 not in db.channels_at(1_095.0, 50.0, t_us=1.0)
+        # Two cells out neither the point nor the cell is touched.
+        assert not db.zone_affects(registration, 1_250.0, 50.0)
+        assert 5 in db.channels_at(1_250.0, 50.0, t_us=1.0)
 
 
 class TestMicRegistration:
