@@ -35,7 +35,8 @@ bench:
 bench-smoke:
 	WHITEFI_BENCH_SMOKE=1 \
 	WHITEFI_BENCH_WORKERS="$(WORKERS)" \
-	$(PYTEST) -q benchmarks/bench_citywide_wsdb.py benchmarks/bench_roaming_wsdb.py
+	$(PYTEST) -q benchmarks/bench_citywide_wsdb.py \
+	    benchmarks/bench_roaming_wsdb.py benchmarks/bench_wsdb_cluster.py
 
 ## Lint src and tests.  The container may not ship ruff; skip with a
 ## notice rather than fail, so `make check` works everywhere.

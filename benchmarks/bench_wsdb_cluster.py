@@ -1,0 +1,270 @@
+"""Cluster wsdb sweep: shards x offered load, plus push and shed A/Bs.
+
+The service-tier benchmark behind ``repro.wsdb.cluster``: a shards x
+offered-qps grid of declarative ``ExperimentSpec`` cells (kind
+"querystorm") fanned out by ``ParallelRunner`` — byte-identical under
+the sequential fallback — followed by two deterministic A/B footers
+run through the driver directly.
+
+Asserted headlines (the issue's acceptance gates):
+
+* **Sharding prunes.**  At a fixed deployment, the aggregate
+  ``candidates_scanned / queries`` ratio strictly decreases as the
+  shard count grows: each shard indexes only its territory's incumbent
+  subset at a ``sqrt(K)``-finer granularity, so a routed query scans
+  fewer candidates than the monolith would.
+* **Push closes the violation window.**  On a dense roaming storm
+  (slow clients, many mid-session mic registrations), runs with
+  ``storm_push=True`` accrue strictly less total ground-truth
+  violation time than pull-only runs of the same seeds: notified
+  clients vacate the tick a zone appears instead of riding a stale
+  response to the next FCC re-check trigger.
+
+A third footer exercises the admission path: a rate-limited frontend
+under storm starvation sheds most requests, and the ``serve-stale``
+policy converts nearly all of those refusals into (stale) answers —
+the availability/staleness trade the shed-policy plug point exists
+for.  Under ``WHITEFI_BENCH_SMOKE`` the sweep shrinks to a driver-rot
+check and the paper-scale push assertion is skipped.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentSpec, ScenarioSpec, summarize
+from repro.sim.rng import stream_seed
+from repro.wsdb.cluster import ShardRouter, simulate_querystorm
+from repro.wsdb.model import generate_metro
+
+from _runner import bench_runner, smoke_mode
+
+SMOKE = smoke_mode()
+SHARD_COUNTS = (1, 4) if SMOKE else (1, 4, 16)
+OFFERED_QPS = (50.0,) if SMOKE else (100.0, 400.0)
+SEEDS_PER_CELL = 1 if SMOKE else 2
+NUM_APS = 5 if SMOKE else 12
+NUM_CLIENTS = 8 if SMOKE else 20
+MIC_EVENTS = 1 if SMOKE else 4
+DURATION_US = 60e6 if SMOKE else 300e6
+FREE_INDICES = tuple(range(12, 30))  # dial: channels 0-11 carry TV sites
+
+# The dense push A/B: a walkable 2.5 km core where mic protection
+# zones cover real fractions of the plane and slow clients ride stale
+# responses long enough for the pull model's violation window to show.
+AB_CLIENTS = 10 if SMOKE else 80
+AB_MIC_EVENTS = 4 if SMOKE else 16
+AB_DURATION_US = 60e6 if SMOKE else 300e6
+AB_EXTENT_KM = 2.5
+AB_SPEED_MPS = 6.0
+AB_SEEDS = (2009,) if SMOKE else (2009, 2010)
+
+
+def storm_spec(
+    seed: int,
+    shards: int,
+    qps: float,
+    push: bool = False,
+    dense: bool = False,
+) -> ExperimentSpec:
+    """One declarative querystorm cell."""
+    scenario = ScenarioSpec(
+        free_indices=FREE_INDICES,
+        num_channels=30,
+        duration_us=AB_DURATION_US if dense else DURATION_US,
+        seed=seed,
+    )
+    return ExperimentSpec(
+        scenario,
+        kind="querystorm",
+        citywide_aps=10 if dense else NUM_APS,
+        roaming_clients=AB_CLIENTS if dense else NUM_CLIENTS,
+        citywide_extent_km=AB_EXTENT_KM if dense else None,
+        citywide_mic_events=AB_MIC_EVENTS if dense else MIC_EVENTS,
+        roaming_speed_mps=AB_SPEED_MPS if dense else None,
+        storm_shards=shards,
+        storm_offered_qps=qps,
+        storm_push=push,
+    )
+
+
+def cluster_table(
+    seed: int = 2009,
+) -> dict[int, dict[float, dict[str, float]]]:
+    """Sweep shards x offered load; mean metrics per cell across seeds."""
+    jobs: list[ExperimentSpec] = []
+    for shards in SHARD_COUNTS:
+        for qps in OFFERED_QPS:
+            spec = storm_spec(seed, shards, qps)
+            jobs.extend(
+                spec.with_seed(seed + run) for run in range(SEEDS_PER_CELL)
+            )
+    results = bench_runner().run_grid(jobs)
+
+    table: dict[int, dict[float, dict[str, float]]] = {}
+    cursor = 0
+    for shards in SHARD_COUNTS:
+        table[shards] = {}
+        for qps in OFFERED_QPS:
+            cell = results[cursor : cursor + SEEDS_PER_CELL]
+            cursor += SEEDS_PER_CELL
+            table[shards][qps] = {
+                metric: summarize(cell, metric=metric).mean
+                for metric in (
+                    "storm_queries",
+                    "db_queries",
+                    "db_candidates_per_query",
+                    "db_hit_rate",
+                    "frontend_requests",
+                    "frontend_coalesced",
+                    "frontend_shard_batches",
+                    "violation_free_fraction",
+                )
+            }
+    return table
+
+
+def push_ab() -> dict[str, float]:
+    """The violation-window A/B: pull-only vs push on a dense storm."""
+    jobs = [
+        storm_spec(seed, shards=4, qps=200.0, push=push, dense=True)
+        for push in (False, True)
+        for seed in AB_SEEDS
+    ]
+    results = bench_runner().run_grid(jobs)
+    half = len(AB_SEEDS)
+    pull, push = results[:half], results[half:]
+    return {
+        "pull_violation_us": sum(r.metric("violation_us") for r in pull),
+        "push_violation_us": sum(r.metric("violation_us") for r in push),
+        "push_refreshes": sum(r.metric("push_refreshes") for r in push),
+        "push_notifications": sum(r.metric("push_notifications") for r in push),
+    }
+
+
+def shed_ab(seed: int = 2009) -> dict[str, dict[str, float]]:
+    """Admission under starvation: reject vs serve-stale shedding.
+
+    Run directly (not via ``ParallelRunner``): one deterministic
+    comparison whose only job is the footer row — a 400 qps storm
+    against a 150 qps token bucket, so ~2/3 of requests are shed and
+    the policies differ only in what the shed requester hears.
+    """
+    reports = {}
+    for policy in ("reject", "serve-stale"):
+        metro = generate_metro(
+            range(12),
+            extent_m=AB_EXTENT_KM * 1_000.0,
+            seed=stream_seed(seed, "cluster-shed-ab"),
+            num_channels=30,
+        )
+        report = simulate_querystorm(
+            ShardRouter(metro, num_shards=4),
+            num_aps=10,
+            num_clients=NUM_CLIENTS,
+            duration_us=DURATION_US,
+            seed=seed,
+            offered_qps=400.0,
+            mic_events=MIC_EVENTS,
+            speed_mps=AB_SPEED_MPS,
+            rate_limit_qps=150.0,
+            policy=policy,
+        )
+        reports[policy] = {
+            "requests": report["frontend"]["requests"],
+            "shed": report["frontend"]["shed"],
+            "served_stale": report["frontend"]["served_stale"],
+            "shed_rate": report["frontend"]["shed_rate"],
+            "deferred_requeries": report["deferred_requeries"],
+        }
+    return reports
+
+
+def test_wsdb_cluster_sweep(benchmark, record_table):
+    def run():
+        return cluster_table(), push_ab(), shed_ab()
+
+    results, ab, shed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Cluster wsdb sweep: sharded service tier under a query storm,"
+        f" {NUM_APS} APs, {NUM_CLIENTS} clients, {SEEDS_PER_CELL} seeds"
+        + (" [SMOKE]" if SMOKE else ""),
+        f"{'shards':>6} | {'qps':>5} | {'storm q':>8} | {'cand/q':>7} | "
+        f"{'hit rate':>8} | {'coalesced':>9} | {'batches':>7}",
+    ]
+    for shards in SHARD_COUNTS:
+        for qps in OFFERED_QPS:
+            row = results[shards][qps]
+            lines.append(
+                f"{shards:>6} | {qps:>5.0f} | {row['storm_queries']:8.0f} | "
+                f"{row['db_candidates_per_query']:7.2f} | "
+                f"{row['db_hit_rate']:8.2f} | "
+                f"{row['frontend_coalesced']:9.0f} | "
+                f"{row['frontend_shard_batches']:7.0f}"
+            )
+    lines.append(
+        f"push vs pull on a dense roaming storm ({AB_CLIENTS} clients, "
+        f"{AB_MIC_EVENTS} mic events, {len(AB_SEEDS)} seeds): violation "
+        f"time {ab['push_violation_us'] / 1e6:.0f} s vs "
+        f"{ab['pull_violation_us'] / 1e6:.0f} s "
+        f"({ab['push_refreshes']:.0f} push refreshes)"
+    )
+    lines.append(
+        "shed policies under a 400 qps storm vs a 150 qps bucket: "
+        f"reject shed {shed['reject']['shed']:.0f} "
+        f"(rate {shed['reject']['shed_rate']:.2f}, "
+        f"{shed['reject']['deferred_requeries']:.0f} deferred re-checks); "
+        f"serve-stale answered {shed['serve-stale']['served_stale']:.0f} "
+        f"of {shed['serve-stale']['shed']:.0f} shed stale"
+    )
+    record_table(
+        "wsdb_cluster",
+        lines,
+        data={"cells": results, "push_ab": ab, "shed_ab": shed},
+    )
+
+    for shards in SHARD_COUNTS:
+        for qps in OFFERED_QPS:
+            row = results[shards][qps]
+            # Driver-rot checks (smoke included): honest accounting.
+            assert row["storm_queries"] > 0
+            assert row["frontend_requests"] >= row["storm_queries"]
+            assert 0.0 <= row["violation_free_fraction"] <= 1.0
+
+    # Acceptance gate (a): sharding reduces the candidates a query
+    # scans — strictly, at every offered load, at fixed deployment.
+    for qps in OFFERED_QPS:
+        per_shards = [
+            results[shards][qps]["db_candidates_per_query"]
+            for shards in SHARD_COUNTS
+        ]
+        assert all(
+            later < earlier
+            for earlier, later in zip(per_shards, per_shards[1:])
+        ), f"candidates/query not decreasing with shards at {qps} qps: {per_shards}"
+
+    # Shed-policy gate: starvation sheds under both policies, and
+    # serve-stale converts shed requests into (stale) answers while
+    # reject leaves clients deferring re-checks.
+    assert shed["reject"]["shed"] > 0
+    assert shed["reject"]["served_stale"] == 0
+    assert shed["serve-stale"]["served_stale"] > 0
+    assert (
+        shed["serve-stale"]["deferred_requeries"]
+        < shed["reject"]["deferred_requeries"]
+    )
+
+    # The push A/B runs at smoke scale too (driver rot), but the
+    # violation-window physics need the dense paper-scale session.
+    assert ab["push_violation_us"] <= ab["pull_violation_us"]
+    if SMOKE:
+        return
+    # Acceptance gate (b): push strictly shrinks ground-truth
+    # violation exposure vs the pull-only re-check rule.
+    assert ab["push_violation_us"] < ab["pull_violation_us"]
+    assert ab["push_refreshes"] > 0
+
+    # Storm bursts revisit cells within a TTL window, so the response
+    # cache must be earning hits at every scale of the sweep.
+    for shards in SHARD_COUNTS:
+        for qps in OFFERED_QPS:
+            assert results[shards][qps]["db_hit_rate"] > 0.0

@@ -35,11 +35,10 @@ from repro.errors import (
     UnknownRunKindError,
 )
 
-# 1.3.0: cell-granular wsdb response protocol + roaming run kind.  The
-# ResultCache is versioned by this string — responses changed semantics
-# (area answers, time-aware invalidation), so 1.2 cache entries must
-# never be served.
-__version__ = "1.3.0"
+# 1.4.0: wsdb.cluster service tier (sharding, batching, push) + the
+# querystorm run kind.  The ResultCache is versioned by this string,
+# so older cache entries are never served to the new kind set.
+__version__ = "1.4.0"
 
 __all__ = [
     "constants",

@@ -14,12 +14,14 @@ into data and each axis into a plugin:
   validation, execution, and metric extraction;
   :func:`run_experiment` is a thin registry lookup and ``RUN_KINDS``
   is derived from the registry.
-* :mod:`repro.experiments.kinds` — the seven built-in kinds:
+* :mod:`repro.experiments.kinds` — the nine built-in kinds:
   ``static``, ``opt``, ``whitefi``, ``protocol`` (world simulations,
   Figures 10-14), ``discovery`` (AP-discovery races, Figures 8-9),
-  ``sift`` (detection/classification accuracy, Table 1), and
-  ``citywide`` (many APs on one metro geolocation database,
-  :mod:`repro.wsdb`).
+  ``sift`` (detection/classification accuracy, Table 1), and the
+  :mod:`repro.wsdb` trio — ``citywide`` (many APs on one metro
+  geolocation database), ``roaming`` (mobile clients under the FCC
+  re-check rule), ``querystorm`` (a sharded database cluster under
+  storm load, with optional PAWS-style push).
 * :mod:`repro.experiments.probes` — composable metric extractors
   (throughput, airtime, switch log, disconnection timeline, discovery
   latency, SIFT confusion counts) that populate ``ExperimentResult``.

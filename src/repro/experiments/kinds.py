@@ -16,9 +16,10 @@ discovery  L-SIFT / J-SIFT / baseline AP races (Figs 8-9)       discovery latenc
 sift       SIFT detection/classification accuracy (Table 1)     detection rate + width confusion
 citywide   many APs on one metro wsdb (post-FCC-2010 regime)    per-AP throughput, disagreement, db cache
 roaming    mobile clients on the wsdb (100 m re-check rule)     re-queries, handoffs, hit rate, violations
+querystorm sharded wsdb cluster under storm load (+ push)       shed/coalesce counters, shard stats, violations
 ========== ==================================================== =========================================
 
-Importing this module registers all eight; adding an evaluation axis is
+Importing this module registers all nine; adding an evaluation axis is
 a new ``RunKind`` subclass plus ``register_run_kind`` — no dispatcher
 edits anywhere.
 """
@@ -38,6 +39,7 @@ from repro.experiments.probes import (
     MchamTimelineProbe,
     ProtocolGoodputProbe,
     ProtocolSwitchLogProbe,
+    QuerystormProbe,
     RoamingProbe,
     SiftAccuracyProbe,
     SiftConfusionProbe,
@@ -66,6 +68,7 @@ __all__ = [
     "DiscoveryKind",
     "OptKind",
     "ProtocolKind",
+    "QuerystormKind",
     "RoamingKind",
     "SiftKind",
     "StaticKind",
@@ -145,12 +148,17 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
         "sift_width_mhz": ("sift",),
         "sift_rate_mbps": ("sift",),
         "sift_num_packets": ("sift",),
-        "citywide_aps": ("citywide", "roaming"),
-        "citywide_extent_km": ("citywide", "roaming"),
-        "citywide_mic_events": ("citywide", "roaming"),
-        "roaming_clients": ("roaming",),
-        "roaming_speed_mps": ("roaming",),
-        "roaming_recheck_m": ("roaming",),
+        "citywide_aps": ("citywide", "roaming", "querystorm"),
+        "citywide_extent_km": ("citywide", "roaming", "querystorm"),
+        "citywide_mic_events": ("citywide", "roaming", "querystorm"),
+        "roaming_clients": ("roaming", "querystorm"),
+        "roaming_speed_mps": ("roaming", "querystorm"),
+        "roaming_recheck_m": ("roaming", "querystorm"),
+        "storm_shards": ("querystorm",),
+        "storm_offered_qps": ("querystorm",),
+        "storm_push": ("querystorm",),
+        "storm_rate_limit_qps": ("querystorm",),
+        "storm_shed_policy": ("querystorm",),
     }
     for knob, owner_kinds in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
@@ -159,6 +167,75 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
                 f"kind {spec.kind!r} does not use {knob}; "
                 f"it only applies to kind {names}"
             )
+
+
+# -- shared wsdb deployment knobs ----------------------------------------------
+#
+# The citywide_* knobs describe the metro deployment every wsdb kind
+# (citywide / roaming / querystorm) runs against; one validator and one
+# resolver keep the three kinds agreeing on their semantics instead of
+# each carrying its own copy of the checks and the km -> m conversion.
+
+
+def _validate_citywide_deployment(spec: ExperimentSpec) -> None:
+    """Validate the shared citywide_* metro-deployment knobs."""
+    if spec.citywide_aps is None or spec.citywide_aps < 1:
+        raise SimulationError(
+            f"kind {spec.kind!r} requires citywide_aps >= 1 "
+            f"(the fixed metro deployment), got {spec.citywide_aps!r}"
+        )
+    if spec.citywide_extent_km is not None and spec.citywide_extent_km <= 0:
+        raise SimulationError(
+            f"citywide_extent_km must be > 0, got {spec.citywide_extent_km!r}"
+        )
+    if spec.citywide_mic_events is not None and spec.citywide_mic_events < 0:
+        raise SimulationError(
+            "citywide_mic_events must be >= 0, "
+            f"got {spec.citywide_mic_events!r}"
+        )
+
+
+def _citywide_extent_m(spec: ExperimentSpec) -> float | None:
+    """The metro plane edge in meters (None: the wsdb default)."""
+    if spec.citywide_extent_km is None:
+        return None
+    return spec.citywide_extent_km * 1_000.0
+
+
+def _validate_roaming_clients(spec: ExperimentSpec) -> None:
+    """Validate the mobile-population knobs roaming and querystorm share."""
+    if spec.roaming_speed_mps is not None and spec.roaming_speed_mps <= 0:
+        raise SimulationError(
+            f"roaming_speed_mps must be > 0, got {spec.roaming_speed_mps!r}"
+        )
+    if spec.roaming_recheck_m is not None and spec.roaming_recheck_m <= 0:
+        raise SimulationError(
+            f"roaming_recheck_m must be > 0, got {spec.roaming_recheck_m!r}"
+        )
+
+
+def _roaming_kwargs(spec: ExperimentSpec) -> dict[str, float]:
+    """Driver overrides for the set mobile-population tuning knobs."""
+    kwargs: dict[str, float] = {}
+    if spec.roaming_speed_mps is not None:
+        kwargs["speed_mps"] = spec.roaming_speed_mps
+    if spec.roaming_recheck_m is not None:
+        kwargs["recheck_m"] = spec.roaming_recheck_m
+    return kwargs
+
+
+def _reject_wsdb_world_features(spec: ExperimentSpec, traffic_reason: str) -> None:
+    """The scenario features none of the wsdb kinds simulate."""
+    _reject_channel(spec)
+    _reject_backgrounds(spec)
+    _reject_spatial(spec)
+    _reject_timeline(spec)
+    _reject_custom_traffic(spec, traffic_reason)
+    _reject_mics(
+        spec,
+        "generates its own microphone registrations; "
+        "use citywide_mic_events instead of scenario mics",
+    )
 
 
 #: The probe set every RunResult-producing kind shares.
@@ -427,31 +504,9 @@ class CitywideKind(RunKind):
     probes = (CitywideProbe(),)
 
     def validate_spec(self, spec: ExperimentSpec) -> None:
-        if spec.citywide_aps is None or spec.citywide_aps < 1:
-            raise SimulationError(
-                "kind 'citywide' requires citywide_aps >= 1, "
-                f"got {spec.citywide_aps!r}"
-            )
-        if spec.citywide_extent_km is not None and spec.citywide_extent_km <= 0:
-            raise SimulationError(
-                f"citywide_extent_km must be > 0, got {spec.citywide_extent_km!r}"
-            )
-        if spec.citywide_mic_events is not None and spec.citywide_mic_events < 0:
-            raise SimulationError(
-                "citywide_mic_events must be >= 0, "
-                f"got {spec.citywide_mic_events!r}"
-            )
-        _reject_channel(spec)
-        _reject_backgrounds(spec)
-        _reject_spatial(spec)
-        _reject_timeline(spec)
-        _reject_custom_traffic(
+        _validate_citywide_deployment(spec)
+        _reject_wsdb_world_features(
             spec, "models AP load analytically via MCham, not packet flows"
-        )
-        _reject_mics(
-            spec,
-            "generates its own microphone registrations; "
-            "use citywide_mic_events instead of scenario mics",
         )
         _reject_foreign_knobs(
             spec, "citywide_aps", "citywide_extent_km", "citywide_mic_events"
@@ -461,11 +516,7 @@ class CitywideKind(RunKind):
         from repro.wsdb.citywide import simulate_citywide
 
         db = ScenarioBuilder(spec.scenario).build_citywide_db(
-            extent_m=(
-                None
-                if spec.citywide_extent_km is None
-                else spec.citywide_extent_km * 1_000.0
-            )
+            extent_m=_citywide_extent_m(spec)
         )
         city = simulate_citywide(
             db,
@@ -501,39 +552,10 @@ class RoamingKind(RunKind):
                 "kind 'roaming' requires roaming_clients >= 1, "
                 f"got {spec.roaming_clients!r}"
             )
-        if spec.citywide_aps is None or spec.citywide_aps < 1:
-            raise SimulationError(
-                "kind 'roaming' requires citywide_aps >= 1 "
-                f"(the fixed deployment clients roam), got {spec.citywide_aps!r}"
-            )
-        if spec.roaming_speed_mps is not None and spec.roaming_speed_mps <= 0:
-            raise SimulationError(
-                f"roaming_speed_mps must be > 0, got {spec.roaming_speed_mps!r}"
-            )
-        if spec.roaming_recheck_m is not None and spec.roaming_recheck_m <= 0:
-            raise SimulationError(
-                f"roaming_recheck_m must be > 0, got {spec.roaming_recheck_m!r}"
-            )
-        if spec.citywide_extent_km is not None and spec.citywide_extent_km <= 0:
-            raise SimulationError(
-                f"citywide_extent_km must be > 0, got {spec.citywide_extent_km!r}"
-            )
-        if spec.citywide_mic_events is not None and spec.citywide_mic_events < 0:
-            raise SimulationError(
-                "citywide_mic_events must be >= 0, "
-                f"got {spec.citywide_mic_events!r}"
-            )
-        _reject_channel(spec)
-        _reject_backgrounds(spec)
-        _reject_spatial(spec)
-        _reject_timeline(spec)
-        _reject_custom_traffic(
+        _validate_citywide_deployment(spec)
+        _validate_roaming_clients(spec)
+        _reject_wsdb_world_features(
             spec, "models association and compliance, not packet flows"
-        )
-        _reject_mics(
-            spec,
-            "generates its own microphone registrations; "
-            "use citywide_mic_events instead of scenario mics",
         )
         _reject_foreign_knobs(
             spec,
@@ -549,18 +571,9 @@ class RoamingKind(RunKind):
         from repro.wsdb.mobility import simulate_roaming
 
         db = ScenarioBuilder(spec.scenario).build_citywide_db(
-            extent_m=(
-                None
-                if spec.citywide_extent_km is None
-                else spec.citywide_extent_km * 1_000.0
-            ),
+            extent_m=_citywide_extent_m(spec),
             cache_resolution_m=spec.roaming_recheck_m,
         )
-        kwargs: dict[str, float] = {}
-        if spec.roaming_speed_mps is not None:
-            kwargs["speed_mps"] = spec.roaming_speed_mps
-        if spec.roaming_recheck_m is not None:
-            kwargs["recheck_m"] = spec.roaming_recheck_m
         roaming = simulate_roaming(
             db,
             num_aps=spec.citywide_aps,
@@ -568,9 +581,121 @@ class RoamingKind(RunKind):
             duration_us=spec.scenario.duration_us,
             seed=spec.scenario.seed,
             mic_events=spec.citywide_mic_events or 0,
-            **kwargs,
+            **_roaming_kwargs(spec),
         )
         return {"spec": spec, "roaming": roaming}
+
+
+class QuerystormKind(RunKind):
+    """A sharded wsdb cluster under storm load, with optional push.
+
+    The service-tier workload: ``storm_shards`` cell-aligned shards
+    (each its own database over its territory's incumbent subset)
+    behind a batching frontend, serving ``storm_offered_qps`` synthetic
+    requests per second *plus* the ``roaming_clients`` mobile
+    population and the ``citywide_aps`` deployment's control traffic.
+    With ``storm_push`` the clients register for PAWS-style zone
+    notifications and vacate protected channels the tick a microphone
+    registers, instead of riding a stale response to the next FCC
+    re-check — the violation-window closure ``bench_wsdb_cluster``
+    measures against pull-only runs.
+    """
+
+    name = "querystorm"
+    summary = "sharded wsdb cluster under a query storm (optional push)"
+    probes = (QuerystormProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        # Imported lazily like every wsdb reach-down: the cluster
+        # geometry and policy registry own these checks' semantics.
+        from repro.wsdb.cluster.frontend import SHED_POLICIES
+        from repro.wsdb.cluster.router import cells_per_side, shard_grid
+        from repro.wsdb.model import DEFAULT_EXTENT_M
+        from repro.wsdb.service import DEFAULT_CACHE_RESOLUTION_M
+
+        if spec.storm_shards is None or spec.storm_shards < 1:
+            raise SimulationError(
+                "kind 'querystorm' requires storm_shards >= 1, "
+                f"got {spec.storm_shards!r}"
+            )
+        if spec.storm_offered_qps is not None and spec.storm_offered_qps < 0:
+            raise SimulationError(
+                f"storm_offered_qps must be >= 0, got {spec.storm_offered_qps!r}"
+            )
+        if spec.storm_rate_limit_qps is not None and spec.storm_rate_limit_qps <= 0:
+            raise SimulationError(
+                "storm_rate_limit_qps must be > 0 (or None for unlimited), "
+                f"got {spec.storm_rate_limit_qps!r}"
+            )
+        if (
+            spec.storm_shed_policy is not None
+            and spec.storm_shed_policy not in SHED_POLICIES
+        ):
+            raise SimulationError(
+                f"unknown storm_shed_policy {spec.storm_shed_policy!r}; "
+                f"expected one of {tuple(sorted(SHED_POLICIES))}"
+            )
+        if spec.roaming_clients is not None and spec.roaming_clients < 0:
+            raise SimulationError(
+                "querystorm roaming_clients must be >= 0, "
+                f"got {spec.roaming_clients!r}"
+            )
+        _validate_citywide_deployment(spec)
+        _validate_roaming_clients(spec)
+        # Shard-grid feasibility, checked eagerly with the same
+        # geometry the router will use: an infeasible spec must fail
+        # at construction, not mid-fan-out inside a ParallelRunner.
+        extent_m = _citywide_extent_m(spec) or DEFAULT_EXTENT_M
+        resolution_m = spec.roaming_recheck_m or DEFAULT_CACHE_RESOLUTION_M
+        cells = cells_per_side(extent_m, resolution_m)
+        cols, rows = shard_grid(spec.storm_shards)
+        if cols > cells or rows > cells:
+            raise SimulationError(
+                f"storm_shards={spec.storm_shards} needs a {cols}x{rows} "
+                f"grid, but the metro has only {cells} response cells per "
+                "axis; lower storm_shards, raise citywide_extent_km, or "
+                "shrink roaming_recheck_m"
+            )
+        _reject_wsdb_world_features(
+            spec, "models cluster load and compliance, not packet flows"
+        )
+        _reject_foreign_knobs(
+            spec,
+            "storm_shards",
+            "storm_offered_qps",
+            "storm_push",
+            "storm_rate_limit_qps",
+            "storm_shed_policy",
+            "roaming_clients",
+            "roaming_speed_mps",
+            "roaming_recheck_m",
+            "citywide_aps",
+            "citywide_extent_km",
+            "citywide_mic_events",
+        )
+
+    def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
+        from repro.wsdb.cluster import simulate_querystorm
+
+        router = ScenarioBuilder(spec.scenario).build_wsdb_cluster(
+            num_shards=spec.storm_shards,
+            extent_m=_citywide_extent_m(spec),
+            cache_resolution_m=spec.roaming_recheck_m,
+        )
+        storm = simulate_querystorm(
+            router,
+            num_aps=spec.citywide_aps,
+            num_clients=spec.roaming_clients or 0,
+            duration_us=spec.scenario.duration_us,
+            seed=spec.scenario.seed,
+            offered_qps=spec.storm_offered_qps or 0.0,
+            push=bool(spec.storm_push),
+            mic_events=spec.citywide_mic_events or 0,
+            rate_limit_qps=spec.storm_rate_limit_qps,
+            policy=spec.storm_shed_policy or "reject",
+            **_roaming_kwargs(spec),
+        )
+        return {"spec": spec, "storm": storm}
 
 
 for _kind in (
@@ -582,5 +707,6 @@ for _kind in (
     SiftKind(),
     CitywideKind(),
     RoamingKind(),
+    QuerystormKind(),
 ):
     register_run_kind(_kind)

@@ -23,6 +23,9 @@ Conventional artifact keys:
   kind).
 * ``"roaming"`` — the plain-data report of one
   :func:`repro.wsdb.mobility.simulate_roaming` session (roaming kind).
+* ``"storm"`` — the plain-data report of one
+  :func:`repro.wsdb.cluster.simulate_querystorm` session (querystorm
+  kind).
 
 A new kind composes these freely — reusing ``"run"`` gets the whole
 throughput/airtime/switch-log family for free — or adds its own probe
@@ -43,6 +46,7 @@ __all__ = [
     "MchamTimelineProbe",
     "ProtocolGoodputProbe",
     "ProtocolSwitchLogProbe",
+    "QuerystormProbe",
     "RoamingProbe",
     "SiftAccuracyProbe",
     "SiftConfusionProbe",
@@ -329,6 +333,64 @@ class RoamingProbe:
         ):
             metrics[key] = roaming[key]
         for key, value in roaming["db"].items():
+            metrics[f"db_{key}"] = value
+        return metrics
+
+
+class QuerystormProbe:
+    """Cluster metrics off one ``simulate_querystorm`` report.
+
+    Everything is payload: storm/admission accounting (requests, shed,
+    served-stale, coalesced — flattened ``frontend_*``), push fan-out
+    (``push_*``, None-safe when the run was pull-only), the mobility
+    and compliance numbers shared with the roaming kind, the
+    per-shard database snapshots, and the aggregated cluster counters
+    (``db_*`` — ``db_candidates_per_query`` is the sharding headline).
+    """
+
+    name = "querystorm"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        storm = raw["storm"]
+        metrics: dict[str, Any] = {"duration_us": storm["duration_us"]}
+        for key in (
+            "num_aps",
+            "num_clients",
+            "num_shards",
+            "shard_grid",
+            "tick_us",
+            "speed_mps",
+            "recheck_m",
+            "offered_qps",
+            "push",
+            "rate_limit_qps",
+            "shed_policy",
+            "storm_queries",
+            "assigned_aps",
+            "requeries",
+            "deferred_requeries",
+            "push_refreshes",
+            "handoffs",
+            "vacations",
+            "connected_ticks",
+            "disconnected_ticks",
+            "connected_fraction",
+            "violation_ticks",
+            "violation_us",
+            "violation_free_fraction",
+            "mic_events",
+            "displaced_aps",
+            "backup_recoveries",
+            "full_reassignments",
+            "outages",
+            "per_shard",
+        ):
+            metrics[key] = storm[key]
+        for key, value in storm["frontend"].items():
+            metrics[f"frontend_{key}"] = value
+        for key, value in (storm["push_stats"] or {}).items():
+            metrics[f"push_{key}"] = value
+        for key, value in storm["db"].items():
             metrics[f"db_{key}"] = value
         return metrics
 

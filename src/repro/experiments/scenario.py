@@ -373,6 +373,34 @@ class ScenarioBuilder:
             num_packets=PACKETS_PER_RUN if num_packets is None else num_packets,
         )
 
+    def build_citywide_metro(self, extent_m: float | None = None):
+        """The metro ground truth every wsdb run kind shares.
+
+        The ``citywide``, ``roaming``, and ``querystorm`` kinds all
+        build their metro from the same ``"citywide-metro"`` seed
+        stream, so the three workloads run against identical ground
+        truth for one scenario.  The scenario's occupied channels
+        become the metro dial (:func:`repro.wsdb.model.generate_metro`
+        places 1-2 TV transmitter sites per occupied channel, with
+        positions, EIRPs, and therefore protected contours drawn from a
+        stream derived from the scenario seed).
+
+        Args:
+            extent_m: metro plane edge override (default: the wsdb
+                default, 20 km).
+        """
+        # Imported here like the other stacks above sim: wsdb must not
+        # load into every spec-only consumer.
+        from repro.wsdb.model import DEFAULT_EXTENT_M, generate_metro
+
+        config = self.config
+        return generate_metro(
+            config.base_map.occupied_indices(),
+            extent_m=DEFAULT_EXTENT_M if extent_m is None else extent_m,
+            seed=stream_seed(config.seed, "citywide-metro"),
+            num_channels=config.num_channels,
+        )
+
     def build_citywide_db(
         self,
         extent_m: float | None = None,
@@ -380,17 +408,10 @@ class ScenarioBuilder:
     ):
         """A fresh geolocation white-space database for one wsdb run.
 
-        Shared by the ``citywide`` and ``roaming`` kinds: both build
-        their metro from the same ``"citywide-metro"`` seed stream, so
-        the two workloads run against identical ground truth for one
-        scenario.  The scenario's occupied channels become the metro
-        dial (:func:`repro.wsdb.model.generate_metro` places 1-2 TV
-        transmitter sites per occupied channel, with positions, EIRPs,
-        and therefore protected contours drawn from a stream derived
-        from the scenario seed).  The returned
-        :class:`~repro.wsdb.service.WhiteSpaceDatabase` starts with a
-        cold response cache and zeroed counters, so cache metrics are a
-        pure function of the spec.
+        Wraps :meth:`build_citywide_metro` in a
+        :class:`~repro.wsdb.service.WhiteSpaceDatabase` with a cold
+        response cache and zeroed counters, so cache metrics are a pure
+        function of the spec.
 
         Args:
             extent_m: metro plane edge override (default: the wsdb
@@ -400,23 +421,49 @@ class ScenarioBuilder:
                 ``roaming_recheck_m`` here so the cell-granular
                 protocol stays aligned with the re-check rule.
         """
-        # Imported here like the other stacks above sim: wsdb must not
-        # load into every spec-only consumer.
-        from repro.wsdb.model import DEFAULT_EXTENT_M, generate_metro
         from repro.wsdb.service import (
             DEFAULT_CACHE_RESOLUTION_M,
             WhiteSpaceDatabase,
         )
 
-        config = self.config
-        metro = generate_metro(
-            config.base_map.occupied_indices(),
-            extent_m=DEFAULT_EXTENT_M if extent_m is None else extent_m,
-            seed=stream_seed(config.seed, "citywide-metro"),
-            num_channels=config.num_channels,
-        )
         return WhiteSpaceDatabase(
-            metro,
+            self.build_citywide_metro(extent_m),
+            cache_resolution_m=(
+                DEFAULT_CACHE_RESOLUTION_M
+                if cache_resolution_m is None
+                else cache_resolution_m
+            ),
+        )
+
+    def build_wsdb_cluster(
+        self,
+        num_shards: int,
+        extent_m: float | None = None,
+        cache_resolution_m: float | None = None,
+    ):
+        """A fresh sharded database tier for one cluster run.
+
+        The same ``"citywide-metro"`` ground truth as
+        :meth:`build_citywide_db`, served by a
+        :class:`~repro.wsdb.cluster.ShardRouter` of *num_shards*
+        cell-aligned shards — so a querystorm run and a citywide run on
+        one scenario disagree only in how the service tier is
+        organized, never in what is true on the ground.
+
+        Args:
+            num_shards: shard count (the ``querystorm`` kind passes
+                ``storm_shards``).
+            extent_m: metro plane edge override (default: the wsdb
+                default, 20 km).
+            cache_resolution_m: response-cell edge override (default:
+                the wsdb default, 100 m).
+        """
+        from repro.wsdb.cluster import ShardRouter
+        from repro.wsdb.service import DEFAULT_CACHE_RESOLUTION_M
+
+        return ShardRouter(
+            self.build_citywide_metro(extent_m),
+            num_shards=num_shards,
             cache_resolution_m=(
                 DEFAULT_CACHE_RESOLUTION_M
                 if cache_resolution_m is None

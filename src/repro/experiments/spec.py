@@ -269,7 +269,9 @@ class ExperimentSpec:
             discovery race), "sift" (SIFT accuracy over a synthesized
             capture), "citywide" (many APs sharing one metro
             white-space database), "roaming" (mobile clients
-            re-querying the database under the 100 m re-check rule).
+            re-querying the database under the 100 m re-check rule),
+            "querystorm" (a sharded database cluster under storm load,
+            with optional PAWS-style push).
         channel: (center_index, width_mhz) for kind "static".
         reeval_interval_us: WhiteFi assignment-loop period.
         hysteresis_margin: voluntary-switch margin override (None =
@@ -287,20 +289,31 @@ class ExperimentSpec:
         sift_rate_mbps: kind "sift" — iperf injection rate.
         sift_num_packets: kind "sift" — packets per run (None = the
             paper's 110).
-        citywide_aps: kinds "citywide"/"roaming" — number of APs
-            placed across the metro plane.
-        citywide_extent_km: kinds "citywide"/"roaming" — metro plane
-            edge length (None = the wsdb default, 20 km).
-        citywide_mic_events: kinds "citywide"/"roaming" — mid-session
-            microphone registrations (None = 0).
-        roaming_clients: kind "roaming" — mobile clients following
-            seeded waypoint paths.
-        roaming_speed_mps: kind "roaming" — client speed (None = the
-            mobility default, 14 m/s).
-        roaming_recheck_m: kind "roaming" — movement granularity of
-            the FCC re-check rule; also sets the database's response
-            cell edge so the protocol and the rule stay aligned
-            (None = the wsdb default, 100 m).
+        citywide_aps: kinds "citywide"/"roaming"/"querystorm" — number
+            of APs placed across the metro plane.
+        citywide_extent_km: kinds "citywide"/"roaming"/"querystorm" —
+            metro plane edge length (None = the wsdb default, 20 km).
+        citywide_mic_events: kinds "citywide"/"roaming"/"querystorm" —
+            mid-session microphone registrations (None = 0).
+        roaming_clients: kinds "roaming"/"querystorm" — mobile clients
+            following seeded waypoint paths.
+        roaming_speed_mps: kinds "roaming"/"querystorm" — client speed
+            (None = the mobility default, 14 m/s).
+        roaming_recheck_m: kinds "roaming"/"querystorm" — movement
+            granularity of the FCC re-check rule; also sets the
+            database's response cell edge so the protocol and the rule
+            stay aligned (None = the wsdb default, 100 m).
+        storm_shards: kind "querystorm" — cell-aligned shard count of
+            the database cluster.
+        storm_offered_qps: kind "querystorm" — synthetic storm load in
+            requests per simulated second (None = 0, no storm).
+        storm_push: kind "querystorm" — register clients for
+            PAWS-style push notifications, closing the pull model's
+            violation window (None = False, pull-only).
+        storm_rate_limit_qps: kind "querystorm" — frontend token-bucket
+            admission rate (None = unlimited, nothing is shed).
+        storm_shed_policy: kind "querystorm" — how over-limit requests
+            are answered: "reject" or "serve-stale" (None = "reject").
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -334,6 +347,11 @@ class ExperimentSpec:
     roaming_clients: int | None = None
     roaming_speed_mps: float | None = None
     roaming_recheck_m: float | None = None
+    storm_shards: int | None = None
+    storm_offered_qps: float | None = None
+    storm_push: bool | None = None
+    storm_rate_limit_qps: float | None = None
+    storm_shed_policy: str | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -374,6 +392,18 @@ class ExperimentSpec:
         if self.roaming_recheck_m is not None:
             object.__setattr__(
                 self, "roaming_recheck_m", float(self.roaming_recheck_m)
+            )
+        if self.storm_shards is not None:
+            object.__setattr__(self, "storm_shards", int(self.storm_shards))
+        if self.storm_offered_qps is not None:
+            object.__setattr__(
+                self, "storm_offered_qps", float(self.storm_offered_qps)
+            )
+        if self.storm_push is not None:
+            object.__setattr__(self, "storm_push", bool(self.storm_push))
+        if self.storm_rate_limit_qps is not None:
+            object.__setattr__(
+                self, "storm_rate_limit_qps", float(self.storm_rate_limit_qps)
             )
         run_kind.validate_spec(self)
 

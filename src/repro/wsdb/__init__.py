@@ -22,6 +22,11 @@ missing layer as a deterministic, seedable simulation component:
   ``roaming`` run kind: seeded waypoint paths, the FCC 100 m re-check
   rule (re-query on cell crossing or TTL expiry), nearest-AP
   association with handoffs, and mic-zone channel vacation.
+* :mod:`repro.wsdb.cluster` — the service tier: ``ShardRouter`` (K
+  cell-aligned shards, each its own database), ``BatchFrontend``
+  (per-shard batching, token-bucket admission, pluggable shed
+  policies), ``PushRegistry`` (PAWS-style zone notifications), and the
+  ``querystorm`` workload driver.
 """
 
 from repro.wsdb.citywide import (
@@ -33,7 +38,13 @@ from repro.wsdb.citywide import (
     generate_mic_events,
     simulate_citywide,
 )
-from repro.wsdb.mobility import RoamingClient, simulate_roaming
+from repro.wsdb.cluster import (
+    BatchFrontend,
+    PushRegistry,
+    ShardRouter,
+    simulate_querystorm,
+)
+from repro.wsdb.mobility import RoamingClient, associate_nearest, simulate_roaming
 from repro.wsdb.index import GridIndex
 from repro.wsdb.model import (
     Metro,
@@ -43,19 +54,28 @@ from repro.wsdb.model import (
     generate_metro_for_setting,
     protected_radius_m,
 )
-from repro.wsdb.service import WhiteSpaceDatabase, WsdbStats
+from repro.wsdb.service import (
+    AvailabilityService,
+    WhiteSpaceDatabase,
+    WsdbStats,
+)
 
 __all__ = [
+    "AvailabilityService",
+    "BatchFrontend",
     "CityAp",
     "GridIndex",
     "Metro",
     "MicEvent",
     "MicRegistration",
+    "PushRegistry",
     "RoamingClient",
+    "ShardRouter",
     "TvTransmitterSite",
     "WhiteSpaceDatabase",
     "WsdbStats",
     "assign_ap",
+    "associate_nearest",
     "boot_aps",
     "displace_covered_aps",
     "generate_metro",
@@ -63,5 +83,6 @@ __all__ = [
     "generate_mic_events",
     "protected_radius_m",
     "simulate_citywide",
+    "simulate_querystorm",
     "simulate_roaming",
 ]

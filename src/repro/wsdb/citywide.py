@@ -46,7 +46,7 @@ from repro.spectrum.channels import WhiteFiChannel
 from repro.spectrum.spectrum_map import SpectrumMap
 from repro.spectrum.variation import availability_disagreement
 from repro.wsdb.model import MicRegistration
-from repro.wsdb.service import WhiteSpaceDatabase
+from repro.wsdb.service import AvailabilityService, WhiteSpaceDatabase
 
 __all__ = [
     "CityAp",
@@ -56,6 +56,7 @@ __all__ = [
     "displace_covered_aps",
     "generate_mic_events",
     "simulate_citywide",
+    "snapshot_assigned_aps",
 ]
 
 #: Radius within which two APs contend (meters).  City-scale APs are
@@ -160,7 +161,7 @@ def _neighbor_observation(
 
 def assign_ap(
     ap: CityAp,
-    db: WhiteSpaceDatabase,
+    db: AvailabilityService,
     aps: list[CityAp],
     t_us: float,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
@@ -195,7 +196,7 @@ def assign_ap(
 
 
 def boot_aps(
-    db: WhiteSpaceDatabase,
+    db: AvailabilityService,
     num_aps: int,
     seed: int,
     stream: str = "citywide-aps",
@@ -228,8 +229,28 @@ def boot_aps(
     return aps
 
 
+def snapshot_assigned_aps(
+    aps: list[CityAp],
+) -> tuple[
+    list[tuple[CityAp, frozenset[int]]], dict[int, frozenset[int]]
+]:
+    """(live list, spans by ap_id) of the APs currently holding a channel.
+
+    AP channels only change on mic events, so the mobility drivers
+    snapshot once and rebuild only after an event fires; both the
+    roaming and querystorm tick loops compare association candidates
+    against exactly this view.
+    """
+    live = [
+        (ap, frozenset(ap.channel.spanned_indices))
+        for ap in aps
+        if ap.channel is not None
+    ]
+    return live, {ap.ap_id: spans for ap, spans in live}
+
+
 def displace_covered_aps(
-    db: WhiteSpaceDatabase,
+    db: AvailabilityService,
     aps: list[CityAp],
     event: MicEvent,
     registration: MicRegistration,

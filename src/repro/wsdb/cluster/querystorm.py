@@ -1,0 +1,342 @@
+"""The querystorm workload: a sharded cluster under storm + mobility.
+
+This driver is the cluster subsystem's proving ground, combining three
+load sources against one :class:`~repro.wsdb.cluster.router.ShardRouter`
+behind one :class:`~repro.wsdb.cluster.frontend.BatchFrontend`:
+
+* a **query storm** — ``offered_qps`` synthetic availability requests
+  per simulated second, drawn uniformly over the plane and submitted as
+  one burst per tick (the batch shape the frontend coalesces and, when
+  a rate limit is set, sheds);
+* a **roaming population** — the :mod:`~repro.wsdb.mobility` mobile
+  clients, re-checking through the same frontend (so a storm can starve
+  them: a shed re-check is *deferred* — the client keeps its stale
+  response and retries next tick);
+* a **citywide deployment** — ``num_aps`` fixed APs booted off the
+  router with mic-event backup-channel recovery, exactly as in the
+  citywide/roaming drivers (AP control traffic queries the router
+  directly: the operator's own path is not admission-controlled).
+
+With ``push=True`` the clients additionally register in a
+:class:`~repro.wsdb.cluster.push.PushRegistry`: a mid-session
+microphone registration then notifies every subscribed client whose
+cell the zone touches, and the notified clients refresh **that tick**
+instead of waiting for the FCC re-check rule's next trigger — closing
+the pull model's violation window.  ``bench_wsdb_cluster`` asserts the
+closure: pushed runs accrue strictly less ground-truth violation time
+than pull-only runs of the same seed.
+
+Everything derives from the master seed through labelled
+:func:`~repro.sim.rng.stream_seed` streams, and admission/batching are
+clocked by simulation time, so a run is byte-identical in any process —
+the contract the ``querystorm`` run kind and ``ParallelRunner`` rely
+on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.rng import stream_seed
+from repro.wsdb.citywide import (
+    DEFAULT_INTERFERENCE_RADIUS_M,
+    MicEvent,
+    boot_aps,
+    displace_covered_aps,
+    generate_mic_events,
+    snapshot_assigned_aps,
+)
+from repro.wsdb.cluster.frontend import BatchFrontend, RejectPolicy
+from repro.wsdb.cluster.push import PushRegistry
+from repro.wsdb.cluster.router import ShardRouter
+from repro.wsdb.mobility import (
+    DEFAULT_SPEED_MPS,
+    DEFAULT_TICK_US,
+    RoamingClient,
+    advance_client,
+    associate_nearest,
+)
+from repro.wsdb.service import quantize_cell, ttl_bucket
+
+__all__ = ["simulate_querystorm"]
+
+
+def simulate_querystorm(
+    router: ShardRouter,
+    num_aps: int,
+    num_clients: int,
+    duration_us: float,
+    seed: int,
+    offered_qps: float = 0.0,
+    push: bool = False,
+    speed_mps: float = DEFAULT_SPEED_MPS,
+    recheck_m: float | None = None,
+    mic_events: int = 0,
+    tick_us: float = DEFAULT_TICK_US,
+    rate_limit_qps: float | None = None,
+    burst_size: float | None = None,
+    policy: str = RejectPolicy.name,
+    interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+) -> dict[str, Any]:
+    """Run one querystorm session; returns a plain-data report.
+
+    The report is JSON-plain throughout (the ``querystorm`` run kind's
+    probe routes it into an ``ExperimentResult`` unchanged).
+
+    Args:
+        router: the sharded database tier (APs, clients, and the storm
+            share it).
+        num_aps: fixed APs booted across the plane (citywide-style).
+        num_clients: mobile clients following waypoint paths (0 runs a
+            pure storm with no mobility or compliance scoring).
+        duration_us: session length; the tick loop covers [0, duration].
+        seed: master seed; placement, paths, storm points, and mic
+            events derive from labelled streams of it.
+        offered_qps: synthetic storm load (requests per simulated
+            second), submitted as one burst per tick.
+        push: register clients for PAWS-style zone notifications; a
+            notified client refreshes immediately instead of waiting
+            for its next re-check trigger.
+        speed_mps: client speed along its path.
+        recheck_m: movement granularity of the re-check rule (None:
+            the router's own ``cache_resolution_m``).
+        mic_events: mid-session microphone registrations.
+        tick_us: simulation step.
+        rate_limit_qps / burst_size / policy: frontend admission
+            control (None rate: nothing is shed).
+        interference_radius_m: AP mutual-interference radius.
+    """
+    if num_clients < 0:
+        raise SimulationError(
+            f"querystorm needs >= 0 clients, got {num_clients!r}"
+        )
+    if duration_us <= 0:
+        raise SimulationError(
+            f"querystorm duration must be > 0, got {duration_us!r}"
+        )
+    if offered_qps < 0:
+        raise SimulationError(
+            f"offered_qps must be >= 0, got {offered_qps!r}"
+        )
+    if speed_mps <= 0:
+        raise SimulationError(f"speed must be > 0, got {speed_mps!r}")
+    if tick_us <= 0:
+        raise SimulationError(f"tick must be > 0, got {tick_us!r}")
+    if recheck_m is None:
+        recheck_m = router.cache_resolution_m
+    if recheck_m <= 0:
+        raise SimulationError(f"recheck_m must be > 0, got {recheck_m!r}")
+
+    registry = PushRegistry(router.cache_resolution_m) if push else None
+    frontend = BatchFrontend(
+        router,
+        rate_limit_qps=rate_limit_qps,
+        burst_size=burst_size,
+        policy=policy,
+        push=registry,
+    )
+
+    extent_m = router.metro.extent_m
+    aps = boot_aps(
+        router, num_aps, seed, "querystorm-aps", interference_radius_m
+    )
+
+    clients: list[RoamingClient] = []
+    for i in range(num_clients):
+        rng = random.Random(stream_seed(seed, f"querystorm-client-{i}"))
+        clients.append(
+            RoamingClient(
+                client_id=i,
+                x_m=rng.uniform(0.0, extent_m),
+                y_m=rng.uniform(0.0, extent_m),
+                waypoint=(rng.uniform(0.0, extent_m), rng.uniform(0.0, extent_m)),
+                rng=rng,
+            )
+        )
+
+    events = generate_mic_events(
+        mic_events,
+        duration_us,
+        extent_m,
+        router.metro.num_channels,
+        stream_seed(seed, "querystorm-mics"),
+    )
+    storm_rng = random.Random(stream_seed(seed, "querystorm-load"))
+    next_event = 0
+    displaced = backup_recoveries = full_reassignments = outages = 0
+
+    requeries = [0] * num_clients
+    handoffs = [0] * num_clients
+    vacations = [0] * num_clients
+    connected = [0] * num_clients
+    violations = [0] * num_clients
+    disconnected_ticks = 0
+    deferred_requeries = 0
+    push_refreshes = 0
+    storm_queries = 0
+
+    def register_event(event: MicEvent) -> tuple[int, ...]:
+        nonlocal displaced, backup_recoveries, full_reassignments, outages
+        registration = event.registration()
+        notified = frontend.register_mic(registration)
+        d, b, r, o = displace_covered_aps(
+            router, aps, event, registration, interference_radius_m
+        )
+        displaced += d
+        backup_recoveries += b
+        full_reassignments += r
+        outages += o
+        return notified
+
+    live_aps, spans_by_id = snapshot_assigned_aps(aps)
+
+    step_m = speed_mps * tick_us / 1e6
+    ticks = int(duration_us // tick_us)
+    storm_budget = 0.0
+    # Undelivered push notifications: a notified client leaves this set
+    # only once its refresh query is actually admitted, so admission
+    # control can delay — but never silently drop — a notification.
+    pushed: set[int] = set()
+    for k in range(ticks + 1):
+        t_us = k * tick_us
+        # Mic registrations whose session starts by this tick go live:
+        # cached and stale responses inside the zone are invalidated,
+        # covered APs walk their backups, and — under push — subscribed
+        # clients in the zone are notified for same-tick refresh.
+        fired = False
+        while next_event < len(events) and events[next_event].t_us <= t_us:
+            pushed.update(register_event(events[next_event]))
+            next_event += 1
+            fired = True
+        if fired:
+            live_aps, spans_by_id = snapshot_assigned_aps(aps)
+
+        # The storm burst goes first: background load contends for
+        # admission tokens ahead of the clients' re-checks, which is
+        # the starvation scenario shed policies exist for.
+        storm_budget += offered_qps * tick_us / 1e6
+        n_storm = int(storm_budget)
+        storm_budget -= n_storm
+        if n_storm:
+            storm_queries += n_storm
+            frontend.query_batch(
+                [
+                    (
+                        storm_rng.uniform(0.0, extent_m),
+                        storm_rng.uniform(0.0, extent_m),
+                    )
+                    for _ in range(n_storm)
+                ],
+                t_us,
+            )
+
+        for client in clients:
+            if k > 0:
+                advance_client(client, step_m, extent_m)
+            if registry is not None:
+                registry.subscribe(
+                    client.client_id,
+                    *router.cell_of(client.x_m, client.y_m),
+                )
+            # The re-check rule, plus the push escape hatch: a client
+            # notified this tick refreshes immediately instead of
+            # riding its stale response to the next crossing/expiry.
+            cell = quantize_cell(client.x_m, client.y_m, recheck_m)
+            bucket = ttl_bucket(t_us, router.ttl_us)
+            was_pushed = client.client_id in pushed
+            if (
+                cell != client.last_cell
+                or bucket != client.last_bucket
+                or was_pushed
+            ):
+                response = frontend.query(client.x_m, client.y_m, t_us)
+                if response is None:
+                    # Shed without a stale fallback: keep the old
+                    # response and retry next tick (the deferral the
+                    # reject policy produces under storm starvation).
+                    deferred_requeries += 1
+                else:
+                    client.known_free = frozenset(response)
+                    client.last_cell = cell
+                    client.last_bucket = bucket
+                    requeries[client.client_id] += 1
+                    if was_pushed:
+                        push_refreshes += 1
+                        pushed.discard(client.client_id)
+
+            prev = client.ap
+            prev_spans = (
+                spans_by_id.get(prev.ap_id) if prev is not None else None
+            )
+            if prev_spans is not None and not prev_spans <= client.known_free:
+                vacations[client.client_id] += 1
+            client.ap = associate_nearest(
+                client.x_m, client.y_m, client.known_free, live_aps
+            )
+            if client.ap is None:
+                disconnected_ticks += 1
+                continue
+            if prev is not None and client.ap.ap_id != prev.ap_id:
+                handoffs[client.client_id] += 1
+            connected[client.client_id] += 1
+            # Ground-truth compliance (reference linear scan off the
+            # base metro — never a shard query, so measuring does not
+            # perturb cluster stats).
+            truth = router.metro.occupied_at(client.x_m, client.y_m, t_us)
+            if any(i in truth for i in client.ap.channel.spanned_indices):
+                violations[client.client_id] += 1
+
+    # Events past the last evaluated tick register anyway, mirroring
+    # the citywide/roaming process-every-event semantics.
+    while next_event < len(events):
+        register_event(events[next_event])
+        next_event += 1
+
+    connected_ticks = sum(connected)
+    violation_ticks = sum(violations)
+    client_ticks = num_clients * (ticks + 1)
+    return {
+        "num_aps": num_aps,
+        "num_clients": num_clients,
+        "num_shards": router.num_shards,
+        "shard_grid": router.grid,
+        "duration_us": duration_us,
+        "tick_us": tick_us,
+        "speed_mps": speed_mps,
+        "recheck_m": recheck_m,
+        "extent_m": extent_m,
+        "offered_qps": offered_qps,
+        "push": push,
+        "rate_limit_qps": rate_limit_qps,
+        "shed_policy": policy,
+        "storm_queries": storm_queries,
+        "assigned_aps": sum(1 for ap in aps if ap.channel is not None),
+        "requeries": sum(requeries),
+        "deferred_requeries": deferred_requeries,
+        "push_refreshes": push_refreshes,
+        "handoffs": sum(handoffs),
+        "vacations": sum(vacations),
+        "connected_ticks": connected_ticks,
+        "disconnected_ticks": disconnected_ticks,
+        "connected_fraction": (
+            connected_ticks / client_ticks if client_ticks else 0.0
+        ),
+        "violation_ticks": violation_ticks,
+        "violation_us": violation_ticks * tick_us,
+        "violation_free_fraction": (
+            1.0 - violation_ticks / connected_ticks if connected_ticks else 1.0
+        ),
+        "mic_events": len(events),
+        "displaced_aps": displaced,
+        "backup_recoveries": backup_recoveries,
+        "full_reassignments": full_reassignments,
+        "outages": outages,
+        "frontend": frontend.stats.as_dict(),
+        "push_stats": (
+            registry.stats.as_dict() if registry is not None else None
+        ),
+        "db": router.stats_dict(),
+        "per_shard": router.per_shard_stats(),
+    }

@@ -1,0 +1,367 @@
+"""Sharding the metro plane: K databases behind one deterministic router.
+
+One :class:`~repro.wsdb.service.WhiteSpaceDatabase` indexes every
+incumbent of the metro; every query scans the candidates its single
+:class:`~repro.wsdb.index.GridIndex` buckets together.  A multi-metro
+service tier shards instead: :class:`ShardRouter` partitions the plane
+into K **cell-aligned** territories (shard boundaries fall on
+quantization-cell edges, so one response cell never straddles shards),
+builds each shard its own database over only the incumbents whose
+protected contour can reach that territory, and routes every query to
+exactly one shard by pure coordinate arithmetic.
+
+Why this helps: a shard's spatial index holds the territory's incumbent
+*subset*, and — holding the per-shard bucket budget constant — can
+afford an index ``sqrt(K)`` times finer per axis than the monolith's,
+so the candidates a query scans shrink as K grows — the aggregate
+``candidates_scanned / queries`` ratio is the sharding win
+``bench_wsdb_cluster`` measures.  Correctness is unchanged: a query
+cell lies inside its shard's territory, the shard indexes every contour
+intersecting that territory (border territories extend off-plane, so
+clamped routing and off-plane contours stay exact), and
+``GridIndex.covering_rect`` is conservative over the cell — therefore a
+shard's cell response equals the unsharded database's, bit for bit.
+
+Mic registrations fan out: a new protection zone is routed to every
+shard whose territory it touches (each invalidates its own cached
+responses), and to the base metro so ground-truth compliance scoring
+sees it.  The router mirrors the database's query surface
+(``channels_at`` / ``channels_in_cell`` / ``channels_at_many`` /
+``spectrum_map_at`` / ``zone_affects`` / ``register_mic``), so the
+citywide helpers (``boot_aps``, ``displace_covered_aps``) run against a
+router unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import SpectrumMapError
+from repro.spectrum.spectrum_map import SpectrumMap
+from repro.wsdb.index import circle_intersects_rect
+from repro.wsdb.model import Metro, MicRegistration
+from repro.wsdb.service import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_CACHE_RESOLUTION_M,
+    DEFAULT_TTL_US,
+    WhiteSpaceDatabase,
+    WsdbStats,
+    default_cell_m,
+    quantize_cell,
+)
+
+__all__ = ["ShardRouter", "ShardTerritory", "cells_per_side", "shard_grid"]
+
+
+def cells_per_side(extent_m: float, resolution_m: float) -> int:
+    """Response cells per axis of an ``extent_m`` plane.
+
+    The one home of the cell-count convention: the router partitions
+    this many cells into shard columns/rows, and the querystorm kind's
+    eager feasibility check must agree with it exactly — a spec that
+    validates must never fail shard construction mid-run.
+    """
+    return max(1, math.ceil(extent_m / resolution_m))
+
+
+def shard_grid(num_shards: int) -> tuple[int, int]:
+    """The (columns, rows) layout for *num_shards* shards.
+
+    Columns x rows equals *num_shards* exactly: columns is the largest
+    divisor not exceeding the square root, so square counts tile as
+    squares (4 -> 2x2, 16 -> 4x4) and awkward counts degrade to the
+    most balanced rectangle available (6 -> 2x3, prime K -> 1xK
+    stripes).  Deterministic, so routing is a pure function of the
+    shard count.
+    """
+    if num_shards < 1:
+        raise SpectrumMapError(f"num_shards must be >= 1, got {num_shards!r}")
+    cols = int(math.isqrt(num_shards))
+    while num_shards % cols:
+        cols -= 1
+    return cols, num_shards // cols
+
+
+class ShardTerritory:
+    """One shard's slice of the plane, in quantization-cell units.
+
+    Attributes:
+        shard_id: index into the router's shard list.
+        cell_x0 / cell_x1, cell_y0 / cell_y1: half-open cell ranges
+            ``[cell_x0, cell_x1)`` along each axis.
+        x0_m / x1_m, y0_m / y1_m: the territory rectangle in meters —
+            border territories extend to infinity outward, so clamped
+            routing of off-plane coordinates stays consistent with the
+            incumbent subset indexed here.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        cell_range_x: tuple[int, int],
+        cell_range_y: tuple[int, int],
+        resolution_m: float,
+        border_west: bool,
+        border_east: bool,
+        border_south: bool,
+        border_north: bool,
+    ):
+        self.shard_id = shard_id
+        self.cell_x0, self.cell_x1 = cell_range_x
+        self.cell_y0, self.cell_y1 = cell_range_y
+        self.x0_m = -math.inf if border_west else self.cell_x0 * resolution_m
+        self.x1_m = math.inf if border_east else self.cell_x1 * resolution_m
+        self.y0_m = -math.inf if border_south else self.cell_y0 * resolution_m
+        self.y1_m = math.inf if border_north else self.cell_y1 * resolution_m
+
+    def touches_zone(self, x_m: float, y_m: float, radius_m: float) -> bool:
+        """True when a circular zone intersects this territory."""
+        return circle_intersects_rect(
+            x_m, y_m, radius_m, self.x0_m, self.y0_m, self.x1_m, self.y1_m
+        )
+
+
+class ShardRouter:
+    """K cell-aligned shards, each a :class:`WhiteSpaceDatabase`.
+
+    Args:
+        metro: the full-metro ground truth.  Kept as ``self.metro`` for
+            compliance scoring; each shard wraps its own sub-``Metro``
+            of the incumbents whose contour intersects its territory.
+        num_shards: shard count (laid out via :func:`shard_grid`).
+        ttl_us / cache_resolution_m / cache_capacity: per-shard
+            database parameters (every shard gets the full
+            ``cache_capacity`` — capacity scales out with K, which is
+            the point of a service tier).
+        cell_m: per-shard spatial-index cell edge.  None picks the
+            service's own default (the subset's mean contour radius)
+            scaled down by ``sqrt(K)``: a shard holds ~1/K of the
+            incumbents, so at the monolith's bucket budget its index
+            is ``sqrt(K)`` finer per axis and prunes harder — this is
+            where the per-query ``candidates_scanned`` win comes from.
+            A 1-shard router therefore defaults to exactly the plain
+            database's granularity.
+    """
+
+    def __init__(
+        self,
+        metro: Metro,
+        num_shards: int,
+        ttl_us: float = DEFAULT_TTL_US,
+        cache_resolution_m: float = DEFAULT_CACHE_RESOLUTION_M,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        cell_m: float | None = None,
+    ):
+        if cache_resolution_m <= 0:
+            raise SpectrumMapError(
+                f"cache_resolution_m must be > 0, got {cache_resolution_m!r}"
+            )
+        cols, rows = shard_grid(num_shards)
+        cells = cells_per_side(metro.extent_m, cache_resolution_m)
+        if cols > cells or rows > cells:
+            raise SpectrumMapError(
+                f"cannot split {cells} cells per axis into a "
+                f"{cols}x{rows} shard grid; lower num_shards or shrink "
+                "cache_resolution_m"
+            )
+        self.metro = metro
+        self.num_shards = num_shards
+        self.grid = (cols, rows)
+        self.ttl_us = ttl_us
+        self.cache_resolution_m = cache_resolution_m
+        self.cells_per_side = cells
+        # Balanced cell-aligned partition: axis boundaries at
+        # floor(i * cells / groups), so group sizes differ by at most
+        # one cell and every boundary is a cell edge.
+        self._x_bounds = [cells * i // cols for i in range(cols + 1)]
+        self._y_bounds = [cells * j // rows for j in range(rows + 1)]
+        self.territories: tuple[ShardTerritory, ...] = tuple(
+            ShardTerritory(
+                shard_id=j * cols + i,
+                cell_range_x=(self._x_bounds[i], self._x_bounds[i + 1]),
+                cell_range_y=(self._y_bounds[j], self._y_bounds[j + 1]),
+                resolution_m=cache_resolution_m,
+                border_west=i == 0,
+                border_east=i == cols - 1,
+                border_south=j == 0,
+                border_north=j == rows - 1,
+            )
+            for j in range(rows)
+            for i in range(cols)
+        )
+        shards: list[WhiteSpaceDatabase] = []
+        scale = math.sqrt(num_shards)
+        for territory in self.territories:
+            sub_metro = Metro(
+                extent_m=metro.extent_m,
+                num_channels=metro.num_channels,
+                sites=tuple(
+                    site
+                    for site in metro.sites
+                    if territory.touches_zone(site.x_m, site.y_m, site.radius_m)
+                ),
+                registrations=[
+                    reg
+                    for reg in metro.registrations
+                    if territory.touches_zone(reg.x_m, reg.y_m, reg.radius_m)
+                ],
+            )
+            if cell_m is not None:
+                shard_cell_m = cell_m
+            else:
+                # The service's own default heuristic on the subset,
+                # scaled down by sqrt(K): equal bucket budget, finer
+                # pruning.
+                shard_cell_m = default_cell_m(sub_metro) / scale
+            shards.append(
+                WhiteSpaceDatabase(
+                    sub_metro,
+                    cell_m=shard_cell_m,
+                    ttl_us=ttl_us,
+                    cache_resolution_m=cache_resolution_m,
+                    cache_capacity=cache_capacity,
+                )
+            )
+        self.shards: tuple[WhiteSpaceDatabase, ...] = tuple(shards)
+        #: Registrations accepted at the router (each may fan out to
+        #: several shards; the per-shard ``mic_registrations`` counters
+        #: sum to the fan-out, not to this).
+        self.mic_registrations = 0
+
+    # -- routing -------------------------------------------------------------
+
+    def cell_of(self, x_m: float, y_m: float) -> tuple[int, int]:
+        """The quantization cell containing (x, y) — the service's own
+        floor-division convention (negative cells for off-plane
+        coordinates), shared by every shard."""
+        return quantize_cell(x_m, y_m, self.cache_resolution_m)
+
+    def _axis_group(self, cell: int, bounds: list[int]) -> int:
+        # Clamp off-plane cells to the border groups; the border
+        # territories extend to infinity on those sides, so the clamped
+        # shard indexes every contour such a cell's response can see.
+        clamped = min(self.cells_per_side - 1, max(0, cell))
+        return bisect_right(bounds, clamped) - 1
+
+    def shard_of_cell(self, qx: int, qy: int) -> int:
+        """The shard serving quantization cell (qx, qy)."""
+        cols, _ = self.grid
+        return (
+            self._axis_group(qy, self._y_bounds) * cols
+            + self._axis_group(qx, self._x_bounds)
+        )
+
+    def shard_of(self, x_m: float, y_m: float) -> int:
+        """The shard serving coordinate (x, y)."""
+        return self.shard_of_cell(*self.cell_of(x_m, y_m))
+
+    # -- the database query surface ------------------------------------------
+
+    def channels_in_cell(
+        self, qx: int, qy: int, t_us: float = 0.0
+    ) -> tuple[int, ...]:
+        """The cell-granular response, served by the owning shard."""
+        return self.shards[self.shard_of_cell(qx, qy)].channels_in_cell(
+            qx, qy, t_us
+        )
+
+    def channels_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> tuple[int, ...]:
+        """Available channels at (x, y), served by the owning shard."""
+        return self.channels_in_cell(*self.cell_of(x_m, y_m), t_us)
+
+    def channels_at_many(
+        self,
+        points: Sequence[tuple[float, float]],
+        t_us: float = 0.0,
+    ) -> list[tuple[int, ...]]:
+        """Batch availability: one response per point, in point order."""
+        return [self.channels_at(x, y, t_us) for x, y in points]
+
+    def spectrum_map_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> SpectrumMap:
+        """The availability response as an occupancy bit-vector."""
+        return SpectrumMap.from_free(
+            self.channels_at(x_m, y_m, t_us), self.metro.num_channels
+        )
+
+    def zone_affects(
+        self, registration: MicRegistration, x_m: float, y_m: float
+    ) -> bool:
+        """True when *registration* can change the response served at (x, y)."""
+        return self.shards[self.shard_of(x_m, y_m)].zone_affects(
+            registration, x_m, y_m
+        )
+
+    # -- updates -------------------------------------------------------------
+
+    def shards_touching_zone(
+        self, x_m: float, y_m: float, radius_m: float
+    ) -> tuple[int, ...]:
+        """Shard ids whose territory a circular zone intersects, ascending."""
+        return tuple(
+            territory.shard_id
+            for territory in self.territories
+            if territory.touches_zone(x_m, y_m, radius_m)
+        )
+
+    def register_mic(self, registration: MicRegistration) -> int:
+        """Fan a registration out to every shard its zone touches.
+
+        The base metro records it too (ground-truth compliance scoring
+        reads ``self.metro``, never a shard).  Returns the total cached
+        responses invalidated across shards.
+        """
+        self.metro.add_registration(registration)
+        self.mic_registrations += 1
+        invalidated = 0
+        for shard_id in self.shards_touching_zone(
+            registration.x_m, registration.y_m, registration.radius_m
+        ):
+            invalidated += self.shards[shard_id].register_mic(registration)
+        return invalidated
+
+    # -- stats ---------------------------------------------------------------
+
+    def aggregate_stats(self) -> WsdbStats:
+        """Shard counters summed into one :class:`WsdbStats`.
+
+        Note ``mic_registrations`` here is the *fan-out* (one zone
+        touching three shards counts three); the router-level
+        acceptance count is :attr:`mic_registrations`.
+        """
+        total = WsdbStats()
+        for shard in self.shards:
+            for key, value in vars(shard.stats).items():
+                setattr(total, key, getattr(total, key) + value)
+        return total
+
+    def candidates_per_query(self, stats: WsdbStats | None = None) -> float:
+        """Mean incumbents scanned per query across the cluster — the
+        sharding headline (0 when nothing was asked).
+
+        Pass an already-aggregated *stats* to reuse a snapshot; the
+        default takes a fresh one.
+        """
+        if stats is None:
+            stats = self.aggregate_stats()
+        return (
+            stats.candidates_scanned / stats.queries if stats.queries else 0.0
+        )
+
+    def stats_dict(self) -> dict[str, float | int]:
+        """Aggregate snapshot plus router-level fields (for probes)."""
+        stats = self.aggregate_stats()
+        snapshot = stats.as_dict()
+        snapshot["registration_fanout"] = snapshot["mic_registrations"]
+        snapshot["mic_registrations"] = self.mic_registrations
+        snapshot["candidates_per_query"] = self.candidates_per_query(stats)
+        return snapshot
+
+    def per_shard_stats(self) -> tuple[dict[str, float | int], ...]:
+        """One :meth:`WsdbStats.as_dict` snapshot per shard, in shard order."""
+        return tuple(shard.stats.as_dict() for shard in self.shards)

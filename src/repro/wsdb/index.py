@@ -21,7 +21,12 @@ from typing import Iterable, Iterator, Protocol, Sequence
 
 from repro.errors import SpectrumMapError
 
-__all__ = ["GridIndex", "SpatialEntry", "circle_intersects_rect"]
+__all__ = [
+    "GridIndex",
+    "SpatialEntry",
+    "circle_intersects_cell",
+    "circle_intersects_rect",
+]
 
 
 def circle_intersects_rect(
@@ -43,6 +48,34 @@ def circle_intersects_rect(
     nearest_x = min(max(cx_m, x0_m), x1_m)
     nearest_y = min(max(cy_m, y0_m), y1_m)
     return math.hypot(cx_m - nearest_x, cy_m - nearest_y) <= radius_m
+
+
+def circle_intersects_cell(
+    cx_m: float,
+    cy_m: float,
+    radius_m: float,
+    qx: int,
+    qy: int,
+    resolution_m: float,
+) -> bool:
+    """True when a circle intersects quantization cell (qx, qy).
+
+    The one place the cell-(qx, qy) -> rectangle conversion lives.
+    Response invalidation (service), stale-store purging (cluster
+    frontend), and push notification (cluster registry) must agree
+    exactly on which cells a protection zone touches — a device is
+    notified iff its cached response was invalidated — so all three
+    ride this helper instead of rebuilding the rectangle themselves.
+    """
+    return circle_intersects_rect(
+        cx_m,
+        cy_m,
+        radius_m,
+        qx * resolution_m,
+        qy * resolution_m,
+        (qx + 1) * resolution_m,
+        (qy + 1) * resolution_m,
+    )
 
 
 class SpatialEntry(Protocol):

@@ -52,10 +52,16 @@ from repro.wsdb.citywide import (
     boot_aps,
     displace_covered_aps,
     generate_mic_events,
+    snapshot_assigned_aps,
 )
-from repro.wsdb.service import WhiteSpaceDatabase
+from repro.wsdb.service import WhiteSpaceDatabase, quantize_cell, ttl_bucket
 
-__all__ = ["RoamingClient", "simulate_roaming"]
+__all__ = [
+    "RoamingClient",
+    "advance_client",
+    "associate_nearest",
+    "simulate_roaming",
+]
 
 #: Default client speed (meters/second): ~50 km/h, a metro vehicle.
 DEFAULT_SPEED_MPS = 14.0
@@ -80,8 +86,37 @@ class RoamingClient:
     ap: CityAp | None = None
 
 
-def _advance(client: RoamingClient, distance_m: float, extent_m: float) -> None:
-    """Move *client* along its waypoint path by *distance_m* meters."""
+def associate_nearest(
+    x_m: float,
+    y_m: float,
+    known_free: frozenset[int],
+    live_aps: list[tuple[CityAp, frozenset[int]]],
+) -> CityAp | None:
+    """The AP a client at (x, y) with response *known_free* associates to.
+
+    Nearest assigned AP whose channel the response permits; equidistant
+    APs resolve deterministically by ascending ``ap_id`` — the explicit
+    tie-break the byte-identical parallel/sequential contract needs
+    (``min`` alone would silently depend on list order).  Returns None
+    when no AP's channel is permitted (the client disconnects).
+    """
+    eligible = [ap for ap, spans in live_aps if spans <= known_free]
+    return min(
+        eligible,
+        key=lambda ap: (math.hypot(ap.x_m - x_m, ap.y_m - y_m), ap.ap_id),
+        default=None,
+    )
+
+
+def advance_client(
+    client: RoamingClient, distance_m: float, extent_m: float
+) -> None:
+    """Move *client* along its waypoint path by *distance_m* meters.
+
+    Public driver plumbing: the roaming and querystorm drivers both
+    step their fleets through this, so path kinematics stay identical
+    across kinds by construction.
+    """
     remaining = distance_m
     while remaining > 0.0:
         wx, wy = client.waypoint
@@ -199,18 +234,7 @@ def simulate_roaming(
         full_reassignments += r
         outages += o
 
-    def snapshot_aps():
-        live = [
-            (ap, frozenset(ap.channel.spanned_indices))
-            for ap in aps
-            if ap.channel is not None
-        ]
-        return live, {ap.ap_id: spans for ap, spans in live}
-
-    # AP channels only change on mic events, so the span sets the
-    # association loop compares against are snapshot once and rebuilt
-    # only after an event fires.
-    live_aps, spans_by_id = snapshot_aps()
+    live_aps, spans_by_id = snapshot_assigned_aps(aps)
 
     step_m = speed_mps * tick_us / 1e6
     ticks = int(duration_us // tick_us)
@@ -225,19 +249,16 @@ def simulate_roaming(
             next_event += 1
             fired = True
         if fired:
-            live_aps, spans_by_id = snapshot_aps()
+            live_aps, spans_by_id = snapshot_assigned_aps(aps)
 
         for client in clients:
             if k > 0:
-                _advance(client, step_m, extent_m)
+                advance_client(client, step_m, extent_m)
             # The re-check rule: query only on crossing a
             # quantization-square boundary or on TTL expiry — never
             # merely because time passed within a valid response.
-            cell = (
-                int(math.floor(client.x_m / recheck_m)),
-                int(math.floor(client.y_m / recheck_m)),
-            )
-            bucket = int(t_us // db.ttl_us)
+            cell = quantize_cell(client.x_m, client.y_m, recheck_m)
+            bucket = ttl_bucket(t_us, db.ttl_us)
             if cell != client.last_cell or bucket != client.last_bucket:
                 client.known_free = frozenset(
                     db.channels_at(client.x_m, client.y_m, t_us)
@@ -256,18 +277,8 @@ def simulate_roaming(
             )
             if prev_spans is not None and not prev_spans <= client.known_free:
                 vacations[client.client_id] += 1
-            eligible = [
-                ap
-                for ap, spans in live_aps
-                if spans <= client.known_free
-            ]
-            client.ap = min(
-                eligible,
-                key=lambda ap: (
-                    math.hypot(ap.x_m - client.x_m, ap.y_m - client.y_m),
-                    ap.ap_id,
-                ),
-                default=None,
+            client.ap = associate_nearest(
+                client.x_m, client.y_m, client.known_free, live_aps
             )
             if client.ap is None:
                 disconnected_ticks += 1

@@ -53,14 +53,21 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.errors import SpectrumMapError
 from repro.spectrum.spectrum_map import SpectrumMap
-from repro.wsdb.index import GridIndex, circle_intersects_rect
+from repro.wsdb.index import GridIndex, circle_intersects_cell
 from repro.wsdb.model import Metro, MicRegistration
 
-__all__ = ["WhiteSpaceDatabase", "WsdbStats"]
+__all__ = [
+    "AvailabilityService",
+    "WhiteSpaceDatabase",
+    "WsdbStats",
+    "default_cell_m",
+    "quantize_cell",
+    "ttl_bucket",
+]
 
 #: Default cache TTL (simulation microseconds): 60 s of validity before a
 #: device must re-query, a compressed stand-in for the FCC's daily
@@ -74,6 +81,73 @@ DEFAULT_CACHE_RESOLUTION_M = 100.0
 
 #: Default LRU capacity (responses).
 DEFAULT_CACHE_CAPACITY = 8_192
+
+
+def quantize_cell(
+    x_m: float, y_m: float, resolution_m: float
+) -> tuple[int, int]:
+    """The quantization cell containing (x, y) at *resolution_m*.
+
+    Floor division, so negative coordinates land in negative cells.
+    The one home of the cell convention: the service's cache keys, the
+    cluster router's routing, the mobility re-check rule, and the push
+    registry's subscriptions must all quantize identically or cached
+    responses, notifications, and re-queries stop lining up.
+    """
+    return (
+        int(math.floor(x_m / resolution_m)),
+        int(math.floor(y_m / resolution_m)),
+    )
+
+
+def ttl_bucket(t_us: float, ttl_us: float) -> int:
+    """The TTL validity bucket containing *t_us*.
+
+    The one home of the bucket convention: the service's cache keys,
+    the frontend's stale-store validity check, and the clients'
+    TTL-expiry re-check trigger must agree on where a response's
+    validity window ends.
+    """
+    return int(t_us // ttl_us)
+
+
+class AvailabilityService(Protocol):
+    """The query surface a white-space device (or AP driver) talks to.
+
+    Both :class:`WhiteSpaceDatabase` and the cluster's
+    :class:`~repro.wsdb.cluster.router.ShardRouter` satisfy this; the
+    citywide helpers (``assign_ap`` / ``boot_aps`` /
+    ``displace_covered_aps``) are written against it, which is what
+    lets one deployment driver run on either service tier.
+    """
+
+    metro: Metro
+
+    def channels_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> tuple[int, ...]: ...
+
+    def spectrum_map_at(
+        self, x_m: float, y_m: float, t_us: float = 0.0
+    ) -> SpectrumMap: ...
+
+    def zone_affects(
+        self, registration: MicRegistration, x_m: float, y_m: float
+    ) -> bool: ...
+
+
+def default_cell_m(metro: Metro) -> float:
+    """The default spatial-index cell edge for *metro*'s incumbents.
+
+    ~The mean TV contour radius — a reasonable pruning granularity —
+    falling back to a sixteenth of the plane when the dial is empty.
+    The one home of this heuristic: the service uses it directly and
+    the cluster's :class:`~repro.wsdb.cluster.router.ShardRouter`
+    scales it down by ``sqrt(K)`` per shard, so the two stay in
+    lock-step if it is ever re-tuned.
+    """
+    radii = [site.radius_m for site in metro.sites]
+    return (sum(radii) / len(radii)) if radii else metro.extent_m / 16
 
 
 @dataclass
@@ -168,8 +242,7 @@ class WhiteSpaceDatabase:
             )
         self.metro = metro
         if cell_m is None:
-            radii = [site.radius_m for site in metro.sites]
-            cell_m = (sum(radii) / len(radii)) if radii else metro.extent_m / 16
+            cell_m = default_cell_m(metro)
         self.index = GridIndex(metro.extent_m, cell_m)
         self.index.extend(metro.sites)
         self.index.extend(metro.registrations)
@@ -189,13 +262,10 @@ class WhiteSpaceDatabase:
         (cell (-1, -1) spans ``[-resolution, 0)`` on each axis) rather
         than sharing cell (0, 0) with the origin's square.
         """
-        return (
-            int(math.floor(x_m / self.cache_resolution_m)),
-            int(math.floor(y_m / self.cache_resolution_m)),
-        )
+        return quantize_cell(x_m, y_m, self.cache_resolution_m)
 
     def _bucket_of(self, t_us: float) -> int:
-        return int(t_us // self.ttl_us)
+        return ttl_bucket(t_us, self.ttl_us)
 
     def _lookup(self, key: _CacheKey) -> tuple[int, ...] | None:
         channels = self._cache.get(key)
@@ -317,20 +387,17 @@ class WhiteSpaceDatabase:
     ) -> bool:
         """True when the protection zone intersects quantization cell (qx, qy).
 
-        Uses the same :func:`circle_intersects_rect` predicate as
-        :meth:`_compute_cell` (via ``GridIndex.covering_rect``), so
-        invalidation drops exactly the cells whose responses the new
-        zone can change.
+        Uses the same geometry predicate as :meth:`_compute_cell` (via
+        ``GridIndex.covering_rect``), so invalidation drops exactly the
+        cells whose responses the new zone can change.
         """
-        res = self.cache_resolution_m
-        return circle_intersects_rect(
+        return circle_intersects_cell(
             registration.x_m,
             registration.y_m,
             registration.radius_m,
-            qx * res,
-            qy * res,
-            (qx + 1) * res,
-            (qy + 1) * res,
+            qx,
+            qy,
+            self.cache_resolution_m,
         )
 
     def zone_affects(

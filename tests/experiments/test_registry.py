@@ -20,6 +20,7 @@ BUILTIN_KINDS = (
     "discovery",
     "opt",
     "protocol",
+    "querystorm",
     "roaming",
     "sift",
     "static",

@@ -4,6 +4,8 @@ dense query grid must come off the index (candidates inspected far below
 the full-scan count) while agreeing exactly with the reference linear
 scan, deterministically per seed."""
 
+import random
+
 import pytest
 
 from repro.errors import SpectrumMapError
@@ -124,3 +126,78 @@ class TestBatchQueryProof:
         db = WhiteSpaceDatabase(metro)
         assert 2 not in db.channels_at(500.0, 5_000.0)
         assert 2 in db.channels_at(9_000.0, 5_000.0)
+
+
+class TestCoveringRectConservativeness:
+    """Property-style pin of the invariant sharding relies on.
+
+    A cell-granular response must be safe to act on from *any*
+    coordinate inside the cell: the contours ``covering_rect`` yields
+    for a cell must be a superset of the contours ``covering`` yields
+    for every point in that cell — equivalently, the channels free
+    throughout the cell (``channels_in_cell``) must be a subset of the
+    channels free at each point.  The cluster's ``ShardRouter`` leans
+    on exactly this when it serves a routed point query from the
+    owning shard's cell response.
+    """
+
+    def test_rect_candidates_superset_of_any_interior_point(self):
+        rng = random.Random(20_090_817)
+        for trial in range(40):
+            extent = rng.uniform(4_000.0, 30_000.0)
+            index = GridIndex(extent_m=extent, cell_m=rng.uniform(300.0, 4_000.0))
+            sites = [
+                TvTransmitterSite(
+                    # EIRP -10..12 dBm: contour radii ~0.9-6 km, so
+                    # cells are genuinely partially covered.
+                    TvStation(rng.randrange(30), power_dbm=rng.uniform(-10.0, 12.0)),
+                    rng.uniform(-0.1 * extent, 1.1 * extent),
+                    rng.uniform(-0.1 * extent, 1.1 * extent),
+                )
+                for _ in range(rng.randrange(3, 25))
+            ]
+            index.extend(sites)
+            res = rng.uniform(50.0, 500.0)
+            for _ in range(10):
+                qx = rng.randrange(-1, int(extent // res) + 2)
+                qy = rng.randrange(-1, int(extent // res) + 2)
+                x0, y0 = qx * res, qy * res
+                rect_set = {
+                    id(e) for e in index.covering_rect(x0, y0, x0 + res, y0 + res)
+                }
+                for _ in range(8):
+                    px = rng.uniform(x0, x0 + res)
+                    py = rng.uniform(y0, y0 + res)
+                    point_set = {id(e) for e in index.covering(px, py)}
+                    assert point_set <= rect_set, (
+                        f"trial {trial}: covering({px}, {py}) yielded a "
+                        "contour covering_rect missed for its cell"
+                    )
+
+    def test_cell_response_subset_of_any_interior_point_response(self):
+        rng = random.Random(424_242)
+        for _ in range(15):
+            extent = rng.uniform(5_000.0, 20_000.0)
+            metro = generate_metro(
+                rng.sample(range(30), rng.randrange(4, 16)),
+                extent_m=extent,
+                seed=rng.randrange(1 << 30),
+                eirp_range_dbm=(-8.0, 10.0),
+            )
+            db = WhiteSpaceDatabase(metro, cache_resolution_m=rng.uniform(50.0, 400.0))
+            for _ in range(10):
+                px = rng.uniform(-0.05 * extent, 1.05 * extent)
+                py = rng.uniform(-0.05 * extent, 1.05 * extent)
+                qx, qy = db.cell_of(px, py)
+                cell_free = set(db.channels_in_cell(qx, qy))
+                # The point's true free set, from the reference scan:
+                # anything the cell response grants must be granted at
+                # every interior point (conservative area semantics).
+                point_free = set(range(metro.num_channels)) - metro.occupied_at(
+                    px, py
+                )
+                assert cell_free <= point_free
+                # And the relation is anchored to the right cell: the
+                # cell response equals what a point query at (px, py)
+                # itself returns (the point rides the cell path).
+                assert db.channels_at(px, py) == tuple(sorted(cell_free))

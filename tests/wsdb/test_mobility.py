@@ -4,7 +4,9 @@ vacations, and the cell-granular cache's advantage on mobile workloads."""
 import pytest
 
 from repro.errors import SimulationError
-from repro.wsdb.mobility import simulate_roaming
+from repro.spectrum.channels import WhiteFiChannel
+from repro.wsdb.citywide import CityAp
+from repro.wsdb.mobility import associate_nearest, simulate_roaming
 from repro.wsdb.model import Metro, generate_metro
 from repro.wsdb.service import WhiteSpaceDatabase
 
@@ -41,6 +43,53 @@ class TestValidation:
             )
         with pytest.raises(SimulationError):
             simulate_roaming(db, 0, num_clients=3, duration_us=1e6, seed=0)
+
+
+class TestAssociation:
+    """Pins nearest-AP tie-breaking: equidistant APs resolve by index.
+
+    ``associate_nearest`` is shared by the roaming and querystorm
+    drivers; a tie broken by list order instead of ``ap_id`` would
+    make runs depend on AP construction order and break the
+    byte-identical parallel/sequential contract.
+    """
+
+    @staticmethod
+    def live(aps):
+        return [
+            (ap, frozenset(ap.channel.spanned_indices))
+            for ap in aps
+            if ap.channel is not None
+        ]
+
+    @staticmethod
+    def ap(ap_id, x_m, y_m, center=14):
+        return CityAp(ap_id, x_m, y_m, channel=WhiteFiChannel(center, 5.0))
+
+    def test_equidistant_aps_resolve_by_ascending_id(self):
+        free = frozenset(range(10, 20))
+        a, b = self.ap(3, 100.0, 0.0), self.ap(7, 0.0, 100.0)
+        # Both 100 m away; the lower ap_id must win in either list order.
+        assert associate_nearest(0.0, 0.0, free, self.live([a, b])) is a
+        assert associate_nearest(0.0, 0.0, free, self.live([b, a])) is a
+
+    def test_distance_beats_id(self):
+        free = frozenset(range(10, 20))
+        near, far = self.ap(9, 50.0, 0.0), self.ap(1, 100.0, 0.0)
+        assert associate_nearest(0.0, 0.0, free, self.live([far, near])) is near
+
+    def test_denied_channels_are_ineligible(self):
+        # The nearest AP's channel is not in the client's response, so
+        # the farther permitted AP wins; with no permitted AP at all
+        # the client disconnects (None).
+        near = self.ap(0, 10.0, 0.0, center=5)
+        far = self.ap(1, 500.0, 0.0, center=14)
+        free = frozenset(range(10, 20))
+        assert associate_nearest(0.0, 0.0, free, self.live([near, far])) is far
+        assert (
+            associate_nearest(0.0, 0.0, frozenset(), self.live([near, far]))
+            is None
+        )
 
 
 class TestRecheckRule:
