@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: check test fast bench bench-smoke lint
+.PHONY: check test fast bench bench-smoke bench-trend lint
 
 ## The tier-1 gate: full unit suite + lint.
 check: test lint
@@ -36,7 +36,13 @@ bench-smoke:
 	WHITEFI_BENCH_SMOKE=1 \
 	WHITEFI_BENCH_WORKERS="$(WORKERS)" \
 	$(PYTEST) -q benchmarks/bench_citywide_wsdb.py \
-	    benchmarks/bench_roaming_wsdb.py benchmarks/bench_wsdb_cluster.py
+	    benchmarks/bench_roaming_wsdb.py benchmarks/bench_wsdb_cluster.py \
+	    benchmarks/bench_scale.py
+
+## Compare the last two comparable BENCH_scale.json entries; fails on a
+## >20% clients/sec regression (no-op with nothing to compare).
+bench-trend:
+	python scripts/bench_trend.py
 
 ## Lint src and tests.  The container may not ship ruff; skip with a
 ## notice rather than fail, so `make check` works everywhere.

@@ -1,0 +1,196 @@
+"""The scale trajectory: 10k -> 1M roaming clients on the vector engine.
+
+Unlike the figure benchmarks, this one measures the *simulator itself*:
+how many client-ticks per second the roaming engine sustains as the
+fleet grows.  The scalar per-client loop anchors the comparison at the
+smallest size (where it is still affordable) and the columnar vector
+engine (:mod:`repro.wsdb.vector`) carries the sweep up to a million
+clients, with each run on a fresh database so engines and sizes never
+share cache state.
+
+Two artifacts come out of a run:
+
+* the usual ``benchmarks/results/bench_scale`` table via
+  ``record_table``;
+* an **append-only trajectory log**, ``BENCH_scale.json`` at the repo
+  root: one entry per invocation with per-run clients/sec, ticks/sec,
+  and peak RSS, plus the scalar-vs-vector speedup and a headline
+  clients/sec figure.  ``scripts/bench_trend.py`` compares the last two
+  comparable entries and fails CI on a >20% throughput regression, so
+  the perf trajectory is tracked across PRs, not rediscovered.
+
+The sweep is wall-clock-budget-capped: the two smallest sizes always
+run; each larger size runs only if its projected wall time (linear
+extrapolation from the last run) still fits the budget
+(``WHITEFI_BENCH_SCALE_BUDGET_S``, default 300 s).  Under
+``WHITEFI_BENCH_SMOKE`` everything shrinks to a driver-rot check and
+the entry is flagged ``smoke`` so the trend tool never compares it
+against a paper-scale entry.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import resource
+import time
+
+import pytest
+
+import repro
+from repro.wsdb.mobility import simulate_roaming
+from repro.wsdb.model import generate_metro
+from repro.wsdb.service import WhiteSpaceDatabase
+
+from _runner import smoke_mode
+
+pytest.importorskip("numpy")
+
+SMOKE = smoke_mode()
+BENCH_LOG = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+BUDGET_ENV = "WHITEFI_BENCH_SCALE_BUDGET_S"
+
+SEED = 2009
+EXTENT_M = 3_000.0
+NUM_APS = 12
+MIC_EVENTS = 3
+DURATION_US = 120e6  # 121 evaluated ticks at the default 1 s tick
+FREE_INDICES = range(12, 30)  # dial: channels 0-11 carry TV sites
+
+#: Vector-engine sweep sizes, ascending.  The first two always run;
+#: the rest are admitted by the wall-clock budget.
+VECTOR_SIZES = (200, 800) if SMOKE else (10_000, 100_000, 300_000, 1_000_000)
+ALWAYS_RUN = 2
+#: The scalar anchor (and the scalar-vs-vector equality check) runs at
+#: the smallest vector size.
+SCALAR_SIZE = VECTOR_SIZES[0]
+
+
+def scale_budget_s() -> float:
+    return float(os.environ.get(BUDGET_ENV) or 300.0)
+
+
+def timed_run(engine: str, num_clients: int) -> tuple[dict, dict]:
+    """One roaming run on a fresh database; returns (report, measurement)."""
+    metro = generate_metro(FREE_INDICES, seed=SEED, extent_m=EXTENT_M)
+    db = WhiteSpaceDatabase(metro)
+    t0 = time.perf_counter()
+    report = simulate_roaming(
+        db,
+        num_aps=NUM_APS,
+        num_clients=num_clients,
+        duration_us=DURATION_US,
+        seed=SEED,
+        mic_events=MIC_EVENTS,
+        engine=engine,
+    )
+    wall_s = time.perf_counter() - t0
+    ticks = int(DURATION_US // report["tick_us"]) + 1
+    client_ticks = num_clients * ticks
+    measurement = {
+        "engine": engine,
+        "clients": num_clients,
+        "ticks": ticks,
+        "wall_s": wall_s,
+        "client_ticks": client_ticks,
+        "clients_per_sec": client_ticks / wall_s,
+        "ticks_per_sec": ticks / wall_s,
+        # Linux ru_maxrss is KB; a process-wide high-water mark, so
+        # within one invocation it is attributable to the largest run
+        # so far, not to each run independently.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    return report, measurement
+
+
+def append_log_entry(entry: dict) -> None:
+    """Append one invocation entry to the BENCH_scale.json trajectory."""
+    if BENCH_LOG.exists():
+        log = json.loads(BENCH_LOG.read_text())
+    else:
+        log = {"entries": []}
+    log["entries"].append(entry)
+    BENCH_LOG.write_text(json.dumps(log, indent=2) + "\n")
+
+
+def test_scale_trajectory(record_table):
+    budget_s = scale_budget_s()
+    started = time.perf_counter()
+    runs: list[dict] = []
+
+    # The scalar anchor — and the cross-engine ground truth: the
+    # vector run of the same size must reproduce its report exactly.
+    scalar_report, scalar_meas = timed_run("scalar", SCALAR_SIZE)
+    runs.append(scalar_meas)
+
+    vector_reports: dict[int, dict] = {}
+    for i, size in enumerate(VECTOR_SIZES):
+        if i >= ALWAYS_RUN and runs[-1]["engine"] == "vector":
+            projected = runs[-1]["wall_s"] * size / runs[-1]["clients"]
+            elapsed = time.perf_counter() - started
+            if elapsed + projected > budget_s:
+                print(
+                    f"budget: skipping {size} clients "
+                    f"(elapsed {elapsed:.0f}s + projected {projected:.0f}s "
+                    f"> {budget_s:.0f}s)"
+                )
+                break
+        report, meas = timed_run("vector", size)
+        vector_reports[size] = report
+        runs.append(meas)
+
+    assert vector_reports, "no vector run fit the budget"
+    assert vector_reports[SCALAR_SIZE] == scalar_report, (
+        "vector engine diverged from the scalar report at "
+        f"{SCALAR_SIZE} clients"
+    )
+    if not SMOKE:
+        # The acceptance bar: the sweep reaches 100k clients and the
+        # vector engine is >= 10x the scalar loop at the anchor size.
+        assert 100_000 in vector_reports
+        anchor = next(
+            r for r in runs if r["engine"] == "vector"
+            if r["clients"] == SCALAR_SIZE
+        )
+        speedup = anchor["clients_per_sec"] / scalar_meas["clients_per_sec"]
+        assert speedup >= 10.0, f"vector speedup only {speedup:.1f}x"
+    else:
+        anchor = next(r for r in runs if r["engine"] == "vector")
+        speedup = anchor["clients_per_sec"] / scalar_meas["clients_per_sec"]
+
+    headline = max(
+        (r for r in runs if r["engine"] == "vector"),
+        key=lambda r: r["clients"],
+    )
+    entry = {
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "version": repro.__version__,
+        "smoke": SMOKE,
+        "duration_us": DURATION_US,
+        "runs": runs,
+        "speedup_vs_scalar": speedup,
+        "headline_clients": headline["clients"],
+        "headline_clients_per_sec": headline["clients_per_sec"],
+    }
+    append_log_entry(entry)
+
+    lines = [
+        f"{'engine':>8} {'clients':>9} {'wall_s':>8} "
+        f"{'clients/s':>12} {'ticks/s':>8} {'rss_mb':>8}"
+    ]
+    for r in runs:
+        lines.append(
+            f"{r['engine']:>8} {r['clients']:>9} {r['wall_s']:>8.2f} "
+            f"{r['clients_per_sec']:>12.0f} {r['ticks_per_sec']:>8.1f} "
+            f"{r['peak_rss_kb'] / 1024:>8.0f}"
+        )
+    lines.append(
+        f"vector speedup at {SCALAR_SIZE} clients: {speedup:.1f}x; "
+        f"headline {headline['clients_per_sec']:.0f} clients/s "
+        f"at {headline['clients']} clients"
+    )
+    record_table("bench_scale", lines, data=entry)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail CI when the roaming-engine throughput regresses.
+
+Reads the append-only trajectory log ``BENCH_scale.json`` that
+``benchmarks/bench_scale.py`` maintains at the repo root and compares
+the two most recent *comparable* entries — same ``smoke`` flag and the
+same headline fleet size, so a budget-truncated sweep or a smoke run is
+never judged against a full one.  Exits non-zero when the latest
+headline clients/sec falls below 80% of the previous entry's; with
+fewer than two comparable entries there is nothing to compare and the
+check is a no-op.
+
+Stdlib only: CI runs this right after ``make bench-smoke`` without any
+extra dependencies.
+
+Usage::
+
+    python scripts/bench_trend.py [path/to/BENCH_scale.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: The latest entry must retain at least this fraction of the previous
+#: entry's headline clients/sec.
+REGRESSION_FLOOR = 0.8
+
+
+def comparable_pair(entries: list[dict]) -> tuple[dict, dict] | None:
+    """(previous, latest) entries with matching smoke flag + headline size."""
+    if not entries:
+        return None
+    latest = entries[-1]
+    for prev in reversed(entries[:-1]):
+        if (
+            prev.get("smoke") == latest.get("smoke")
+            and prev.get("headline_clients") == latest.get("headline_clients")
+        ):
+            return prev, latest
+    return None
+
+
+def main(argv: list[str]) -> int:
+    log_path = pathlib.Path(
+        argv[1]
+        if len(argv) > 1
+        else pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+    )
+    if not log_path.exists():
+        print(f"bench-trend: no log at {log_path}; nothing to compare")
+        return 0
+    entries = json.loads(log_path.read_text()).get("entries", [])
+    pair = comparable_pair(entries)
+    if pair is None:
+        print(
+            f"bench-trend: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+            "no comparable pair; nothing to compare"
+        )
+        return 0
+    prev, latest = pair
+    before = prev["headline_clients_per_sec"]
+    after = latest["headline_clients_per_sec"]
+    ratio = after / before if before else float("inf")
+    verdict = "ok" if ratio >= REGRESSION_FLOOR else "REGRESSION"
+    print(
+        f"bench-trend: {before:.0f} -> {after:.0f} clients/s "
+        f"({ratio:.2f}x, floor {REGRESSION_FLOOR:.2f}) "
+        f"at {latest.get('headline_clients')} clients "
+        f"[{prev.get('version')} -> {latest.get('version')}]: {verdict}"
+    )
+    return 0 if ratio >= REGRESSION_FLOOR else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -159,6 +159,7 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
         "storm_push": ("querystorm",),
         "storm_rate_limit_qps": ("querystorm",),
         "storm_shed_policy": ("querystorm",),
+        "engine": ("roaming", "querystorm"),
     }
     for knob, owner_kinds in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
@@ -211,6 +212,18 @@ def _validate_roaming_clients(spec: ExperimentSpec) -> None:
     if spec.roaming_recheck_m is not None and spec.roaming_recheck_m <= 0:
         raise SimulationError(
             f"roaming_recheck_m must be > 0, got {spec.roaming_recheck_m!r}"
+        )
+
+
+def _validate_engine(spec: ExperimentSpec) -> None:
+    """Validate the mobile-engine knob roaming and querystorm share."""
+    # Imported lazily like every wsdb reach-down: the mobility driver
+    # owns the engine registry.
+    from repro.wsdb.mobility import ENGINES
+
+    if spec.engine is not None and spec.engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {spec.engine!r}; expected one of {ENGINES}"
         )
 
 
@@ -554,6 +567,7 @@ class RoamingKind(RunKind):
             )
         _validate_citywide_deployment(spec)
         _validate_roaming_clients(spec)
+        _validate_engine(spec)
         _reject_wsdb_world_features(
             spec, "models association and compliance, not packet flows"
         )
@@ -565,6 +579,7 @@ class RoamingKind(RunKind):
             "citywide_aps",
             "citywide_extent_km",
             "citywide_mic_events",
+            "engine",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -581,6 +596,7 @@ class RoamingKind(RunKind):
             duration_us=spec.scenario.duration_us,
             seed=spec.scenario.seed,
             mic_events=spec.citywide_mic_events or 0,
+            engine=spec.engine or "scalar",
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "roaming": roaming}
@@ -642,6 +658,7 @@ class QuerystormKind(RunKind):
             )
         _validate_citywide_deployment(spec)
         _validate_roaming_clients(spec)
+        _validate_engine(spec)
         # Shard-grid feasibility, checked eagerly with the same
         # geometry the router will use: an infeasible spec must fail
         # at construction, not mid-fan-out inside a ParallelRunner.
@@ -672,6 +689,7 @@ class QuerystormKind(RunKind):
             "citywide_aps",
             "citywide_extent_km",
             "citywide_mic_events",
+            "engine",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -693,6 +711,7 @@ class QuerystormKind(RunKind):
             mic_events=spec.citywide_mic_events or 0,
             rate_limit_qps=spec.storm_rate_limit_qps,
             policy=spec.storm_shed_policy or "reject",
+            engine=spec.engine or "scalar",
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "storm": storm}

@@ -314,6 +314,10 @@ class ExperimentSpec:
             admission rate (None = unlimited, nothing is shed).
         storm_shed_policy: kind "querystorm" — how over-limit requests
             are answered: "reject" or "serve-stale" (None = "reject").
+        engine: kinds "roaming"/"querystorm" — the mobile-client
+            engine: "scalar" (the reference per-client loop) or
+            "vector" (the columnar numpy engine, bit-identical reports,
+            scales to millions of clients).  None = "scalar".
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -352,6 +356,7 @@ class ExperimentSpec:
     storm_push: bool | None = None
     storm_rate_limit_qps: float | None = None
     storm_shed_policy: str | None = None
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -405,6 +410,8 @@ class ExperimentSpec:
             object.__setattr__(
                 self, "storm_rate_limit_qps", float(self.storm_rate_limit_qps)
             )
+        if self.engine is not None:
+            object.__setattr__(self, "engine", str(self.engine))
         run_kind.validate_spec(self)
 
     def with_seed(self, seed: int) -> "ExperimentSpec":

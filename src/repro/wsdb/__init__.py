@@ -22,6 +22,11 @@ missing layer as a deterministic, seedable simulation component:
   ``roaming`` run kind: seeded waypoint paths, the FCC 100 m re-check
   rule (re-query on cell crossing or TTL expiry), nearest-AP
   association with handoffs, and mic-zone channel vacation.
+* :mod:`repro.wsdb.vector` — the columnar numpy twin of the mobility
+  engine (``engine="vector"`` on the roaming/querystorm kinds):
+  whole-fleet array ops per tick, bit-identical reports, scales to
+  millions of clients.  Imported lazily so the scalar paths never
+  require numpy.
 * :mod:`repro.wsdb.cluster` — the service tier: ``ShardRouter`` (K
   cell-aligned shards, each its own database), ``BatchFrontend``
   (per-shard batching, token-bucket admission, pluggable shed
@@ -44,7 +49,12 @@ from repro.wsdb.cluster import (
     ShardRouter,
     simulate_querystorm,
 )
-from repro.wsdb.mobility import RoamingClient, associate_nearest, simulate_roaming
+from repro.wsdb.mobility import (
+    ENGINES,
+    RoamingClient,
+    associate_nearest,
+    simulate_roaming,
+)
 from repro.wsdb.index import GridIndex
 from repro.wsdb.model import (
     Metro,
@@ -64,6 +74,7 @@ __all__ = [
     "AvailabilityService",
     "BatchFrontend",
     "CityAp",
+    "ENGINES",
     "GridIndex",
     "Metro",
     "MicEvent",

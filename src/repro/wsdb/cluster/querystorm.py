@@ -54,9 +54,11 @@ from repro.wsdb.cluster.router import ShardRouter
 from repro.wsdb.mobility import (
     DEFAULT_SPEED_MPS,
     DEFAULT_TICK_US,
-    RoamingClient,
+    ENGINES,
     advance_client,
     associate_nearest,
+    in_violation,
+    spawn_clients,
 )
 from repro.wsdb.service import quantize_cell, ttl_bucket
 
@@ -79,6 +81,7 @@ def simulate_querystorm(
     burst_size: float | None = None,
     policy: str = RejectPolicy.name,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+    engine: str = "scalar",
 ) -> dict[str, Any]:
     """Run one querystorm session; returns a plain-data report.
 
@@ -107,6 +110,11 @@ def simulate_querystorm(
         rate_limit_qps / burst_size / policy: frontend admission
             control (None rate: nothing is shed).
         interference_radius_m: AP mutual-interference radius.
+        engine: "scalar" (the reference per-client loop here) or
+            "vector" (the columnar numpy engine,
+            :mod:`repro.wsdb.vector`).  Both produce bit-identical
+            reports; "vector" is the one that scales to millions of
+            clients.
     """
     if num_clients < 0:
         raise SimulationError(
@@ -128,6 +136,31 @@ def simulate_querystorm(
         recheck_m = router.cache_resolution_m
     if recheck_m <= 0:
         raise SimulationError(f"recheck_m must be > 0, got {recheck_m!r}")
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine == "vector":
+        # Imported lazily: the scalar path must not require numpy.
+        from repro.wsdb.vector import simulate_querystorm_vector
+
+        return simulate_querystorm_vector(
+            router,
+            num_aps=num_aps,
+            num_clients=num_clients,
+            duration_us=duration_us,
+            seed=seed,
+            offered_qps=offered_qps,
+            push=push,
+            speed_mps=speed_mps,
+            recheck_m=recheck_m,
+            mic_events=mic_events,
+            tick_us=tick_us,
+            rate_limit_qps=rate_limit_qps,
+            burst_size=burst_size,
+            policy=policy,
+            interference_radius_m=interference_radius_m,
+        )
 
     registry = PushRegistry(router.cache_resolution_m) if push else None
     frontend = BatchFrontend(
@@ -143,18 +176,7 @@ def simulate_querystorm(
         router, num_aps, seed, "querystorm-aps", interference_radius_m
     )
 
-    clients: list[RoamingClient] = []
-    for i in range(num_clients):
-        rng = random.Random(stream_seed(seed, f"querystorm-client-{i}"))
-        clients.append(
-            RoamingClient(
-                client_id=i,
-                x_m=rng.uniform(0.0, extent_m),
-                y_m=rng.uniform(0.0, extent_m),
-                waypoint=(rng.uniform(0.0, extent_m), rng.uniform(0.0, extent_m)),
-                rng=rng,
-            )
-        )
+    clients = spawn_clients(num_clients, seed, "querystorm-client", extent_m)
 
     events = generate_mic_events(
         mic_events,
@@ -284,8 +306,13 @@ def simulate_querystorm(
             # Ground-truth compliance (reference linear scan off the
             # base metro — never a shard query, so measuring does not
             # perturb cluster stats).
-            truth = router.metro.occupied_at(client.x_m, client.y_m, t_us)
-            if any(i in truth for i in client.ap.channel.spanned_indices):
+            if in_violation(
+                router.metro,
+                client.x_m,
+                client.y_m,
+                t_us,
+                client.ap.channel.spanned_indices,
+            ):
                 violations[client.client_id] += 1
 
     # Events past the last evaluated tick register anyway, mirroring
@@ -333,6 +360,13 @@ def simulate_querystorm(
         "backup_recoveries": backup_recoveries,
         "full_reassignments": full_reassignments,
         "outages": outages,
+        "per_client": tuple(
+            (i, requeries[i], handoffs[i], vacations[i], connected[i])
+            for i in range(num_clients)
+        ),
+        "final_cells": tuple(
+            quantize_cell(c.x_m, c.y_m, recheck_m) for c in clients
+        ),
         "frontend": frontend.stats.as_dict(),
         "push_stats": (
             registry.stats.as_dict() if registry is not None else None

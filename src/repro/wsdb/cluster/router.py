@@ -273,13 +273,51 @@ class ShardRouter:
         """Available channels at (x, y), served by the owning shard."""
         return self.channels_in_cell(*self.cell_of(x_m, y_m), t_us)
 
+    def channels_in_cells(
+        self,
+        cells: Sequence[tuple[int, int]],
+        t_us: float = 0.0,
+    ) -> list[tuple[int, ...]]:
+        """Batch cell-granular responses: one per cell, in cell order.
+
+        Protocol parity with
+        :meth:`WhiteSpaceDatabase.channels_in_cells`: runs of
+        consecutive cells owned by one shard forward to that shard's
+        own batch path (one stats pass per run), so answers, cache
+        mutations, and counter totals are exactly those of a
+        :meth:`channels_in_cell` loop over the same sequence.
+        """
+        responses: list[tuple[int, ...]] = []
+        run: list[tuple[int, int]] = []
+        run_shard = -1
+        for cell in cells:
+            shard_id = self.shard_of_cell(*cell)
+            if shard_id != run_shard and run:
+                responses.extend(
+                    self.shards[run_shard].channels_in_cells(run, t_us)
+                )
+                run = []
+            run_shard = shard_id
+            run.append(cell)
+        if run:
+            responses.extend(
+                self.shards[run_shard].channels_in_cells(run, t_us)
+            )
+        return responses
+
     def channels_at_many(
         self,
         points: Sequence[tuple[float, float]],
         t_us: float = 0.0,
     ) -> list[tuple[int, ...]]:
-        """Batch availability: one response per point, in point order."""
-        return [self.channels_at(x, y, t_us) for x, y in points]
+        """Batch availability: one response per point, in point order.
+
+        Rides the :meth:`channels_in_cells` batch path.
+        """
+        cell_of = self.cell_of
+        return self.channels_in_cells(
+            [cell_of(x, y) for x, y in points], t_us
+        )
 
     def spectrum_map_at(
         self, x_m: float, y_m: float, t_us: float = 0.0

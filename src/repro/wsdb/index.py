@@ -161,12 +161,18 @@ class GridIndex:
             self.insert(entry)
 
     def candidates(self, x_m: float, y_m: float) -> Sequence[SpatialEntry]:
-        """Entries whose contour *might* cover (x, y) — one cell's bucket."""
-        return self._buckets.get(self.cell_of(x_m, y_m), ())
+        """Entries whose contour *might* cover (x, y) — one cell's bucket.
+
+        Returned as a tuple: the buckets are live internal state, and a
+        caller mutating the returned sequence must not be able to
+        corrupt them (the query paths read the buckets directly and
+        skip this defensive copy).
+        """
+        return tuple(self._buckets.get(self.cell_of(x_m, y_m), ()))
 
     def covering(self, x_m: float, y_m: float) -> Iterator[SpatialEntry]:
         """Entries whose contour exactly covers (x, y); counts the scan."""
-        bucket = self.candidates(x_m, y_m)
+        bucket = self._buckets.get(self.cell_of(x_m, y_m), ())
         self.queries += 1
         self.candidates_scanned += len(bucket)
         for entry in bucket:

@@ -59,9 +59,18 @@ from repro.wsdb.service import WhiteSpaceDatabase, quantize_cell, ttl_bucket
 __all__ = [
     "RoamingClient",
     "advance_client",
+    "advance_position",
     "associate_nearest",
+    "in_violation",
     "simulate_roaming",
+    "spawn_clients",
 ]
+
+#: The mobile-engine implementations the roaming and querystorm
+#: drivers dispatch between.  "scalar" is the reference per-client
+#: loop below; "vector" is the columnar numpy engine
+#: (:mod:`repro.wsdb.vector`), bit-identical to it by construction.
+ENGINES = ("scalar", "vector")
 
 #: Default client speed (meters/second): ~50 km/h, a metro vehicle.
 DEFAULT_SPEED_MPS = 14.0
@@ -101,11 +110,57 @@ def associate_nearest(
     when no AP's channel is permitted (the client disconnects).
     """
     eligible = [ap for ap, spans in live_aps if spans <= known_free]
-    return min(
-        eligible,
-        key=lambda ap: (math.hypot(ap.x_m - x_m, ap.y_m - y_m), ap.ap_id),
-        default=None,
-    )
+
+    # Squared distance, not math.hypot: *, +, and the comparison are
+    # correctly-rounded IEEE-754 operations, so the vectorized engine's
+    # running-min association reproduces this ordering bit-for-bit
+    # (hypot's extra guard arithmetic carries no such guarantee).
+    def _key(ap: CityAp) -> tuple[float, int]:
+        dx = ap.x_m - x_m
+        dy = ap.y_m - y_m
+        return (dx * dx + dy * dy, ap.ap_id)
+
+    return min(eligible, key=_key, default=None)
+
+
+def advance_position(
+    x_m: float,
+    y_m: float,
+    wx: float,
+    wy: float,
+    rng: random.Random,
+    distance_m: float,
+    extent_m: float,
+) -> tuple[float, float, float, float]:
+    """Advance one waypoint walker by *distance_m*; returns (x, y, wx, wy).
+
+    The pure kinematics core of :func:`advance_client`, shared verbatim
+    with the vectorized engine's waypoint-crossing fallback so both
+    engines draw the same waypoints from the same per-client streams
+    and land on bit-identical coordinates.  Leg lengths use
+    ``sqrt(dx*dx + dy*dy)`` — correctly-rounded IEEE-754 throughout —
+    so numpy's elementwise fast path for non-crossing walkers computes
+    the exact same floats.
+    """
+    remaining = distance_m
+    while remaining > 0.0:
+        dx, dy = wx - x_m, wy - y_m
+        leg = math.sqrt(dx * dx + dy * dy)
+        if leg <= remaining:
+            x_m, y_m = wx, wy
+            remaining -= leg
+            new_wx = rng.uniform(0.0, extent_m)
+            new_wy = rng.uniform(0.0, extent_m)
+            if leg == 0.0 and (new_wx, new_wy) == (wx, wy):
+                # Degenerate double-draw of the same point; give up the
+                # remainder of this tick rather than spin.
+                return x_m, y_m, new_wx, new_wy
+            wx, wy = new_wx, new_wy
+        else:
+            x_m += dx / leg * remaining
+            y_m += dy / leg * remaining
+            remaining = 0.0
+    return x_m, y_m, wx, wy
 
 
 def advance_client(
@@ -117,26 +172,52 @@ def advance_client(
     step their fleets through this, so path kinematics stay identical
     across kinds by construction.
     """
-    remaining = distance_m
-    while remaining > 0.0:
-        wx, wy = client.waypoint
-        dx, dy = wx - client.x_m, wy - client.y_m
-        leg = math.hypot(dx, dy)
-        if leg <= remaining:
-            client.x_m, client.y_m = wx, wy
-            remaining -= leg
-            client.waypoint = (
-                client.rng.uniform(0.0, extent_m),
-                client.rng.uniform(0.0, extent_m),
+    wx, wy = client.waypoint
+    client.x_m, client.y_m, wx, wy = advance_position(
+        client.x_m, client.y_m, wx, wy, client.rng, distance_m, extent_m
+    )
+    client.waypoint = (wx, wy)
+
+
+def spawn_clients(
+    num_clients: int, seed: int, stream: str, extent_m: float
+) -> list[RoamingClient]:
+    """The seeded mobile fleet both engines start from.
+
+    Each client draws its start position and first waypoint from its
+    own labelled child stream, so fleet construction is byte-identical
+    across engines, processes, and client counts (client *i*'s path
+    never depends on how many peers exist).
+    """
+    clients: list[RoamingClient] = []
+    for i in range(num_clients):
+        rng = random.Random(stream_seed(seed, f"{stream}-{i}"))
+        clients.append(
+            RoamingClient(
+                client_id=i,
+                x_m=rng.uniform(0.0, extent_m),
+                y_m=rng.uniform(0.0, extent_m),
+                waypoint=(rng.uniform(0.0, extent_m), rng.uniform(0.0, extent_m)),
+                rng=rng,
             )
-            if leg == 0.0 and client.waypoint == (wx, wy):
-                # Degenerate double-draw of the same point; give up the
-                # remainder of this tick rather than spin.
-                return
-        else:
-            client.x_m += dx / leg * remaining
-            client.y_m += dy / leg * remaining
-            remaining = 0.0
+        )
+    return clients
+
+
+def in_violation(
+    metro, x_m: float, y_m: float, t_us: float, spanned: tuple[int, ...]
+) -> bool:
+    """Ground-truth compliance scorer shared by both engines.
+
+    True when any UHF index the client's channel spans is actually
+    protected at its true position — the reference linear scan, never a
+    database query (measuring must not perturb cache stats).  The
+    vectorized engine evaluates the same predicate as per-incumbent
+    coverage masks built on :func:`~repro.wsdb.model.point_in_circle`'s
+    squared-form algebra, so its verdicts are bit-identical.
+    """
+    truth = metro.occupied_at(x_m, y_m, t_us)
+    return any(i in truth for i in spanned)
 
 
 def simulate_roaming(
@@ -150,6 +231,7 @@ def simulate_roaming(
     mic_events: int = 0,
     tick_us: float = DEFAULT_TICK_US,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+    engine: str = "scalar",
 ) -> dict[str, Any]:
     """Run one roaming session; returns a plain-data report.
 
@@ -171,6 +253,11 @@ def simulate_roaming(
         tick_us: simulation step; movement, re-checks, association,
             and compliance are evaluated per tick.
         interference_radius_m: AP mutual-interference radius.
+        engine: "scalar" (the reference per-client loop here) or
+            "vector" (the columnar numpy engine,
+            :mod:`repro.wsdb.vector`).  Both produce bit-identical
+            reports; "vector" is the one that scales to millions of
+            clients.
     """
     if num_clients < 1:
         raise SimulationError(
@@ -188,22 +275,30 @@ def simulate_roaming(
         recheck_m = db.cache_resolution_m
     if recheck_m <= 0:
         raise SimulationError(f"recheck_m must be > 0, got {recheck_m!r}")
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine == "vector":
+        # Imported lazily: the scalar path must not require numpy.
+        from repro.wsdb.vector import simulate_roaming_vector
+
+        return simulate_roaming_vector(
+            db,
+            num_aps=num_aps,
+            num_clients=num_clients,
+            duration_us=duration_us,
+            seed=seed,
+            speed_mps=speed_mps,
+            recheck_m=recheck_m,
+            mic_events=mic_events,
+            tick_us=tick_us,
+            interference_radius_m=interference_radius_m,
+        )
 
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
-
-    clients: list[RoamingClient] = []
-    for i in range(num_clients):
-        rng = random.Random(stream_seed(seed, f"roaming-client-{i}"))
-        clients.append(
-            RoamingClient(
-                client_id=i,
-                x_m=rng.uniform(0.0, extent_m),
-                y_m=rng.uniform(0.0, extent_m),
-                waypoint=(rng.uniform(0.0, extent_m), rng.uniform(0.0, extent_m)),
-                rng=rng,
-            )
-        )
+    clients = spawn_clients(num_clients, seed, "roaming-client", extent_m)
 
     events = generate_mic_events(
         mic_events,
@@ -286,12 +381,15 @@ def simulate_roaming(
             if prev is not None and client.ap.ap_id != prev.ap_id:
                 handoffs[client.client_id] += 1
             connected[client.client_id] += 1
-            # Compliance against ground truth (reference linear scan,
-            # not a database query: measuring must not perturb the
-            # cache stats).  A violation means the client transmitted
-            # on a protected channel between re-checks.
-            truth = db.metro.occupied_at(client.x_m, client.y_m, t_us)
-            if any(i in truth for i in client.ap.channel.spanned_indices):
+            # A violation means the client transmitted on a protected
+            # channel between re-checks.
+            if in_violation(
+                db.metro,
+                client.x_m,
+                client.y_m,
+                t_us,
+                client.ap.channel.spanned_indices,
+            ):
                 violations[client.client_id] += 1
 
     # When duration_us is not a tick multiple, events can start after
@@ -333,6 +431,9 @@ def simulate_roaming(
         "per_client": tuple(
             (i, requeries[i], handoffs[i], vacations[i], connected[i])
             for i in range(num_clients)
+        ),
+        "final_cells": tuple(
+            quantize_cell(c.x_m, c.y_m, recheck_m) for c in clients
         ),
         "db": db.stats.as_dict(),
     }

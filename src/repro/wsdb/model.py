@@ -27,7 +27,6 @@ the hot path.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -43,6 +42,7 @@ __all__ = [
     "TvTransmitterSite",
     "generate_metro",
     "generate_metro_for_setting",
+    "point_in_circle",
     "protected_radius_m",
 ]
 
@@ -67,6 +67,24 @@ DEFAULT_TV_EIRP_DBM = (20.0, 32.0)
 
 #: Default metro plane edge length (meters).
 DEFAULT_EXTENT_M = 20_000.0
+
+
+def point_in_circle(
+    x_m: float, y_m: float, cx_m: float, cy_m: float, radius_m: float
+) -> bool:
+    """True when (x, y) lies inside the circle (boundary-inclusive).
+
+    The one point-containment predicate behind every protected-contour
+    check — incumbent ``covers`` and the roaming engines' ground-truth
+    compliance scoring all ride it.  Written in squared form on purpose:
+    +, *, and <= are correctly-rounded IEEE-754 operations, so the
+    vectorized engine (:mod:`repro.wsdb.vector`) reproduces this
+    predicate bit-for-bit with numpy array arithmetic in the same
+    operation order — ``math.hypot`` offers no such guarantee.
+    """
+    dx = x_m - cx_m
+    dy = y_m - cy_m
+    return dx * dx + dy * dy <= radius_m * radius_m
 
 
 def protected_radius_m(
@@ -120,7 +138,7 @@ class TvTransmitterSite:
 
     def covers(self, x_m: float, y_m: float) -> bool:
         """True when (x, y) lies inside the protected contour."""
-        return math.hypot(x_m - self.x_m, y_m - self.y_m) <= self.radius_m
+        return point_in_circle(x_m, y_m, self.x_m, self.y_m, self.radius_m)
 
 
 @dataclass(frozen=True)
@@ -150,7 +168,7 @@ class MicRegistration:
 
     def covers(self, x_m: float, y_m: float) -> bool:
         """True when (x, y) lies inside the protection zone."""
-        return math.hypot(x_m - self.x_m, y_m - self.y_m) <= self.radius_m
+        return point_in_circle(x_m, y_m, self.x_m, self.y_m, self.radius_m)
 
     @classmethod
     def single_session(

@@ -350,6 +350,45 @@ class WhiteSpaceDatabase:
         self._store(key, channels)
         return channels
 
+    def channels_in_cells(
+        self,
+        cells: Sequence[tuple[int, int]],
+        t_us: float = 0.0,
+    ) -> list[tuple[int, ...]]:
+        """Batch cell-granular responses: one per cell, in cell order.
+
+        Semantically exactly a :meth:`channels_in_cell` loop — same
+        answers, same cache mutations, same counter totals for the same
+        cell sequence (duplicates included; each counts as one query) —
+        but with the per-call overhead paid once: the TTL purge runs
+        once (every cell in a batch shares *t_us*'s bucket), the stats
+        counters are accumulated locally and flushed in one pass, and
+        the attribute lookups are hoisted out of the loop.  This is the
+        vectorized roaming engine's entry point: a tick's worth of
+        re-checks arrives as one batch in client order, and N clients
+        re-checking in one cell cost one :meth:`_compute_cell`.
+        """
+        self.stats.queries += len(cells)
+        bucket = self._bucket_of(t_us)
+        self._purge_expired(bucket)
+        cache = self._cache
+        hits = misses = 0
+        responses: list[tuple[int, ...]] = []
+        for qx, qy in cells:
+            key = _CacheKey(qx=qx, qy=qy, bucket=bucket)
+            channels = cache.get(key)
+            if channels is not None:
+                cache.move_to_end(key)
+                hits += 1
+            else:
+                misses += 1
+                channels = self._compute_cell(qx, qy, t_us)
+                self._store(key, channels)
+            responses.append(channels)
+        self.stats.cache_hits += hits
+        self.stats.cache_misses += misses
+        return responses
+
     def channels_at(
         self, x_m: float, y_m: float, t_us: float = 0.0
     ) -> tuple[int, ...]:
@@ -368,9 +407,13 @@ class WhiteSpaceDatabase:
         """Batch availability: one response per point, in point order.
 
         Each point counts as one query; points sharing a quantization
-        cell share its cached cell response.
+        cell share its cached cell response.  Rides the
+        :meth:`channels_in_cells` batch path (one stats pass).
         """
-        return [self.channels_at(x, y, t_us) for x, y in points]
+        cell_of = self.cell_of
+        return self.channels_in_cells(
+            [cell_of(x, y) for x, y in points], t_us
+        )
 
     def spectrum_map_at(
         self, x_m: float, y_m: float, t_us: float = 0.0

@@ -228,3 +228,17 @@ class TestExecution:
         result = run_experiment(storm_spec())
         clone = ExperimentResult.from_json(result.to_json())
         assert clone == result
+
+
+class TestEngineKnob:
+    def test_engine_accepted(self):
+        assert storm_spec(engine="vector").engine == "vector"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine"):
+            storm_spec(engine="simd")
+
+    def test_vector_engine_result_matches_scalar(self):
+        scalar = run_experiment(storm_spec(engine="scalar", storm_push=True))
+        vector = run_experiment(storm_spec(engine="vector", storm_push=True))
+        assert vector.metrics == scalar.metrics

@@ -160,3 +160,44 @@ class TestExecution:
         result = run_experiment(roaming_spec())
         clone = ExperimentResult.from_json(result.to_json())
         assert clone == result
+
+
+class TestEngineKnob:
+    def test_engine_accepted_and_normalized(self):
+        assert roaming_spec(engine="vector").engine == "vector"
+        assert roaming_spec(engine="scalar").engine == "scalar"
+        assert roaming_spec().engine is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine"):
+            roaming_spec(engine="turbo")
+
+    def test_engine_rejected_outside_owner_kinds(self):
+        with pytest.raises(SimulationError, match="does not use engine"):
+            ExperimentSpec(
+                ScenarioSpec(free_indices=FREE),
+                kind="citywide",
+                citywide_aps=5,
+                engine="vector",
+            )
+        with pytest.raises(SimulationError, match="does not use engine"):
+            ExperimentSpec(
+                ScenarioSpec(free_indices=FREE),
+                kind="whitefi",
+                engine="scalar",
+            )
+
+    def test_vector_engine_result_matches_scalar(self):
+        scalar = run_experiment(roaming_spec(engine="scalar"))
+        vector = run_experiment(roaming_spec(engine="vector"))
+        default = run_experiment(roaming_spec())
+        assert vector.metrics == scalar.metrics
+        assert default.metrics == scalar.metrics
+
+    def test_engine_participates_in_spec_hash(self):
+        # Same semantics, different spec: the cache key must separate
+        # them (the spec records the engine even though reports match).
+        assert (
+            roaming_spec(engine="vector").spec_hash
+            != roaming_spec().spec_hash
+        )

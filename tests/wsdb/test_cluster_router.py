@@ -245,3 +245,26 @@ class TestShardingWin:
             sum(s["candidates_scanned"] for s in per_shard)
             == total.candidates_scanned
         )
+
+
+class TestBatchCellRouting:
+    """Router channels_in_cells: per-shard runs, loop-exact stats."""
+
+    def test_batch_matches_sequential_per_shard(self):
+        batched = ShardRouter(spread_metro(), num_shards=4)
+        sequential = ShardRouter(spread_metro(), num_shards=4)
+        # Cells hopping between shards force several single-cell runs;
+        # repeats within and across runs exercise the caches.
+        cells = [
+            (10, 10), (11, 10), (150, 150), (10, 10), (150, 150),
+            (11, 10), (150, 151), (10, 11), (10, 10),
+        ]
+        got = batched.channels_in_cells(cells, t_us=2.0)
+        want = [
+            sequential.channels_in_cell(qx, qy, 2.0) for qx, qy in cells
+        ]
+        assert got == want
+        # Per-shard stats (not just the aggregate) must match the
+        # sequential loop's: the batch forwards runs in order.
+        assert batched.per_shard_stats() == sequential.per_shard_stats()
+        assert batched.stats_dict() == sequential.stats_dict()

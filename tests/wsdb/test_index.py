@@ -201,3 +201,18 @@ class TestCoveringRectConservativeness:
                 # cell response equals what a point query at (px, py)
                 # itself returns (the point rides the cell path).
                 assert db.channels_at(px, py) == tuple(sorted(cell_free))
+
+
+class TestCandidatesMutationSafety:
+    def test_candidates_returns_a_defensive_copy(self):
+        index = GridIndex(extent_m=10_000.0, cell_m=1_000.0)
+        site = small_site(0, 5_000.0, 5_000.0)
+        index.insert(site)
+        got = index.candidates(5_500.0, 5_500.0)
+        assert isinstance(got, tuple)
+        # A caller turning the result into a list and mutating it must
+        # not be able to corrupt the live bucket.
+        mutated = list(got)
+        mutated.clear()
+        assert len(index.candidates(5_500.0, 5_500.0)) == 1
+        assert list(index.covering(5_500.0, 5_500.0)) == [site]

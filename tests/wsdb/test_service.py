@@ -341,3 +341,50 @@ class TestMicRegistration:
         smap = db.spectrum_map_at(5_100.0, 5_100.0)
         assert smap.occupied_indices() == (3,)
         assert len(smap) == 8
+
+
+class TestBatchCellQueries:
+    """channels_in_cells must be exactly a channels_in_cell loop."""
+
+    def batch_cells(self):
+        # Mixed hits, misses, duplicates, and an off-plane cell.
+        return [(50, 50), (75, 50), (50, 50), (75, 51), (-1, -1), (50, 50)]
+
+    def test_batch_matches_sequential_answers_and_stats(self):
+        batched = WhiteSpaceDatabase(one_station_metro())
+        sequential = WhiteSpaceDatabase(one_station_metro())
+        cells = self.batch_cells()
+        got = batched.channels_in_cells(cells, t_us=5.0)
+        want = [sequential.channels_in_cell(qx, qy, 5.0) for qx, qy in cells]
+        assert got == want
+        assert batched.stats.as_dict() == sequential.stats.as_dict()
+        assert batched.stats.queries == len(cells)
+        assert batched.stats.cache_hits > 0
+
+    def test_batch_matches_sequential_under_eviction_pressure(self):
+        # A 2-slot LRU: identical eviction counters require identical
+        # recency ordering, not just identical totals.
+        batched = WhiteSpaceDatabase(one_station_metro(), cache_capacity=2)
+        sequential = WhiteSpaceDatabase(one_station_metro(), cache_capacity=2)
+        cells = self.batch_cells() + [(10, 10), (50, 50), (75, 50)]
+        got = batched.channels_in_cells(cells, t_us=5.0)
+        want = [sequential.channels_in_cell(qx, qy, 5.0) for qx, qy in cells]
+        assert got == want
+        assert batched.stats.evictions > 0
+        assert batched.stats.as_dict() == sequential.stats.as_dict()
+
+    def test_batch_purges_expired_buckets_once(self):
+        db = WhiteSpaceDatabase(one_station_metro())
+        db.channels_in_cells([(50, 50), (60, 60)], t_us=0.0)
+        # One TTL bucket later the old responses purge on entry.
+        db.channels_in_cells([(50, 50)], t_us=db.ttl_us + 1.0)
+        assert db.stats.expirations == 2
+
+    def test_channels_at_many_rides_the_batch_path(self):
+        batched = WhiteSpaceDatabase(one_station_metro())
+        pointwise = WhiteSpaceDatabase(one_station_metro())
+        points = [(5_050.0, 5_050.0), (5_060.0, 5_070.0), (7_520.0, 5_000.0)]
+        got = batched.channels_at_many(points)
+        want = [pointwise.channels_at(x, y) for x, y in points]
+        assert got == want
+        assert batched.stats.as_dict() == pointwise.stats.as_dict()
