@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: check test fast bench bench-smoke bench-trend lint
+.PHONY: check test fast bench bench-smoke bench-trend trace-diff lint
 
 ## The tier-1 gate: full unit suite + lint.
 check: test lint
@@ -37,12 +37,17 @@ bench-smoke:
 	WHITEFI_BENCH_WORKERS="$(WORKERS)" \
 	$(PYTEST) -q benchmarks/bench_citywide_wsdb.py \
 	    benchmarks/bench_roaming_wsdb.py benchmarks/bench_wsdb_cluster.py \
-	    benchmarks/bench_scale.py
+	    benchmarks/bench_scale.py benchmarks/bench_trace_replay.py
 
 ## Compare the last two comparable BENCH_scale.json entries; fails on a
 ## >20% clients/sec regression (no-op with nothing to compare).
 bench-trend:
 	python scripts/bench_trend.py
+
+## Diff two recorded run traces event-by-event (exit 1 on any delta):
+##   make trace-diff A=path/to/a.jsonl.gz B=path/to/b.jsonl.gz
+trace-diff:
+	PYTHONPATH=$(PYTHONPATH) python scripts/trace_diff.py $(A) $(B)
 
 ## Lint src and tests.  The container may not ship ruff; skip with a
 ## notice rather than fail, so `make check` works everywhere.

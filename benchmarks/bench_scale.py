@@ -22,7 +22,10 @@ Two artifacts come out of a run:
 The sweep is wall-clock-budget-capped: the two smallest sizes always
 run; each larger size runs only if its projected wall time (linear
 extrapolation from the last run) still fits the budget
-(``WHITEFI_BENCH_SCALE_BUDGET_S``, default 300 s).  Under
+(``WHITEFI_BENCH_SCALE_BUDGET_S``, default 300 s).  Sizes the budget
+rejects are still *recorded* — as ``{"skipped": "budget"}`` run stubs —
+so every entry states its full intended sweep and the trend tool can
+refuse to compare entries whose realized coverage differs.  Under
 ``WHITEFI_BENCH_SMOKE`` everything shrinks to a driver-rot check and
 the entry is flagged ``smoke`` so the trend tool never compares it
 against a paper-scale entry.
@@ -136,6 +139,13 @@ def test_scale_trajectory(record_table):
                     f"(elapsed {elapsed:.0f}s + projected {projected:.0f}s "
                     f"> {budget_s:.0f}s)"
                 )
+                # Record what was *not* measured: stub rows keep the
+                # intended sweep visible so bench_trend only compares
+                # entries with the same realized coverage.
+                runs.extend(
+                    {"engine": "vector", "clients": s, "skipped": "budget"}
+                    for s in VECTOR_SIZES[i:]
+                )
                 break
         report, meas = timed_run("vector", size)
         vector_reports[size] = report
@@ -161,7 +171,11 @@ def test_scale_trajectory(record_table):
         speedup = anchor["clients_per_sec"] / scalar_meas["clients_per_sec"]
 
     headline = max(
-        (r for r in runs if r["engine"] == "vector"),
+        (
+            r
+            for r in runs
+            if r["engine"] == "vector" and not r.get("skipped")
+        ),
         key=lambda r: r["clients"],
     )
     entry = {
@@ -183,6 +197,12 @@ def test_scale_trajectory(record_table):
         f"{'clients/s':>12} {'ticks/s':>8} {'rss_mb':>8}"
     ]
     for r in runs:
+        if r.get("skipped"):
+            lines.append(
+                f"{r['engine']:>8} {r['clients']:>9} "
+                f"{'skipped (' + r['skipped'] + ')':>39}"
+            )
+            continue
         lines.append(
             f"{r['engine']:>8} {r['clients']:>9} {r['wall_s']:>8.2f} "
             f"{r['clients_per_sec']:>12.0f} {r['ticks_per_sec']:>8.1f} "

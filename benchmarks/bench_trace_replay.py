@@ -1,0 +1,118 @@
+"""Record -> replay determinism smoke for ``repro.traces``.
+
+Records one querystorm run to a trace, feeds the trace back through
+the frontend as a :class:`~repro.traces.replay.TraceWorkload`, and
+asserts the two contracts the trace subsystem exists for:
+
+* the replayed run's report equals the source run's report, and
+* the re-recorded replay trace is **byte-identical** to the source
+  trace (the canonical stream order + zeroed-gzip-mtime writer at
+  work).
+
+The source and replay traces are left under ``benchmarks/results/``
+(``trace_replay[-smoke].source.jsonl.gz`` / ``.replay.jsonl.gz``) so
+the ``make trace-diff`` target — and the bench-smoke CI job — can
+re-verify the bit-identity with the standalone diff tool.  A columnar
+conversion of the source trace rides along as the third artifact,
+exercising the ``.npz`` export path end to end.
+
+Under ``WHITEFI_BENCH_SMOKE`` the run shrinks to a driver-rot check;
+at full scale the storm is dense enough that the trace carries every
+event kind the recorder hooks emit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.traces.columnar import to_columnar
+from repro.traces.record import TraceRecorder, read_trace
+from repro.traces.replay import TraceWorkload
+from repro.wsdb.cluster import ShardRouter, simulate_querystorm
+from repro.wsdb.model import generate_metro
+
+from _runner import smoke_mode
+
+SMOKE = smoke_mode()
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+STEM = "trace_replay-smoke" if SMOKE else "trace_replay"
+
+SEED = 11
+FREE_INDICES = tuple(range(12, 30))  # dial: channels 0-11 carry TV sites
+EXTENT_M = 2_500.0
+NUM_SHARDS = 4
+NUM_APS = 6 if SMOKE else 12
+NUM_CLIENTS = 8 if SMOKE else 30
+MIC_EVENTS = 3 if SMOKE else 10
+OFFERED_QPS = 40.0 if SMOKE else 100.0
+DURATION_US = 30e6 if SMOKE else 160e6
+
+
+def storm_router() -> ShardRouter:
+    metro = generate_metro(
+        FREE_INDICES, extent_m=EXTENT_M, seed=SEED, num_channels=30
+    )
+    return ShardRouter(metro, num_shards=NUM_SHARDS)
+
+
+def run_storm(recorder=None, storm_source=None) -> dict:
+    return simulate_querystorm(
+        storm_router(),
+        NUM_APS,
+        num_clients=NUM_CLIENTS,
+        duration_us=DURATION_US,
+        seed=SEED,
+        offered_qps=OFFERED_QPS,
+        push=True,
+        mic_events=MIC_EVENTS,
+        recorder=recorder,
+        storm_source=storm_source,
+    )
+
+
+def test_record_replay_roundtrip(record_table):
+    source_path = RESULTS_DIR / f"{STEM}.source.jsonl.gz"
+    replay_path = RESULTS_DIR / f"{STEM}.replay.jsonl.gz"
+    npz_path = RESULTS_DIR / f"{STEM}.source.npz"
+
+    # Meta is part of the written header, so the byte-identity check
+    # requires both recordings to carry the same annotations.
+    meta = {"bench": "trace_replay", "smoke": SMOKE}
+
+    with TraceRecorder(source_path, meta=meta) as recorder:
+        source_report = run_storm(recorder=recorder)
+
+    workload = TraceWorkload.open(source_path)
+    assert len(workload) == source_report["storm_queries"]
+
+    with TraceRecorder(replay_path, meta=meta) as recorder:
+        replay_report = run_storm(recorder=recorder, storm_source=workload)
+
+    assert replay_report == source_report, "replay diverged from source"
+    assert replay_path.read_bytes() == source_path.read_bytes(), (
+        "re-recorded replay trace is not byte-identical to its source"
+    )
+
+    stats = to_columnar(source_path, npz_path)
+    _, events = read_trace(source_path)
+
+    lines = [
+        f"{'metric':>24} {'value':>14}",
+        f"{'storm queries':>24} {source_report['storm_queries']:>14}",
+        f"{'trace events':>24} {len(events):>14}",
+        f"{'trace bytes':>24} {source_path.stat().st_size:>14}",
+        f"{'columnar bytes':>24} {npz_path.stat().st_size:>14}",
+        f"{'replay == source':>24} {'yes':>14}",
+    ]
+    record_table(
+        "trace_replay",
+        lines,
+        data={
+            "smoke": SMOKE,
+            "storm_queries": source_report["storm_queries"],
+            "trace_events": len(events),
+            "trace_bytes": source_path.stat().st_size,
+            "columnar_bytes": npz_path.stat().st_size,
+            "column_stats": stats,
+        },
+    )

@@ -4,8 +4,10 @@
 Reads the append-only trajectory log ``BENCH_scale.json`` that
 ``benchmarks/bench_scale.py`` maintains at the repo root and compares
 the two most recent *comparable* entries — same ``smoke`` flag and the
-same headline fleet size, so a budget-truncated sweep or a smoke run is
-never judged against a full one.  Exits non-zero when the latest
+same realized sweep coverage (the set of vector fleet sizes actually
+measured, excluding ``skipped: "budget"`` stub rows), so a
+budget-truncated sweep or a smoke run is never judged against a full
+one.  Exits non-zero when the latest
 headline clients/sec falls below 80% of the previous entry's; with
 fewer than two comparable entries there is nothing to compare and the
 check is a no-op.
@@ -29,15 +31,30 @@ import sys
 REGRESSION_FLOOR = 0.8
 
 
+def sweep_coverage(entry: dict) -> tuple[int, ...]:
+    """The vector fleet sizes an entry actually measured, ascending.
+
+    Budget-skipped stub rows (``skipped: "budget"``) are excluded: two
+    entries compare only when the same sizes really ran.
+    """
+    return tuple(
+        sorted(
+            run["clients"]
+            for run in entry.get("runs", ())
+            if run.get("engine") == "vector" and not run.get("skipped")
+        )
+    )
+
+
 def comparable_pair(entries: list[dict]) -> tuple[dict, dict] | None:
-    """(previous, latest) entries with matching smoke flag + headline size."""
+    """(previous, latest) entries with matching smoke flag + coverage."""
     if not entries:
         return None
     latest = entries[-1]
     for prev in reversed(entries[:-1]):
         if (
             prev.get("smoke") == latest.get("smoke")
-            and prev.get("headline_clients") == latest.get("headline_clients")
+            and sweep_coverage(prev) == sweep_coverage(latest)
         ):
             return prev, latest
     return None

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff two recorded run traces event-by-event.
+
+Compares schema/version strictly, then walks both canonical event
+streams in lockstep and reports every position where they disagree —
+missing events, extra events, or same-position events with different
+fields.  Header ``meta`` is informational and never compared.  Accepts
+gzip JSONL traces (``repro.traces`` writer output), plain JSONL, and
+columnar ``.npz`` exports interchangeably, so a source recording can be
+diffed directly against its columnar round-trip or a replay's
+re-recording.
+
+Exit status 0 when the traces are identical, 1 when they differ —
+the contract the ``make trace-diff`` target and the bench-smoke CI
+step rely on.
+
+Usage::
+
+    python scripts/trace_diff.py A.jsonl.gz B.jsonl.gz [--limit N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.traces.record import TraceEvent, read_trace  # noqa: E402
+
+
+def load(path: str | pathlib.Path) -> tuple[dict, list[TraceEvent]]:
+    """Read a trace from JSONL(.gz) or a columnar ``.npz`` export."""
+    path = pathlib.Path(path)
+    if path.suffix == ".npz":
+        from repro.traces.columnar import read_columnar
+
+        return read_columnar(path)
+    return read_trace(path)
+
+
+def diff_traces(
+    a: tuple[dict, list[TraceEvent]],
+    b: tuple[dict, list[TraceEvent]],
+) -> list[str]:
+    """Human-readable delta lines; empty when the traces are identical."""
+    header_a, events_a = a
+    header_b, events_b = b
+    deltas: list[str] = []
+    for field in ("schema", "version"):
+        if header_a.get(field) != header_b.get(field):
+            deltas.append(
+                f"header {field}: {header_a.get(field)!r} "
+                f"!= {header_b.get(field)!r}"
+            )
+    if len(events_a) != len(events_b):
+        deltas.append(f"event count: {len(events_a)} != {len(events_b)}")
+    for index, (ev_a, ev_b) in enumerate(
+        itertools.zip_longest(events_a, events_b)
+    ):
+        if ev_a == ev_b:
+            continue
+        if ev_a is None:
+            deltas.append(f"event {index}: only in B: {ev_b.to_dict()}")
+        elif ev_b is None:
+            deltas.append(f"event {index}: only in A: {ev_a.to_dict()}")
+        else:
+            deltas.append(
+                f"event {index}: {ev_a.to_dict()} != {ev_b.to_dict()}"
+            )
+    return deltas
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace_a", help="first trace (.jsonl[.gz] or .npz)")
+    parser.add_argument("trace_b", help="second trace (.jsonl[.gz] or .npz)")
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="max delta lines to print (default 20; all are counted)",
+    )
+    args = parser.parse_args(argv)
+
+    deltas = diff_traces(load(args.trace_a), load(args.trace_b))
+    if not deltas:
+        print(f"trace-diff: identical ({args.trace_a} == {args.trace_b})")
+        return 0
+    for line in deltas[: args.limit]:
+        print(f"trace-diff: {line}")
+    if len(deltas) > args.limit:
+        print(f"trace-diff: ... {len(deltas) - args.limit} more deltas")
+    print(
+        f"trace-diff: {len(deltas)} delta(s) between "
+        f"{args.trace_a} and {args.trace_b}"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,11 +35,11 @@ from repro.errors import (
     UnknownRunKindError,
 )
 
-# 1.5.0: columnar vector roaming engine (wsdb.vector), the `engine`
-# spec knob, batched cell queries, and the bench_scale trajectory.
-# The ResultCache is versioned by this string, so older cache entries
-# are never served to the new kind set.
-__version__ = "1.5.0"
+# 1.6.0: repro.traces dense run recording (versioned event schema,
+# columnar export, storm replay), the `storm_trace` spec knob, and the
+# `replay` run kind.  The ResultCache is versioned by this string, so
+# older cache entries are never served to the new kind set.
+__version__ = "1.6.0"
 
 __all__ = [
     "constants",

@@ -17,9 +17,10 @@ sift       SIFT detection/classification accuracy (Table 1)     detection rate +
 citywide   many APs on one metro wsdb (post-FCC-2010 regime)    per-AP throughput, disagreement, db cache
 roaming    mobile clients on the wsdb (100 m re-check rule)     re-queries, handoffs, hit rate, violations
 querystorm sharded wsdb cluster under storm load (+ push)       shed/coalesce counters, shard stats, violations
+replay     a recorded storm trace re-driven through the cluster querystorm metrics + trace provenance
 ========== ==================================================== =========================================
 
-Importing this module registers all nine; adding an evaluation axis is
+Importing this module registers all ten; adding an evaluation axis is
 a new ``RunKind`` subclass plus ``register_run_kind`` — no dispatcher
 edits anywhere.
 """
@@ -40,6 +41,7 @@ from repro.experiments.probes import (
     ProtocolGoodputProbe,
     ProtocolSwitchLogProbe,
     QuerystormProbe,
+    ReplayProbe,
     RoamingProbe,
     SiftAccuracyProbe,
     SiftConfusionProbe,
@@ -148,18 +150,24 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
         "sift_width_mhz": ("sift",),
         "sift_rate_mbps": ("sift",),
         "sift_num_packets": ("sift",),
-        "citywide_aps": ("citywide", "roaming", "querystorm"),
-        "citywide_extent_km": ("citywide", "roaming", "querystorm"),
-        "citywide_mic_events": ("citywide", "roaming", "querystorm"),
-        "roaming_clients": ("roaming", "querystorm"),
-        "roaming_speed_mps": ("roaming", "querystorm"),
-        "roaming_recheck_m": ("roaming", "querystorm"),
-        "storm_shards": ("querystorm",),
-        "storm_offered_qps": ("querystorm",),
-        "storm_push": ("querystorm",),
-        "storm_rate_limit_qps": ("querystorm",),
-        "storm_shed_policy": ("querystorm",),
-        "engine": ("roaming", "querystorm"),
+        "citywide_aps": ("citywide", "roaming", "querystorm", "replay"),
+        "citywide_extent_km": ("citywide", "roaming", "querystorm", "replay"),
+        "citywide_mic_events": (
+            "citywide",
+            "roaming",
+            "querystorm",
+            "replay",
+        ),
+        "roaming_clients": ("roaming", "querystorm", "replay"),
+        "roaming_speed_mps": ("roaming", "querystorm", "replay"),
+        "roaming_recheck_m": ("roaming", "querystorm", "replay"),
+        "storm_shards": ("querystorm", "replay"),
+        "storm_offered_qps": ("querystorm", "replay"),
+        "storm_push": ("querystorm", "replay"),
+        "storm_rate_limit_qps": ("querystorm", "replay"),
+        "storm_shed_policy": ("querystorm", "replay"),
+        "engine": ("roaming", "querystorm", "replay"),
+        "storm_trace": ("querystorm", "replay"),
     }
     for knob, owner_kinds in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
@@ -615,6 +623,11 @@ class QuerystormKind(RunKind):
     registers, instead of riding a stale response to the next FCC
     re-check — the violation-window closure ``bench_wsdb_cluster``
     measures against pull-only runs.
+
+    ``storm_trace`` optionally replaces the synthetic generator with a
+    recorded trace's query stream (``repro.traces``); the ``replay``
+    kind below is the same run with the trace *required* — the
+    bench-against-captured-traffic configuration.
     """
 
     name = "querystorm"
@@ -631,7 +644,7 @@ class QuerystormKind(RunKind):
 
         if spec.storm_shards is None or spec.storm_shards < 1:
             raise SimulationError(
-                "kind 'querystorm' requires storm_shards >= 1, "
+                f"kind {spec.kind!r} requires storm_shards >= 1, "
                 f"got {spec.storm_shards!r}"
             )
         if spec.storm_offered_qps is not None and spec.storm_offered_qps < 0:
@@ -653,7 +666,7 @@ class QuerystormKind(RunKind):
             )
         if spec.roaming_clients is not None and spec.roaming_clients < 0:
             raise SimulationError(
-                "querystorm roaming_clients must be >= 0, "
+                f"{spec.kind} roaming_clients must be >= 0, "
                 f"got {spec.roaming_clients!r}"
             )
         _validate_citywide_deployment(spec)
@@ -690,6 +703,7 @@ class QuerystormKind(RunKind):
             "citywide_extent_km",
             "citywide_mic_events",
             "engine",
+            "storm_trace",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -700,6 +714,11 @@ class QuerystormKind(RunKind):
             extent_m=_citywide_extent_m(spec),
             cache_resolution_m=spec.roaming_recheck_m,
         )
+        storm_source = None
+        if spec.storm_trace is not None:
+            from repro.traces.replay import TraceWorkload
+
+            storm_source = TraceWorkload.open(spec.storm_trace)
         storm = simulate_querystorm(
             router,
             num_aps=spec.citywide_aps,
@@ -712,9 +731,40 @@ class QuerystormKind(RunKind):
             rate_limit_qps=spec.storm_rate_limit_qps,
             policy=spec.storm_shed_policy or "reject",
             engine=spec.engine or "scalar",
+            storm_source=storm_source,
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "storm": storm}
+
+
+class ReplayKind(QuerystormKind):
+    """A recorded storm trace re-driven through the cluster.
+
+    Identical to ``querystorm`` except the workload: ``storm_trace``
+    is *required*, and its recorded query stream is fed back through
+    the frontend in place of the synthetic generator — benches run
+    against captured traffic.  ``storm_offered_qps`` is accepted purely
+    as a report annotation (set it to the source run's value and the
+    replay's metrics compare key-for-key equal to the source's);
+    the replayed load itself comes entirely from the trace.
+
+    Replaying a run recorded with the same deployment/seed knobs
+    reproduces the source report bit-identically on either engine —
+    the contract ``tests/experiments/test_replay_kind.py`` and the
+    ``bench_trace_replay`` smoke pin.
+    """
+
+    name = "replay"
+    summary = "re-drive a recorded storm trace through the wsdb cluster"
+    probes = (ReplayProbe(),)
+
+    def validate_spec(self, spec: ExperimentSpec) -> None:
+        if not spec.storm_trace:
+            raise SimulationError(
+                "kind 'replay' requires storm_trace (a recorded "
+                f"repro.traces file), got {spec.storm_trace!r}"
+            )
+        super().validate_spec(spec)
 
 
 for _kind in (
@@ -727,5 +777,6 @@ for _kind in (
     CitywideKind(),
     RoamingKind(),
     QuerystormKind(),
+    ReplayKind(),
 ):
     register_run_kind(_kind)

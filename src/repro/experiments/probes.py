@@ -47,6 +47,7 @@ __all__ = [
     "ProtocolGoodputProbe",
     "ProtocolSwitchLogProbe",
     "QuerystormProbe",
+    "ReplayProbe",
     "RoamingProbe",
     "SiftAccuracyProbe",
     "SiftConfusionProbe",
@@ -392,6 +393,26 @@ class QuerystormProbe:
             metrics[f"push_{key}"] = value
         for key, value in storm["db"].items():
             metrics[f"db_{key}"] = value
+        return metrics
+
+
+class ReplayProbe(QuerystormProbe):
+    """The querystorm metrics plus trace-replay provenance.
+
+    A replayed storm reports through the full querystorm metric set
+    (so source and replay runs compare key-for-key), with two
+    annotations on top: ``storm_trace`` (the trace the workload came
+    from) and ``replayed_queries`` (the storm queries actually
+    re-issued — the trace's query-event count once the run covers the
+    whole recording).
+    """
+
+    name = "replay"
+
+    def extract(self, raw: Mapping[str, Any]) -> Mapping[str, Any]:
+        metrics = dict(super().extract(raw))
+        metrics["storm_trace"] = raw["spec"].storm_trace
+        metrics["replayed_queries"] = raw["storm"]["storm_queries"]
         return metrics
 
 

@@ -318,6 +318,12 @@ class ExperimentSpec:
             engine: "scalar" (the reference per-client loop) or
             "vector" (the columnar numpy engine, bit-identical reports,
             scales to millions of clients).  None = "scalar".
+        storm_trace: kinds "querystorm"/"replay" — path to a recorded
+            trace (``repro.traces`` JSONL or columnar ``.npz``) whose
+            query stream replaces the synthetic storm generator;
+            required by "replay".  The *path string* participates in
+            ``spec_hash`` (the file's content does not — re-recording
+            over a path invalidates caches manually).
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -357,6 +363,7 @@ class ExperimentSpec:
     storm_rate_limit_qps: float | None = None
     storm_shed_policy: str | None = None
     engine: str | None = None
+    storm_trace: str | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -412,6 +419,8 @@ class ExperimentSpec:
             )
         if self.engine is not None:
             object.__setattr__(self, "engine", str(self.engine))
+        if self.storm_trace is not None:
+            object.__setattr__(self, "storm_trace", str(self.storm_trace))
         run_kind.validate_spec(self)
 
     def with_seed(self, seed: int) -> "ExperimentSpec":

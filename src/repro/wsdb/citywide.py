@@ -45,8 +45,13 @@ from repro.spectrum.airtime import AirtimeObservation
 from repro.spectrum.channels import WhiteFiChannel
 from repro.spectrum.spectrum_map import SpectrumMap
 from repro.spectrum.variation import availability_disagreement
+from repro.traces.record import NULL_RECORDER
 from repro.wsdb.model import MicRegistration
-from repro.wsdb.service import AvailabilityService, WhiteSpaceDatabase
+from repro.wsdb.service import (
+    AvailabilityService,
+    WhiteSpaceDatabase,
+    quantize_cell,
+)
 
 __all__ = [
     "CityAp",
@@ -302,16 +307,24 @@ def simulate_citywide(
     seed: int,
     mic_events: int = 0,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+    recorder: Any = None,
 ) -> dict[str, Any]:
     """Run one citywide session; returns a plain-data report.
 
     The report is JSON-plain throughout (the ``citywide`` run kind's
-    probe routes it into an ``ExperimentResult`` unchanged).
+    probe routes it into an ``ExperimentResult`` unchanged).  Pass a
+    :class:`~repro.traces.record.TraceRecorder` as ``recorder`` to
+    stream the run's mic registrations and end-of-session sweep
+    queries; recording observes only, so the report is bit-identical
+    with and without it.
     """
     if duration_us <= 0:
         raise SimulationError(
             f"citywide duration must be > 0, got {duration_us!r}"
         )
+    if recorder is None:
+        recorder = NULL_RECORDER
+    recording = recorder.enabled
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "citywide-aps", interference_radius_m)
 
@@ -323,9 +336,22 @@ def simulate_citywide(
         stream_seed(seed, "citywide-mics"),
     )
     displaced = backup_recoveries = full_reassignments = outages = 0
-    for event in events:
+    for index, event in enumerate(events):
         registration = event.registration()
         db.register_mic(registration)
+        if recording:
+            recorder.emit(
+                "mic",
+                event.t_us,
+                subject=index,
+                cell=quantize_cell(
+                    event.x_m, event.y_m, db.cache_resolution_m
+                ),
+                channels=(event.uhf_index,),
+                x=event.x_m,
+                y=event.y_m,
+                aux=event.uhf_index,
+            )
         d, b, r, o = displace_covered_aps(
             db, aps, event, registration, interference_radius_m
         )
@@ -343,6 +369,18 @@ def simulate_citywide(
     final_responses = [
         db.channels_at(ap.x_m, ap.y_m, duration_us) for ap in aps
     ]
+    if recording:
+        for ap, response in zip(aps, final_responses):
+            recorder.emit(
+                "query",
+                duration_us,
+                subject=ap.ap_id,
+                cell=quantize_cell(ap.x_m, ap.y_m, db.cache_resolution_m),
+                channels=response,
+                x=ap.x_m,
+                y=ap.y_m,
+                aux=1,
+            )
     final_maps = [
         SpectrumMap.from_free(free, num_channels) for free in final_responses
     ]

@@ -247,6 +247,12 @@ class BatchFrontend:
         # cell -> (TTL bucket the response was computed in, channels).
         self._stale: dict[tuple[int, int], tuple[int, tuple[int, ...]]] = {}
         self._bucket_now = 0
+        # The last burst's admission plan, one (cell, admitted) entry
+        # per request in request order.  A serve-stale shed returns
+        # channels just like an admitted request, so the return value
+        # alone can't tell callers (e.g. trace recorders) what the
+        # admission outcome was — the plan can.
+        self.last_plan: list[tuple[tuple[int, int], bool]] = []
 
     def stale_response(self, qx: int, qy: int) -> tuple[int, ...] | None:
         """The cell's last response, if it is still inside its TTL bucket.
@@ -290,6 +296,7 @@ class BatchFrontend:
             else:
                 self.stats.shed += 1
             plan.append((cell, admitted))
+        self.last_plan = plan
         # Pass 2: group the admitted cells by owning shard, deduped.
         by_shard: dict[int, list[tuple[int, int]]] = {}
         seen: set[tuple[int, int]] = set()

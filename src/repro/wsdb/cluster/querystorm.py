@@ -36,10 +36,11 @@ on.
 from __future__ import annotations
 
 import random
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.errors import SimulationError
 from repro.sim.rng import stream_seed
+from repro.traces.record import NULL_RECORDER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
     MicEvent,
@@ -62,7 +63,63 @@ from repro.wsdb.mobility import (
 )
 from repro.wsdb.service import quantize_cell, ttl_bucket
 
-__all__ = ["simulate_querystorm"]
+__all__ = ["StormFeed", "simulate_querystorm", "synthetic_storm"]
+
+
+def synthetic_storm(
+    offered_qps: float,
+    tick_us: float,
+    ticks: int,
+    extent_m: float,
+    rng: random.Random,
+) -> Iterator[tuple[float, float, float]]:
+    """The synthetic poisson-ish storm as a ``(t_us, x, y)`` stream.
+
+    This is the workload-source seam both storm engines consume (via
+    :class:`StormFeed`): per tick, a fractional request budget of
+    ``offered_qps * tick_us / 1e6`` accrues and its integer part is
+    drained as uniformly placed requests — the exact accrual arithmetic
+    and RNG draw order the drivers used inline before the seam existed,
+    so synthetic output is pinned unchanged.  A recorded trace's
+    :class:`~repro.traces.replay.TraceWorkload` yields the same triple
+    shape, which is all it takes to replay captured traffic through the
+    same path.
+    """
+    budget = 0.0
+    for k in range(ticks + 1):
+        t_us = k * tick_us
+        budget += offered_qps * tick_us / 1e6
+        n = int(budget)
+        budget -= n
+        for _ in range(n):
+            yield (
+                t_us,
+                rng.uniform(0.0, extent_m),
+                rng.uniform(0.0, extent_m),
+            )
+
+
+class StormFeed:
+    """One-event-lookahead consumer of a ``(t_us, x, y)`` storm source.
+
+    :meth:`burst` drains every pending request stamped at or before the
+    tick fence, preserving source order — the burst shape the frontend
+    admits and coalesces.
+    """
+
+    def __init__(self, source: Iterable[tuple[float, float, float]]):
+        self._it = iter(source)
+        self._pending = next(self._it, None)
+
+    def burst(self, t_us: float) -> list[tuple[float, float]]:
+        """All queued ``(x, y)`` points due at or before ``t_us``."""
+        points: list[tuple[float, float]] = []
+        pending = self._pending
+        while pending is not None and pending[0] <= t_us:
+            points.append((pending[1], pending[2]))
+            pending = next(self._it, None)
+        self._pending = pending
+        return points
 
 
 def simulate_querystorm(
@@ -82,6 +139,8 @@ def simulate_querystorm(
     policy: str = RejectPolicy.name,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
     engine: str = "scalar",
+    storm_source: Iterable[tuple[float, float, float]] | None = None,
+    recorder: Any = None,
 ) -> dict[str, Any]:
     """Run one querystorm session; returns a plain-data report.
 
@@ -115,6 +174,17 @@ def simulate_querystorm(
             :mod:`repro.wsdb.vector`).  Both produce bit-identical
             reports; "vector" is the one that scales to millions of
             clients.
+        storm_source: an explicit ``(t_us, x, y)`` workload stream in
+            place of the synthetic generator — typically a
+            :class:`~repro.traces.replay.TraceWorkload` replaying a
+            recorded storm.  ``offered_qps`` is then only echoed in the
+            report (pass the source run's value to make the reports
+            comparable key-for-key).
+        recorder: a :class:`~repro.traces.record.TraceRecorder` to
+            stream dense run events into (None: the zero-overhead null
+            recorder).  Recording observes only — reports are
+            bit-identical with and without it.  The caller closes the
+            recorder.
     """
     if num_clients < 0:
         raise SimulationError(
@@ -160,8 +230,13 @@ def simulate_querystorm(
             burst_size=burst_size,
             policy=policy,
             interference_radius_m=interference_radius_m,
+            storm_source=storm_source,
+            recorder=recorder,
         )
 
+    if recorder is None:
+        recorder = NULL_RECORDER
+    recording = recorder.enabled
     registry = PushRegistry(router.cache_resolution_m) if push else None
     frontend = BatchFrontend(
         router,
@@ -185,7 +260,6 @@ def simulate_querystorm(
         router.metro.num_channels,
         stream_seed(seed, "querystorm-mics"),
     )
-    storm_rng = random.Random(stream_seed(seed, "querystorm-load"))
     next_event = 0
     displaced = backup_recoveries = full_reassignments = outages = 0
 
@@ -199,10 +273,33 @@ def simulate_querystorm(
     push_refreshes = 0
     storm_queries = 0
 
-    def register_event(event: MicEvent) -> tuple[int, ...]:
+    def register_event(event: MicEvent, index: int) -> tuple[int, ...]:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
         notified = frontend.register_mic(registration)
+        if recording:
+            mic_cell = quantize_cell(
+                event.x_m, event.y_m, router.cache_resolution_m
+            )
+            recorder.emit(
+                "mic",
+                event.t_us,
+                subject=index,
+                cell=mic_cell,
+                channels=(event.uhf_index,),
+                x=event.x_m,
+                y=event.y_m,
+                aux=event.uhf_index,
+            )
+            for device in notified:
+                recorder.emit(
+                    "push",
+                    event.t_us,
+                    subject=device,
+                    cell=mic_cell,
+                    channels=(event.uhf_index,),
+                    aux=index,
+                )
         d, b, r, o = displace_covered_aps(
             router, aps, event, registration, interference_radius_m
         )
@@ -216,7 +313,17 @@ def simulate_querystorm(
 
     step_m = speed_mps * tick_us / 1e6
     ticks = int(duration_us // tick_us)
-    storm_budget = 0.0
+    if storm_source is None:
+        storm_source = synthetic_storm(
+            offered_qps,
+            tick_us,
+            ticks,
+            extent_m,
+            random.Random(stream_seed(seed, "querystorm-load")),
+        )
+    feed = StormFeed(storm_source)
+    storm_seq = 0
+    viol_open = [False] * num_clients
     # Undelivered push notifications: a notified client leaves this set
     # only once its refresh query is actually admitted, so admission
     # control can delay — but never silently drop — a notification.
@@ -229,7 +336,7 @@ def simulate_querystorm(
         # clients in the zone are notified for same-tick refresh.
         fired = False
         while next_event < len(events) and events[next_event].t_us <= t_us:
-            pushed.update(register_event(events[next_event]))
+            pushed.update(register_event(events[next_event], next_event))
             next_event += 1
             fired = True
         if fired:
@@ -238,21 +345,25 @@ def simulate_querystorm(
         # The storm burst goes first: background load contends for
         # admission tokens ahead of the clients' re-checks, which is
         # the starvation scenario shed policies exist for.
-        storm_budget += offered_qps * tick_us / 1e6
-        n_storm = int(storm_budget)
-        storm_budget -= n_storm
-        if n_storm:
-            storm_queries += n_storm
-            frontend.query_batch(
-                [
-                    (
-                        storm_rng.uniform(0.0, extent_m),
-                        storm_rng.uniform(0.0, extent_m),
+        points = feed.burst(t_us)
+        if points:
+            storm_queries += len(points)
+            responses = frontend.query_batch(points, t_us)
+            if recording:
+                for (x_m, y_m), response, (qcell, admitted) in zip(
+                    points, responses, frontend.last_plan
+                ):
+                    recorder.emit(
+                        "query",
+                        t_us,
+                        subject=storm_seq,
+                        cell=qcell,
+                        channels=response,
+                        x=x_m,
+                        y=y_m,
+                        aux=int(admitted),
                     )
-                    for _ in range(n_storm)
-                ],
-                t_us,
-            )
+                    storm_seq += 1
 
         for client in clients:
             if k > 0:
@@ -274,6 +385,18 @@ def simulate_querystorm(
                 or was_pushed
             ):
                 response = frontend.query(client.x_m, client.y_m, t_us)
+                if recording:
+                    qcell, admitted = frontend.last_plan[0]
+                    recorder.emit(
+                        "recheck",
+                        t_us,
+                        subject=client.client_id,
+                        cell=qcell,
+                        channels=response,
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=int(admitted),
+                    )
                 if response is None:
                     # Shed without a stale fallback: keep the old
                     # response and retry next tick (the deferral the
@@ -299,26 +422,92 @@ def simulate_querystorm(
             )
             if client.ap is None:
                 disconnected_ticks += 1
+                if recording and viol_open[client.client_id]:
+                    recorder.emit(
+                        "violation_close",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=0,
+                    )
+                    viol_open[client.client_id] = False
                 continue
             if prev is not None and client.ap.ap_id != prev.ap_id:
                 handoffs[client.client_id] += 1
+                if recording:
+                    recorder.emit(
+                        "handoff",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        channels=tuple(
+                            sorted(client.ap.channel.spanned_indices)
+                        ),
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=client.ap.ap_id,
+                    )
             connected[client.client_id] += 1
             # Ground-truth compliance (reference linear scan off the
             # base metro — never a shard query, so measuring does not
             # perturb cluster stats).
-            if in_violation(
+            violating = in_violation(
                 router.metro,
                 client.x_m,
                 client.y_m,
                 t_us,
                 client.ap.channel.spanned_indices,
-            ):
+            )
+            if violating:
                 violations[client.client_id] += 1
+            if recording:
+                if violating and not viol_open[client.client_id]:
+                    recorder.emit(
+                        "violation_open",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        channels=tuple(
+                            sorted(client.ap.channel.spanned_indices)
+                        ),
+                        x=client.x_m,
+                        y=client.y_m,
+                    )
+                    viol_open[client.client_id] = True
+                elif not violating and viol_open[client.client_id]:
+                    recorder.emit(
+                        "violation_close",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=0,
+                    )
+                    viol_open[client.client_id] = False
+
+    if recording:
+        # Still-open violation windows close at the end of the run,
+        # marked aux=1 so analyses can tell truncation from recovery.
+        end_us = ticks * tick_us
+        for client in clients:
+            if viol_open[client.client_id]:
+                recorder.emit(
+                    "violation_close",
+                    end_us,
+                    subject=client.client_id,
+                    cell=quantize_cell(client.x_m, client.y_m, recheck_m),
+                    x=client.x_m,
+                    y=client.y_m,
+                    aux=1,
+                )
 
     # Events past the last evaluated tick register anyway, mirroring
     # the citywide/roaming process-every-event semantics.
     while next_event < len(events):
-        register_event(events[next_event])
+        register_event(events[next_event], next_event)
         next_event += 1
 
     connected_ticks = sum(connected)

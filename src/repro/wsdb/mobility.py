@@ -45,6 +45,7 @@ from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.rng import stream_seed
+from repro.traces.record import NULL_RECORDER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
     CityAp,
@@ -232,6 +233,7 @@ def simulate_roaming(
     tick_us: float = DEFAULT_TICK_US,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
     engine: str = "scalar",
+    recorder: Any = None,
 ) -> dict[str, Any]:
     """Run one roaming session; returns a plain-data report.
 
@@ -258,6 +260,11 @@ def simulate_roaming(
             :mod:`repro.wsdb.vector`).  Both produce bit-identical
             reports; "vector" is the one that scales to millions of
             clients.
+        recorder: a :class:`~repro.traces.record.TraceRecorder` to
+            stream dense run events into (None: the zero-overhead null
+            recorder).  Recording observes only — reports are
+            bit-identical with and without it.  The caller closes the
+            recorder.
     """
     if num_clients < 1:
         raise SimulationError(
@@ -294,8 +301,12 @@ def simulate_roaming(
             mic_events=mic_events,
             tick_us=tick_us,
             interference_radius_m=interference_radius_m,
+            recorder=recorder,
         )
 
+    if recorder is None:
+        recorder = NULL_RECORDER
+    recording = recorder.enabled
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
     clients = spawn_clients(num_clients, seed, "roaming-client", extent_m)
@@ -317,10 +328,23 @@ def simulate_roaming(
     violations = [0] * num_clients
     disconnected_ticks = 0
 
-    def register_event(event: MicEvent) -> None:
+    def register_event(event: MicEvent, index: int) -> None:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
         db.register_mic(registration)
+        if recording:
+            recorder.emit(
+                "mic",
+                event.t_us,
+                subject=index,
+                cell=quantize_cell(
+                    event.x_m, event.y_m, db.cache_resolution_m
+                ),
+                channels=(event.uhf_index,),
+                x=event.x_m,
+                y=event.y_m,
+                aux=event.uhf_index,
+            )
         d, b, r, o = displace_covered_aps(
             db, aps, event, registration, interference_radius_m
         )
@@ -333,6 +357,7 @@ def simulate_roaming(
 
     step_m = speed_mps * tick_us / 1e6
     ticks = int(duration_us // tick_us)
+    viol_open = [False] * num_clients
     for k in range(ticks + 1):
         t_us = k * tick_us
         # Registrations whose session starts by this tick go live:
@@ -340,7 +365,7 @@ def simulate_roaming(
         # APs walk their backups, exactly as in the citywide driver.
         fired = False
         while next_event < len(events) and events[next_event].t_us <= t_us:
-            register_event(events[next_event])
+            register_event(events[next_event], next_event)
             next_event += 1
             fired = True
         if fired:
@@ -355,12 +380,24 @@ def simulate_roaming(
             cell = quantize_cell(client.x_m, client.y_m, recheck_m)
             bucket = ttl_bucket(t_us, db.ttl_us)
             if cell != client.last_cell or bucket != client.last_bucket:
-                client.known_free = frozenset(
-                    db.channels_at(client.x_m, client.y_m, t_us)
-                )
+                response = db.channels_at(client.x_m, client.y_m, t_us)
+                client.known_free = frozenset(response)
                 client.last_cell = cell
                 client.last_bucket = bucket
                 requeries[client.client_id] += 1
+                if recording:
+                    recorder.emit(
+                        "recheck",
+                        t_us,
+                        subject=client.client_id,
+                        cell=quantize_cell(
+                            client.x_m, client.y_m, db.cache_resolution_m
+                        ),
+                        channels=response,
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=1,
+                    )
 
             # Association: nearest assigned AP whose channel the
             # client's response permits here.  A previously-associated
@@ -377,27 +414,93 @@ def simulate_roaming(
             )
             if client.ap is None:
                 disconnected_ticks += 1
+                if recording and viol_open[client.client_id]:
+                    recorder.emit(
+                        "violation_close",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=0,
+                    )
+                    viol_open[client.client_id] = False
                 continue
             if prev is not None and client.ap.ap_id != prev.ap_id:
                 handoffs[client.client_id] += 1
+                if recording:
+                    recorder.emit(
+                        "handoff",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        channels=tuple(
+                            sorted(client.ap.channel.spanned_indices)
+                        ),
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=client.ap.ap_id,
+                    )
             connected[client.client_id] += 1
             # A violation means the client transmitted on a protected
             # channel between re-checks.
-            if in_violation(
+            violating = in_violation(
                 db.metro,
                 client.x_m,
                 client.y_m,
                 t_us,
                 client.ap.channel.spanned_indices,
-            ):
+            )
+            if violating:
                 violations[client.client_id] += 1
+            if recording:
+                if violating and not viol_open[client.client_id]:
+                    recorder.emit(
+                        "violation_open",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        channels=tuple(
+                            sorted(client.ap.channel.spanned_indices)
+                        ),
+                        x=client.x_m,
+                        y=client.y_m,
+                    )
+                    viol_open[client.client_id] = True
+                elif not violating and viol_open[client.client_id]:
+                    recorder.emit(
+                        "violation_close",
+                        t_us,
+                        subject=client.client_id,
+                        cell=cell,
+                        x=client.x_m,
+                        y=client.y_m,
+                        aux=0,
+                    )
+                    viol_open[client.client_id] = False
+
+    if recording:
+        # Still-open violation windows close at the end of the run,
+        # marked aux=1 so analyses can tell truncation from recovery.
+        end_us = ticks * tick_us
+        for client in clients:
+            if viol_open[client.client_id]:
+                recorder.emit(
+                    "violation_close",
+                    end_us,
+                    subject=client.client_id,
+                    cell=quantize_cell(client.x_m, client.y_m, recheck_m),
+                    x=client.x_m,
+                    y=client.y_m,
+                    aux=1,
+                )
 
     # When duration_us is not a tick multiple, events can start after
     # the last evaluated tick; register them anyway so the database,
     # the displacement accounting, and the reported event count agree
     # with simulate_citywide's process-every-event semantics.
     while next_event < len(events):
-        register_event(events[next_event])
+        register_event(events[next_event], next_event)
         next_event += 1
 
     connected_ticks = sum(connected)

@@ -70,7 +70,8 @@ from repro.wsdb.mobility import (
     advance_position,
     spawn_clients,
 )
-from repro.wsdb.service import WhiteSpaceDatabase, ttl_bucket
+from repro.traces.record import NULL_RECORDER
+from repro.wsdb.service import WhiteSpaceDatabase, quantize_cell, ttl_bucket
 
 __all__ = [
     "VectorFleet",
@@ -263,7 +264,9 @@ class VectorFleet:
         self.last_bucket[idx] = bucket
         self.requeries[idx] += 1
 
-    def associate_and_score(self, metro, t_us: float) -> None:
+    def associate_and_score(
+        self, metro, t_us: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """One tick of vacation, association, handoff, and compliance.
 
         Mirrors the scalar loop's per-client sequence exactly: vacate
@@ -271,6 +274,10 @@ class VectorFleet:
         with the nearest eligible AP (running min over ascending
         ``ap_id`` columns with strict ``<`` — the scalar tie-break),
         count handoffs/connected ticks, then score ground truth.
+
+        Returns the tick's outcome arrays ``(connected, new_ap,
+        best_col, handoff_mask, violating)`` — cheap references the
+        trace-recording hooks read; counters are already applied.
         """
         n_live = len(self._live_spans)
         m = self.n
@@ -307,7 +314,8 @@ class VectorFleet:
         else:
             new_ap = np.full(m, -1, dtype=np.int64)
         self.disconnected_ticks += int(np.count_nonzero(~connected))
-        self.handoffs[(prev >= 0) & connected & (new_ap != prev)] += 1
+        handoff_mask = (prev >= 0) & connected & (new_ap != prev)
+        self.handoffs[handoff_mask] += 1
         self.connected[connected] += 1
         self.prev_ap = new_ap
 
@@ -330,6 +338,98 @@ class VectorFleet:
             covered = cdx * cdx + cdy * cdy <= radius * radius
             violating[cand[covered]] = True
         self.violations[violating] += 1
+        return connected, new_ap, best_col, handoff_mask, violating
+
+
+def _record_mic_event(recorder, event, index: int, resolution_m: float):
+    """The mic emission shared with the scalar drivers (same stamps)."""
+    mic_cell = quantize_cell(event.x_m, event.y_m, resolution_m)
+    recorder.emit(
+        "mic",
+        event.t_us,
+        subject=index,
+        cell=mic_cell,
+        channels=(event.uhf_index,),
+        x=event.x_m,
+        y=event.y_m,
+        aux=event.uhf_index,
+    )
+    return mic_cell
+
+
+def _record_association_tick(
+    recorder,
+    fleet: VectorFleet,
+    tick,
+    trig_x: np.ndarray,
+    trig_y: np.ndarray,
+    t_us: float,
+    viol_open: np.ndarray,
+) -> None:
+    """Emit handoff and violation-window events for one fleet tick.
+
+    The stamps (trigger cell, exact position, sorted AP spans) match
+    the scalar loop's emissions value-for-value, so both engines'
+    sorted streams are identical.
+    """
+    _connected, new_ap, best_col, handoff_mask, violating = tick
+    x, y = fleet.x, fleet.y
+    for i in np.flatnonzero(handoff_mask).tolist():
+        recorder.emit(
+            "handoff",
+            t_us,
+            subject=i,
+            cell=(int(trig_x[i]), int(trig_y[i])),
+            channels=tuple(sorted(fleet._live_spans[int(best_col[i])])),
+            x=float(x[i]),
+            y=float(y[i]),
+            aux=int(new_ap[i]),
+        )
+    opens = np.flatnonzero(violating & ~viol_open)
+    closes = np.flatnonzero(viol_open & ~violating)
+    for i in opens.tolist():
+        recorder.emit(
+            "violation_open",
+            t_us,
+            subject=i,
+            cell=(int(trig_x[i]), int(trig_y[i])),
+            channels=tuple(sorted(fleet._live_spans[int(best_col[i])])),
+            x=float(x[i]),
+            y=float(y[i]),
+        )
+    for i in closes.tolist():
+        recorder.emit(
+            "violation_close",
+            t_us,
+            subject=i,
+            cell=(int(trig_x[i]), int(trig_y[i])),
+            x=float(x[i]),
+            y=float(y[i]),
+            aux=0,
+        )
+    viol_open[opens] = True
+    viol_open[closes] = False
+
+
+def _record_end_closes(
+    recorder,
+    fleet: VectorFleet,
+    viol_open: np.ndarray,
+    end_us: float,
+    recheck_m: float,
+) -> None:
+    """Close still-open violation windows at end of run (aux=1)."""
+    trig_x, trig_y = fleet.cells(recheck_m)
+    for i in np.flatnonzero(viol_open).tolist():
+        recorder.emit(
+            "violation_close",
+            end_us,
+            subject=i,
+            cell=(int(trig_x[i]), int(trig_y[i])),
+            x=float(fleet.x[i]),
+            y=float(fleet.y[i]),
+            aux=1,
+        )
 
 
 def _fleet_report(
@@ -371,17 +471,24 @@ def simulate_roaming_vector(
     mic_events: int = 0,
     tick_us: float = DEFAULT_TICK_US,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+    recorder: Any = None,
 ) -> dict[str, Any]:
     """The columnar twin of :func:`~repro.wsdb.mobility.simulate_roaming`.
 
     Same world construction (shared ``boot_aps`` / ``spawn_clients`` /
     ``generate_mic_events`` off the same labelled streams), same tick
-    semantics, bit-identical report.  Reached via
+    semantics, bit-identical report — and, given a ``recorder``, the
+    identical trace event stream (the scalar loop interleaves its hooks
+    per client, this engine per stage; canonical trace ordering makes
+    the sorted streams equal).  Reached via
     ``simulate_roaming(..., engine="vector")``; calling it directly
     skips nothing but the argument validation.
     """
     if recheck_m is None:
         recheck_m = db.cache_resolution_m
+    if recorder is None:
+        recorder = NULL_RECORDER
+    recording = recorder.enabled
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
     fleet = VectorFleet(
@@ -398,10 +505,12 @@ def simulate_roaming_vector(
     next_event = 0
     displaced = backup_recoveries = full_reassignments = outages = 0
 
-    def register_event(event) -> None:
+    def register_event(event, index: int) -> None:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
         db.register_mic(registration)
+        if recording:
+            _record_mic_event(recorder, event, index, db.cache_resolution_m)
         d, b, r, o = displace_covered_aps(
             db, aps, event, registration, interference_radius_m
         )
@@ -416,11 +525,12 @@ def simulate_roaming_vector(
     aligned = recheck_m == db.cache_resolution_m
     step_m = speed_mps * tick_us / 1e6
     ticks = int(duration_us // tick_us)
+    viol_open = np.zeros(fleet.n, dtype=bool)
     for k in range(ticks + 1):
         t_us = k * tick_us
         fired = False
         while next_event < len(events) and events[next_event].t_us <= t_us:
-            register_event(events[next_event])
+            register_event(events[next_event], next_event)
             next_event += 1
             fired = True
         if fired:
@@ -445,11 +555,32 @@ def simulate_roaming_vector(
             cells = list(zip(qx[idx].tolist(), qy[idx].tolist()))
             responses = db.channels_in_cells(cells, t_us)
             fleet.commit_recheck(idx, trig_x, trig_y, bucket, responses)
+            if recording:
+                for j, i in enumerate(idx.tolist()):
+                    recorder.emit(
+                        "recheck",
+                        t_us,
+                        subject=i,
+                        cell=cells[j],
+                        channels=responses[j],
+                        x=float(fleet.x[i]),
+                        y=float(fleet.y[i]),
+                        aux=1,
+                    )
 
-        fleet.associate_and_score(db.metro, t_us)
+        tick = fleet.associate_and_score(db.metro, t_us)
+        if recording:
+            _record_association_tick(
+                recorder, fleet, tick, trig_x, trig_y, t_us, viol_open
+            )
+
+    if recording:
+        _record_end_closes(
+            recorder, fleet, viol_open, ticks * tick_us, recheck_m
+        )
 
     while next_event < len(events):
-        register_event(events[next_event])
+        register_event(events[next_event], next_event)
         next_event += 1
 
     tallies = _fleet_report(fleet, ticks, recheck_m)
@@ -502,6 +633,8 @@ def simulate_querystorm_vector(
     burst_size: float | None = None,
     policy: str = "reject",
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
+    storm_source: Any = None,
+    recorder: Any = None,
 ) -> dict[str, Any]:
     """The columnar twin of the cluster's ``simulate_querystorm``.
 
@@ -513,12 +646,21 @@ def simulate_querystorm_vector(
     (movers only: a same-cell re-subscribe is a stats-free no-op, so
     skipping it is unobservable).  Reached via
     ``simulate_querystorm(..., engine="vector")``.
+
+    ``storm_source`` and ``recorder`` behave exactly as on the scalar
+    driver: an explicit ``(t_us, x, y)`` workload replaces the
+    synthetic generator, and a recorder captures the identical event
+    stream the scalar engine would emit.
     """
     from repro.wsdb.cluster.frontend import BatchFrontend
     from repro.wsdb.cluster.push import PushRegistry
+    from repro.wsdb.cluster.querystorm import StormFeed, synthetic_storm
 
     if recheck_m is None:
         recheck_m = router.cache_resolution_m
+    if recorder is None:
+        recorder = NULL_RECORDER
+    recording = recorder.enabled
 
     registry = PushRegistry(router.cache_resolution_m) if push else None
     frontend = BatchFrontend(
@@ -545,17 +687,29 @@ def simulate_querystorm_vector(
         router.metro.num_channels,
         stream_seed(seed, "querystorm-mics"),
     )
-    storm_rng = random.Random(stream_seed(seed, "querystorm-load"))
     next_event = 0
     displaced = backup_recoveries = full_reassignments = outages = 0
     deferred_requeries = 0
     push_refreshes = 0
     storm_queries = 0
 
-    def register_event(event) -> tuple[int, ...]:
+    def register_event(event, index: int) -> tuple[int, ...]:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
         notified = frontend.register_mic(registration)
+        if recording:
+            mic_cell = _record_mic_event(
+                recorder, event, index, router.cache_resolution_m
+            )
+            for device in notified:
+                recorder.emit(
+                    "push",
+                    event.t_us,
+                    subject=device,
+                    cell=mic_cell,
+                    channels=(event.uhf_index,),
+                    aux=index,
+                )
         d, b, r, o = displace_covered_aps(
             router, aps, event, registration, interference_radius_m
         )
@@ -570,7 +724,17 @@ def simulate_querystorm_vector(
 
     step_m = speed_mps * tick_us / 1e6
     ticks = int(duration_us // tick_us)
-    storm_budget = 0.0
+    if storm_source is None:
+        storm_source = synthetic_storm(
+            offered_qps,
+            tick_us,
+            ticks,
+            extent_m,
+            random.Random(stream_seed(seed, "querystorm-load")),
+        )
+    feed = StormFeed(storm_source)
+    storm_seq = 0
+    viol_open = np.zeros(fleet.n, dtype=bool)
     # Undelivered push notifications (cleared only once the refresh
     # query is admitted) and the registry-subscription shadow cells
     # (movers-only subscribe needs to know who moved).
@@ -581,7 +745,7 @@ def simulate_querystorm_vector(
         t_us = k * tick_us
         fired = False
         while next_event < len(events) and events[next_event].t_us <= t_us:
-            notified = register_event(events[next_event])
+            notified = register_event(events[next_event], next_event)
             if notified:
                 pushed[list(notified)] = True
             next_event += 1
@@ -593,21 +757,25 @@ def simulate_querystorm_vector(
         # The storm burst goes first, exactly as in the scalar driver:
         # background load contends for admission tokens ahead of the
         # clients' re-checks.
-        storm_budget += offered_qps * tick_us / 1e6
-        n_storm = int(storm_budget)
-        storm_budget -= n_storm
-        if n_storm:
-            storm_queries += n_storm
-            frontend.query_batch(
-                [
-                    (
-                        storm_rng.uniform(0.0, extent_m),
-                        storm_rng.uniform(0.0, extent_m),
+        points = feed.burst(t_us)
+        if points:
+            storm_queries += len(points)
+            responses = frontend.query_batch(points, t_us)
+            if recording:
+                for (x_m, y_m), response, (qcell, admitted) in zip(
+                    points, responses, frontend.last_plan
+                ):
+                    recorder.emit(
+                        "query",
+                        t_us,
+                        subject=storm_seq,
+                        cell=qcell,
+                        channels=response,
+                        x=x_m,
+                        y=y_m,
+                        aux=int(admitted),
                     )
-                    for _ in range(n_storm)
-                ],
-                t_us,
-            )
+                    storm_seq += 1
 
         if k > 0:
             fleet.advance(step_m)
@@ -634,6 +802,18 @@ def simulate_querystorm_vector(
         x, y = fleet.x, fleet.y
         for i in np.flatnonzero(need).tolist():
             response = frontend.query(float(x[i]), float(y[i]), t_us)
+            if recording:
+                qcell, admitted = frontend.last_plan[0]
+                recorder.emit(
+                    "recheck",
+                    t_us,
+                    subject=i,
+                    cell=qcell,
+                    channels=response,
+                    x=float(x[i]),
+                    y=float(y[i]),
+                    aux=int(admitted),
+                )
             if response is None:
                 # Shed without a stale fallback: keep the old response
                 # and retry next tick.
@@ -648,10 +828,19 @@ def simulate_querystorm_vector(
                     push_refreshes += 1
                     pushed[i] = False
 
-        fleet.associate_and_score(router.metro, t_us)
+        tick = fleet.associate_and_score(router.metro, t_us)
+        if recording:
+            _record_association_tick(
+                recorder, fleet, tick, trig_x, trig_y, t_us, viol_open
+            )
+
+    if recording:
+        _record_end_closes(
+            recorder, fleet, viol_open, ticks * tick_us, recheck_m
+        )
 
     while next_event < len(events):
-        register_event(events[next_event])
+        register_event(events[next_event], next_event)
         next_event += 1
 
     tallies = _fleet_report(fleet, ticks, recheck_m)

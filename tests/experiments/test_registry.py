@@ -21,6 +21,7 @@ BUILTIN_KINDS = (
     "opt",
     "protocol",
     "querystorm",
+    "replay",
     "roaming",
     "sift",
     "static",

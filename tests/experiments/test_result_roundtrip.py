@@ -1,0 +1,60 @@
+"""JSON archival round-trip for deeply nested per-kind metrics.
+
+The querystorm probe publishes the deepest metrics payload in the
+repo — per-shard WSDB stat dicts, per-client accounting tuples, and
+final cell coordinates — so it is the stress case for
+``ExperimentResult.to_json`` / ``from_json`` fidelity."""
+
+from repro.experiments import run_experiment
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec, ScenarioSpec
+
+FREE = tuple(range(4, 18))
+
+
+def storm_result() -> ExperimentResult:
+    spec = ExperimentSpec(
+        scenario=ScenarioSpec(free_indices=FREE, duration_us=30e6, seed=5),
+        kind="querystorm",
+        citywide_aps=6,
+        roaming_clients=6,
+        citywide_mic_events=3,
+        storm_shards=4,
+        storm_offered_qps=50.0,
+        storm_push=True,
+    )
+    return run_experiment(spec)
+
+
+class TestNestedMetricsRoundTrip:
+    def test_querystorm_result_survives_json(self):
+        result = storm_result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+
+    def test_nested_payloads_restored_value_for_value(self):
+        result = storm_result()
+        restored = ExperimentResult.from_json(result.to_json())
+
+        # Per-shard WSDB stats: dicts of mixed int/float values,
+        # canonicalized by the result's freeze into sorted (key, value)
+        # pairs (hit_rate is a float ratio).
+        shards = restored.metric("per_shard")
+        assert shards == result.metric("per_shard")
+        assert len(shards) == 4
+        for frozen in shards:
+            stats = dict(frozen)
+            assert stats["queries"] == int(stats["queries"])
+            assert isinstance(stats["hit_rate"], float)
+
+        # Per-client accounting rows and final cell coordinates: nested
+        # integer tuples.
+        assert restored.metric("per_client") == result.metric("per_client")
+        assert restored.metric("final_cells") == result.metric("final_cells")
+
+    def test_double_roundtrip_is_stable(self):
+        result = storm_result()
+        once = ExperimentResult.from_json(result.to_json())
+        twice = ExperimentResult.from_json(once.to_json())
+        assert twice == once
+        assert twice.to_json() == once.to_json()

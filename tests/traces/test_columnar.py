@@ -1,0 +1,106 @@
+"""Tests for the columnar (.npz) trace export and its losslessness."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import SimulationError  # noqa: E402
+from repro.traces.columnar import (  # noqa: E402
+    columnar_stats,
+    from_columnar,
+    read_columnar,
+    to_columnar,
+)
+from repro.traces.record import (  # noqa: E402
+    EVENT_KINDS,
+    TraceEvent,
+    read_trace,
+    write_trace,
+)
+
+
+def varied_events() -> list[TraceEvent]:
+    """Exercises every mask combination, including the empty channel set."""
+    events = [
+        TraceEvent(t_us=0.0, kind="mic", subject=0, cell=(2, 3),
+                   channels=(14,), aux=14),
+        TraceEvent(t_us=0.0, kind="push", subject=9, cell=(2, 3), aux=0),
+        TraceEvent(t_us=1e6, kind="query", subject=0, cell=(4, 4),
+                   channels=(), x=101.25, y=9.875, aux=0),
+        TraceEvent(t_us=1e6, kind="query", subject=1, cell=(4, 5),
+                   channels=(7, 8, 9), x=0.1, y=2500.0, aux=1),
+        TraceEvent(t_us=1e6, kind="recheck", subject=3, cell=(4, 4),
+                   channels=None, aux=0),
+        TraceEvent(t_us=2e6, kind="handoff", subject=3, cell=(1, 1),
+                   channels=(5,), aux=2),
+        TraceEvent(t_us=2e6, kind="violation_open", subject=3,
+                   channels=(5,)),
+        TraceEvent(t_us=3e6, kind="violation_close", subject=3, aux=1),
+    ]
+    return sorted(events, key=TraceEvent.sort_key)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "source.jsonl.gz"
+    write_trace(path, varied_events(), meta={"label": "columnar-unit"})
+    return path
+
+
+class TestRoundTrip:
+    def test_events_and_header_survive(self, trace_path, tmp_path):
+        npz = tmp_path / "trace.npz"
+        to_columnar(trace_path, npz)
+        header, events = read_columnar(npz)
+        source_header, source_events = read_trace(trace_path)
+        assert header == source_header
+        assert events == source_events
+
+    def test_regenerated_jsonl_is_byte_identical(self, trace_path, tmp_path):
+        npz = tmp_path / "trace.npz"
+        restored = tmp_path / "restored.jsonl.gz"
+        to_columnar(trace_path, npz)
+        from_columnar(npz, restored)
+        assert restored.read_bytes() == trace_path.read_bytes()
+
+    def test_empty_channel_set_distinct_from_none(self, trace_path, tmp_path):
+        npz = tmp_path / "trace.npz"
+        to_columnar(trace_path, npz)
+        _, events = read_columnar(npz)
+        by_key = {(e.kind, e.subject): e for e in events}
+        assert by_key[("query", 0)].channels == ()  # shed, no stale copy
+        assert by_key[("recheck", 3)].channels is None  # deferred
+        assert by_key[("query", 1)].channels == (7, 8, 9)
+
+    def test_exact_float_coordinates(self, trace_path, tmp_path):
+        npz = tmp_path / "trace.npz"
+        to_columnar(trace_path, npz)
+        _, events = read_columnar(npz)
+        queries = [e for e in events if e.kind == "query"]
+        assert [(e.x, e.y) for e in queries] == [(101.25, 9.875), (0.1, 2500.0)]
+
+
+class TestStats:
+    def test_returned_and_stored_stats_match(self, trace_path, tmp_path):
+        npz = tmp_path / "trace.npz"
+        returned = to_columnar(trace_path, npz)
+        assert columnar_stats(npz) == returned
+
+    def test_stats_cover_present_entries_only(self, trace_path, tmp_path):
+        npz = tmp_path / "trace.npz"
+        stats = to_columnar(trace_path, npz)
+        events = varied_events()
+        assert stats["t_us"] == {"min": 0.0, "max": 3e6, "count": len(events)}
+        assert stats["kind"]["max"] <= len(EVENT_KINDS) - 1
+        # Only the two query events carry coordinates.
+        assert stats["x"] == {"min": 0.1, "max": 101.25, "count": 2}
+        assert stats["y"] == {"min": 9.875, "max": 2500.0, "count": 2}
+        # aux stats skip the aux-less violation_open event.
+        aux_present = [e for e in events if e.aux is not None]
+        assert stats["aux"]["count"] == len(aux_present)
+
+    def test_missing_archive_raises(self, tmp_path):
+        with pytest.raises(SimulationError, match="no columnar trace"):
+            read_columnar(tmp_path / "absent.npz")
+        with pytest.raises(SimulationError, match="no columnar trace"):
+            columnar_stats(tmp_path / "absent.npz")
