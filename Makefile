@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: check test fast bench bench-smoke bench-trend trace-diff lint
+.PHONY: check test fast bench bench-smoke bench-trend trace-diff profile lint
 
 ## The tier-1 gate: full unit suite + lint.
 check: test lint
@@ -38,6 +38,18 @@ bench-smoke:
 	$(PYTEST) -q benchmarks/bench_citywide_wsdb.py \
 	    benchmarks/bench_roaming_wsdb.py benchmarks/bench_wsdb_cluster.py \
 	    benchmarks/bench_scale.py benchmarks/bench_trace_replay.py
+	PYTHONPATH=$(PYTHONPATH) python scripts/profile_run.py \
+	    --kind querystorm --clients 300 --duration-us 20e6 \
+	    --out benchmarks/results/telemetry-smoke
+	python scripts/metrics_report.py \
+	    benchmarks/results/telemetry-smoke.metrics.json
+
+## Profile a 10k-client vector roaming run: per-phase wall-clock
+## breakdown plus the sim-clock metrics snapshot (JSON + Prometheus),
+## written under benchmarks/results/profile.*.
+profile:
+	PYTHONPATH=$(PYTHONPATH) python scripts/profile_run.py \
+	    --kind roaming --clients 10000 --out benchmarks/results/profile
 
 ## Compare the last two comparable BENCH_scale.json entries; fails on a
 ## >20% clients/sec regression (no-op with nothing to compare).

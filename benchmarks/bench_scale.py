@@ -37,12 +37,14 @@ import datetime
 import json
 import os
 import pathlib
+import platform
 import resource
 import time
 
 import pytest
 
 import repro
+from repro.telemetry import PhaseProfiler
 from repro.wsdb.mobility import simulate_roaming
 from repro.wsdb.model import generate_metro
 from repro.wsdb.service import WhiteSpaceDatabase
@@ -53,6 +55,13 @@ pytest.importorskip("numpy")
 
 SMOKE = smoke_mode()
 BENCH_LOG = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+# Smoke runs write under their own stem so they never clobber the
+# checked-in paper-scale profile (same convention as record_table).
+PROFILE_PATH = (
+    pathlib.Path(__file__).parent
+    / "results"
+    / f"bench_scale-profile{'-smoke' if SMOKE else ''}.json"
+)
 BUDGET_ENV = "WHITEFI_BENCH_SCALE_BUDGET_S"
 
 SEED = 2009
@@ -76,9 +85,17 @@ def scale_budget_s() -> float:
 
 
 def timed_run(engine: str, num_clients: int) -> tuple[dict, dict]:
-    """One roaming run on a fresh database; returns (report, measurement)."""
+    """One roaming run on a fresh database; returns (report, measurement).
+
+    Vector runs carry a wall-clock :class:`PhaseProfiler`, so every
+    measurement row states where its time went (``phases``: advance /
+    recheck-detect / batch-lookup / associate / compliance seconds).
+    Profiling never touches the report — the scalar-vs-vector equality
+    assertion below runs against profiled vector output.
+    """
     metro = generate_metro(FREE_INDICES, seed=SEED, extent_m=EXTENT_M)
     db = WhiteSpaceDatabase(metro)
+    profiler = PhaseProfiler() if engine == "vector" else None
     t0 = time.perf_counter()
     report = simulate_roaming(
         db,
@@ -88,6 +105,7 @@ def timed_run(engine: str, num_clients: int) -> tuple[dict, dict]:
         seed=SEED,
         mic_events=MIC_EVENTS,
         engine=engine,
+        profiler=profiler,
     )
     wall_s = time.perf_counter() - t0
     ticks = int(DURATION_US // report["tick_us"]) + 1
@@ -105,6 +123,8 @@ def timed_run(engine: str, num_clients: int) -> tuple[dict, dict]:
         # so far, not to each run independently.
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
     }
+    if profiler is not None:
+        measurement["phases"] = profiler.seconds()
     return report, measurement
 
 
@@ -183,6 +203,9 @@ def test_scale_trajectory(record_table):
             timespec="seconds"
         ),
         "version": repro.__version__,
+        # Wall-clock throughput is only comparable on the same machine;
+        # bench_trend never judges entries from different hosts.
+        "host": platform.node() or "unknown",
         "smoke": SMOKE,
         "duration_us": DURATION_US,
         "runs": runs,
@@ -191,6 +214,28 @@ def test_scale_trajectory(record_table):
         "headline_clients_per_sec": headline["clients_per_sec"],
     }
     append_log_entry(entry)
+
+    # The standalone profile artifact: per-phase seconds for every
+    # vector run, keyed by fleet size (CI uploads this next to the
+    # bench table).
+    PROFILE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    PROFILE_PATH.write_text(
+        json.dumps(
+            {
+                "created": entry["created"],
+                "version": repro.__version__,
+                "smoke": SMOKE,
+                "profiles": {
+                    str(r["clients"]): r["phases"]
+                    for r in runs
+                    if r.get("engine") == "vector" and "phases" in r
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
     lines = [
         f"{'engine':>8} {'clients':>9} {'wall_s':>8} "

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Summarize a telemetry metrics snapshot on the terminal.
+
+Reads either artifact shape the telemetry layer produces:
+
+* a **snapshot JSON** (``repro.telemetry.export.write_metrics`` /
+  ``snapshot_to_json`` output: top-level ``counters`` / ``gauges`` /
+  ``histograms`` / ``series``);
+* an **ExperimentResult JSON** (``ExperimentResult.to_json`` archive
+  record from a ``telemetry="on"`` run — the snapshot is lifted out of
+  the ``metrics`` payload's ``telemetry`` key, pair-list encoding and
+  all).
+
+and prints counters, gauges, per-histogram p50/p99/p999 with mean, and
+a per-column summary of the per-tick time series.  Exit status 0 on a
+well-formed snapshot, 1 on malformed input — the contract the
+``make bench-smoke`` telemetry step relies on.
+
+Usage::
+
+    python scripts/metrics_report.py path/to/snapshot.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.telemetry import histogram_quantile  # noqa: E402
+
+SECTIONS = ("counters", "gauges", "histograms", "series")
+
+
+def _as_dict(value):
+    """Undo the result archive's pair-list encoding, recursively.
+
+    ``ExperimentResult`` canonicalizes nested mappings into sorted
+    ``[key, value]`` pair lists; a raw snapshot JSON keeps plain
+    objects.  Both normalize to dicts here.
+    """
+    if isinstance(value, dict):
+        return {k: _as_dict(v) for k, v in value.items()}
+    if (
+        isinstance(value, list)
+        and value
+        and all(
+            isinstance(p, (list, tuple))
+            and len(p) == 2
+            and isinstance(p[0], str)
+            for p in value
+        )
+    ):
+        return {k: _as_dict(v) for k, v in value}
+    return value
+
+
+def load_snapshot(path: pathlib.Path) -> dict:
+    """The snapshot dict from either supported artifact shape."""
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and "metrics" in data:
+        metrics = _as_dict(data["metrics"])
+        if not isinstance(metrics, dict) or "telemetry" not in metrics:
+            raise ValueError(
+                "result record has no telemetry payload "
+                '(was the run made with telemetry="on"?)'
+            )
+        data = metrics["telemetry"]
+    snapshot = _as_dict(data)
+    if not isinstance(snapshot, dict) or not set(snapshot) <= set(SECTIONS):
+        raise ValueError(
+            f"not a metrics snapshot: expected sections from {SECTIONS}"
+        )
+    return {section: snapshot.get(section, {}) for section in SECTIONS}
+
+
+def report_lines(snapshot: dict) -> list[str]:
+    lines: list[str] = []
+    if snapshot["counters"]:
+        lines.append("counters:")
+        for key, value in sorted(snapshot["counters"].items()):
+            lines.append(f"  {key:<44} {value}")
+    if snapshot["gauges"]:
+        lines.append("gauges:")
+        for key, value in sorted(snapshot["gauges"].items()):
+            lines.append(f"  {key:<44} {value:g}")
+    if snapshot["histograms"]:
+        lines.append("histograms:")
+        for key, hist in sorted(snapshot["histograms"].items()):
+            count = hist["count"]
+            mean = hist["sum"] / count if count else 0.0
+            p50 = histogram_quantile(hist, 0.5)
+            p99 = histogram_quantile(hist, 0.99)
+            p999 = histogram_quantile(hist, 0.999)
+            lines.append(
+                f"  {key:<44} count={count} mean={mean:g} "
+                f"p50<={p50:g} p99<={p99:g} p999<={p999:g}"
+            )
+    series = snapshot["series"]
+    if series:
+        ticks = len(next(iter(series.values())))
+        lines.append(f"series ({ticks} ticks):")
+        for col, values in sorted(series.items()):
+            if col == "t_us":
+                continue
+            lines.append(
+                f"  {col:<44} last={values[-1]:g} "
+                f"max={max(values):g} total-span="
+                f"{values[-1] - values[0]:g}"
+            )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {pathlib.Path(argv[0]).name} path/to/snapshot.json")
+        return 0 if len(argv) == 2 else 1
+    path = pathlib.Path(argv[1])
+    try:
+        snapshot = load_snapshot(path)
+        lines = report_lines(snapshot)
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"metrics-report: {path}: {err}")
+        return 1
+    print(f"metrics-report: {path}")
+    for line in lines:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

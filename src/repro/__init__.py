@@ -39,7 +39,11 @@ from repro.errors import (
 # columnar export, storm replay), the `storm_trace` spec knob, and the
 # `replay` run kind.  The ResultCache is versioned by this string, so
 # older cache entries are never served to the new kind set.
-__version__ = "1.6.0"
+# 1.7.0: repro.telemetry (sim-clock metrics registry, wall-clock phase
+# profiler, deterministic exporters) and the `telemetry` spec knob —
+# every spec hash changes, so the version bump retires caches that
+# predate the knob.
+__version__ = "1.7.0"
 
 __all__ = [
     "constants",

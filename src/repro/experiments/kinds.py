@@ -168,6 +168,7 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
         "storm_shed_policy": ("querystorm", "replay"),
         "engine": ("roaming", "querystorm", "replay"),
         "storm_trace": ("querystorm", "replay"),
+        "telemetry": ("citywide", "roaming", "querystorm", "replay"),
     }
     for knob, owner_kinds in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
@@ -233,6 +234,30 @@ def _validate_engine(spec: ExperimentSpec) -> None:
         raise SimulationError(
             f"unknown engine {spec.engine!r}; expected one of {ENGINES}"
         )
+
+
+def _validate_telemetry(spec: ExperimentSpec) -> None:
+    """Validate the telemetry knob every wsdb kind shares."""
+    from repro.telemetry import TELEMETRY_MODES
+
+    if spec.telemetry is not None and spec.telemetry not in TELEMETRY_MODES:
+        raise SimulationError(
+            f"unknown telemetry mode {spec.telemetry!r}; "
+            f"expected one of {TELEMETRY_MODES}"
+        )
+
+
+def _telemetry_session(spec: ExperimentSpec):
+    """A fresh sim-clock registry when the spec asks for one, else None.
+
+    None keeps the driver's pre-telemetry path byte-identical — the
+    ``telemetry="off"`` parity contract.
+    """
+    if spec.telemetry != "on":
+        return None
+    from repro.telemetry import MetricsRegistry
+
+    return MetricsRegistry()
 
 
 def _roaming_kwargs(spec: ExperimentSpec) -> dict[str, float]:
@@ -526,11 +551,16 @@ class CitywideKind(RunKind):
 
     def validate_spec(self, spec: ExperimentSpec) -> None:
         _validate_citywide_deployment(spec)
+        _validate_telemetry(spec)
         _reject_wsdb_world_features(
             spec, "models AP load analytically via MCham, not packet flows"
         )
         _reject_foreign_knobs(
-            spec, "citywide_aps", "citywide_extent_km", "citywide_mic_events"
+            spec,
+            "citywide_aps",
+            "citywide_extent_km",
+            "citywide_mic_events",
+            "telemetry",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -545,6 +575,7 @@ class CitywideKind(RunKind):
             duration_us=spec.scenario.duration_us,
             seed=spec.scenario.seed,
             mic_events=spec.citywide_mic_events or 0,
+            telemetry=_telemetry_session(spec),
         )
         return {"spec": spec, "city": city}
 
@@ -576,6 +607,7 @@ class RoamingKind(RunKind):
         _validate_citywide_deployment(spec)
         _validate_roaming_clients(spec)
         _validate_engine(spec)
+        _validate_telemetry(spec)
         _reject_wsdb_world_features(
             spec, "models association and compliance, not packet flows"
         )
@@ -588,6 +620,7 @@ class RoamingKind(RunKind):
             "citywide_extent_km",
             "citywide_mic_events",
             "engine",
+            "telemetry",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -605,6 +638,7 @@ class RoamingKind(RunKind):
             seed=spec.scenario.seed,
             mic_events=spec.citywide_mic_events or 0,
             engine=spec.engine or "scalar",
+            telemetry=_telemetry_session(spec),
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "roaming": roaming}
@@ -672,6 +706,7 @@ class QuerystormKind(RunKind):
         _validate_citywide_deployment(spec)
         _validate_roaming_clients(spec)
         _validate_engine(spec)
+        _validate_telemetry(spec)
         # Shard-grid feasibility, checked eagerly with the same
         # geometry the router will use: an infeasible spec must fail
         # at construction, not mid-fan-out inside a ParallelRunner.
@@ -704,6 +739,7 @@ class QuerystormKind(RunKind):
             "citywide_mic_events",
             "engine",
             "storm_trace",
+            "telemetry",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -732,6 +768,7 @@ class QuerystormKind(RunKind):
             policy=spec.storm_shed_policy or "reject",
             engine=spec.engine or "scalar",
             storm_source=storm_source,
+            telemetry=_telemetry_session(spec),
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "storm": storm}

@@ -50,12 +50,19 @@ class ParallelRunner:
             ``0`` or ``1`` forces in-process sequential execution.
         cache: optional spec-hash-keyed result cache consulted before
             dispatch and updated after every run.
+        profiler: optional wall-clock
+            :class:`~repro.telemetry.PhaseProfiler`; grids then time
+            their "plan" (grid expansion + cache probing) and
+            "fan-out" (execution, parallel or sequential) phases.
+            Wall-clock only — results stay byte-identical with or
+            without it.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         cache: ResultCache | None = None,
+        profiler=None,
     ):
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -63,6 +70,11 @@ class ParallelRunner:
             raise ValueError(f"max_workers must be >= 0, got {max_workers}")
         self.max_workers = max_workers
         self.cache = cache
+        if profiler is None:
+            from repro.telemetry import NULL_PROFILER
+
+            profiler = NULL_PROFILER
+        self.profiler = profiler
         #: How the last grid actually executed ("parallel", "sequential",
         #: or "cached" when every cell hit the cache) — for diagnostics.
         self.last_execution_mode: str | None = None
@@ -104,49 +116,55 @@ class ParallelRunner:
         sequential execution if the pool cannot be created), in-process
         otherwise.
         """
-        jobs = self.expand_grid(specs, seeds)
-        results: dict[int, ExperimentResult] = {}
-        pending: list[tuple[int, ExperimentSpec]] = []
-        seen_hashes: dict[str, int] = {}
-        duplicates: list[tuple[int, int]] = []
-        for i, job in enumerate(jobs):
-            first = seen_hashes.get(job.spec_hash)
-            if first is not None:
-                # Identical cell already in this grid: run once, share.
-                duplicates.append((i, first))
-                continue
-            seen_hashes[job.spec_hash] = i
-            cached = (
-                self.cache.get(job.spec_hash) if self.cache is not None else None
-            )
-            if cached is not None:
-                results[i] = cached
-            else:
-                pending.append((i, job))
+        with self.profiler.phase("plan"):
+            jobs = self.expand_grid(specs, seeds)
+            results: dict[int, ExperimentResult] = {}
+            pending: list[tuple[int, ExperimentSpec]] = []
+            seen_hashes: dict[str, int] = {}
+            duplicates: list[tuple[int, int]] = []
+            for i, job in enumerate(jobs):
+                first = seen_hashes.get(job.spec_hash)
+                if first is not None:
+                    # Identical cell already in this grid: run once,
+                    # share.
+                    duplicates.append((i, first))
+                    continue
+                seen_hashes[job.spec_hash] = i
+                cached = (
+                    self.cache.get(job.spec_hash)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    results[i] = cached
+                else:
+                    pending.append((i, job))
 
-        if not pending:
-            self.last_execution_mode = "cached"
-        elif self.max_workers > 1:
-            self.last_execution_mode = "parallel"
-            try:
-                self._run_parallel(pending, results)
-            except (OSError, BrokenExecutor, UnknownRunKindError):
-                # Process pools need fork/spawn and semaphores (OSError
-                # inside restricted sandboxes) and workers can die
-                # mid-sweep (BrokenProcessPool): degrade gracefully,
-                # re-running only the cells that did not complete.
-                # UnknownRunKindError from a worker covers plugin
-                # RunKinds under spawn-based multiprocessing (the
-                # registration only exists in the parent): the
-                # sequential path can still run them.  Any other
-                # simulation failure is deterministic and propagates
-                # without a wasteful sequential replay.
+        with self.profiler.phase("fan-out"):
+            if not pending:
+                self.last_execution_mode = "cached"
+            elif self.max_workers > 1:
+                self.last_execution_mode = "parallel"
+                try:
+                    self._run_parallel(pending, results)
+                except (OSError, BrokenExecutor, UnknownRunKindError):
+                    # Process pools need fork/spawn and semaphores
+                    # (OSError inside restricted sandboxes) and workers
+                    # can die mid-sweep (BrokenProcessPool): degrade
+                    # gracefully, re-running only the cells that did
+                    # not complete.  UnknownRunKindError from a worker
+                    # covers plugin RunKinds under spawn-based
+                    # multiprocessing (the registration only exists in
+                    # the parent): the sequential path can still run
+                    # them.  Any other simulation failure is
+                    # deterministic and propagates without a wasteful
+                    # sequential replay.
+                    self.last_execution_mode = "sequential"
+                    remaining = [p for p in pending if p[0] not in results]
+                    self._run_sequential(remaining, results)
+            else:
                 self.last_execution_mode = "sequential"
-                remaining = [p for p in pending if p[0] not in results]
-                self._run_sequential(remaining, results)
-        else:
-            self.last_execution_mode = "sequential"
-            self._run_sequential(pending, results)
+                self._run_sequential(pending, results)
 
         for index, first in duplicates:
             results[index] = results[first]

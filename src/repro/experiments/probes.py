@@ -290,6 +290,8 @@ class CitywideProbe:
             metrics[key] = city[key]
         for key, value in city["db"].items():
             metrics[f"db_{key}"] = value
+        if "telemetry" in city:
+            metrics["telemetry"] = city["telemetry"]
         return metrics
 
 
@@ -335,6 +337,8 @@ class RoamingProbe:
             metrics[key] = roaming[key]
         for key, value in roaming["db"].items():
             metrics[f"db_{key}"] = value
+        if "telemetry" in roaming:
+            metrics["telemetry"] = roaming["telemetry"]
         return metrics
 
 
@@ -393,6 +397,8 @@ class QuerystormProbe:
             metrics[f"push_{key}"] = value
         for key, value in storm["db"].items():
             metrics[f"db_{key}"] = value
+        if "telemetry" in storm:
+            metrics["telemetry"] = storm["telemetry"]
         return metrics
 
 

@@ -324,6 +324,14 @@ class ExperimentSpec:
             required by "replay".  The *path string* participates in
             ``spec_hash`` (the file's content does not — re-recording
             over a path invalidates caches manually).
+        telemetry: kinds "citywide"/"roaming"/"querystorm"/"replay" —
+            "on" attaches a sim-clock :class:`repro.telemetry`
+            metrics registry to the run and surfaces its snapshot as
+            the result's ``metrics["telemetry"]`` payload; "off" (the
+            None default) keeps every report byte-identical to the
+            pre-telemetry path.  Metrics are deterministic functions
+            of the spec, never of wall-clock time, so they cache and
+            replay like any other result field.
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -364,6 +372,7 @@ class ExperimentSpec:
     storm_shed_policy: str | None = None
     engine: str | None = None
     storm_trace: str | None = None
+    telemetry: str | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -421,6 +430,8 @@ class ExperimentSpec:
             object.__setattr__(self, "engine", str(self.engine))
         if self.storm_trace is not None:
             object.__setattr__(self, "storm_trace", str(self.storm_trace))
+        if self.telemetry is not None:
+            object.__setattr__(self, "telemetry", str(self.telemetry))
         run_kind.validate_spec(self)
 
     def with_seed(self, seed: int) -> "ExperimentSpec":

@@ -1,0 +1,65 @@
+"""repro.telemetry — observability with two clocks kept strictly apart.
+
+* :mod:`repro.telemetry.metrics` — the **sim-clock** metrics registry:
+  counters/gauges/histograms (fixed deterministic buckets, labeled
+  series, mergeable snapshots) plus per-tick time series.  Deterministic
+  by contract: scalar and vector engines, parallel and sequential
+  runners, all produce byte-identical snapshots for the same spec.
+  Enabled through the ``telemetry`` experiment-spec knob.
+* :mod:`repro.telemetry.profiler` — the **wall-clock** phase profiler
+  for the vector engine's tick phases and the ``ParallelRunner``
+  fan-out.  Non-deterministic by nature, so it is never spec-driven and
+  never enters a report; callers attach it explicitly
+  (``make profile``, ``bench_scale``).
+* :mod:`repro.telemetry.export` — deterministic exporters: canonical
+  JSON, Prometheus text exposition, and columnar npz for the tick
+  series.
+"""
+
+from repro.telemetry.export import (
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    write_metrics,
+    write_series_npz,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BATCH_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS_US,
+    NULL_TELEMETRY,
+    TELEMETRY_MODES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTelemetry,
+    histogram_quantile,
+    merge_snapshots,
+    metric_key,
+)
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BATCH_BOUNDS",
+    "DEFAULT_LATENCY_BOUNDS_US",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PROFILER",
+    "NULL_TELEMETRY",
+    "NullProfiler",
+    "NullTelemetry",
+    "PhaseProfiler",
+    "TELEMETRY_MODES",
+    "histogram_quantile",
+    "merge_snapshots",
+    "metric_key",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "write_metrics",
+    "write_series_npz",
+]

@@ -1,0 +1,137 @@
+"""Deterministic exporters for metric snapshots.
+
+Three formats, all byte-stable for a given snapshot (which is itself
+deterministic for a given spec — see :mod:`repro.telemetry.metrics`):
+
+* **canonical JSON** — the snapshot verbatim, sorted keys, compact
+  separators; the archival/diffable form.
+* **Prometheus text exposition** — counters/gauges/histograms rendered
+  in the scrape format (cumulative ``le`` buckets, ``_sum``/``_count``);
+  per-tick series are a trace concern and are not exposed here.
+* **columnar npz** — the per-tick series through
+  :func:`repro.traces.columnar.write_columns_npz` (numpy gated; the
+  JSON/Prometheus paths stay importable without it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "write_metrics",
+    "write_series_npz",
+]
+
+
+def snapshot_to_json(snapshot: Mapping[str, Any]) -> str:
+    """Canonical JSON (sorted keys, compact separators, one newline)."""
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool) or not isinstance(value, float):
+        return str(int(value))
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """``name{a="b"}`` → (``name``, ``a="b"``); no labels → (key, "")."""
+    if key.endswith("}") and "{" in key:
+        name, _, labels = key.partition("{")
+        return name, labels[:-1]
+    return key, ""
+
+
+def _labeled(name: str, labels: str, extra: str = "") -> str:
+    inner = ",".join(part for part in (labels, extra) if part)
+    return f"{name}{{{inner}}}" if inner else name
+
+
+def snapshot_to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render one snapshot in the Prometheus text exposition format.
+
+    Keys are already Prometheus-rendered (see ``metric_key``), so
+    counters and gauges emit directly; histograms expand their
+    non-cumulative bucket counts into the cumulative ``le`` form plus
+    the implicit ``+Inf`` bucket.  ``# TYPE`` lines appear once per
+    base metric name; everything iterates in sorted order, so the text
+    is byte-stable.
+    """
+    lines: list[str] = []
+
+    def emit_family(family: Mapping[str, Any], kind: str) -> None:
+        last_base = None
+        for key in sorted(family):
+            base, _ = _split_key(key)
+            if base != last_base:
+                lines.append(f"# TYPE {base} {kind}")
+                last_base = base
+            lines.append(f"{key} {_format_value(family[key])}")
+
+    emit_family(snapshot.get("counters", {}), "counter")
+    emit_family(snapshot.get("gauges", {}), "gauge")
+
+    histograms = snapshot.get("histograms", {})
+    last_base = None
+    for key in sorted(histograms):
+        hist = histograms[key]
+        base, labels = _split_key(key)
+        if base != last_base:
+            lines.append(f"# TYPE {base} histogram")
+            last_base = base
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            bucket = _labeled(
+                f"{base}_bucket", labels, f'le="{_format_value(bound)}"'
+            )
+            lines.append(f"{bucket} {cumulative}")
+        cumulative += hist["counts"][len(hist["bounds"])]
+        bucket = _labeled(f"{base}_bucket", labels, 'le="+Inf"')
+        lines.append(f"{bucket} {cumulative}")
+        lines.append(
+            f"{_labeled(f'{base}_sum', labels)} {_format_value(hist['sum'])}"
+        )
+        lines.append(f"{_labeled(f'{base}_count', labels)} {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics(
+    snapshot: Mapping[str, Any],
+    json_path: str | Path | None = None,
+    prom_path: str | Path | None = None,
+) -> None:
+    """Write the JSON and/or Prometheus renderings of one snapshot."""
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(snapshot_to_json(snapshot))
+    if prom_path is not None:
+        prom_path = Path(prom_path)
+        prom_path.parent.mkdir(parents=True, exist_ok=True)
+        prom_path.write_text(snapshot_to_prometheus(snapshot))
+
+
+def write_series_npz(
+    snapshot: Mapping[str, Any], npz_path: str | Path
+) -> dict[str, Any]:
+    """Export the per-tick series as a columnar npz archive.
+
+    Requires numpy (imported lazily, like every columnar path); raises
+    ``SimulationError`` when the snapshot recorded no series.
+    """
+    from repro.errors import SimulationError
+    from repro.traces.columnar import write_columns_npz
+
+    series = snapshot.get("series", {})
+    if not series:
+        raise SimulationError("snapshot has no per-tick series to export")
+    return write_columns_npz(
+        npz_path, dict(series), meta={"source": "repro.telemetry"}
+    )

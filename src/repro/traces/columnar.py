@@ -56,7 +56,9 @@ __all__ = [
     "columnar_stats",
     "from_columnar",
     "read_columnar",
+    "read_columns_npz",
     "to_columnar",
+    "write_columns_npz",
 ]
 
 _KIND_CODE = {kind: code for code, kind in enumerate(EVENT_KINDS)}
@@ -211,6 +213,64 @@ def columnar_stats(npz_path: str | pathlib.Path) -> dict[str, Any]:
         raise SimulationError(f"no columnar trace at {npz_path}")
     with np.load(npz_path) as data:
         return json.loads(str(data["stats"][()]))
+
+
+def write_columns_npz(
+    npz_path: str | pathlib.Path,
+    columns: dict[str, Any],
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write a generic struct-of-arrays archive in the house style.
+
+    Same conventions as :func:`to_columnar` — equal-length float64
+    columns, per-column ``{min, max, count}`` riding along as a 0-d
+    JSON ``stats`` entry, caller metadata as a 0-d JSON ``header``
+    entry.  This is how a telemetry snapshot's per-tick series lands on
+    disk; returns the stats.
+    """
+    if not columns:
+        raise SimulationError("write_columns_npz needs at least one column")
+    arrays = {
+        name: np.asarray(values, np.float64) for name, values in columns.items()
+    }
+    lengths = {name: arr.shape for name, arr in arrays.items()}
+    (n,) = next(iter(lengths.values()))
+    for name, shape in lengths.items():
+        if shape != (n,):
+            raise SimulationError(
+                f"column {name!r} has shape {shape}, expected ({n},)"
+            )
+    stats = {name: _column_stats(arrays[name]) for name in sorted(arrays)}
+    npz_path = pathlib.Path(npz_path)
+    npz_path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        npz_path,
+        **{name: arrays[name] for name in sorted(arrays)},
+        header=np.asarray(
+            json.dumps(meta or {}, sort_keys=True, separators=(",", ":"))
+        ),
+        stats=np.asarray(
+            json.dumps(stats, sort_keys=True, separators=(",", ":"))
+        ),
+    )
+    return stats
+
+
+def read_columns_npz(
+    npz_path: str | pathlib.Path,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Load a generic column archive back into ``(meta, columns)``."""
+    npz_path = pathlib.Path(npz_path)
+    if not npz_path.exists():
+        raise SimulationError(f"no column archive at {npz_path}")
+    with np.load(npz_path) as data:
+        meta = json.loads(str(data["header"][()]))
+        columns = {
+            name: data[name]
+            for name in data.files
+            if name not in ("header", "stats")
+        }
+    return meta, columns
 
 
 def from_columnar(

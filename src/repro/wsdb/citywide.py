@@ -45,6 +45,7 @@ from repro.spectrum.airtime import AirtimeObservation
 from repro.spectrum.channels import WhiteFiChannel
 from repro.spectrum.spectrum_map import SpectrumMap
 from repro.spectrum.variation import availability_disagreement
+from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.traces.record import NULL_RECORDER
 from repro.wsdb.model import MicRegistration
 from repro.wsdb.service import (
@@ -308,6 +309,7 @@ def simulate_citywide(
     mic_events: int = 0,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
     recorder: Any = None,
+    telemetry: Any = None,
 ) -> dict[str, Any]:
     """Run one citywide session; returns a plain-data report.
 
@@ -316,7 +318,11 @@ def simulate_citywide(
     :class:`~repro.traces.record.TraceRecorder` as ``recorder`` to
     stream the run's mic registrations and end-of-session sweep
     queries; recording observes only, so the report is bit-identical
-    with and without it.
+    with and without it.  Pass a sim-clock ``MetricsRegistry`` as
+    ``telemetry`` to publish the database and deployment counters and
+    add a ``"telemetry"`` snapshot to the report (the citywide session
+    is event-driven — no tick loop — so it publishes counters and
+    gauges, not a per-tick series).
     """
     if duration_us <= 0:
         raise SimulationError(
@@ -325,6 +331,7 @@ def simulate_citywide(
     if recorder is None:
         recorder = NULL_RECORDER
     recording = recorder.enabled
+    tel = NULL_TELEMETRY if telemetry is None else telemetry
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "citywide-aps", interference_radius_m)
 
@@ -412,7 +419,17 @@ def simulate_citywide(
 
     assigned = sum(1 for ap in aps if ap.channel is not None)
     assigned_mbps = [m for _, center, _, m in per_ap if center is not None]
-    return {
+    if tel.enabled:
+        db.publish_metrics(tel)
+        tel.counter("mic_events").inc(len(events))
+        tel.counter("displaced_aps").inc(displaced)
+        tel.counter("backup_recoveries").inc(backup_recoveries)
+        tel.counter("full_reassignments").inc(full_reassignments)
+        tel.counter("outages").inc(outages)
+        tel.counter("noncompliant_aps").inc(noncompliant)
+        tel.gauge("assigned_aps").set(float(assigned))
+        tel.gauge("aggregate_mbps").set(total_mbps)
+    report = {
         "num_aps": num_aps,
         "extent_m": extent_m,
         "duration_us": duration_us,
@@ -432,3 +449,6 @@ def simulate_citywide(
         "per_ap": tuple(per_ap),
         "db": db.stats.as_dict(),
     }
+    if tel.enabled:
+        report["telemetry"] = tel.snapshot()
+    return report

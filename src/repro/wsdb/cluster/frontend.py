@@ -39,6 +39,11 @@ from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 from repro.errors import SimulationError, SpectrumMapError
+from repro.telemetry.metrics import (
+    DEFAULT_BATCH_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS_US,
+    NULL_TELEMETRY,
+)
 from repro.wsdb.cluster.push import PushRegistry
 from repro.wsdb.cluster.router import ShardRouter
 from repro.wsdb.index import circle_intersects_cell
@@ -221,6 +226,12 @@ class BatchFrontend:
         push: optional :class:`PushRegistry` notified on
             :meth:`register_mic` (its cell resolution must match the
             router's).
+        telemetry: optional sim-clock ``MetricsRegistry``.  When
+            attached, every *served* request observes its
+            enqueue→serve latency into the ``frontend_latency_us``
+            histogram and every burst observes its size into
+            ``frontend_batch_requests``; None keeps the pre-telemetry
+            path byte-identical.
     """
 
     def __init__(
@@ -230,6 +241,7 @@ class BatchFrontend:
         burst_size: float | None = None,
         policy: str = RejectPolicy.name,
         push: PushRegistry | None = None,
+        telemetry=None,
     ):
         if push is not None and (
             push.cache_resolution_m != router.cache_resolution_m
@@ -243,6 +255,7 @@ class BatchFrontend:
         self.bucket = TokenBucket(rate_limit_qps, burst_size)
         self.policy = shed_policy(policy)
         self.push = push
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         self.stats = FrontendStats()
         # cell -> (TTL bucket the response was computed in, channels).
         self._stale: dict[tuple[int, int], tuple[int, tuple[int, ...]]] = {}
@@ -272,6 +285,7 @@ class BatchFrontend:
         self,
         points: Sequence[tuple[float, float]],
         t_us: float = 0.0,
+        enqueue_t_us: Sequence[float] | None = None,
     ) -> list[tuple[int, ...] | None]:
         """Answer a burst: admit, coalesce by cell, batch per shard.
 
@@ -280,6 +294,15 @@ class BatchFrontend:
         is evaluated per request in order (the bucket sees the burst
         the way a wire would deliver it), then admitted requests
         deduplicate to one shard lookup per distinct cell.
+
+        ``enqueue_t_us`` optionally stamps each request's enqueue time
+        (storm-event generation, or the first attempt of a deferred
+        re-check); a served request then observes ``t_us - enqueue``
+        into the latency histogram.  Today's frontend is synchronous —
+        a request serves inside its own call, so the unstamped latency
+        is honestly zero — but the stamp plumbing is exactly what the
+        ROADMAP's pipelined async tier will feed with real
+        queue-residency times.
         """
         if not points:
             return []
@@ -324,16 +347,35 @@ class BatchFrontend:
             self._stale[cell] = (self._bucket_now, channels)
         # Pass 4: answer in request order; shed requests go through the
         # policy (which may read the just-refreshed stale store).
-        return [
+        answers = [
             responses[cell] if admitted else self.policy.shed(self, *cell)
             for cell, admitted in plan
         ]
+        tel = self.telemetry
+        if tel.enabled:
+            tel.histogram(
+                "frontend_batch_requests", DEFAULT_BATCH_BOUNDS
+            ).observe(float(len(points)))
+            latency = tel.histogram(
+                "frontend_latency_us", DEFAULT_LATENCY_BOUNDS_US
+            )
+            for i, answer in enumerate(answers):
+                if answer is None:
+                    continue
+                enqueued = t_us if enqueue_t_us is None else enqueue_t_us[i]
+                latency.observe(t_us - enqueued)
+        return answers
 
     def query(
-        self, x_m: float, y_m: float, t_us: float = 0.0
+        self,
+        x_m: float,
+        y_m: float,
+        t_us: float = 0.0,
+        enqueue_t_us: float | None = None,
     ) -> tuple[int, ...] | None:
         """One request through the same admission/batching path."""
-        return self.query_batch([(x_m, y_m)], t_us)[0]
+        stamps = None if enqueue_t_us is None else [enqueue_t_us]
+        return self.query_batch([(x_m, y_m)], t_us, enqueue_t_us=stamps)[0]
 
     # -- updates -------------------------------------------------------------
 
@@ -364,3 +406,19 @@ class BatchFrontend:
         if self.push is None:
             return ()
         return self.push.notify_zone(registration)
+
+    def publish_metrics(self, telemetry=None) -> None:
+        """Publish the whole front-door stack into a sim-clock registry.
+
+        Frontend counters land as ``frontend_*``; the router (and,
+        when attached, the push registry) cascade their own
+        ``publish_metrics``, so one call snapshots the full tier.
+        Defaults to the registry attached at construction.
+        """
+        tel = self.telemetry if telemetry is None else telemetry
+        if not tel.enabled:
+            return
+        tel.record_stats("frontend", self.stats.as_dict())
+        self.router.publish_metrics(tel)
+        if self.push is not None:
+            self.push.publish_metrics(tel)

@@ -151,3 +151,11 @@ class PushRegistry:
             self.stats.zones_notified += 1
         self.stats.notifications += len(notified)
         return tuple(notified)
+
+    def publish_metrics(self, telemetry) -> None:
+        """Publish the push counters (``push_*``) plus the live
+        subscription count into a sim-clock registry."""
+        if not telemetry.enabled:
+            return
+        telemetry.record_stats("push", self.stats.as_dict())
+        telemetry.gauge("push_live_subscriptions").set(float(len(self)))

@@ -40,6 +40,7 @@ from typing import Any, Iterable, Iterator
 
 from repro.errors import SimulationError
 from repro.sim.rng import stream_seed
+from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.traces.record import NULL_RECORDER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
@@ -110,15 +111,23 @@ class StormFeed:
     def __init__(self, source: Iterable[tuple[float, float, float]]):
         self._it = iter(source)
         self._pending = next(self._it, None)
+        #: The last burst's source timestamps, one per returned point —
+        #: the enqueue stamps the frontend's latency histogram observes
+        #: (a replayed trace carries sub-tick stamps; the synthetic
+        #: storm stamps on the fence).
+        self.last_times: list[float] = []
 
     def burst(self, t_us: float) -> list[tuple[float, float]]:
         """All queued ``(x, y)`` points due at or before ``t_us``."""
         points: list[tuple[float, float]] = []
+        times: list[float] = []
         pending = self._pending
         while pending is not None and pending[0] <= t_us:
             points.append((pending[1], pending[2]))
+            times.append(pending[0])
             pending = next(self._it, None)
         self._pending = pending
+        self.last_times = times
         return points
 
 
@@ -141,6 +150,8 @@ def simulate_querystorm(
     engine: str = "scalar",
     storm_source: Iterable[tuple[float, float, float]] | None = None,
     recorder: Any = None,
+    telemetry: Any = None,
+    profiler: Any = None,
 ) -> dict[str, Any]:
     """Run one querystorm session; returns a plain-data report.
 
@@ -185,6 +196,21 @@ def simulate_querystorm(
             recorder).  Recording observes only — reports are
             bit-identical with and without it.  The caller closes the
             recorder.
+        telemetry: a sim-clock
+            :class:`~repro.telemetry.metrics.MetricsRegistry` (None:
+            the zero-overhead null sink).  When attached, the run
+            samples a per-tick time series, the frontend observes
+            request latencies, the whole cluster publishes its counters
+            at the end, and the report gains a ``"telemetry"``
+            snapshot.  Deterministic: both engines produce identical
+            snapshots; with None the report is byte-identical to a
+            pre-telemetry run.
+        profiler: a wall-clock
+            :class:`~repro.telemetry.profiler.PhaseProfiler` (None: the
+            no-op profiler).  Phase instrumentation lives in the vector
+            engine's batched tick stages; the scalar reference loop
+            accepts the argument for signature parity but does not
+            profile.  Never affects the report.
     """
     if num_clients < 0:
         raise SimulationError(
@@ -232,11 +258,15 @@ def simulate_querystorm(
             interference_radius_m=interference_radius_m,
             storm_source=storm_source,
             recorder=recorder,
+            telemetry=telemetry,
+            profiler=profiler,
         )
 
     if recorder is None:
         recorder = NULL_RECORDER
     recording = recorder.enabled
+    tel = NULL_TELEMETRY if telemetry is None else telemetry
+    tel_on = tel.enabled
     registry = PushRegistry(router.cache_resolution_m) if push else None
     frontend = BatchFrontend(
         router,
@@ -244,6 +274,7 @@ def simulate_querystorm(
         burst_size=burst_size,
         policy=policy,
         push=registry,
+        telemetry=tel,
     )
 
     extent_m = router.metro.extent_m
@@ -272,6 +303,11 @@ def simulate_querystorm(
     deferred_requeries = 0
     push_refreshes = 0
     storm_queries = 0
+    total_handoffs = 0
+    # First-attempt time of a deferred re-check, per client: when a shed
+    # re-check finally lands, the latency histogram observes the wait
+    # from the *first* attempt, not the successful retry.
+    pending_since: list[float | None] = [None] * num_clients
 
     def register_event(event: MicEvent, index: int) -> tuple[int, ...]:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
@@ -330,6 +366,7 @@ def simulate_querystorm(
     pushed: set[int] = set()
     for k in range(ticks + 1):
         t_us = k * tick_us
+        tick_violating = 0
         # Mic registrations whose session starts by this tick go live:
         # cached and stale responses inside the zone are invalidated,
         # covered APs walk their backups, and — under push — subscribed
@@ -348,7 +385,9 @@ def simulate_querystorm(
         points = feed.burst(t_us)
         if points:
             storm_queries += len(points)
-            responses = frontend.query_batch(points, t_us)
+            responses = frontend.query_batch(
+                points, t_us, enqueue_t_us=feed.last_times
+            )
             if recording:
                 for (x_m, y_m), response, (qcell, admitted) in zip(
                     points, responses, frontend.last_plan
@@ -384,7 +423,13 @@ def simulate_querystorm(
                 or bucket != client.last_bucket
                 or was_pushed
             ):
-                response = frontend.query(client.x_m, client.y_m, t_us)
+                since = pending_since[client.client_id]
+                response = frontend.query(
+                    client.x_m,
+                    client.y_m,
+                    t_us,
+                    enqueue_t_us=t_us if since is None else since,
+                )
                 if recording:
                     qcell, admitted = frontend.last_plan[0]
                     recorder.emit(
@@ -402,11 +447,14 @@ def simulate_querystorm(
                     # response and retry next tick (the deferral the
                     # reject policy produces under storm starvation).
                     deferred_requeries += 1
+                    if since is None:
+                        pending_since[client.client_id] = t_us
                 else:
                     client.known_free = frozenset(response)
                     client.last_cell = cell
                     client.last_bucket = bucket
                     requeries[client.client_id] += 1
+                    pending_since[client.client_id] = None
                     if was_pushed:
                         push_refreshes += 1
                         pushed.discard(client.client_id)
@@ -436,6 +484,7 @@ def simulate_querystorm(
                 continue
             if prev is not None and client.ap.ap_id != prev.ap_id:
                 handoffs[client.client_id] += 1
+                total_handoffs += 1
                 if recording:
                     recorder.emit(
                         "handoff",
@@ -462,6 +511,7 @@ def simulate_querystorm(
             )
             if violating:
                 violations[client.client_id] += 1
+                tick_violating += 1
             if recording:
                 if violating and not viol_open[client.client_id]:
                     recorder.emit(
@@ -488,6 +538,23 @@ def simulate_querystorm(
                     )
                     viol_open[client.client_id] = False
 
+        if tel_on:
+            agg = router.aggregate_stats()
+            tel.sample_tick(
+                t_us,
+                queries=agg.queries,
+                cache_hits=agg.cache_hits,
+                requests=frontend.stats.requests,
+                shed=frontend.stats.shed,
+                pushes=(
+                    registry.stats.notifications
+                    if registry is not None
+                    else 0
+                ),
+                handoffs=total_handoffs,
+                violating=tick_violating,
+            )
+
     if recording:
         # Still-open violation windows close at the end of the run,
         # marked aux=1 so analyses can tell truncation from recovery.
@@ -513,7 +580,18 @@ def simulate_querystorm(
     connected_ticks = sum(connected)
     violation_ticks = sum(violations)
     client_ticks = num_clients * (ticks + 1)
-    return {
+    if tel_on:
+        frontend.publish_metrics(tel)
+        tel.counter("storm_queries").inc(storm_queries)
+        tel.counter("requeries").inc(sum(requeries))
+        tel.counter("deferred_requeries").inc(deferred_requeries)
+        tel.counter("push_refreshes").inc(push_refreshes)
+        tel.counter("handoffs").inc(total_handoffs)
+        tel.counter("vacations").inc(sum(vacations))
+        tel.counter("violation_ticks").inc(violation_ticks)
+        tel.counter("connected_ticks").inc(connected_ticks)
+        tel.counter("disconnected_ticks").inc(disconnected_ticks)
+    report = {
         "num_aps": num_aps,
         "num_clients": num_clients,
         "num_shards": router.num_shards,
@@ -563,3 +641,6 @@ def simulate_querystorm(
         "db": router.stats_dict(),
         "per_shard": router.per_shard_stats(),
     }
+    if tel_on:
+        report["telemetry"] = tel.snapshot()
+    return report

@@ -403,3 +403,20 @@ class ShardRouter:
     def per_shard_stats(self) -> tuple[dict[str, float | int], ...]:
         """One :meth:`WsdbStats.as_dict` snapshot per shard, in shard order."""
         return tuple(shard.stats.as_dict() for shard in self.shards)
+
+    def publish_metrics(self, telemetry) -> None:
+        """Publish the cluster counters into a sim-clock registry.
+
+        The aggregate snapshot lands under ``wsdb_*`` (same names as a
+        monolithic database, so scalar-vs-cluster dashboards line up);
+        per-shard query/hit/scan counters ride along as labeled series
+        (``wsdb_queries{shard="k"}``).
+        """
+        if not telemetry.enabled:
+            return
+        telemetry.record_stats("wsdb", self.stats_dict())
+        for shard_id, stats in enumerate(self.per_shard_stats()):
+            for field in ("queries", "cache_hits", "candidates_scanned"):
+                telemetry.counter(f"wsdb_{field}", shard=shard_id).inc(
+                    int(stats[field])
+                )

@@ -45,6 +45,7 @@ from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.rng import stream_seed
+from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.traces.record import NULL_RECORDER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
@@ -234,6 +235,8 @@ def simulate_roaming(
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
     engine: str = "scalar",
     recorder: Any = None,
+    telemetry: Any = None,
+    profiler: Any = None,
 ) -> dict[str, Any]:
     """Run one roaming session; returns a plain-data report.
 
@@ -265,6 +268,20 @@ def simulate_roaming(
             recorder).  Recording observes only — reports are
             bit-identical with and without it.  The caller closes the
             recorder.
+        telemetry: a sim-clock
+            :class:`~repro.telemetry.metrics.MetricsRegistry` (None:
+            the zero-overhead null sink).  When attached, the run
+            samples a per-tick time series, publishes the database and
+            driver counters at the end, and the report gains a
+            ``"telemetry"`` snapshot.  Deterministic: both engines
+            produce identical snapshots; with None the report is
+            byte-identical to a pre-telemetry run.
+        profiler: a wall-clock
+            :class:`~repro.telemetry.profiler.PhaseProfiler` (None: the
+            no-op profiler).  Phase instrumentation lives in the vector
+            engine's batched tick stages; the scalar reference loop
+            accepts the argument for signature parity but does not
+            profile.  Never affects the report.
     """
     if num_clients < 1:
         raise SimulationError(
@@ -302,11 +319,15 @@ def simulate_roaming(
             tick_us=tick_us,
             interference_radius_m=interference_radius_m,
             recorder=recorder,
+            telemetry=telemetry,
+            profiler=profiler,
         )
 
     if recorder is None:
         recorder = NULL_RECORDER
     recording = recorder.enabled
+    tel = NULL_TELEMETRY if telemetry is None else telemetry
+    tel_on = tel.enabled
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
     clients = spawn_clients(num_clients, seed, "roaming-client", extent_m)
@@ -327,6 +348,8 @@ def simulate_roaming(
     connected = [0] * num_clients
     violations = [0] * num_clients
     disconnected_ticks = 0
+    total_requeries = 0
+    total_handoffs = 0
 
     def register_event(event: MicEvent, index: int) -> None:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
@@ -360,6 +383,7 @@ def simulate_roaming(
     viol_open = [False] * num_clients
     for k in range(ticks + 1):
         t_us = k * tick_us
+        tick_violating = 0
         # Registrations whose session starts by this tick go live:
         # cached responses inside the zone are invalidated and covered
         # APs walk their backups, exactly as in the citywide driver.
@@ -385,6 +409,7 @@ def simulate_roaming(
                 client.last_cell = cell
                 client.last_bucket = bucket
                 requeries[client.client_id] += 1
+                total_requeries += 1
                 if recording:
                     recorder.emit(
                         "recheck",
@@ -428,6 +453,7 @@ def simulate_roaming(
                 continue
             if prev is not None and client.ap.ap_id != prev.ap_id:
                 handoffs[client.client_id] += 1
+                total_handoffs += 1
                 if recording:
                     recorder.emit(
                         "handoff",
@@ -453,6 +479,7 @@ def simulate_roaming(
             )
             if violating:
                 violations[client.client_id] += 1
+                tick_violating += 1
             if recording:
                 if violating and not viol_open[client.client_id]:
                     recorder.emit(
@@ -478,6 +505,16 @@ def simulate_roaming(
                         aux=0,
                     )
                     viol_open[client.client_id] = False
+
+        if tel_on:
+            tel.sample_tick(
+                t_us,
+                queries=db.stats.queries,
+                cache_hits=db.stats.cache_hits,
+                requeries=total_requeries,
+                handoffs=total_handoffs,
+                violating=tick_violating,
+            )
 
     if recording:
         # Still-open violation windows close at the end of the run,
@@ -506,7 +543,15 @@ def simulate_roaming(
     connected_ticks = sum(connected)
     violation_ticks = sum(violations)
     client_ticks = num_clients * (ticks + 1)
-    return {
+    if tel_on:
+        db.publish_metrics(tel)
+        tel.counter("requeries").inc(total_requeries)
+        tel.counter("handoffs").inc(total_handoffs)
+        tel.counter("vacations").inc(sum(vacations))
+        tel.counter("violation_ticks").inc(violation_ticks)
+        tel.counter("connected_ticks").inc(connected_ticks)
+        tel.counter("disconnected_ticks").inc(disconnected_ticks)
+    report = {
         "num_aps": num_aps,
         "num_clients": num_clients,
         "duration_us": duration_us,
@@ -540,3 +585,6 @@ def simulate_roaming(
         ),
         "db": db.stats.as_dict(),
     }
+    if tel_on:
+        report["telemetry"] = tel.snapshot()
+    return report

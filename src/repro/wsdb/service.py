@@ -509,3 +509,15 @@ class WhiteSpaceDatabase:
             del self._cache[key]
         self.stats.invalidations += len(stale)
         return len(stale)
+
+    def publish_metrics(self, telemetry) -> None:
+        """Publish the service counters into a sim-clock registry.
+
+        Integer counters land as ``wsdb_*`` counters, ratio properties
+        as gauges (see ``MetricsRegistry.record_stats``).  Cache
+        occupancy rides along as an instantaneous gauge.
+        """
+        if not telemetry.enabled:
+            return
+        telemetry.record_stats("wsdb", self.stats.as_dict())
+        telemetry.gauge("wsdb_cached_responses").set(float(len(self._cache)))

@@ -56,6 +56,8 @@ from typing import Any
 import numpy as np
 
 from repro.sim.rng import stream_seed
+from repro.telemetry.metrics import NULL_TELEMETRY
+from repro.telemetry.profiler import NULL_PROFILER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
     boot_aps,
@@ -265,7 +267,7 @@ class VectorFleet:
         self.requeries[idx] += 1
 
     def associate_and_score(
-        self, metro, t_us: float
+        self, metro, t_us: float, profiler: Any = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """One tick of vacation, association, handoff, and compliance.
 
@@ -278,66 +280,73 @@ class VectorFleet:
         Returns the tick's outcome arrays ``(connected, new_ap,
         best_col, handoff_mask, violating)`` — cheap references the
         trace-recording hooks read; counters are already applied.
+
+        An optional wall-clock ``profiler`` splits the stage into its
+        two phases ("associate", "compliance") — pure observation, the
+        arrays are untouched.
         """
-        n_live = len(self._live_spans)
-        m = self.n
-        elig = self._elig[self.resp_id]  # (m, n_live) bool
-        prev = self.prev_ap
+        prof = NULL_PROFILER if profiler is None else profiler
+        with prof.phase("associate"):
+            n_live = len(self._live_spans)
+            m = self.n
+            elig = self._elig[self.resp_id]  # (m, n_live) bool
+            prev = self.prev_ap
 
-        # Vacation: the previous AP (still assigned this snapshot)
-        # whose spans the current response denies.
-        prev_col = self._col_of[np.clip(prev, 0, None)]
-        prev_col = np.where(prev >= 0, prev_col, -1)
-        has_prev = prev_col >= 0
-        prev_ok = np.zeros(m, dtype=bool)
-        pi = np.flatnonzero(has_prev)
-        if pi.size:
-            prev_ok[pi] = elig[pi, prev_col[pi]]
-        self.vacations[has_prev & ~prev_ok] += 1
+            # Vacation: the previous AP (still assigned this snapshot)
+            # whose spans the current response denies.
+            prev_col = self._col_of[np.clip(prev, 0, None)]
+            prev_col = np.where(prev >= 0, prev_col, -1)
+            has_prev = prev_col >= 0
+            prev_ok = np.zeros(m, dtype=bool)
+            pi = np.flatnonzero(has_prev)
+            if pi.size:
+                prev_ok[pi] = elig[pi, prev_col[pi]]
+            self.vacations[has_prev & ~prev_ok] += 1
 
-        # Association: running elementwise min over live-AP columns.
-        best = np.full(m, np.inf)
-        best_col = np.full(m, -1, dtype=np.int64)
-        for col in range(n_live):
-            ddx = self._ap_x[col] - self.x
-            ddy = self._ap_y[col] - self.y
-            d2 = ddx * ddx + ddy * ddy
-            d2[~elig[:, col]] = np.inf
-            better = d2 < best
-            best[better] = d2[better]
-            best_col[better] = col
-        connected = best_col >= 0
-        if n_live:
-            new_ap = np.where(
-                connected, self._live_ids[np.clip(best_col, 0, None)], -1
-            )
-        else:
-            new_ap = np.full(m, -1, dtype=np.int64)
-        self.disconnected_ticks += int(np.count_nonzero(~connected))
-        handoff_mask = (prev >= 0) & connected & (new_ap != prev)
-        self.handoffs[handoff_mask] += 1
-        self.connected[connected] += 1
-        self.prev_ap = new_ap
+            # Association: running elementwise min over live-AP columns.
+            best = np.full(m, np.inf)
+            best_col = np.full(m, -1, dtype=np.int64)
+            for col in range(n_live):
+                ddx = self._ap_x[col] - self.x
+                ddy = self._ap_y[col] - self.y
+                d2 = ddx * ddx + ddy * ddy
+                d2[~elig[:, col]] = np.inf
+                better = d2 < best
+                best[better] = d2[better]
+                best_col[better] = col
+            connected = best_col >= 0
+            if n_live:
+                new_ap = np.where(
+                    connected, self._live_ids[np.clip(best_col, 0, None)], -1
+                )
+            else:
+                new_ap = np.full(m, -1, dtype=np.int64)
+            self.disconnected_ticks += int(np.count_nonzero(~connected))
+            handoff_mask = (prev >= 0) & connected & (new_ap != prev)
+            self.handoffs[handoff_mask] += 1
+            self.connected[connected] += 1
+            self.prev_ap = new_ap
 
-        # Compliance: per active incumbent, a coverage mask ANDed with
-        # "this client's AP spans the incumbent's channel".
-        violating = np.zeros(m, dtype=bool)
-        ap_col = np.clip(best_col, 0, None)
-        for entry in (*metro.sites, *metro.registrations):
-            if not entry.active_at(t_us):
-                continue
-            span_cols = self._spans_cols(entry.uhf_index)
-            if not span_cols.any():
-                continue
-            cand = np.flatnonzero(connected & span_cols[ap_col])
-            if not cand.size:
-                continue
-            cdx = self.x[cand] - entry.x_m
-            cdy = self.y[cand] - entry.y_m
-            radius = entry.radius_m
-            covered = cdx * cdx + cdy * cdy <= radius * radius
-            violating[cand[covered]] = True
-        self.violations[violating] += 1
+        with prof.phase("compliance"):
+            # Compliance: per active incumbent, a coverage mask ANDed
+            # with "this client's AP spans the incumbent's channel".
+            violating = np.zeros(m, dtype=bool)
+            ap_col = np.clip(best_col, 0, None)
+            for entry in (*metro.sites, *metro.registrations):
+                if not entry.active_at(t_us):
+                    continue
+                span_cols = self._spans_cols(entry.uhf_index)
+                if not span_cols.any():
+                    continue
+                cand = np.flatnonzero(connected & span_cols[ap_col])
+                if not cand.size:
+                    continue
+                cdx = self.x[cand] - entry.x_m
+                cdy = self.y[cand] - entry.y_m
+                radius = entry.radius_m
+                covered = cdx * cdx + cdy * cdy <= radius * radius
+                violating[cand[covered]] = True
+            self.violations[violating] += 1
         return connected, new_ap, best_col, handoff_mask, violating
 
 
@@ -472,6 +481,8 @@ def simulate_roaming_vector(
     tick_us: float = DEFAULT_TICK_US,
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
     recorder: Any = None,
+    telemetry: Any = None,
+    profiler: Any = None,
 ) -> dict[str, Any]:
     """The columnar twin of :func:`~repro.wsdb.mobility.simulate_roaming`.
 
@@ -483,12 +494,21 @@ def simulate_roaming_vector(
     the sorted streams equal).  Reached via
     ``simulate_roaming(..., engine="vector")``; calling it directly
     skips nothing but the argument validation.
+
+    ``telemetry`` (sim-clock, deterministic, snapshot-identical to the
+    scalar engine's) and ``profiler`` (wall-clock phase breakdown of
+    the batched tick stages: advance / recheck-detect / batch-lookup /
+    associate / compliance) both observe only — the report is
+    unchanged except for the ``"telemetry"`` snapshot key.
     """
     if recheck_m is None:
         recheck_m = db.cache_resolution_m
     if recorder is None:
         recorder = NULL_RECORDER
     recording = recorder.enabled
+    tel = NULL_TELEMETRY if telemetry is None else telemetry
+    tel_on = tel.enabled
+    prof = NULL_PROFILER if profiler is None else profiler
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
     fleet = VectorFleet(
@@ -538,23 +558,26 @@ def simulate_roaming_vector(
             fleet.set_snapshot(live_aps, num_aps)
 
         if k > 0:
-            fleet.advance(step_m)
+            with prof.phase("advance"):
+                fleet.advance(step_m)
 
         # The re-check rule, batched: due clients submit their *query*
         # cells (the database's own resolution, which the trigger
         # granularity need not match) in client order — the exact
         # sequence the scalar per-client loop sends.
-        trig_x, trig_y = fleet.cells(recheck_m)
-        bucket = ttl_bucket(t_us, db.ttl_us)
-        idx = fleet.recheck_due(trig_x, trig_y, bucket)
+        with prof.phase("recheck-detect"):
+            trig_x, trig_y = fleet.cells(recheck_m)
+            bucket = ttl_bucket(t_us, db.ttl_us)
+            idx = fleet.recheck_due(trig_x, trig_y, bucket)
         if idx.size:
-            if aligned:
-                qx, qy = trig_x, trig_y
-            else:
-                qx, qy = fleet.cells(db.cache_resolution_m)
-            cells = list(zip(qx[idx].tolist(), qy[idx].tolist()))
-            responses = db.channels_in_cells(cells, t_us)
-            fleet.commit_recheck(idx, trig_x, trig_y, bucket, responses)
+            with prof.phase("batch-lookup"):
+                if aligned:
+                    qx, qy = trig_x, trig_y
+                else:
+                    qx, qy = fleet.cells(db.cache_resolution_m)
+                cells = list(zip(qx[idx].tolist(), qy[idx].tolist()))
+                responses = db.channels_in_cells(cells, t_us)
+                fleet.commit_recheck(idx, trig_x, trig_y, bucket, responses)
             if recording:
                 for j, i in enumerate(idx.tolist()):
                     recorder.emit(
@@ -568,10 +591,20 @@ def simulate_roaming_vector(
                         aux=1,
                     )
 
-        tick = fleet.associate_and_score(db.metro, t_us)
+        tick = fleet.associate_and_score(db.metro, t_us, profiler=prof)
         if recording:
             _record_association_tick(
                 recorder, fleet, tick, trig_x, trig_y, t_us, viol_open
+            )
+
+        if tel_on:
+            tel.sample_tick(
+                t_us,
+                queries=db.stats.queries,
+                cache_hits=db.stats.cache_hits,
+                requeries=int(fleet.requeries.sum()),
+                handoffs=int(fleet.handoffs.sum()),
+                violating=int(tick[4].sum()),
             )
 
     if recording:
@@ -586,7 +619,15 @@ def simulate_roaming_vector(
     tallies = _fleet_report(fleet, ticks, recheck_m)
     connected_ticks = tallies["connected_ticks"]
     violation_ticks = tallies["violation_ticks"]
-    return {
+    if tel_on:
+        db.publish_metrics(tel)
+        tel.counter("requeries").inc(tallies["requeries"])
+        tel.counter("handoffs").inc(tallies["handoffs"])
+        tel.counter("vacations").inc(tallies["vacations"])
+        tel.counter("violation_ticks").inc(violation_ticks)
+        tel.counter("connected_ticks").inc(connected_ticks)
+        tel.counter("disconnected_ticks").inc(tallies["disconnected_ticks"])
+    report = {
         "num_aps": num_aps,
         "num_clients": num_clients,
         "duration_us": duration_us,
@@ -615,6 +656,9 @@ def simulate_roaming_vector(
         "final_cells": tallies["final_cells"],
         "db": db.stats.as_dict(),
     }
+    if tel_on:
+        report["telemetry"] = tel.snapshot()
+    return report
 
 
 def simulate_querystorm_vector(
@@ -635,6 +679,8 @@ def simulate_querystorm_vector(
     interference_radius_m: float = DEFAULT_INTERFERENCE_RADIUS_M,
     storm_source: Any = None,
     recorder: Any = None,
+    telemetry: Any = None,
+    profiler: Any = None,
 ) -> dict[str, Any]:
     """The columnar twin of the cluster's ``simulate_querystorm``.
 
@@ -650,7 +696,10 @@ def simulate_querystorm_vector(
     ``storm_source`` and ``recorder`` behave exactly as on the scalar
     driver: an explicit ``(t_us, x, y)`` workload replaces the
     synthetic generator, and a recorder captures the identical event
-    stream the scalar engine would emit.
+    stream the scalar engine would emit.  ``telemetry`` and
+    ``profiler`` behave as on the vector roaming driver: deterministic
+    sim-clock metrics (snapshot-identical to the scalar engine's) and
+    a wall-clock phase breakdown, both observation-only.
     """
     from repro.wsdb.cluster.frontend import BatchFrontend
     from repro.wsdb.cluster.push import PushRegistry
@@ -661,6 +710,9 @@ def simulate_querystorm_vector(
     if recorder is None:
         recorder = NULL_RECORDER
     recording = recorder.enabled
+    tel = NULL_TELEMETRY if telemetry is None else telemetry
+    tel_on = tel.enabled
+    prof = NULL_PROFILER if profiler is None else profiler
 
     registry = PushRegistry(router.cache_resolution_m) if push else None
     frontend = BatchFrontend(
@@ -669,6 +721,7 @@ def simulate_querystorm_vector(
         burst_size=burst_size,
         policy=policy,
         push=registry,
+        telemetry=tel,
     )
 
     extent_m = router.metro.extent_m
@@ -735,6 +788,10 @@ def simulate_querystorm_vector(
     feed = StormFeed(storm_source)
     storm_seq = 0
     viol_open = np.zeros(fleet.n, dtype=bool)
+    # First-attempt timestamps for deferred re-checks: latency is
+    # measured from the tick a client first needed a refresh, exactly
+    # as in the scalar driver.
+    pending_since: list[float | None] = [None] * fleet.n
     # Undelivered push notifications (cleared only once the refresh
     # query is admitted) and the registry-subscription shadow cells
     # (movers-only subscribe needs to know who moved).
@@ -760,7 +817,9 @@ def simulate_querystorm_vector(
         points = feed.burst(t_us)
         if points:
             storm_queries += len(points)
-            responses = frontend.query_batch(points, t_us)
+            responses = frontend.query_batch(
+                points, t_us, enqueue_t_us=feed.last_times
+            )
             if recording:
                 for (x_m, y_m), response, (qcell, admitted) in zip(
                     points, responses, frontend.last_plan
@@ -778,7 +837,8 @@ def simulate_querystorm_vector(
                     storm_seq += 1
 
         if k > 0:
-            fleet.advance(step_m)
+            with prof.phase("advance"):
+                fleet.advance(step_m)
 
         if registry is not None:
             rcx, rcy = fleet.cells(router.cache_resolution_m)
@@ -788,50 +848,77 @@ def simulate_querystorm_vector(
             sub_x[moved] = rcx[moved]
             sub_y[moved] = rcy[moved]
 
-        trig_x, trig_y = fleet.cells(recheck_m)
-        bucket = ttl_bucket(t_us, router.ttl_us)
-        need = (
-            (trig_x != fleet.last_tx)
-            | (trig_y != fleet.last_ty)
-            | (fleet.last_bucket != bucket)
-            | pushed
-        )
+        with prof.phase("recheck-detect"):
+            trig_x, trig_y = fleet.cells(recheck_m)
+            bucket = ttl_bucket(t_us, router.ttl_us)
+            need = (
+                (trig_x != fleet.last_tx)
+                | (trig_y != fleet.last_ty)
+                | (fleet.last_bucket != bucket)
+                | pushed
+            )
         # Admission is order-sensitive, so re-checkers query one at a
         # time in client order — the exact request sequence (and
         # FrontendStats accounting) of the scalar loop.
         x, y = fleet.x, fleet.y
-        for i in np.flatnonzero(need).tolist():
-            response = frontend.query(float(x[i]), float(y[i]), t_us)
-            if recording:
-                qcell, admitted = frontend.last_plan[0]
-                recorder.emit(
-                    "recheck",
+        with prof.phase("batch-lookup"):
+            for i in np.flatnonzero(need).tolist():
+                since = pending_since[i]
+                response = frontend.query(
+                    float(x[i]),
+                    float(y[i]),
                     t_us,
-                    subject=i,
-                    cell=qcell,
-                    channels=response,
-                    x=float(x[i]),
-                    y=float(y[i]),
-                    aux=int(admitted),
+                    enqueue_t_us=t_us if since is None else since,
                 )
-            if response is None:
-                # Shed without a stale fallback: keep the old response
-                # and retry next tick.
-                deferred_requeries += 1
-            else:
-                fleet.resp_id[i] = fleet.intern(response)
-                fleet.last_tx[i] = trig_x[i]
-                fleet.last_ty[i] = trig_y[i]
-                fleet.last_bucket[i] = bucket
-                fleet.requeries[i] += 1
-                if pushed[i]:
-                    push_refreshes += 1
-                    pushed[i] = False
+                if recording:
+                    qcell, admitted = frontend.last_plan[0]
+                    recorder.emit(
+                        "recheck",
+                        t_us,
+                        subject=i,
+                        cell=qcell,
+                        channels=response,
+                        x=float(x[i]),
+                        y=float(y[i]),
+                        aux=int(admitted),
+                    )
+                if response is None:
+                    # Shed without a stale fallback: keep the old
+                    # response and retry next tick.
+                    deferred_requeries += 1
+                    if since is None:
+                        pending_since[i] = t_us
+                else:
+                    pending_since[i] = None
+                    fleet.resp_id[i] = fleet.intern(response)
+                    fleet.last_tx[i] = trig_x[i]
+                    fleet.last_ty[i] = trig_y[i]
+                    fleet.last_bucket[i] = bucket
+                    fleet.requeries[i] += 1
+                    if pushed[i]:
+                        push_refreshes += 1
+                        pushed[i] = False
 
-        tick = fleet.associate_and_score(router.metro, t_us)
+        tick = fleet.associate_and_score(router.metro, t_us, profiler=prof)
         if recording:
             _record_association_tick(
                 recorder, fleet, tick, trig_x, trig_y, t_us, viol_open
+            )
+        if tel_on:
+            agg = router.aggregate_stats()
+            tel.sample_tick(
+                t_us,
+                queries=agg.queries,
+                cache_hits=agg.cache_hits,
+                requests=frontend.stats.requests,
+                shed=frontend.stats.shed,
+                pushes=(
+                    registry.stats.notifications
+                    if registry is not None
+                    else 0
+                ),
+                handoffs=int(fleet.handoffs.sum()),
+                violating=int(tick[4].sum()),
             )
 
     if recording:
@@ -847,7 +934,18 @@ def simulate_querystorm_vector(
     connected_ticks = tallies["connected_ticks"]
     violation_ticks = tallies["violation_ticks"]
     client_ticks = tallies["client_ticks"]
-    return {
+    if tel_on:
+        frontend.publish_metrics(tel)
+        tel.counter("storm_queries").inc(storm_queries)
+        tel.counter("requeries").inc(tallies["requeries"])
+        tel.counter("deferred_requeries").inc(deferred_requeries)
+        tel.counter("push_refreshes").inc(push_refreshes)
+        tel.counter("handoffs").inc(tallies["handoffs"])
+        tel.counter("vacations").inc(tallies["vacations"])
+        tel.counter("violation_ticks").inc(violation_ticks)
+        tel.counter("connected_ticks").inc(connected_ticks)
+        tel.counter("disconnected_ticks").inc(tallies["disconnected_ticks"])
+    report = {
         "num_aps": num_aps,
         "num_clients": num_clients,
         "num_shards": router.num_shards,
@@ -892,3 +990,6 @@ def simulate_querystorm_vector(
         "db": router.stats_dict(),
         "per_shard": router.per_shard_stats(),
     }
+    if tel_on:
+        report["telemetry"] = tel.snapshot()
+    return report

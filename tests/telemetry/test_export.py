@@ -1,0 +1,98 @@
+"""Unit tests for the deterministic snapshot exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.telemetry import (
+    MetricsRegistry,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    write_metrics,
+    write_series_npz,
+)
+
+
+def sample_snapshot() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("wsdb_queries").inc(7)
+    reg.counter("wsdb_queries", shard=0).inc(3)
+    reg.counter("wsdb_queries", shard=1).inc(4)
+    reg.gauge("wsdb_hit_rate").set(0.25)
+    h = reg.histogram("frontend_latency_us", (10.0, 100.0))
+    for v in (5.0, 50.0, 500.0):
+        h.observe(v)
+    reg.sample_tick(0.0, queries=2)
+    reg.sample_tick(1_000_000.0, queries=7)
+    return reg.snapshot()
+
+
+class TestJson:
+    def test_canonical_and_stable(self):
+        snap = sample_snapshot()
+        text = snapshot_to_json(snap)
+        assert text == snapshot_to_json(sample_snapshot())
+        assert text.endswith("\n")
+        assert json.loads(text) == snap
+
+
+class TestPrometheus:
+    def test_rendering(self):
+        text = snapshot_to_prometheus(sample_snapshot())
+        lines = text.splitlines()
+        # One TYPE line per base name, even with labeled variants.
+        assert lines.count("# TYPE wsdb_queries counter") == 1
+        assert "wsdb_queries 7" in lines
+        assert 'wsdb_queries{shard="0"} 3' in lines
+        assert 'wsdb_queries{shard="1"} 4' in lines
+        assert "wsdb_hit_rate 0.25" in lines
+        # Histogram: cumulative le buckets, +Inf, sum, count.
+        assert 'frontend_latency_us_bucket{le="10"} 1' in lines
+        assert 'frontend_latency_us_bucket{le="100"} 2' in lines
+        assert 'frontend_latency_us_bucket{le="+Inf"} 3' in lines
+        assert "frontend_latency_us_sum 555" in lines
+        assert "frontend_latency_us_count 3" in lines
+
+    def test_labeled_histogram_carries_labels_into_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", (1.0,), shard=2).observe(0.5)
+        lines = snapshot_to_prometheus(reg.snapshot()).splitlines()
+        assert 'lat_bucket{shard="2",le="1"} 1' in lines
+        assert 'lat_sum{shard="2"} 0.5' in lines
+        assert 'lat_count{shard="2"} 1' in lines
+
+    def test_stable_across_renders(self):
+        assert snapshot_to_prometheus(sample_snapshot()) == snapshot_to_prometheus(
+            sample_snapshot()
+        )
+
+    def test_empty_snapshot_renders_empty(self):
+        assert snapshot_to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestWriters:
+    def test_write_metrics_both_paths(self, tmp_path):
+        snap = sample_snapshot()
+        jp = tmp_path / "m" / "snap.json"
+        pp = tmp_path / "m" / "snap.prom"
+        write_metrics(snap, json_path=jp, prom_path=pp)
+        assert json.loads(jp.read_text()) == snap
+        assert pp.read_text() == snapshot_to_prometheus(snap)
+
+    def test_write_series_npz_roundtrip(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.traces.columnar import read_columns_npz
+
+        snap = sample_snapshot()
+        out = tmp_path / "series.npz"
+        write_series_npz(snap, out)
+        meta, columns = read_columns_npz(out)
+        assert meta == {"source": "repro.telemetry"}
+        assert columns["queries"].tolist() == [2.0, 7.0]
+        assert columns["t_us"].tolist() == [0.0, 1_000_000.0]
+
+    def test_write_series_npz_requires_series(self, tmp_path):
+        pytest.importorskip("numpy")
+        with pytest.raises(SimulationError):
+            write_series_npz(MetricsRegistry().snapshot(), tmp_path / "x.npz")

@@ -1,0 +1,81 @@
+"""Unit tests for the wall-clock phase profiler."""
+
+import json
+
+from repro.telemetry import NULL_PROFILER, NullProfiler, PhaseProfiler
+
+
+class FakeClock:
+    """A deterministic perf_counter stand-in: each read advances 1 s."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestPhaseProfiler:
+    def test_phase_accumulates_across_entries(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        with prof.phase("advance"):
+            pass
+        with prof.phase("advance"):
+            pass
+        with prof.phase("associate"):
+            pass
+        assert prof.seconds() == {"advance": 2.0, "associate": 1.0}
+        assert prof.report() == {
+            "advance": {"seconds": 2.0, "calls": 2},
+            "associate": {"seconds": 1.0, "calls": 1},
+        }
+
+    def test_phase_records_even_on_exception(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        try:
+            with prof.phase("boom"):
+                raise RuntimeError("mid-phase")
+        except RuntimeError:
+            pass
+        assert prof.report()["boom"]["calls"] == 1
+
+    def test_seconds_sorted_by_name(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        prof.add("zeta", 1.0)
+        prof.add("alpha", 2.0)
+        assert list(prof.seconds()) == ["alpha", "zeta"]
+
+    def test_write_artifact(self, tmp_path):
+        prof = PhaseProfiler(clock=FakeClock())
+        with prof.phase("advance"):
+            pass
+        out = prof.write(tmp_path / "deep" / "run.profile.json", meta={"k": 1})
+        payload = json.loads(out.read_text())
+        assert payload["meta"] == {"k": 1}
+        assert payload["phases"]["advance"] == {"seconds": 1.0, "calls": 1}
+
+    def test_real_clock_measures_nonnegative(self):
+        prof = PhaseProfiler()
+        with prof.phase("p"):
+            sum(range(1000))
+        assert prof.seconds()["p"] >= 0.0
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert NULL_PROFILER.enabled is False
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        with NULL_PROFILER.phase("anything"):
+            pass
+        NULL_PROFILER.add("x", 1.0)
+        assert NULL_PROFILER.seconds() == {}
+        assert NULL_PROFILER.report() == {}
+
+    def test_phase_context_is_reusable(self):
+        # The shared nullcontext must survive nested and repeated use.
+        with NULL_PROFILER.phase("a"):
+            with NULL_PROFILER.phase("b"):
+                pass
+        with NULL_PROFILER.phase("a"):
+            pass
