@@ -4,10 +4,10 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: check test fast bench bench-smoke bench-trend trace-diff profile lint
+.PHONY: check test fast bench bench-smoke bench-trend trace-diff profile lint detlint detlint-report
 
-## The tier-1 gate: full unit suite + lint.
-check: test lint
+## The tier-1 gate: full unit suite + lint + determinism linter.
+check: test lint detlint
 
 ## Full unit test suite (tier-1 command).
 test:
@@ -60,6 +60,18 @@ bench-trend:
 ##   make trace-diff A=path/to/a.jsonl.gz B=path/to/b.jsonl.gz
 trace-diff:
 	PYTHONPATH=$(PYTHONPATH) python scripts/trace_diff.py $(A) $(B)
+
+## Determinism & clock-discipline linter (repro.detlint): fails on any
+## unsuppressed finding against detlint.toml + detlint.baseline.json.
+## Stdlib-only, so it runs in a bare container.  Also writes the JSON
+## findings artifact CI uploads.
+detlint:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.detlint \
+	    --out benchmarks/results/detlint.json
+
+## Per-rule / per-package suppression-debt tables (never gates).
+detlint-report:
+	python scripts/detlint_report.py
 
 ## Lint src and tests.  The container may not ship ruff; skip with a
 ## notice rather than fail, so `make check` works everywhere.

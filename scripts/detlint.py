@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Run the determinism linter without needing PYTHONPATH set up.
+
+Equivalent to ``PYTHONPATH=src python -m repro.detlint``; CI and bare
+checkouts can call this file directly.  Stdlib + repo only — no
+third-party imports on this path.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detlint.cli import main  # noqa: E402  (path bootstrap first)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Suppression-debt report over a detlint JSON findings artifact.
+
+Reads the artifact ``python -m repro.detlint --out`` writes (or runs
+the linter in-process when given no file) and prints per-rule and
+per-package counts — new, pragma-suppressed, and baselined — so a PR
+review can see at a glance where determinism debt is accumulating,
+before it calcifies into the baseline.
+
+Usage::
+
+    python scripts/detlint_report.py [findings.json]
+
+Stdlib + repo only; exit status is 0 (reporting never gates — the
+gate is ``make detlint``).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detlint.engine import FINDINGS_SCHEMA  # noqa: E402
+
+
+def _fail(message: str) -> None:
+    print(f"detlint_report: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_payload(path: str | None) -> dict:
+    """The findings artifact: from *path*, or a fresh in-process run."""
+    if path is None:
+        from repro.detlint.cli import DEFAULT_BASELINE_FILE, DEFAULT_CONFIG_FILE
+        from repro.detlint.config import load_config
+        from repro.detlint.engine import lint_paths
+        from repro.detlint.findings import load_baseline
+
+        config = load_config(DEFAULT_CONFIG_FILE)
+        report = lint_paths(
+            list(config.paths),
+            config=config,
+            baseline=load_baseline(DEFAULT_BASELINE_FILE),
+        )
+        return report.to_dict()
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        _fail(f"no such file: {path}")
+    except json.JSONDecodeError as exc:
+        _fail(f"{path} is not valid JSON: {exc}")
+    if payload.get("schema") != FINDINGS_SCHEMA:
+        _fail(f"{path} does not match schema {FINDINGS_SCHEMA!r}")
+    return payload
+
+
+def render(payload: dict) -> str:
+    counts = payload["counts"]
+    stats = payload["stats"]
+    lines = [
+        f"detlint findings over {payload['files_checked']} files: "
+        f"{counts['new']} new, {counts['suppressed']} suppressed, "
+        f"{counts['baselined']} baselined, "
+        f"{counts['stale_baseline']} stale baseline entries",
+        "",
+    ]
+    for title, table in (
+        ("rule", stats["by_rule"]),
+        ("package", stats["by_package"]),
+    ):
+        lines.append(f"by {title}:")
+        if not table:
+            lines.append("  (no findings)")
+        width = max([len(k) for k in table] + [len(title)])
+        lines.append(f"  {title.ljust(width)}  new  suppressed  baselined")
+        for key in sorted(table):
+            row = table[key]
+            lines.append(
+                f"  {key.ljust(width)}  {row['new']:>3}  "
+                f"{row['suppressed']:>10}  {row['baselined']:>9}"
+            )
+        lines.append("")
+    suppressed = [
+        f for f in payload["findings"] if f["status"] == "suppressed"
+    ]
+    if suppressed:
+        lines.append("suppressions (pragma reasons):")
+        for f in suppressed:
+            lines.append(f"  {f['path']}:{f['line']} {f['rule']}: {f['reason']}")
+    return "\n".join(lines).rstrip()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) > 1:
+        _fail("usage: detlint_report.py [findings.json]")
+    payload = load_payload(argv[0] if argv else None)
+    print(render(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,11 @@ from repro.errors import (
 # profiler, deterministic exporters) and the `telemetry` spec knob —
 # every spec hash changes, so the version bump retires caches that
 # predate the knob.
-__version__ = "1.7.0"
+# 1.8.0: repro.detlint (AST determinism linter gating make check/CI)
+# and seeded RNG fallbacks in phy/radio (FALLBACK_RNG_SEED).  No spec
+# knob changed, but bare-rng call sites now produce different (seeded)
+# samples, so cached results from unseeded runs must not be reused.
+__version__ = "1.8.0"
 
 __all__ = [
     "constants",

@@ -176,6 +176,14 @@ PLL_SWITCH_US = 5_000.0
 #: (microseconds): one beacon interval plus margin.
 BEACON_DWELL_US = BEACON_INTERVAL_US * 1.1
 
+#: Seed for the RNG a signal-path helper constructs when the caller
+#: passes none.  Determinism contract: *no* code path may fall back to
+#: OS entropy (``np.random.default_rng()`` bare), so convenience
+#: defaults derive from this fixed seed instead — two bare calls of the
+#: same helper produce identical output.  The value is the paper's
+#: conference date (SIGCOMM'09, August 17 2009).
+FALLBACK_RNG_SEED = 20090817
+
 
 def widths_mhz() -> tuple[float, ...]:
     """Return the supported WhiteFi channel widths (MHz), narrowest first."""

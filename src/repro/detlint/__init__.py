@@ -1,0 +1,70 @@
+"""repro.detlint — the determinism & clock-discipline linter.
+
+Every layer in this repository rests on one contract, stated once in
+the README ("The determinism contract") and enforced here *by
+construction* rather than only by example:
+
+    The same spec produces byte-identical artifacts — reports, traces,
+    metric snapshots — on any engine (scalar or vector), any cache
+    state, any fan-out (parallel or sequential), and across a
+    record→replay round trip.  The only wall-clock in the system is the
+    profiler's, and it never feeds an artifact.
+
+``repro.detlint`` parses the whole ``src/repro`` tree with :mod:`ast`
+and checks a registry of composable rules (mirroring the ``RunKind``
+registry pattern) against it:
+
+========  ====================================================
+DET001    wall-clock calls outside the allowlisted zone
+DET002    nondeterministic iteration (sets, unsorted listings)
+DET003    unseeded RNG construction / global-state RNG APIs
+DET004    ``json.dumps`` without ``sort_keys`` in artifact writers
+DET005    sim-clock metrics and wall-clock phases mixed in one
+          function
+DET006    pragma hygiene (missing reason, unknown rule, unused)
+========  ====================================================
+
+Findings carry stable IDs (``path:line:rule``); grandfathered IDs live
+in a checked-in baseline so the gate lands strict; per-line pragmas
+(``# detlint: ok[DET003] <reason>``) suppress individual findings with
+a mandatory reason.  Run it as ``python -m repro.detlint`` or
+``make detlint`` (part of ``make check``).
+"""
+
+from repro.detlint.config import DEFAULT_CONFIG, DetlintConfig, load_config
+from repro.detlint.engine import LintReport, lint_paths, lint_source
+from repro.detlint.findings import (
+    Finding,
+    finding_id,
+    load_baseline,
+    write_baseline,
+)
+from repro.detlint.pragmas import PRAGMA_RE, Pragma, scan_pragmas
+from repro.detlint.rules import (
+    Rule,
+    get_rule,
+    register_rule,
+    rule_codes,
+    unregister_rule,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DetlintConfig",
+    "Finding",
+    "LintReport",
+    "PRAGMA_RE",
+    "Pragma",
+    "Rule",
+    "finding_id",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_config",
+    "register_rule",
+    "rule_codes",
+    "scan_pragmas",
+    "unregister_rule",
+    "write_baseline",
+]

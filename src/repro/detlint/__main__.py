@@ -1,0 +1,8 @@
+"""``python -m repro.detlint`` — run the determinism linter."""
+
+import sys
+
+from repro.detlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

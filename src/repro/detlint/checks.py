@@ -1,0 +1,468 @@
+"""The built-in determinism rules (DET001-DET005).
+
+Each rule is a small, registry-registered class over the parsed
+:class:`~repro.detlint.rules.Module`.  Detection is deliberately
+*syntactic* — canonical-name resolution follows imports but never does
+type inference — so every match is explainable by pointing at the
+source line, and a method call on a local variable (``rng.random()``)
+can never be confused with the module-level :mod:`random` API.
+
+DET006 (pragma hygiene) is not here: it is emitted by the engine,
+which is the only place that knows whether a pragma matched anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.detlint.findings import Finding
+from repro.detlint.rules import Module, Rule, register_rule
+
+# -- DET001: wall-clock --------------------------------------------------------
+
+#: Canonical names that read the machine clock.  Referencing any of
+#: them (call or bare reference, e.g. as an injectable default) outside
+#: the wall-clock zone is a finding.
+WALLCLOCK_NAMES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """DET001: the machine clock stays inside the wall-clock zone."""
+
+    code = "DET001"
+    title = "wall-clock"
+    summary = (
+        "wall-clock reads (time.time/perf_counter/monotonic/datetime.now) "
+        "outside the allowlisted wall-clock zone"
+    )
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if module.config.in_wallclock_zone(module.relpath):
+            return
+        for node in module.walk():
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            name = module.resolve(node)
+            if name in WALLCLOCK_NAMES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock reference `{name}` outside the wall-clock "
+                    "zone; simulation code must be clocked by sim time "
+                    "(pass timestamps in, or move the timing into "
+                    "repro.telemetry.profiler)",
+                )
+
+
+# -- DET002: nondeterministic iteration ----------------------------------------
+
+_LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+_SET_METHODS = frozenset(
+    {"difference", "union", "intersection", "symmetric_difference"}
+)
+
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that syntactically produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    """DET002: iteration order must not come from a hash table."""
+
+    code = "DET002"
+    title = "set-iteration"
+    summary = (
+        "iteration over set expressions, set comprehensions feeding "
+        "loops/returns, or os.listdir/glob.glob without sorted(...)"
+    )
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        sorted_args: set[int] = set()
+        for node in module.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+                and node.args
+            ):
+                sorted_args.add(id(node.args[0]))
+        for node in module.walk():
+            yield from self._check_node(module, node, sorted_args)
+
+    def _check_node(
+        self, module: Module, node: ast.AST, sorted_args: set[int]
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            yield self.finding(
+                module,
+                node.iter,
+                "for-loop over a set expression: hash order leaks into "
+                "execution order; wrap the iterable in sorted(...)",
+            )
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    yield self.finding(
+                        module,
+                        gen.iter,
+                        "comprehension over a set expression: hash order "
+                        "leaks into the produced sequence; wrap the "
+                        "iterable in sorted(...)",
+                    )
+        elif isinstance(node, ast.Return) and isinstance(node.value, ast.SetComp):
+            yield self.finding(
+                module,
+                node.value,
+                "returning a set comprehension: callers iterating the "
+                "result inherit hash order; return sorted(...) or a "
+                "frozenset consumed only for membership",
+            )
+        elif isinstance(node, ast.Call):
+            name = module.resolve(node.func)
+            if name in _LISTING_CALLS and id(node) not in sorted_args:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}(...)` without sorted(...): directory order is "
+                    "filesystem-dependent",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{node.func.id}(...)` materializes a set's hash order "
+                    "into a sequence; use sorted(...)",
+                )
+
+
+# -- DET003: unseeded RNG ------------------------------------------------------
+
+#: numpy.random attributes that are part of the *seeded* Generator API;
+#: everything else under numpy.random is the legacy global-state API.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Module-level stdlib `random` functions backed by the hidden global
+#: Random instance.
+_STDLIB_RANDOM_GLOBALS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+_RNG_FACTORIES = frozenset({"random.Random", "numpy.random.default_rng"})
+
+
+def _call_has_seed(node: ast.Call) -> bool:
+    return bool(node.args) or bool(node.keywords)
+
+
+class UnseededRngRule(Rule):
+    """DET003: every random stream derives from an explicit seed."""
+
+    code = "DET003"
+    title = "unseeded-rng"
+    summary = (
+        "np.random.default_rng()/random.Random() without a seed, "
+        "module-level random.* calls, and the legacy np.random.* "
+        "global-state API"
+    )
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        flagged: set[int] = set()
+        for node in module.walk():
+            if isinstance(node, ast.Call):
+                name = module.resolve(node.func)
+                if name in _RNG_FACTORIES and not _call_has_seed(node):
+                    flagged.add(id(node.func))
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`{name}()` without a seed draws from OS entropy; "
+                        "thread an explicit rng/seed through the call site",
+                    )
+                elif name == "random.SystemRandom":
+                    flagged.add(id(node.func))
+                    yield self.finding(
+                        module,
+                        node,
+                        "`random.SystemRandom` is nondeterministic by "
+                        "design and cannot be seeded",
+                    )
+                elif (
+                    name is not None
+                    and name.startswith("random.")
+                    and name.split(".", 1)[1] in _STDLIB_RANDOM_GLOBALS
+                ):
+                    flagged.add(id(node.func))
+                    yield self.finding(
+                        module,
+                        node,
+                        f"module-level `{name}(...)` uses the hidden global "
+                        "Random instance; use a seeded random.Random",
+                    )
+            elif isinstance(node, ast.keyword) and node.arg == "default_factory":
+                name = module.resolve(node.value)
+                if name in _RNG_FACTORIES:
+                    flagged.add(id(node.value))
+                    yield self.finding(
+                        module,
+                        node.value,
+                        f"`default_factory={name}` constructs an unseeded "
+                        "RNG at instantiation time; require an explicit rng",
+                    )
+        # Legacy numpy.random global-state references (np.random.rand,
+        # np.random.seed, np.random.RandomState, ...): flag the bare
+        # reference so aliasing (`rand = np.random.rand`) is caught too.
+        for node in module.walk():
+            if not isinstance(node, ast.Attribute) or id(node) in flagged:
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            name = module.resolve(node)
+            if (
+                name is not None
+                and name.startswith("numpy.random.")
+                and name.count(".") == 2
+                and name.rsplit(".", 1)[1] not in _NUMPY_RANDOM_ALLOWED
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy global-state API `{name}`; use a seeded "
+                    "np.random.default_rng(...) Generator",
+                )
+
+
+# -- DET004: unsorted artifact JSON --------------------------------------------
+
+_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+
+_SAVE_CALLS = frozenset(
+    {"numpy.save", "numpy.savez", "numpy.savez_compressed", "json.dump"}
+)
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The constant mode string of an open()-style call, if present."""
+    mode: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _writes_artifacts(module: Module) -> bool:
+    """True when the module syntactically contains a file-write call."""
+    if module.config.is_artifact_module(module.relpath):
+        return True
+    for node in module.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if mode is not None and any(c in mode for c in "wax+"):
+                return True
+        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_ATTRS:
+            return True
+        else:
+            name = module.resolve(func)
+            if name in _SAVE_CALLS:
+                return True
+            if name == "gzip.open":
+                mode = _open_mode(node)
+                if mode is not None and any(c in mode for c in "wax"):
+                    return True
+    return False
+
+
+class UnsortedJsonRule(Rule):
+    """DET004: artifact JSON is canonical (sorted keys) or it is not diffable."""
+
+    code = "DET004"
+    title = "unsorted-json"
+    summary = (
+        "json.dumps/json.dump without sort_keys=True in modules that "
+        "write artifacts"
+    )
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if not _writes_artifacts(module):
+            return
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve(node.func)
+            if name not in ("json.dumps", "json.dump"):
+                continue
+            sort_keys = None
+            for kw in node.keywords:
+                if kw.arg == "sort_keys":
+                    sort_keys = kw.value
+            if sort_keys is None or (
+                isinstance(sort_keys, ast.Constant) and sort_keys.value is False
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}` without sort_keys=True in an artifact-writing "
+                    "module: key order would follow dict construction "
+                    "history, not content",
+                )
+
+
+# -- DET005: sim/wall clock mixing ---------------------------------------------
+
+_PROFILER_MODULE = "repro.telemetry.profiler"
+
+#: The MetricsRegistry publish surface (sim-clock side).
+_PUBLISH_ATTRS = frozenset(
+    {"counter", "gauge", "histogram", "record_stats", "sample_tick"}
+)
+
+
+def _imports_profiler(module: Module) -> bool:
+    if any(m.startswith(_PROFILER_MODULE) for m in module.imports.modules):
+        return True
+    return any(
+        name.startswith(_PROFILER_MODULE + ".")
+        for name in module.imports.names.values()
+    )
+
+
+def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ClockMixingRule(Rule):
+    """DET005: one function, one clock."""
+
+    code = "DET005"
+    title = "clock-mixing"
+    summary = (
+        "functions in profiler-importing modules that both enter "
+        "wall-clock phases and publish sim-clock metrics"
+    )
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if not _imports_profiler(module):
+            return
+        for func in module.functions():
+            phases = False
+            publishes = False
+            for node in _own_nodes(func):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr == "phase":
+                        phases = True
+                    elif node.func.attr in _PUBLISH_ATTRS:
+                        publishes = True
+            if phases and publishes:
+                yield self.finding(
+                    module,
+                    func,
+                    f"function `{func.name}` both times wall-clock phases "
+                    "and publishes sim-clock metrics; keep the two clocks "
+                    "in separate functions (or pragma with the discipline "
+                    "that keeps wall time out of the published values)",
+                )
+
+
+register_rule(WallClockRule())
+register_rule(SetIterationRule())
+register_rule(UnseededRngRule())
+register_rule(UnsortedJsonRule())
+register_rule(ClockMixingRule())

@@ -1,0 +1,172 @@
+"""The detlint CLI: ``python -m repro.detlint`` / ``scripts/detlint.py``.
+
+Exit status is the gate: 0 when the tree is clean against the shipped
+baseline, 1 when there are new findings or stale baseline entries.
+Text output goes to stdout (one ``path:line: CODE message`` row per
+finding, grep- and editor-clickable); ``--out`` additionally writes
+the deterministic JSON artifact CI uploads; ``--stats`` prints the
+per-rule / per-package suppression-debt tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.detlint.config import load_config
+from repro.detlint.engine import LintReport, lint_paths
+from repro.detlint.findings import DetlintError, load_baseline, write_baseline
+from repro.detlint.rules import get_rule, rule_codes
+
+#: Default checked-in policy and baseline locations (repo root).
+DEFAULT_CONFIG_FILE = "detlint.toml"
+DEFAULT_BASELINE_FILE = "detlint.baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.detlint",
+        description=(
+            "AST-based determinism & clock-discipline linter for the "
+            "repro tree"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the configured paths)",
+    )
+    parser.add_argument(
+        "--config",
+        default=DEFAULT_CONFIG_FILE,
+        help=f"policy file (default: {DEFAULT_CONFIG_FILE}; missing = built-in defaults)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_FILE,
+        help=(
+            "grandfathered-findings file "
+            f"(default: {DEFAULT_BASELINE_FILE}; missing = empty)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON findings artifact to FILE",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule and per-package finding counts",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to exactly the current new findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _render_text(report: LintReport, *, verbose_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        if finding.status == "new":
+            lines.append(f"{finding.path}:{finding.line}: {finding.rule} {finding.message}")
+        elif verbose_suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} "
+                f"[{finding.status}: {finding.reason or 'baseline'}]"
+            )
+    for stale in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry {stale}: finding no longer fires; "
+            "run --update-baseline to drop it"
+        )
+    lines.append(
+        f"{len(report.findings)} findings across {report.files_checked} files "
+        f"({len(report.new)} new, {len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def _render_stats(report: LintReport) -> str:
+    stats = report.stats()
+    lines = ["", "per-rule:"]
+    width = max([len(k) for k in stats["by_rule"]] + [4])
+    header = f"  {'rule'.ljust(width)}  new  suppressed  baselined"
+    lines.append(header)
+    for code, row in stats["by_rule"].items():
+        lines.append(
+            f"  {code.ljust(width)}  {row['new']:>3}  {row['suppressed']:>10}  "
+            f"{row['baselined']:>9}"
+        )
+    lines.append("per-package:")
+    width = max([len(k) for k in stats["by_package"]] + [7])
+    lines.append(f"  {'package'.ljust(width)}  new  suppressed  baselined")
+    for pkg, row in stats["by_package"].items():
+        lines.append(
+            f"  {pkg.ljust(width)}  {row['new']:>3}  {row['suppressed']:>10}  "
+            f"{row['baselined']:>9}"
+        )
+    if not stats["by_rule"]:
+        lines.append("  (no findings)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in rule_codes():
+            rule = get_rule(code)
+            print(f"{code}  {rule.title}: {rule.summary}")
+        print(
+            "DET006  pragma-hygiene: suppression pragmas must parse, name "
+            "a known rule, carry a reason, and suppress something"
+        )
+        return 0
+
+    try:
+        config = load_config(args.config)
+        baseline = load_baseline(args.baseline)
+        paths = list(args.paths) or list(config.paths)
+        report = lint_paths(paths, config=config, baseline=baseline)
+    except DetlintError as exc:
+        print(f"detlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        ids = {f.id for f in report.new} | {f.id for f in report.baselined}
+        write_baseline(args.baseline, ids)
+        print(f"baseline updated: {len(ids)} grandfathered findings")
+        return 0
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_text(report))
+        if args.stats:
+            print(_render_stats(report))
+
+    return 0 if report.ok else 1

@@ -1,0 +1,107 @@
+"""Linter configuration: the zone allowlists, checked in as ``detlint.toml``.
+
+The defaults below *are* the repo's policy; ``detlint.toml`` at the
+repo root restates them so the allowlists are reviewable in one place
+and extending a zone is a one-line diff.  Loading is stdlib-only
+(:mod:`tomllib`), keeping the linter runnable in a bare CI container.
+
+Zones are matched against POSIX paths relative to the lint root:
+an entry ending in ``/`` is a directory prefix, anything else is an
+exact relative path or a path suffix (so ``repro/telemetry/profiler.py``
+matches whether the root is the repo or ``src``).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.detlint.findings import DetlintError
+
+#: The wall-clock zone (DET001): the *only* places allowed to read the
+#: machine clock.  The profiler is wall-clock by design; scripts and
+#: benchmarks time real work and never feed simulation artifacts.
+DEFAULT_WALLCLOCK_ZONES = (
+    "repro/telemetry/profiler.py",
+    "scripts/",
+    "benchmarks/",
+)
+
+#: Modules always treated as artifact writers for DET004, even when no
+#: file-write call is syntactically visible in them.
+DEFAULT_ARTIFACT_MODULES: tuple[str, ...] = ()
+
+#: Default lint roots, relative to the repository root.
+DEFAULT_PATHS = ("src/repro",)
+
+
+@dataclass(frozen=True)
+class DetlintConfig:
+    """Checked-in linter policy (see ``detlint.toml``)."""
+
+    paths: tuple[str, ...] = DEFAULT_PATHS
+    wallclock_zones: tuple[str, ...] = DEFAULT_WALLCLOCK_ZONES
+    artifact_modules: tuple[str, ...] = DEFAULT_ARTIFACT_MODULES
+
+    def in_wallclock_zone(self, relpath: str | Path) -> bool:
+        """True when *relpath* may read the machine clock (DET001)."""
+        return _matches(relpath, self.wallclock_zones)
+
+    def is_artifact_module(self, relpath: str | Path) -> bool:
+        """True when *relpath* is configured as an artifact writer."""
+        return _matches(relpath, self.artifact_modules)
+
+
+def _matches(relpath: str | Path, zones: tuple[str, ...]) -> bool:
+    rel = Path(relpath).as_posix()
+    for zone in zones:
+        if zone.endswith("/"):
+            if rel.startswith(zone) or f"/{zone}" in f"/{rel}":
+                return True
+        elif rel == zone or rel.endswith(f"/{zone}"):
+            return True
+    return False
+
+
+DEFAULT_CONFIG = DetlintConfig()
+
+_KNOWN_KEYS = frozenset({"paths", "wallclock_zones", "artifact_modules"})
+
+
+def load_config(path: str | Path | None) -> DetlintConfig:
+    """Load ``detlint.toml``; ``None`` or a missing file means defaults.
+
+    The file holds one ``[detlint]`` table (detlint.toml-style); unknown
+    keys raise so a typo cannot silently widen a zone.
+    """
+    if path is None:
+        return DEFAULT_CONFIG
+    path = Path(path)
+    if not path.exists():
+        return DEFAULT_CONFIG
+    try:
+        payload = tomllib.loads(path.read_text())
+    except tomllib.TOMLDecodeError as exc:
+        raise DetlintError(f"config {path} is not valid TOML: {exc}") from None
+    table = payload.get("detlint", payload)
+    if not isinstance(table, dict):
+        raise DetlintError(f"config {path}: [detlint] must be a table")
+    unknown = sorted(set(table) - _KNOWN_KEYS)
+    if unknown:
+        raise DetlintError(
+            f"config {path}: unknown keys {unknown}; expected "
+            f"{sorted(_KNOWN_KEYS)}"
+        )
+    kwargs: dict[str, tuple[str, ...]] = {}
+    for key in _KNOWN_KEYS:
+        if key in table:
+            value = table[key]
+            if not isinstance(value, list) or not all(
+                isinstance(v, str) for v in value
+            ):
+                raise DetlintError(
+                    f"config {path}: {key} must be a list of strings"
+                )
+            kwargs[key] = tuple(value)
+    return DetlintConfig(**kwargs)

@@ -1,0 +1,268 @@
+"""The findings engine: parse, check, suppress, baseline, report.
+
+``lint_paths`` is the one entry point the CLI, the Makefile gate, and
+the meta-test all share.  Its pipeline per module:
+
+1. parse with :mod:`ast` (a syntax error is a hard
+   :class:`DetlintError` — an unparseable module cannot be certified);
+2. run every registered rule, collecting raw findings;
+3. apply suppression pragmas — a valid pragma (known code, non-empty
+   reason) marks its findings ``suppressed``; an invalid or unused one
+   becomes a DET006 finding itself;
+4. apply the baseline — grandfathered IDs become ``baselined``; stale
+   baseline IDs (no longer firing) are reported so the baseline can
+   only shrink.
+
+Only ``new`` findings (and stale baseline entries) fail the gate.  The
+whole pipeline is deterministic: files are visited in sorted order and
+findings sort by ``(path, line, rule)``, so two runs over the same
+tree emit byte-identical JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.detlint.config import DEFAULT_CONFIG, DetlintConfig
+from repro.detlint.findings import Baseline, DetlintError, Finding
+from repro.detlint.pragmas import scan_pragmas
+from repro.detlint.rules import Module, all_rules, get_rule, rule_codes
+
+#: Schema tag for the JSON findings artifact.
+FINDINGS_SCHEMA = "repro.detlint/findings-v1"
+
+#: The engine-owned pragma-hygiene rule code (not in the registry:
+#: only the engine knows whether a pragma matched anything).
+PRAGMA_RULE = "DET006"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
+
+    @property
+    def new(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "new"]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "suppressed"]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "baselined"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (nothing new, no stale baseline)."""
+        return not self.new and not self.stale_baseline
+
+    def stats(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Per-rule and per-package counts by status (suppression debt)."""
+        by_rule: dict[str, dict[str, int]] = {}
+        by_package: dict[str, dict[str, int]] = {}
+        for finding in self.findings:
+            for table, key in ((by_rule, finding.rule), (by_package, finding.package)):
+                row = table.setdefault(
+                    key, {"new": 0, "suppressed": 0, "baselined": 0}
+                )
+                row[finding.status] += 1
+        return {
+            "by_rule": {k: by_rule[k] for k in sorted(by_rule)},
+            "by_package": {k: by_package[k] for k in sorted(by_package)},
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        rules = {
+            code: {
+                "title": get_rule(code).title,
+                "summary": get_rule(code).summary,
+            }
+            for code in rule_codes()
+        }
+        return {
+            "schema": FINDINGS_SCHEMA,
+            "files_checked": self.files_checked,
+            "counts": {
+                "new": len(self.new),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "rules": rules,
+            "stats": self.stats(),
+            "stale_baseline": sorted(self.stale_baseline),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _sort_key(finding: Finding) -> tuple[str, int, str]:
+    return (finding.path, finding.line, finding.rule)
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    config: DetlintConfig = DEFAULT_CONFIG,
+) -> list[Finding]:
+    """Lint one module's source text; returns its findings, sorted.
+
+    Pragma disposition is applied (``new`` vs ``suppressed`` plus any
+    DET006 hygiene findings); the baseline is not — that belongs to
+    :func:`lint_paths`, which owns whole-tree identity.
+    """
+    relpath = Path(relpath).as_posix()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        raise DetlintError(
+            f"{relpath}:{exc.lineno}: cannot parse module: {exc.msg}"
+        ) from None
+    module = Module(relpath=relpath, source=source, tree=tree, config=config)
+    raw: list[Finding] = []
+    for rule in all_rules():
+        raw.extend(rule.check(module))
+
+    pragmas, malformed = scan_pragmas(source)
+    known = set(rule_codes())
+    findings: list[Finding] = []
+    used: dict[tuple[int, str], int] = {}
+
+    for finding in raw:
+        suppressor = None
+        for pragma in pragmas:
+            if pragma.reason and pragma.matches(finding.rule, finding.line):
+                suppressor = pragma
+                break
+        if suppressor is not None:
+            used[(suppressor.line, finding.rule)] = (
+                used.get((suppressor.line, finding.rule), 0) + 1
+            )
+            findings.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    rule=finding.rule,
+                    message=finding.message,
+                    status="suppressed",
+                    reason=suppressor.reason,
+                )
+            )
+        else:
+            findings.append(finding)
+
+    # Pragma hygiene (DET006): missing reason, unknown codes, unused
+    # suppressions, and comments that look like pragmas but don't parse.
+    for pragma in pragmas:
+        if not pragma.reason:
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=pragma.line,
+                    rule=PRAGMA_RULE,
+                    message=(
+                        "suppression pragma without a reason; write "
+                        "`# detlint: ok[CODE] <why this is safe>`"
+                    ),
+                )
+            )
+            continue
+        for code in pragma.codes:
+            if code not in known:
+                findings.append(
+                    Finding(
+                        path=relpath,
+                        line=pragma.line,
+                        rule=PRAGMA_RULE,
+                        message=(
+                            f"pragma names unknown rule {code!r}; "
+                            f"expected one of {', '.join(sorted(known))}"
+                        ),
+                    )
+                )
+            elif used.get((pragma.line, code), 0) == 0:
+                findings.append(
+                    Finding(
+                        path=relpath,
+                        line=pragma.line,
+                        rule=PRAGMA_RULE,
+                        message=(
+                            f"unused suppression for {code} (nothing to "
+                            "suppress on its target line); remove the pragma"
+                        ),
+                    )
+                )
+    for bad in malformed:
+        findings.append(
+            Finding(
+                path=relpath,
+                line=bad.line,
+                rule=PRAGMA_RULE,
+                message=(
+                    f"comment `{bad.text}` mentions detlint but does not "
+                    "parse as a pragma; the syntax is "
+                    "`# detlint: ok[CODE] <reason>`"
+                ),
+            )
+        )
+    return sorted(findings, key=_sort_key)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """The sorted .py files under *paths* (files pass through as-is)."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            raise DetlintError(f"lint path does not exist: {path}")
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths: list[str | Path],
+    config: DetlintConfig = DEFAULT_CONFIG,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under *paths* against *config* + *baseline*.
+
+    Args:
+        paths: files or directory roots to scan.
+        root: base for the relative paths findings carry (default: the
+            current working directory; non-relative files fall back to
+            their given path).
+    """
+    baseline = baseline or Baseline()
+    rootpath = Path(root) if root is not None else Path.cwd()
+    report = LintReport()
+    seen_ids: set[str] = set()
+    for file in iter_python_files([Path(p) for p in paths]):
+        try:
+            relpath = file.resolve().relative_to(rootpath.resolve())
+        except ValueError:
+            relpath = file
+        source = file.read_text()
+        for finding in lint_source(source, str(relpath), config):
+            seen_ids.add(finding.id)
+            if finding.status == "new" and finding.id in baseline:
+                finding = Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    rule=finding.rule,
+                    message=finding.message,
+                    status="baselined",
+                )
+            report.findings.append(finding)
+        report.files_checked += 1
+    report.findings.sort(key=_sort_key)
+    report.stale_baseline = sorted(baseline.ids - seen_ids)
+    return report

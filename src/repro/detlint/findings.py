@@ -1,0 +1,137 @@
+"""Findings: the linter's unit of output, and the baseline that grandfathers them.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity — :func:`finding_id`, ``path:line:rule`` with a POSIX relative
+path — is the stable key everything else keys on: the baseline file
+stores IDs, the JSON artifact sorts by them, and CI diffs them across
+runs.  Stability matters more than precision here: a finding that moves
+by one line gets a new ID and resurfaces, which is the correct failure
+mode for a gate (silently tracking drifting findings is how baselines
+rot into permanent debt).
+
+The baseline file is deliberately trivial: a sorted JSON list of IDs
+under a schema tag.  The repo ships an **empty** baseline — every
+pre-existing hazard was fixed or pragma'd when the gate landed — so any
+entry appearing in it after that is visible, reviewable debt.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Schema tag written into baseline files; bump on layout change.
+BASELINE_SCHEMA = "repro.detlint/baseline-v1"
+
+#: How a finding was disposed of by the engine.
+STATUSES = ("new", "suppressed", "baselined")
+
+
+class DetlintError(ReproError):
+    """Raised for malformed baselines, configs, or pragma syntax."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: POSIX path relative to the lint root (stable across
+            machines; never absolute).
+        line: 1-based source line the finding anchors to.
+        rule: rule code (``DET001``...).
+        message: human-readable description of the hazard.
+        status: disposition — ``new`` fails the gate, ``suppressed``
+            (pragma) and ``baselined`` (grandfathered) do not.
+        reason: the pragma's mandatory justification, when suppressed.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    status: str = "new"
+    reason: str = ""
+
+    @property
+    def id(self) -> str:
+        return finding_id(self.path, self.line, self.rule)
+
+    @property
+    def package(self) -> str:
+        """The repro sub-package the finding lives in (stats bucketing)."""
+        parts = Path(self.path).parts
+        if "repro" in parts:
+            after = parts[parts.index("repro") + 1 :]
+            if len(after) > 1:
+                return "repro." + after[0]
+            return "repro"
+        return parts[0] if len(parts) > 1 else "."
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "id": self.id,
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+def finding_id(path: str, line: int, rule: str) -> str:
+    """The stable ``path:line:rule`` identity of a finding."""
+    return f"{Path(path).as_posix()}:{line}:{rule}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The set of grandfathered finding IDs plus bookkeeping."""
+
+    ids: frozenset[str] = field(default_factory=frozenset)
+
+    def __contains__(self, finding: Finding | str) -> bool:
+        key = finding if isinstance(finding, str) else finding.id
+        return key in self.ids
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Raises:
+        DetlintError: on malformed JSON or a wrong schema tag — a
+            corrupt baseline must fail loudly, not silently admit
+            every finding.
+    """
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DetlintError(f"baseline {path} is not valid JSON: {exc}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != BASELINE_SCHEMA
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise DetlintError(
+            f"baseline {path} does not match schema {BASELINE_SCHEMA!r}"
+        )
+    ids = payload["findings"]
+    bad = [i for i in ids if not isinstance(i, str)]
+    if bad:
+        raise DetlintError(f"baseline {path} has non-string finding IDs: {bad!r}")
+    return Baseline(ids=frozenset(ids))
+
+
+def write_baseline(path: str | Path, ids: frozenset[str] | set[str]) -> Path:
+    """Write *ids* as a baseline file (sorted, trailing newline)."""
+    path = Path(path)
+    payload = {"schema": BASELINE_SCHEMA, "findings": sorted(ids)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

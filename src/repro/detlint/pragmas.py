@@ -1,0 +1,111 @@
+"""Per-line suppression pragmas: ``# detlint: ok[DET003] <reason>``.
+
+A pragma acknowledges one specific hazard on one specific line and is
+forced to say *why* it is acceptable — the reason is mandatory and the
+linter itself enforces it (DET006), so suppressions stay reviewable
+rather than accreting as bare markers.  Several codes may share one
+pragma (``ok[DET001,DET005] ...``).
+
+Placement: a pragma written on a code line suppresses findings on that
+line; a pragma on a comment-only line suppresses findings on the next
+line (for lines too long to carry the comment).
+
+Scanning uses :mod:`tokenize`, not a regex over raw lines, so pragma
+text inside string literals is never misread as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: The pragma grammar.  ``detlint: ok[CODE[,CODE...]] reason...``
+PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*ok\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+#: A comment that mentions detlint but does not parse as a pragma —
+#: flagged by DET006 so typos fail instead of silently not suppressing.
+PRAGMA_HINT_RE = re.compile(r"#\s*detlint\b")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment.
+
+    Attributes:
+        line: the source line the pragma comment sits on.
+        target_line: the line whose findings it suppresses (same line,
+            or the next one for a comment-only line).
+        codes: the rule codes it suppresses (sorted, deduplicated).
+        reason: the mandatory justification text (may be empty here;
+            DET006 rejects it downstream).
+    """
+
+    line: int
+    target_line: int
+    codes: tuple[str, ...]
+    reason: str
+
+    #: Set by the engine when the pragma suppressed at least one finding.
+    def matches(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule in self.codes
+
+
+@dataclass(frozen=True)
+class MalformedPragma:
+    """A detlint-looking comment that failed to parse (DET006 fodder)."""
+
+    line: int
+    text: str
+
+
+def scan_pragmas(
+    source: str,
+) -> tuple[tuple[Pragma, ...], tuple[MalformedPragma, ...]]:
+    """Extract pragmas (and malformed pragma attempts) from *source*.
+
+    Returns ``(pragmas, malformed)``.  Sources with tokenization errors
+    return empty results; the engine reports the parse failure itself.
+    """
+    pragmas: list[Pragma] = []
+    malformed: list[MalformedPragma] = []
+    code_lines: set[int] = set()
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return (), ()
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append((tok.start[0], tok.string))
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            for row in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(row)
+    for line, text in comments:
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            if PRAGMA_HINT_RE.search(text):
+                malformed.append(MalformedPragma(line=line, text=text.strip()))
+            continue
+        codes = tuple(
+            sorted({c.strip() for c in match.group("codes").split(",") if c.strip()})
+        )
+        target = line if line in code_lines else line + 1
+        pragmas.append(
+            Pragma(
+                line=line,
+                target_line=target,
+                codes=codes,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return tuple(pragmas), tuple(malformed)

@@ -1,0 +1,76 @@
+"""Qualified-name resolution for AST nodes, driven by a module's imports.
+
+Rules match *canonical* dotted names (``numpy.random.default_rng``,
+``time.perf_counter``), not surface spellings — so ``np.random.rand``,
+``from time import perf_counter as pc; pc()`` and ``import time;
+time.perf_counter()`` all resolve to the same key.  Resolution is
+purely syntactic: it follows the module's ``import`` statements, never
+type inference, so a method call on a local variable (``rng.random()``)
+resolves to nothing rather than to :mod:`random` — exactly the
+false-positive behavior a gate linter wants.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ImportMap:
+    """Local name -> canonical dotted prefix, from a module's imports."""
+
+    names: dict[str, str] = field(default_factory=dict)
+    #: Canonical module paths imported anywhere in the module (for
+    #: module-level checks like DET005's "imports the profiler").
+    modules: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        imap = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imap.modules.add(alias.name)
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds c -> a.b.
+                    canonical = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    imap.names[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay repo-internal
+                imap.modules.add(node.module)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imap.names[local] = f"{node.module}.{alias.name}"
+        return imap
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name for a Name/Attribute chain, or None.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves
+        to ``numpy.random.default_rng``; a chain whose root is not an
+        imported name resolves to None.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.names.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def canonicalize(name: str) -> str:
+    """Fold spelling variants onto the canonical module path."""
+    # numpy re-exports random under both `numpy.random` and the
+    # historical `numpy.random.mtrand`; fold the latter.
+    if name.startswith("numpy.random.mtrand."):
+        return "numpy.random." + name[len("numpy.random.mtrand.") :]
+    return name

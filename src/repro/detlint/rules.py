@@ -1,0 +1,178 @@
+"""The detlint rule registry: pluggable determinism rules.
+
+Mirrors the :mod:`repro.experiments.registry` ``RunKind`` pattern: a
+:class:`Rule` is a registered object owning one invariant — a code
+(``DET001``), a one-line summary for docs and ``--list-rules``, and a
+``check`` that yields findings for one parsed module.  Registering a
+new rule makes it reachable from the engine, the CLI, the stats
+report, and the pragma checker with no dispatcher edits — adding a
+determinism invariant is a new module-scoped class, not a patch to a
+monolithic visitor.
+
+Rules receive a :class:`Module` — the parsed tree plus the resolution
+and zone helpers every check needs — and must be pure functions of it:
+the linter's own output is part of the determinism story (two runs
+over the same tree produce identical findings, which is what makes the
+JSON artifact diffable in CI).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator
+
+from repro.detlint.findings import DetlintError, Finding
+from repro.detlint.resolve import ImportMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detlint.config import DetlintConfig
+
+__all__ = [
+    "Module",
+    "Rule",
+    "get_rule",
+    "register_rule",
+    "rule_codes",
+    "unregister_rule",
+]
+
+
+@dataclass
+class Module:
+    """One parsed source module, as rules see it."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    config: "DetlintConfig"
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap.from_tree(self.tree)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain (or None)."""
+        from repro.detlint.resolve import canonicalize
+
+        name = self.imports.resolve(node)
+        return None if name is None else canonicalize(name)
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in self.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+class Rule(abc.ABC):
+    """One registered determinism invariant.
+
+    Attributes:
+        code: the stable rule code (``DET001``) — registry key, pragma
+            target, and finding-ID component.
+        title: short name for tables (``wall-clock``).
+        summary: one line for docs and ``--list-rules``.
+    """
+
+    code: ClassVar[str]
+    title: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, module: Module) -> Iterable[Finding]:
+        """Yield findings for *module*.  Must be deterministic."""
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at *node*'s line in *module*."""
+        return Finding(
+            path=Path(module.relpath).as_posix(),
+            line=getattr(node, "lineno", 1),
+            rule=self.code,
+            message=message,
+        )
+
+
+# -- registry ------------------------------------------------------------------
+
+_REGISTRY: dict[str, Rule] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in DET rules on first registry access.
+
+    Same shape as the run-kind registry: lazy registration with
+    rollback, so a failed import resurfaces identically on every
+    access instead of decaying into an empty registry.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    before = set(_REGISTRY)
+    try:
+        import repro.detlint.checks  # noqa: F401  (registers on import)
+    except BaseException:
+        for code in sorted(set(_REGISTRY) - before):
+            del _REGISTRY[code]
+        raise
+    _BUILTINS_LOADED = True
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Register *rule* under ``rule.code``; returns it for chaining.
+
+    Raises:
+        DetlintError: for an empty or duplicate code — two rules
+            shadowing one code would make pragmas ambiguous.
+    """
+    code = getattr(rule, "code", "")
+    if not code or not isinstance(code, str):
+        raise DetlintError(f"rule {rule!r} must define a non-empty string `code`")
+    if code in _REGISTRY:
+        raise DetlintError(
+            f"rule {code!r} is already registered "
+            f"({_REGISTRY[code].__class__.__name__}); unregister it first"
+        )
+    _REGISTRY[code] = rule
+    return rule
+
+
+def unregister_rule(code: str) -> Rule:
+    """Remove and return a registered rule (test/plugin teardown hook)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY.pop(code)
+    except KeyError:
+        raise DetlintError(f"rule {code!r} is not registered") from None
+
+
+def rule_codes() -> tuple[str, ...]:
+    """All registered rule codes, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    """Look up a registered rule by code.
+
+    Raises:
+        DetlintError: for an unknown code, listing the registry.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise DetlintError(
+            f"unknown rule {code!r}; expected one of {rule_codes()}"
+        ) from None
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """The registered rules in code order (the engine's iteration set)."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))

@@ -131,8 +131,9 @@ def _ensure_builtins() -> None:
         # Roll back partial registrations and leave the flag unset: the
         # root-cause error must resurface identically on every access,
         # not decay into an empty registry ("unknown run kind 'static'")
-        # or a wedged one ("'static' is already registered").
-        for name in set(_REGISTRY) - before:
+        # or a wedged one ("'static' is already registered").  Sorted:
+        # cleanup order must not depend on set hash order.
+        for name in sorted(set(_REGISTRY) - before):
             del _REGISTRY[name]
         raise
     _BUILTINS_LOADED = True

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import constants
 from repro.errors import SignalError
 
 #: Default RMS amplitude of the complex-Gaussian noise floor (ADC counts).
@@ -44,7 +45,8 @@ def awgn_amplitude(
         raise SignalError(f"num_samples must be >= 0, got {num_samples}")
     if rms < 0:
         raise SignalError(f"noise RMS must be >= 0, got {rms}")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(constants.FALLBACK_RNG_SEED)
     sigma = rms / np.sqrt(2.0)
     return rng.normal(0.0, sigma, num_samples) + 1j * rng.normal(
         0.0, sigma, num_samples

@@ -101,7 +101,9 @@ def synthesize_bursts(
         capture_duration_us: length of the synthetic capture.
         noise_rms: RMS amplitude of the noise floor.
         sample_period_us: scanner sample period.
-        rng: deterministic random source.
+        rng: deterministic random source (default: a fresh Generator
+            seeded with :data:`repro.constants.FALLBACK_RNG_SEED`, so
+            two bare calls produce identical captures).
         start_us: environment-clock timestamp stored on the trace.
 
     Returns:
@@ -111,7 +113,8 @@ def synthesize_bursts(
         raise SignalError(
             f"capture duration must be positive, got {capture_duration_us}"
         )
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(constants.FALLBACK_RNG_SEED)
     num_samples = samples_for_duration(capture_duration_us, sample_period_us)
     samples = awgn_amplitude(num_samples, noise_rms, rng)
 
@@ -227,7 +230,8 @@ def traffic_bursts(
         raise SignalError(
             f"inter-packet gap must be >= 0, got {inter_packet_gap_us}"
         )
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(constants.FALLBACK_RNG_SEED)
     bursts: list[BurstSpec] = []
     t = start_us
     for _ in range(num_packets):

@@ -25,7 +25,10 @@ class Transceiver:
         environment: the RF environment the radio listens to.
         pll_switch_us: latency of retuning center frequency or width
             ("known to be a few milliseconds", Section 4.3).
-        rng: random source for probabilistic frame decoding.
+        rng: random source for probabilistic frame decoding (default: a
+            fresh Generator seeded with
+            :data:`repro.constants.FALLBACK_RNG_SEED`, so two bare
+            constructions decode identically).
         snr_50_db: SNR at which a 1000-byte frame decodes 50% of the
             time (the receiver's sensitivity anchor).
     """
@@ -39,7 +42,9 @@ class Transceiver:
     ):
         self.environment = environment
         self.pll_switch_us = pll_switch_us
-        self.rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = np.random.default_rng(constants.FALLBACK_RNG_SEED)
+        self.rng = rng
         self.snr_50_db = snr_50_db
         self._channel: WhiteFiChannel | None = None
         #: Cumulative PLL switches performed (diagnostics).

@@ -46,9 +46,13 @@ class SiftScanResult:
     capture_duration_us: float
 
     @property
-    def widths_detected(self) -> set[float]:
-        """Channel widths of transmitters seen in this capture."""
-        return {e.width_mhz for e in self.exchanges}
+    def widths_detected(self) -> frozenset[float]:
+        """Channel widths of transmitters seen in this capture.
+
+        A frozenset: consumed for membership and max(), never iterated
+        into an artifact (iteration order would be hash order).
+        """
+        return frozenset(e.width_mhz for e in self.exchanges)
 
     @property
     def transmitter_detected(self) -> bool:

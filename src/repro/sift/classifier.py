@@ -162,9 +162,13 @@ def classify_exchanges(
     return exchanges
 
 
-def detected_widths(exchanges: list[DetectedExchange]) -> set[float]:
-    """The set of transmitter widths present in a capture."""
-    return {e.width_mhz for e in exchanges}
+def detected_widths(exchanges: list[DetectedExchange]) -> frozenset[float]:
+    """The set of transmitter widths present in a capture.
+
+    A frozenset: consumed for membership and max(), never iterated
+    into an artifact (iteration order would be hash order).
+    """
+    return frozenset(e.width_mhz for e in exchanges)
 
 
 def count_matching_packets(

@@ -90,7 +90,9 @@ class RoamingClient:
     x_m: float
     y_m: float
     waypoint: tuple[float, float]
-    rng: random.Random = field(repr=False, default_factory=random.Random)
+    # Required, not defaulted: an implicit `random.Random()` fallback
+    # would seed from OS entropy and break run reproducibility.
+    rng: random.Random = field(repr=False)
     known_free: frozenset[int] = frozenset()
     last_cell: tuple[int, int] | None = None
     last_bucket: int = -1

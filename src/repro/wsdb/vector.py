@@ -469,6 +469,7 @@ def _fleet_report(
     }
 
 
+# detlint: ok[DET005] profiler times tick phases only; every published metric value is sim-clock data and reports are byte-identical with profiling on (tests/telemetry/test_determinism.py)
 def simulate_roaming_vector(
     db: WhiteSpaceDatabase,
     num_aps: int,
@@ -661,6 +662,7 @@ def simulate_roaming_vector(
     return report
 
 
+# detlint: ok[DET005] profiler times tick phases only; every published metric value is sim-clock data and reports are byte-identical with profiling on (tests/telemetry/test_determinism.py)
 def simulate_querystorm_vector(
     router,
     num_aps: int,

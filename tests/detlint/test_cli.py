@@ -1,0 +1,133 @@
+"""The detlint CLI: exit codes, JSON artifact, baseline update, stats."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.detlint.cli import main
+from repro.detlint.engine import FINDINGS_SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+BAD_MODULE = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    """A minimal fake repo the CLI runs in (cwd-relative defaults)."""
+    pkg = tmp_path / "src" / "repro" / "fakemod"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_MODULE)
+    (tmp_path / "detlint.toml").write_text(
+        '[detlint]\npaths = ["src/repro"]\n'
+    )
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestGate:
+    def test_new_finding_exits_1(self, repo, capsys):
+        assert main([]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/fakemod/bad.py:4: DET001" in out
+        assert "1 new" in out
+
+    def test_clean_tree_exits_0(self, repo, capsys):
+        (repo / "src/repro/fakemod/bad.py").write_text("x = 1\n")
+        assert main([]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_explicit_paths_override_config(self, repo, capsys):
+        clean = repo / "other.py"
+        clean.write_text("x = 1\n")
+        assert main(["other.py"]) == 0
+
+    def test_config_error_exits_2(self, repo, capsys):
+        (repo / "detlint.toml").write_text("[detlint]\nbogus_key = 1\n")
+        assert main([]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+
+class TestArtifacts:
+    def test_out_writes_schema_tagged_json(self, repo, capsys):
+        main(["--out", "artifacts/detlint.json"])
+        payload = json.loads((repo / "artifacts/detlint.json").read_text())
+        assert payload["schema"] == FINDINGS_SCHEMA
+        assert payload["counts"]["new"] == 1
+        assert payload["findings"][0]["id"] == (
+            "src/repro/fakemod/bad.py:4:DET001"
+        )
+        assert "DET001" in payload["rules"]
+
+    def test_json_stdout_format(self, repo, capsys):
+        main(["--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == FINDINGS_SCHEMA
+
+    def test_stats_flag_prints_tables(self, repo, capsys):
+        main(["--stats"])
+        out = capsys.readouterr().out
+        assert "per-rule:" in out
+        assert "DET001" in out
+        assert "repro.fakemod" in out
+
+    def test_list_rules(self, repo, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005", "DET006"):
+            assert code in out
+
+
+class TestBaselineFlow:
+    def test_update_then_gate_passes_then_stale_fails(self, repo, capsys):
+        # Grandfather the current findings...
+        assert main(["--update-baseline"]) == 0
+        baseline = json.loads((repo / "detlint.baseline.json").read_text())
+        assert baseline["findings"] == ["src/repro/fakemod/bad.py:4:DET001"]
+        # ...the gate now passes with the finding intact...
+        assert main([]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...and fixing the hazard makes the baseline entry stale (the
+        # baseline can only shrink, never silently rot).
+        (repo / "src/repro/fakemod/bad.py").write_text("x = 1\n")
+        assert main([]) == 1
+        assert "stale baseline" in capsys.readouterr().out
+        assert main(["--update-baseline"]) == 0
+        assert main([]) == 0
+
+
+class TestScriptEntryPoint:
+    def test_scripts_detlint_runs_without_pythonpath(self):
+        # scripts/detlint.py bootstraps sys.path itself (the CI job and
+        # bare checkouts call it directly).
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "detlint.py"),
+             "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "DET001" in proc.stdout
+
+    def test_detlint_report_renders_artifact(self, repo):
+        main(["--out", "detlint.json"])
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "detlint_report.py"),
+             "detlint.json"],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+        )
+        assert proc.returncode == 0
+        assert "by rule:" in proc.stdout
+        assert "DET001" in proc.stdout

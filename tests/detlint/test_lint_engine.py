@@ -1,0 +1,136 @@
+"""Engine-level behavior: baselines, tree walking, report identity."""
+
+import json
+
+import pytest
+
+from repro.detlint.config import DetlintConfig
+from repro.detlint.engine import lint_paths
+from repro.detlint.findings import (
+    Baseline,
+    DetlintError,
+    load_baseline,
+    write_baseline,
+)
+
+BAD_MODULE = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+CLEAN_MODULE = "def double(x):\n    return 2 * x\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "fakemod"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_MODULE)
+    (pkg / "clean.py").write_text(CLEAN_MODULE)
+    return tmp_path
+
+
+class TestLintPaths:
+    def test_walks_tree_and_relativizes_paths(self, tree):
+        report = lint_paths([tree / "src"], root=tree)
+        assert report.files_checked == 2
+        (finding,) = report.new
+        assert finding.id == "src/repro/fakemod/bad.py:4:DET001"
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(DetlintError, match="does not exist"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_deterministic_over_two_runs(self, tree):
+        a = lint_paths([tree / "src"], root=tree)
+        b = lint_paths([tree / "src"], root=tree)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_stats_tables(self, tree):
+        stats = lint_paths([tree / "src"], root=tree).stats()
+        assert stats["by_rule"]["DET001"]["new"] == 1
+        assert stats["by_package"]["repro.fakemod"]["new"] == 1
+
+
+class TestBaseline:
+    def test_baselined_findings_pass_the_gate(self, tree):
+        baseline = Baseline(
+            ids=frozenset({"src/repro/fakemod/bad.py:4:DET001"})
+        )
+        report = lint_paths([tree / "src"], root=tree, baseline=baseline)
+        assert report.new == []
+        assert [f.status for f in report.baselined] == ["baselined"]
+        assert report.ok
+
+    def test_stale_baseline_entry_fails_the_gate(self, tree):
+        baseline = Baseline(ids=frozenset({"src/repro/fakemod/gone.py:1:DET001"}))
+        report = lint_paths([tree / "src"], root=tree, baseline=baseline)
+        assert report.stale_baseline == ["src/repro/fakemod/gone.py:1:DET001"]
+        assert not report.ok
+
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "detlint.baseline.json"
+        write_baseline(path, {"b:2:DET002", "a:1:DET001"})
+        baseline = load_baseline(path)
+        assert baseline.ids == {"a:1:DET001", "b:2:DET002"}
+        # Serialized sorted, so baseline diffs are stable.
+        assert json.loads(path.read_text())["findings"] == [
+            "a:1:DET001",
+            "b:2:DET002",
+        ]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").ids == frozenset()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(DetlintError, match="schema"):
+            load_baseline(path)
+        path.write_text("not json")
+        with pytest.raises(DetlintError, match="not valid JSON"):
+            load_baseline(path)
+
+
+class TestConfig:
+    def test_zone_matching_prefix_and_suffix(self):
+        config = DetlintConfig()
+        assert config.in_wallclock_zone("src/repro/telemetry/profiler.py")
+        assert config.in_wallclock_zone("repro/telemetry/profiler.py")
+        assert config.in_wallclock_zone("scripts/profile_run.py")
+        assert config.in_wallclock_zone("benchmarks/bench_scale.py")
+        assert not config.in_wallclock_zone("src/repro/telemetry/metrics.py")
+        assert not config.in_wallclock_zone("src/repro/wsdb/service.py")
+
+    def test_load_config_from_toml(self, tmp_path):
+        from repro.detlint.config import load_config
+
+        path = tmp_path / "detlint.toml"
+        path.write_text(
+            "[detlint]\n"
+            'paths = ["src/repro"]\n'
+            'wallclock_zones = ["repro/custom.py"]\n'
+        )
+        config = load_config(path)
+        assert config.wallclock_zones == ("repro/custom.py",)
+        assert config.in_wallclock_zone("src/repro/custom.py")
+        # Unset keys keep their defaults.
+        assert config.artifact_modules == ()
+
+    def test_unknown_config_key_raises(self, tmp_path):
+        from repro.detlint.config import load_config
+
+        path = tmp_path / "detlint.toml"
+        path.write_text("[detlint]\nwallclock_zone = []\n")
+        with pytest.raises(DetlintError, match="unknown keys"):
+            load_config(path)
+
+    def test_missing_config_is_defaults(self, tmp_path):
+        from repro.detlint.config import DEFAULT_CONFIG, load_config
+
+        assert load_config(tmp_path / "nope.toml") == DEFAULT_CONFIG
+        assert load_config(None) == DEFAULT_CONFIG

@@ -1,0 +1,121 @@
+"""Pragma parsing and the DET006 hygiene rule.
+
+The suppression mechanism polices itself: a pragma must parse, name a
+registered rule, carry a non-empty reason, and actually suppress
+something — anything less is itself a finding.
+"""
+
+import textwrap
+
+from repro.detlint import lint_source, scan_pragmas
+from repro.detlint.config import DetlintConfig
+
+
+def lint(source):
+    return lint_source(
+        textwrap.dedent(source), "src/repro/wsdb/fake.py", DetlintConfig()
+    )
+
+
+class TestParsing:
+    def test_same_line_pragma_targets_its_line(self):
+        (pragma,), malformed = scan_pragmas(
+            "x = f()  # detlint: ok[DET001] reason here\n"
+        )
+        assert malformed == ()
+        assert pragma.line == 1
+        assert pragma.target_line == 1
+        assert pragma.codes == ("DET001",)
+        assert pragma.reason == "reason here"
+
+    def test_comment_only_line_targets_next_line(self):
+        (pragma,), _ = scan_pragmas(
+            "# detlint: ok[DET003] demo only\nrng = make()\n"
+        )
+        assert pragma.line == 1
+        assert pragma.target_line == 2
+
+    def test_multiple_codes_share_one_reason(self):
+        (pragma,), _ = scan_pragmas(
+            "x = f()  # detlint: ok[DET005,DET001] both clocks audited\n"
+        )
+        assert pragma.codes == ("DET001", "DET005")
+
+    def test_pragma_text_inside_string_is_not_a_pragma(self):
+        pragmas, malformed = scan_pragmas(
+            's = "# detlint: ok[DET001] not a comment"\n'
+        )
+        assert pragmas == ()
+        assert malformed == ()
+
+    def test_malformed_pragma_is_collected(self):
+        pragmas, malformed = scan_pragmas("x = 1  # detlint ok DET001 oops\n")
+        assert pragmas == ()
+        assert len(malformed) == 1
+        assert malformed[0].line == 1
+
+
+class TestHygiene:
+    def test_missing_reason_does_not_suppress_and_flags_det006(self):
+        findings = lint(
+            """
+            import time
+
+            t = time.time()  # detlint: ok[DET001]
+            """
+        )
+        codes = sorted((f.rule, f.status) for f in findings)
+        assert codes == [("DET001", "new"), ("DET006", "new")]
+
+    def test_unknown_rule_code_flags_det006(self):
+        findings = lint(
+            """
+            x = 1  # detlint: ok[DET999] no such rule
+            """
+        )
+        assert [(f.rule, f.status) for f in findings] == [("DET006", "new")]
+        assert "unknown rule" in findings[0].message
+
+    def test_unused_pragma_flags_det006(self):
+        findings = lint(
+            """
+            x = 1  # detlint: ok[DET001] nothing here needs this
+            """
+        )
+        assert [(f.rule, f.status) for f in findings] == [("DET006", "new")]
+        assert "unused suppression" in findings[0].message
+
+    def test_partially_used_multi_code_pragma_flags_unused_half(self):
+        findings = lint(
+            """
+            import time
+
+            t = time.time()  # detlint: ok[DET001,DET003] timing demo
+            """
+        )
+        assert sorted((f.rule, f.status) for f in findings) == [
+            ("DET001", "suppressed"),
+            ("DET006", "new"),
+        ]
+
+    def test_malformed_pragma_comment_flags_det006(self):
+        findings = lint(
+            """
+            import time
+
+            t = time.time()  # detlint ok[DET001] missing colon
+            """
+        )
+        assert sorted(f.rule for f in findings) == ["DET001", "DET006"]
+
+    def test_clean_pragma_produces_no_hygiene_findings(self):
+        findings = lint(
+            """
+            import time
+
+            t = time.time()  # detlint: ok[DET001] startup banner only
+            """
+        )
+        assert [(f.rule, f.status) for f in findings] == [
+            ("DET001", "suppressed")
+        ]

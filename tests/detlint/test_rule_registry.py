@@ -1,0 +1,96 @@
+"""The detlint rule registry mirrors the RunKind registry contract."""
+
+import pytest
+
+from repro.detlint.findings import DetlintError
+from repro.detlint.rules import (
+    Rule,
+    get_rule,
+    register_rule,
+    rule_codes,
+    unregister_rule,
+)
+
+BUILTIN_CODES = ("DET001", "DET002", "DET003", "DET004", "DET005")
+
+
+class ToyRule(Rule):
+    code = "TOY001"
+    title = "toy"
+    summary = "a test-only rule"
+
+    def check(self, module):
+        return []
+
+
+class TestRegistry:
+    def test_builtins_registered_sorted(self):
+        assert rule_codes() == BUILTIN_CODES
+
+    def test_register_unregister_roundtrip(self):
+        rule = ToyRule()
+        register_rule(rule)
+        try:
+            assert get_rule("TOY001") is rule
+            assert "TOY001" in rule_codes()
+        finally:
+            assert unregister_rule("TOY001") is rule
+        assert rule_codes() == BUILTIN_CODES
+
+    def test_duplicate_code_rejected(self):
+        register_rule(ToyRule())
+        try:
+            with pytest.raises(DetlintError, match="already registered"):
+                register_rule(ToyRule())
+        finally:
+            unregister_rule("TOY001")
+
+    def test_codeless_rule_rejected(self):
+        class Codeless(Rule):
+            def check(self, module):
+                return []
+
+        with pytest.raises(DetlintError, match="non-empty string"):
+            register_rule(Codeless())
+
+    def test_unknown_lookups_raise_with_sorted_codes(self):
+        with pytest.raises(DetlintError, match=str(BUILTIN_CODES)):
+            get_rule("DET999")
+        with pytest.raises(DetlintError, match="not registered"):
+            unregister_rule("DET999")
+
+    def test_custom_rule_reaches_the_engine(self):
+        from repro.detlint import lint_source
+        from repro.detlint.config import DetlintConfig
+
+        class EvalRule(Rule):
+            code = "TOY002"
+            title = "no-eval"
+            summary = "flags eval calls"
+
+            def check(self, module):
+                import ast
+
+                for node in module.walk():
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "eval"
+                    ):
+                        yield self.finding(module, node, "eval is banned")
+
+        register_rule(EvalRule())
+        try:
+            findings = lint_source(
+                "x = eval('1+1')\n", "src/repro/fake.py", DetlintConfig()
+            )
+            assert [f.rule for f in findings] == ["TOY002"]
+            # ...and its code is pragma-suppressible like any built-in.
+            findings = lint_source(
+                "x = eval('1+1')  # detlint: ok[TOY002] constant\n",
+                "src/repro/fake.py",
+                DetlintConfig(),
+            )
+            assert [f.status for f in findings] == ["suppressed"]
+        finally:
+            unregister_rule("TOY002")

@@ -1,0 +1,509 @@
+"""Fixtures corpus for the built-in DET rules.
+
+Every rule gets at least one true positive, one true negative, and one
+pragma-suppressed case, run through :func:`lint_source` exactly as the
+CLI would — the corpus *is* the rule spec.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.detlint import lint_source
+from repro.detlint.config import DetlintConfig
+
+
+def lint(source, relpath="src/repro/wsdb/fake.py", config=None):
+    return lint_source(
+        textwrap.dedent(source), relpath, config or DetlintConfig()
+    )
+
+
+def new_codes(findings):
+    return [f.rule for f in findings if f.status == "new"]
+
+
+def suppressed_codes(findings):
+    return [f.rule for f in findings if f.status == "suppressed"]
+
+
+class TestDet001WallClock:
+    def test_true_positive_time_time(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert new_codes(findings) == ["DET001"]
+        assert "time.time" in findings[0].message
+
+    def test_true_positive_aliased_from_import(self):
+        findings = lint(
+            """
+            from time import perf_counter as pc
+
+            def stamp():
+                return pc()
+            """
+        )
+        assert new_codes(findings) == ["DET001"]
+
+    def test_true_positive_datetime_now(self):
+        findings = lint(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        )
+        assert new_codes(findings) == ["DET001"]
+
+    def test_true_positive_bare_reference_as_default(self):
+        # Referencing the clock (e.g. as an injectable default) is as
+        # hazardous as calling it: the default *will* be called.
+        findings = lint(
+            """
+            import time
+
+            def make(clock=time.perf_counter):
+                return clock()
+            """
+        )
+        assert new_codes(findings) == ["DET001"]
+
+    def test_true_negative_sim_time_variable(self):
+        findings = lint(
+            """
+            def advance(t_us, tick_us):
+                time = t_us + tick_us  # a sim-clock local, not the module
+                return time
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_inside_wallclock_zone(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+            relpath="src/repro/telemetry/profiler.py",
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_scripts_zone(self):
+        findings = lint(
+            """
+            import time
+
+            t0 = time.monotonic()
+            """,
+            relpath="scripts/bench_something.py",
+        )
+        assert new_codes(findings) == []
+
+    def test_pragma_suppressed(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # detlint: ok[DET001] boot banner only, never enters a report
+            """
+        )
+        assert new_codes(findings) == []
+        assert suppressed_codes(findings) == ["DET001"]
+        assert findings[0].reason.startswith("boot banner")
+
+
+class TestDet002SetIteration:
+    def test_true_positive_for_over_set_call(self):
+        findings = lint(
+            """
+            def drain(registry, before):
+                for name in set(registry) - before:
+                    del registry[name]
+            """
+        )
+        assert new_codes(findings) == ["DET002"]
+
+    def test_true_positive_comprehension_over_set_literal(self):
+        findings = lint(
+            """
+            def rows(a, b):
+                return [x * 2 for x in {a, b}]
+            """
+        )
+        assert new_codes(findings) == ["DET002"]
+
+    def test_true_positive_return_set_comprehension(self):
+        findings = lint(
+            """
+            def widths(exchanges):
+                return {e.width for e in exchanges}
+            """
+        )
+        assert new_codes(findings) == ["DET002"]
+
+    def test_true_positive_unsorted_listdir(self):
+        findings = lint(
+            """
+            import os
+
+            def entries(path):
+                return [e for e in os.listdir(path)]
+            """
+        )
+        assert new_codes(findings) == ["DET002"]
+
+    def test_true_positive_list_materializes_set(self):
+        findings = lint(
+            """
+            def order(items):
+                return list(set(items))
+            """
+        )
+        assert new_codes(findings) == ["DET002"]
+
+    def test_true_negative_sorted_set(self):
+        findings = lint(
+            """
+            def drain(registry, before):
+                for name in sorted(set(registry) - before):
+                    del registry[name]
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_sorted_listdir_and_dict_iteration(self):
+        findings = lint(
+            """
+            import os
+
+            def entries(path, table):
+                for key in table:  # dict iteration is insertion-ordered
+                    pass
+                return sorted(os.listdir(path))
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_frozenset_return(self):
+        # frozenset(...) signals membership-only consumption.
+        findings = lint(
+            """
+            def widths(exchanges):
+                return frozenset(e.width for e in exchanges)
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_pragma_suppressed(self):
+        findings = lint(
+            """
+            def drain(counts):
+                return sum(c for c in set(counts))  # detlint: ok[DET002] sum is order-independent
+            """
+        )
+        assert new_codes(findings) == []
+        assert suppressed_codes(findings) == ["DET002"]
+
+
+class TestDet003UnseededRng:
+    def test_true_positive_bare_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng()
+                return rng.random()
+            """
+        )
+        assert new_codes(findings) == ["DET003"]
+
+    def test_true_positive_module_level_random(self):
+        findings = lint(
+            """
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 1.0)
+            """
+        )
+        assert new_codes(findings) == ["DET003"]
+
+    def test_true_positive_legacy_numpy_global_api(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.normal(0.0, 1.0, n)
+            """
+        )
+        assert new_codes(findings) == ["DET003"]
+        assert "legacy" in findings[0].message
+
+    def test_true_positive_unseeded_random_class(self):
+        findings = lint(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """
+        )
+        assert new_codes(findings) == ["DET003"]
+
+    def test_true_positive_default_factory(self):
+        findings = lint(
+            """
+            import random
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Client:
+                rng: random.Random = field(default_factory=random.Random)
+            """
+        )
+        assert new_codes(findings) == ["DET003"]
+
+    def test_true_negative_seeded_constructions(self):
+        findings = lint(
+            """
+            import random
+
+            import numpy as np
+
+            def make(seed):
+                a = np.random.default_rng(seed)
+                b = np.random.default_rng(seed=seed)
+                c = random.Random(seed)
+                return a, b, c
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_generator_methods_and_annotations(self):
+        # Methods on a local Generator resolve to nothing — only the
+        # module-level APIs are global state.
+        findings = lint(
+            """
+            import numpy as np
+
+            def sample(rng: np.random.Generator) -> float:
+                return rng.random() + rng.normal()
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_pragma_suppressed(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def demo():
+                return np.random.default_rng()  # detlint: ok[DET003] interactive example, output unused
+            """
+        )
+        assert new_codes(findings) == []
+        assert suppressed_codes(findings) == ["DET003"]
+
+
+class TestDet004UnsortedJson:
+    def test_true_positive_dumps_in_writer_module(self):
+        findings = lint(
+            """
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    fh.write(json.dumps(payload))
+            """
+        )
+        assert new_codes(findings) == ["DET004"]
+
+    def test_true_positive_dump_via_write_text(self):
+        findings = lint(
+            """
+            import json
+            from pathlib import Path
+
+            def save(path, payload):
+                Path(path).write_text(json.dumps(payload, indent=2))
+            """
+        )
+        assert new_codes(findings) == ["DET004"]
+
+    def test_true_positive_sort_keys_false(self):
+        findings = lint(
+            """
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh, sort_keys=False)
+            """
+        )
+        # json.dump is both the write op and the unsorted call.
+        assert new_codes(findings) == ["DET004"]
+
+    def test_true_negative_sorted_keys(self):
+        findings = lint(
+            """
+            import json
+            from pathlib import Path
+
+            def save(path, payload):
+                Path(path).write_text(
+                    json.dumps(payload, sort_keys=True) + "\\n"
+                )
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_non_writer_module(self):
+        # A module that never writes files may dumps for hashing or
+        # error messages without sorting.
+        findings = lint(
+            """
+            import json
+
+            def spec_hash_material(payload):
+                return json.dumps(payload)
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_configured_artifact_module_needs_sorting_anyway(self):
+        config = DetlintConfig(
+            artifact_modules=("repro/wsdb/fake.py",)
+        )
+        findings = lint(
+            """
+            import json
+
+            def render(payload):
+                return json.dumps(payload)
+            """,
+            config=config,
+        )
+        assert new_codes(findings) == ["DET004"]
+
+    def test_pragma_suppressed(self):
+        findings = lint(
+            """
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    fh.write(json.dumps(payload))  # detlint: ok[DET004] payload is a pre-sorted list, not a dict
+            """
+        )
+        assert new_codes(findings) == []
+        assert suppressed_codes(findings) == ["DET004"]
+
+
+class TestDet005ClockMixing:
+    MIXED = """
+        from repro.telemetry.profiler import NULL_PROFILER
+
+        def drive(telemetry, profiler):
+            with profiler.phase("tick"):
+                pass
+            telemetry.counter("ticks").inc()
+        """
+
+    def test_true_positive_phase_and_publish_in_one_function(self):
+        findings = lint(self.MIXED)
+        assert new_codes(findings) == ["DET005"]
+        assert "drive" in findings[0].message
+
+    def test_true_negative_separate_functions(self):
+        findings = lint(
+            """
+            from repro.telemetry.profiler import NULL_PROFILER
+
+            def timed(profiler):
+                with profiler.phase("tick"):
+                    pass
+
+            def publish(telemetry):
+                telemetry.counter("ticks").inc()
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_true_negative_module_without_profiler_import(self):
+        # The rule is scoped to modules that import the profiler; a
+        # .phase() method elsewhere (e.g. signal phases) is not a clock.
+        findings = lint(
+            """
+            def drive(telemetry, wave):
+                wave.phase("unwrap")
+                telemetry.counter("ticks").inc()
+            """
+        )
+        assert new_codes(findings) == []
+
+    def test_pragma_suppressed_on_def_line(self):
+        findings = lint(
+            """
+            from repro.telemetry.profiler import NULL_PROFILER
+
+            # detlint: ok[DET005] phases time stages only; published values are sim-clock data
+            def drive(telemetry, profiler):
+                with profiler.phase("tick"):
+                    pass
+                telemetry.counter("ticks").inc()
+            """
+        )
+        assert new_codes(findings) == []
+        assert suppressed_codes(findings) == ["DET005"]
+
+
+class TestFindingShape:
+    def test_stable_ids_and_sorted_order(self):
+        findings = lint(
+            """
+            import time
+
+            import numpy as np
+
+            def f():
+                a = np.random.default_rng()
+                return time.time(), a
+            """,
+            relpath="src/repro/wsdb/fake.py",
+        )
+        assert [f.id for f in findings] == [
+            "src/repro/wsdb/fake.py:7:DET003",
+            "src/repro/wsdb/fake.py:8:DET001",
+        ]
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.rule)
+        )
+
+    def test_package_bucketing(self):
+        (finding,) = lint(
+            """
+            import time
+
+            t = time.time()
+            """,
+            relpath="src/repro/phy/fake.py",
+        )
+        assert finding.package == "repro.phy"
+
+    def test_syntax_error_is_hard_failure(self):
+        from repro.detlint.findings import DetlintError
+
+        with pytest.raises(DetlintError, match="cannot parse"):
+            lint("def broken(:\n    pass")

@@ -140,6 +140,50 @@ class TestRegistryHygiene:
         with pytest.raises(SimulationError):
             unregister_run_kind("quantum")
 
+    def test_rollback_cleanup_order_is_sorted(self, monkeypatch):
+        # Determinism contract (detlint DET002): the rollback iterates
+        # a set difference, so the deletion order must be explicitly
+        # sorted — not whatever hash order this interpreter produced.
+        import sys
+
+        import repro.experiments.registry as reg
+
+        class TrackingDict(dict):
+            deletions: list = []
+
+            def __delitem__(self, key):
+                TrackingDict.deletions.append(key)
+                super().__delitem__(key)
+
+        kinds_module = sys.modules["repro.experiments.kinds"]
+        saved = dict(reg._REGISTRY)
+        tracking = TrackingDict()
+        TrackingDict.deletions = []
+        try:
+            monkeypatch.setattr(reg, "_REGISTRY", tracking)
+            monkeypatch.setattr(reg, "_BUILTINS_LOADED", False)
+            sys.modules.pop("repro.experiments.kinds")
+
+            class Squatter(RunKind):
+                name = "sift"  # registers sixth: five partials roll back
+
+                def execute(self, spec):
+                    return {}
+
+            tracking["sift"] = Squatter()
+            with pytest.raises(SimulationError, match="already registered"):
+                run_kind_names()
+            # The five kinds registered before the collision were
+            # removed -- in sorted order, not registration or hash order.
+            assert TrackingDict.deletions == sorted(TrackingDict.deletions)
+            assert set(TrackingDict.deletions) == {
+                "static", "whitefi", "opt", "protocol", "discovery"
+            }
+            assert set(tracking) == {"sift"}
+        finally:
+            reg._REGISTRY = saved  # monkeypatch restores the attr anyway
+            sys.modules["repro.experiments.kinds"] = kinds_module
+
 
 class TestPluginDispatch:
     def test_spec_accepts_registered_kind(self, toy_kind):

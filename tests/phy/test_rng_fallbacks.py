@@ -1,0 +1,51 @@
+"""Regression: bare (no-rng) signal-path calls are deterministic.
+
+The determinism contract forbids OS-entropy fallbacks anywhere in
+``src/repro`` (detlint DET003).  The convenience defaults in phy/ and
+radio/ instead construct a Generator from
+``constants.FALLBACK_RNG_SEED`` — so two bare calls of the same helper
+produce *identical* output, pinned here so the fallbacks can never
+quietly regress to ``np.random.default_rng()``.
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.phy.noise import awgn_amplitude
+from repro.phy.waveform import BurstSpec, synthesize_bursts, traffic_bursts
+
+
+class TestBareCallsAreDeterministic:
+    def test_awgn_amplitude_identical_across_bare_calls(self):
+        a = awgn_amplitude(512, 20.0)
+        b = awgn_amplitude(512, 20.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_awgn_fallback_is_the_documented_seed(self):
+        expected = awgn_amplitude(
+            64, 20.0, rng=np.random.default_rng(constants.FALLBACK_RNG_SEED)
+        )
+        np.testing.assert_array_equal(awgn_amplitude(64, 20.0), expected)
+
+    def test_synthesize_bursts_identical_across_bare_calls(self):
+        bursts = [BurstSpec(start_us=50.0, duration_us=400.0)]
+        a = synthesize_bursts(bursts, 1_000.0)
+        b = synthesize_bursts(bursts, 1_000.0)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_traffic_bursts_jitter_identical_across_bare_calls(self):
+        kwargs = dict(jitter_us=40.0, start_us=0.0)
+        a = traffic_bursts(20.0, 1000, 16, 200.0, **kwargs)
+        b = traffic_bursts(20.0, 1000, 16, 200.0, **kwargs)
+        assert a == b
+        # The jitter actually exercised the rng (gaps are not uniform).
+        gaps = {
+            round(second.start_us - first.end_us, 6)
+            for first, second in zip(a[1::2], a[2::2])
+        }
+        assert len(gaps) > 1
+
+    def test_explicit_rng_still_wins_over_fallback(self):
+        a = awgn_amplitude(64, 20.0, rng=np.random.default_rng(1))
+        b = awgn_amplitude(64, 20.0)
+        assert not np.array_equal(a, b)

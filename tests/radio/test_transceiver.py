@@ -82,3 +82,28 @@ class TestDecoding:
         radio.tune(AP_CHANNEL)
         strong_env_count = radio.count_decoded_data(0.0, 300_000.0)
         assert strong_env_count < 10  # most frames fail at ~2 dB
+
+
+class TestRngFallback:
+    def test_bare_constructions_decode_identically(self, env):
+        # Regression (determinism contract / detlint DET003): the
+        # rng-less convenience constructor must seed from
+        # constants.FALLBACK_RNG_SEED, never OS entropy — two bare
+        # transceivers observe the same air identically.
+        first = Transceiver(env)
+        second = Transceiver(env)
+        for radio in (first, second):
+            radio.tune(AP_CHANNEL)
+        window = (0.0, 300_000.0)
+        assert first.decoded_frames(*window) == second.decoded_frames(*window)
+
+    def test_fallback_is_the_documented_seed(self, env):
+        bare = Transceiver(env)
+        pinned = Transceiver(
+            env, rng=np.random.default_rng(constants.FALLBACK_RNG_SEED)
+        )
+        for radio in (bare, pinned):
+            radio.tune(AP_CHANNEL)
+        assert bare.count_decoded_data(0.0, 300_000.0) == pinned.count_decoded_data(
+            0.0, 300_000.0
+        )
