@@ -43,10 +43,14 @@ bench-smoke:
 	    --out benchmarks/results/telemetry-smoke
 	python scripts/metrics_report.py \
 	    benchmarks/results/telemetry-smoke.metrics.json
+	python scripts/span_report.py \
+	    benchmarks/results/telemetry-smoke.spans.jsonl
 
 ## Profile a 10k-client vector roaming run: per-phase wall-clock
-## breakdown plus the sim-clock metrics snapshot (JSON + Prometheus),
-## written under benchmarks/results/profile.*.
+## breakdown (JSON + Chrome trace-event timeline), the sim-clock
+## metrics snapshot (JSON + Prometheus), and the span table
+## (JSONL + Chrome trace events), written under
+## benchmarks/results/profile.*.
 profile:
 	PYTHONPATH=$(PYTHONPATH) python scripts/profile_run.py \
 	    --kind roaming --clients 10000 --out benchmarks/results/profile

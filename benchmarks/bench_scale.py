@@ -19,6 +19,15 @@ Two artifacts come out of a run:
   comparable entries and fails CI on a >20% throughput regression, so
   the perf trajectory is tracked across PRs, not rediscovered.
 
+Each entry also carries an ``observability`` A/B row: the anchor-size
+vector run repeated with the full sim-clock observability stack
+attached (metrics registry + span recorder) against the plain anchor
+run, recording both wall times and the overhead ratio — so the cost of
+"telemetry on" is a tracked number, not folklore.  The observed run's
+report must stay byte-identical to the plain run's (minus its
+``spans`` payload), re-asserting the observation-only contract at
+bench scale.
+
 The sweep is wall-clock-budget-capped: the two smallest sizes always
 run; each larger size runs only if its projected wall time (linear
 extrapolation from the last run) still fits the budget
@@ -44,7 +53,7 @@ import time
 import pytest
 
 import repro
-from repro.telemetry import PhaseProfiler
+from repro.telemetry import MetricsRegistry, PhaseProfiler, SpanRecorder
 from repro.wsdb.mobility import simulate_roaming
 from repro.wsdb.model import generate_metro
 from repro.wsdb.service import WhiteSpaceDatabase
@@ -128,6 +137,39 @@ def timed_run(engine: str, num_clients: int) -> tuple[dict, dict]:
     return report, measurement
 
 
+def observed_run(num_clients: int) -> tuple[dict, dict]:
+    """One vector run with the full sim-clock observability stack on.
+
+    Metrics registry + span recorder attached (the ``telemetry="on"``
+    + ``spans="on"`` configuration), timed the same way as
+    :func:`timed_run` — the A/B counterpart to the plain anchor run.
+    """
+    metro = generate_metro(FREE_INDICES, seed=SEED, extent_m=EXTENT_M)
+    db = WhiteSpaceDatabase(metro)
+    spans = SpanRecorder()
+    t0 = time.perf_counter()
+    report = simulate_roaming(
+        db,
+        num_aps=NUM_APS,
+        num_clients=num_clients,
+        duration_us=DURATION_US,
+        seed=SEED,
+        mic_events=MIC_EVENTS,
+        engine="vector",
+        telemetry=MetricsRegistry(),
+        spans=spans,
+    )
+    wall_s = time.perf_counter() - t0
+    table = report["spans"]
+    measurement = {
+        "clients": num_clients,
+        "observed_wall_s": wall_s,
+        "traces": table["traces"],
+        "spans": len(table["spans"]),
+    }
+    return report, measurement
+
+
 def append_log_entry(entry: dict) -> None:
     """Append one invocation entry to the BENCH_scale.json trajectory."""
     if BENCH_LOG.exists():
@@ -190,6 +232,32 @@ def test_scale_trajectory(record_table):
         anchor = next(r for r in runs if r["engine"] == "vector")
         speedup = anchor["clients_per_sec"] / scalar_meas["clients_per_sec"]
 
+    # The observability A/B: the anchor-size vector run again with the
+    # metrics registry + span recorder attached.  Overhead becomes a
+    # tracked trajectory number, and the observation-only contract is
+    # re-asserted: stripping the observability payloads must recover
+    # the plain report byte-for-byte.
+    anchor_meas = next(
+        r
+        for r in runs
+        if r["engine"] == "vector" and r["clients"] == SCALAR_SIZE
+    )
+    observed_report, observed = observed_run(SCALAR_SIZE)
+    stripped = {
+        k: v
+        for k, v in observed_report.items()
+        if k not in ("telemetry", "spans")
+    }
+    assert stripped == vector_reports[SCALAR_SIZE], (
+        "attaching telemetry+spans perturbed the report at "
+        f"{SCALAR_SIZE} clients"
+    )
+    observability = {
+        **observed,
+        "plain_wall_s": anchor_meas["wall_s"],
+        "overhead_ratio": observed["observed_wall_s"] / anchor_meas["wall_s"],
+    }
+
     headline = max(
         (
             r
@@ -209,6 +277,7 @@ def test_scale_trajectory(record_table):
         "smoke": SMOKE,
         "duration_us": DURATION_US,
         "runs": runs,
+        "observability": observability,
         "speedup_vs_scalar": speedup,
         "headline_clients": headline["clients"],
         "headline_clients_per_sec": headline["clients_per_sec"],
@@ -257,5 +326,13 @@ def test_scale_trajectory(record_table):
         f"vector speedup at {SCALAR_SIZE} clients: {speedup:.1f}x; "
         f"headline {headline['clients_per_sec']:.0f} clients/s "
         f"at {headline['clients']} clients"
+    )
+    lines.append(
+        f"observability overhead at {SCALAR_SIZE} clients: "
+        f"{observability['plain_wall_s']:.2f}s plain -> "
+        f"{observability['observed_wall_s']:.2f}s observed "
+        f"({observability['overhead_ratio']:.2f}x, "
+        f"{observability['traces']} traces / "
+        f"{observability['spans']} spans)"
     )
     record_table("bench_scale", lines, data=entry)

@@ -51,7 +51,9 @@ ENTRY_KEYS = frozenset(
 )
 #: "host" arrived after the first entries were recorded, so it stays
 #: optional; entries without it only ever compare with each other.
-ENTRY_OPTIONAL_KEYS = frozenset({"host"})
+#: "observability" (the anchor-size telemetry+spans A/B row) arrived
+#: later still, so it is optional for the same reason.
+ENTRY_OPTIONAL_KEYS = frozenset({"host", "observability"})
 
 #: The exact key set of one measured run row ("phases" — the vector
 #: engine's wall-clock breakdown — is the one optional key).
@@ -71,6 +73,20 @@ RUN_OPTIONAL_KEYS = frozenset({"phases"})
 
 #: The exact key set of a budget-skipped stub row.
 SKIPPED_KEYS = frozenset({"engine", "clients", "skipped"})
+
+#: The exact key set of the observability A/B row: the anchor-size
+#: vector run with metrics registry + span recorder attached, timed
+#: against the plain anchor run.
+OBSERVABILITY_KEYS = frozenset(
+    {
+        "clients",
+        "observed_wall_s",
+        "plain_wall_s",
+        "overhead_ratio",
+        "spans",
+        "traces",
+    }
+)
 
 
 class SchemaError(ValueError):
@@ -109,6 +125,14 @@ def validate_entry(entry: dict, index: int) -> None:
             _check_keys(where, frozenset(run), SKIPPED_KEYS, frozenset())
         else:
             _check_keys(where, frozenset(run), RUN_KEYS, RUN_OPTIONAL_KEYS)
+    if "observability" in entry:
+        obs = entry["observability"]
+        where = f"{what} observability"
+        if not isinstance(obs, dict):
+            raise SchemaError(
+                f"{where}: expected an object, got {type(obs).__name__}"
+            )
+        _check_keys(where, frozenset(obs), OBSERVABILITY_KEYS, frozenset())
 
 
 def validate_log(entries: list[dict]) -> None:

@@ -12,9 +12,13 @@ Reads either artifact shape the telemetry layer produces:
   all).
 
 and prints counters, gauges, per-histogram p50/p99/p999 with mean, and
-a per-column summary of the per-tick time series.  Exit status 0 on a
-well-formed snapshot, 1 on malformed input — the contract the
-``make bench-smoke`` telemetry step relies on.
+a per-column summary of the per-tick time series.  A result record
+from a ``spans="on"`` run additionally prints the span table's
+tail-latency attribution (per-kind critical-path sim-time over the
+p99+ bucket) and the p99 exemplar trace ids next to the histogram
+quantiles.  Exit status 0 on a well-formed snapshot, 1 on malformed
+input — the contract the ``make bench-smoke`` telemetry step relies
+on.
 
 Usage::
 
@@ -29,7 +33,8 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
-from repro.telemetry import histogram_quantile  # noqa: E402
+from repro.telemetry import histogram_quantile, tail_attribution  # noqa: E402
+from repro.telemetry.spans import bucket_label  # noqa: E402
 
 SECTIONS = ("counters", "gauges", "histograms", "series")
 
@@ -43,37 +48,79 @@ def _as_dict(value):
     """
     if isinstance(value, dict):
         return {k: _as_dict(v) for k, v in value.items()}
-    if (
-        isinstance(value, list)
-        and value
-        and all(
+    if isinstance(value, list):
+        if value and all(
             isinstance(p, (list, tuple))
             and len(p) == 2
             and isinstance(p[0], str)
             for p in value
-        )
-    ):
-        return {k: _as_dict(v) for k, v in value}
+        ):
+            return {k: _as_dict(v) for k, v in value}
+        return [_as_dict(v) for v in value]
     return value
 
 
-def load_snapshot(path: pathlib.Path) -> dict:
-    """The snapshot dict from either supported artifact shape."""
+def load_snapshot(path: pathlib.Path) -> tuple[dict, dict | None]:
+    """(metrics snapshot, span table or None) from either artifact shape."""
     data = json.loads(path.read_text())
+    spans = None
     if isinstance(data, dict) and "metrics" in data:
         metrics = _as_dict(data["metrics"])
-        if not isinstance(metrics, dict) or "telemetry" not in metrics:
+        if not isinstance(metrics, dict) or not (
+            "telemetry" in metrics or "spans" in metrics
+        ):
             raise ValueError(
-                "result record has no telemetry payload "
+                "result record has no telemetry or spans payload "
                 '(was the run made with telemetry="on"?)'
             )
-        data = metrics["telemetry"]
+        spans = metrics.get("spans")
+        data = metrics.get("telemetry", {})
     snapshot = _as_dict(data)
     if not isinstance(snapshot, dict) or not set(snapshot) <= set(SECTIONS):
         raise ValueError(
             f"not a metrics snapshot: expected sections from {SECTIONS}"
         )
-    return {section: snapshot.get(section, {}) for section in SECTIONS}
+    return (
+        {section: snapshot.get(section, {}) for section in SECTIONS},
+        spans,
+    )
+
+
+def spans_lines(table: dict) -> list[str]:
+    """The span-table summary: tail attribution + p99 exemplar ids."""
+    lines = [
+        f"spans: {table['traces']} traces "
+        f"(sample={table['sample']}, dropped={table['dropped']}, "
+        f"unserved={table['unserved']})"
+    ]
+    tail = tail_attribution(table)
+    threshold = tail["threshold_le"]
+    edge = "+Inf" if threshold is None else f"{threshold:g}"
+    lines.append(
+        f"  tail p99 (bucket le<={edge}us): "
+        f"{tail['requests']} requests, {tail['traces']} recorded traces"
+    )
+    for kind, self_us in tail["by_kind"].items():
+        lines.append(f"    {kind:<42} {self_us:g} us")
+    bounds = table.get("latency_bounds", [])
+    counts = table.get("latency_counts", [])
+    exemplars = table.get("exemplars", {})
+    # The p99 bucket's exemplar trace ids, next to the quantile edge.
+    total = sum(counts)
+    if total:
+        need = 0.99 * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= need:
+                label = bucket_label(bounds, index)
+                ids = exemplars.get(label, [])
+                lines.append(
+                    f"  p99 exemplars ({label}): "
+                    + (" ".join(ids) if ids else "(none recorded)")
+                )
+                break
+    return lines
 
 
 def report_lines(snapshot: dict) -> list[str]:
@@ -122,8 +169,10 @@ def main(argv: list[str]) -> int:
         return 0 if len(argv) == 2 else 1
     path = pathlib.Path(argv[1])
     try:
-        snapshot = load_snapshot(path)
+        snapshot, spans = load_snapshot(path)
         lines = report_lines(snapshot)
+        if spans is not None:
+            lines.extend(spans_lines(spans))
     except (OSError, ValueError, KeyError, TypeError) as err:
         print(f"metrics-report: {path}: {err}")
         return 1

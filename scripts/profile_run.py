@@ -2,17 +2,24 @@
 """Profile one vector-engine wsdb run: phases, metrics, exporters.
 
 Builds a metro world directly (no experiment archive), runs the
-columnar vector engine with both telemetry clocks attached — the
-sim-clock :class:`~repro.telemetry.MetricsRegistry` and the wall-clock
-:class:`~repro.telemetry.PhaseProfiler` — and writes three artifacts:
+columnar vector engine with every telemetry layer attached — the
+sim-clock :class:`~repro.telemetry.MetricsRegistry` and
+:class:`~repro.telemetry.SpanRecorder` plus the wall-clock
+:class:`~repro.telemetry.PhaseProfiler` — and writes six artifacts:
 
 * ``PREFIX.profile.json`` — per-phase wall-clock seconds and call
   counts (advance / recheck-detect / batch-lookup / associate /
   compliance);
+* ``PREFIX.profile-chrome.json`` — the same phase totals as a Chrome
+  trace-event timeline (load in Perfetto / ``chrome://tracing``);
 * ``PREFIX.metrics.json`` — the deterministic sim-clock snapshot
   (canonical JSON; identical across repeat runs of one spec);
 * ``PREFIX.metrics.prom`` — the same snapshot in Prometheus text
-  exposition format.
+  exposition format;
+* ``PREFIX.spans.jsonl`` — the deterministic span table (meta header
+  line + one span per line; feed to ``scripts/span_report.py``);
+* ``PREFIX.spans-chrome.json`` — the span trees as Chrome trace
+  events, one ``tid`` lane per trace.
 
 A phase table (seconds, calls, share of profiled time) prints to
 stdout.  ``make profile`` drives this for the 10k-client roaming run.
@@ -35,7 +42,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 from repro.telemetry import (  # noqa: E402
     MetricsRegistry,
     PhaseProfiler,
+    SpanRecorder,
     write_metrics,
+    write_spans,
 )
 from repro.wsdb.model import generate_metro  # noqa: E402
 
@@ -44,10 +53,13 @@ FREE_INDICES = range(12, 30)
 EXTENT_M = 3_000.0
 
 
-def run(args: argparse.Namespace) -> tuple[MetricsRegistry, PhaseProfiler]:
+def run(
+    args: argparse.Namespace,
+) -> tuple[MetricsRegistry, PhaseProfiler, SpanRecorder]:
     metro = generate_metro(FREE_INDICES, seed=args.seed, extent_m=EXTENT_M)
     telemetry = MetricsRegistry()
     profiler = PhaseProfiler()
+    spans = SpanRecorder(sample=args.span_sample)
     if args.kind == "roaming":
         from repro.wsdb.mobility import simulate_roaming
         from repro.wsdb.service import WhiteSpaceDatabase
@@ -62,6 +74,7 @@ def run(args: argparse.Namespace) -> tuple[MetricsRegistry, PhaseProfiler]:
             engine="vector",
             telemetry=telemetry,
             profiler=profiler,
+            spans=spans,
         )
     else:
         from repro.wsdb.cluster.querystorm import simulate_querystorm
@@ -80,8 +93,9 @@ def run(args: argparse.Namespace) -> tuple[MetricsRegistry, PhaseProfiler]:
             engine="vector",
             telemetry=telemetry,
             profiler=profiler,
+            spans=spans,
         )
-    return telemetry, profiler
+    return telemetry, profiler, spans
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,31 +110,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--duration-us", type=float, default=120e6)
     parser.add_argument("--seed", type=int, default=2009)
     parser.add_argument(
+        "--span-sample",
+        default=None,
+        help="span sampling policy: off (default), head-N, or tail",
+    )
+    parser.add_argument(
         "--out",
         default="benchmarks/results/profile",
         help="artifact path prefix (default: benchmarks/results/profile)",
     )
     args = parser.parse_args(argv)
 
-    telemetry, profiler = run(args)
+    telemetry, profiler, spans = run(args)
 
     prefix = pathlib.Path(args.out)
     profile_path = pathlib.Path(f"{prefix}.profile.json")
+    profile_chrome = pathlib.Path(f"{prefix}.profile-chrome.json")
     metrics_json = pathlib.Path(f"{prefix}.metrics.json")
     metrics_prom = pathlib.Path(f"{prefix}.metrics.prom")
-    profiler.write(
-        profile_path,
-        meta={
-            "kind": args.kind,
-            "engine": "vector",
-            "clients": args.clients,
-            "aps": args.aps,
-            "duration_us": args.duration_us,
-            "seed": args.seed,
-        },
-    )
+    spans_jsonl = pathlib.Path(f"{prefix}.spans.jsonl")
+    spans_chrome = pathlib.Path(f"{prefix}.spans-chrome.json")
+    meta = {
+        "kind": args.kind,
+        "engine": "vector",
+        "clients": args.clients,
+        "aps": args.aps,
+        "duration_us": args.duration_us,
+        "seed": args.seed,
+    }
+    profiler.write(profile_path, meta=meta)
+    profiler.write_chrome(profile_chrome, meta=meta)
     snapshot = telemetry.snapshot()
     write_metrics(snapshot, json_path=metrics_json, prom_path=metrics_prom)
+    table = spans.snapshot()
+    write_spans(table, jsonl_path=spans_jsonl, chrome_path=spans_chrome)
 
     totals = profiler.seconds()
     grand = sum(totals.values()) or 1.0
@@ -133,7 +156,24 @@ def main(argv: list[str] | None = None) -> int:
         totals.items(), key=lambda kv: kv[1], reverse=True
     ):
         print(f"{name:<16} {seconds:>10.3f} {seconds / grand:>6.1%}")
-    print(f"artifacts: {profile_path}, {metrics_json}, {metrics_prom}")
+    print(
+        f"spans: {table['traces']} traces, {len(table['spans'])} spans "
+        f"(sample={table['sample']}, dropped={table['dropped']})"
+    )
+    print(
+        "artifacts: "
+        + ", ".join(
+            str(p)
+            for p in (
+                profile_path,
+                profile_chrome,
+                metrics_json,
+                metrics_prom,
+                spans_jsonl,
+                spans_chrome,
+            )
+        )
+    )
     return 0
 
 

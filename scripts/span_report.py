@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Summarize a span table: slow traces, attribution, tree printing.
+
+Reads any artifact shape the spans layer produces:
+
+* a **span JSONL** file (``repro.telemetry.export.write_spans`` /
+  ``spans_to_jsonl`` output: one meta header line, one span per line);
+* a **raw span table JSON** (``SpanRecorder.snapshot`` serialized
+  directly);
+* an **ExperimentResult JSON** (archive record from a ``spans="on"``
+  run — the table is lifted out of the ``metrics`` payload's ``spans``
+  key, pair-list encoding and all).
+
+and prints the top-K slowest traces (by root duration) with their
+critical paths, plus the per-kind tail-attribution table.  With
+``--trace-id`` it pretty-prints one trace's span tree instead.  Exit
+status 0 on a well-formed table, 1 on malformed input or an unknown
+trace id.
+
+Usage::
+
+    python scripts/span_report.py path/to/spans.jsonl [--top K]
+    python scripts/span_report.py path/to/spans.jsonl --trace-id TID
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.telemetry.spans import (  # noqa: E402
+    SPANS_SCHEMA,
+    critical_path,
+    tail_attribution,
+    trace_spans,
+)
+
+
+def _as_dict(value):
+    """Undo the result archive's pair-list encoding, recursively."""
+    if isinstance(value, dict):
+        return {k: _as_dict(v) for k, v in value.items()}
+    if isinstance(value, list):
+        if value and all(
+            isinstance(p, (list, tuple))
+            and len(p) == 2
+            and isinstance(p[0], str)
+            for p in value
+        ):
+            return {k: _as_dict(v) for k, v in value}
+        return [_as_dict(v) for v in value]
+    return value
+
+
+def load_table(path: pathlib.Path) -> dict:
+    """The span table from any supported artifact shape."""
+    text = path.read_text()
+    first_line = text.split("\n", 1)[0]
+    header = json.loads(first_line)
+    if (
+        isinstance(header, dict)
+        and header.get("schema") == SPANS_SCHEMA
+        and "spans" not in header
+    ):
+        # JSONL: header meta line, then one span per line.
+        table = dict(header)
+        table["spans"] = [
+            json.loads(line)
+            for line in text.splitlines()[1:]
+            if line.strip()
+        ]
+        return table
+    data = json.loads(text)
+    if isinstance(data, dict) and "metrics" in data:
+        metrics = _as_dict(data["metrics"])
+        if not isinstance(metrics, dict) or "spans" not in metrics:
+            raise ValueError(
+                "result record has no spans payload "
+                '(was the run made with spans="on"?)'
+            )
+        data = metrics["spans"]
+    table = _as_dict(data)
+    if not isinstance(table, dict) or table.get("schema") != SPANS_SCHEMA:
+        raise ValueError(f"not a span table (expected schema {SPANS_SCHEMA})")
+    return table
+
+
+def _traces(table: dict) -> list[list[dict]]:
+    """The table's traces as span lists, root first, table order."""
+    groups: list[list[dict]] = []
+    current_id = None
+    for span in table.get("spans", []):
+        if span["trace"] != current_id:
+            current_id = span["trace"]
+            groups.append([])
+        groups[-1].append(span)
+    return groups
+
+
+def _root_label(root: dict) -> str:
+    attrs = root.get("attrs", {})
+    req = attrs.get("req", "?")
+    subject = attrs.get("subject", "?")
+    return f"{req}:{subject}"
+
+
+def top_lines(table: dict, top: int) -> list[str]:
+    """The top-K slowest traces plus the tail-attribution table."""
+    lines = [
+        f"spans: {table['traces']} traces "
+        f"(sample={table['sample']}, dropped={table['dropped']}, "
+        f"unserved={table['unserved']})"
+    ]
+    ranked = sorted(
+        _traces(table),
+        key=lambda spans: (
+            -(spans[0]["t1_us"] - spans[0]["t0_us"]),
+            spans[0]["trace"],
+        ),
+    )
+    lines.append(f"top {min(top, len(ranked))} slowest traces:")
+    lines.append(
+        f"  {'trace':<18} {'kind':<13} {'request':<16} "
+        f"{'latency_us':>12}  critical path"
+    )
+    for spans in ranked[:top]:
+        root = spans[0]
+        duration = root["t1_us"] - root["t0_us"]
+        path = " > ".join(s["kind"] for s in critical_path(spans))
+        lines.append(
+            f"  {root['trace']:<18} {root['kind']:<13} "
+            f"{_root_label(root):<16} {duration:>12g}  {path}"
+        )
+    tail = tail_attribution(table)
+    threshold = tail["threshold_le"]
+    edge = "+Inf" if threshold is None else f"{threshold:g}"
+    lines.append(
+        f"tail attribution (p{int(tail['quantile'] * 100)}, "
+        f"bucket le<={edge}us): {tail['requests']} requests, "
+        f"{tail['traces']} recorded traces"
+    )
+    for kind, self_us in tail["by_kind"].items():
+        lines.append(f"  {kind:<42} {self_us:g} us")
+    return lines
+
+
+def tree_lines(spans: list[dict]) -> list[str]:
+    """One trace's span tree, indented preorder."""
+    children: dict[int, list[dict]] = {}
+    root = None
+    for span in spans:
+        if span["parent"] is None:
+            root = span
+        else:
+            children.setdefault(span["parent"], []).append(span)
+    if root is None:
+        return ["(no root span)"]
+    lines: list[str] = [f"trace {root['trace']}:"]
+
+    def emit(span: dict, depth: int) -> None:
+        duration = span["t1_us"] - span["t0_us"]
+        window = (
+            f"@{span['t0_us']:g}"
+            if duration == 0
+            else f"[{span['t0_us']:g}..{span['t1_us']:g}] (+{duration:g}us)"
+        )
+        attrs = " ".join(
+            f"{key}={value}" for key, value in span.get("attrs", {}).items()
+        )
+        tail = f"  {attrs}" if attrs else ""
+        lines.append(
+            f"{'  ' * (depth + 1)}{span['kind']} {window} "
+            f"site={span['site']}{tail}"
+        )
+        for child in children.get(span["span"], []):
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="summarize a span table (slow traces, attribution)"
+    )
+    parser.add_argument("path", type=pathlib.Path)
+    parser.add_argument(
+        "--top", type=int, default=10, help="slowest traces to list"
+    )
+    parser.add_argument(
+        "--trace-id", help="pretty-print one trace's span tree instead"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        table = load_table(args.path)
+        if args.trace_id is not None:
+            spans = trace_spans(table, args.trace_id)
+            if not spans:
+                print(f"span-report: {args.path}: unknown trace {args.trace_id!r}")
+                return 1
+            lines = tree_lines(spans)
+        else:
+            lines = top_lines(table, args.top)
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"span-report: {args.path}: {err}")
+        return 1
+    print(f"span-report: {args.path}")
+    for line in lines:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

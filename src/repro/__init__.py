@@ -47,7 +47,11 @@ from repro.errors import (
 # and seeded RNG fallbacks in phy/radio (FALLBACK_RNG_SEED).  No spec
 # knob changed, but bare-rng call sites now produce different (seeded)
 # samples, so cached results from unseeded runs must not be reused.
-__version__ = "1.8.0"
+# 1.9.0: repro.telemetry.spans (sim-clock request-scoped span tracing
+# with tail attribution) and the `spans` / `span_sample` spec knobs —
+# every spec hash changes, so the version bump retires caches that
+# predate the knobs.
+__version__ = "1.9.0"
 
 __all__ = [
     "constants",

@@ -169,6 +169,8 @@ def _reject_foreign_knobs(spec: ExperimentSpec, *owned: str) -> None:
         "engine": ("roaming", "querystorm", "replay"),
         "storm_trace": ("querystorm", "replay"),
         "telemetry": ("citywide", "roaming", "querystorm", "replay"),
+        "spans": ("roaming", "querystorm", "replay"),
+        "span_sample": ("roaming", "querystorm", "replay"),
     }
     for knob, owner_kinds in owners.items():
         if knob not in owned and getattr(spec, knob) is not None:
@@ -258,6 +260,37 @@ def _telemetry_session(spec: ExperimentSpec):
     from repro.telemetry import MetricsRegistry
 
     return MetricsRegistry()
+
+
+def _validate_spans(spec: ExperimentSpec) -> None:
+    """Validate the span-tracing knobs the mobile wsdb kinds share."""
+    from repro.telemetry.spans import SPANS_MODES, parse_span_sample
+
+    if spec.spans is not None and spec.spans not in SPANS_MODES:
+        raise SimulationError(
+            f"unknown spans mode {spec.spans!r}; "
+            f"expected one of {SPANS_MODES}"
+        )
+    if spec.span_sample is not None:
+        if spec.spans != "on":
+            raise SimulationError(
+                "span_sample requires spans='on' "
+                f"(got spans={spec.spans!r})"
+            )
+        parse_span_sample(spec.span_sample)
+
+
+def _spans_session(spec: ExperimentSpec):
+    """A fresh span recorder when the spec asks for one, else None.
+
+    None keeps the driver's spans-free path byte-identical — the
+    ``spans="off"`` parity contract.
+    """
+    if spec.spans != "on":
+        return None
+    from repro.telemetry.spans import SpanRecorder
+
+    return SpanRecorder(sample=spec.span_sample)
 
 
 def _roaming_kwargs(spec: ExperimentSpec) -> dict[str, float]:
@@ -608,6 +641,7 @@ class RoamingKind(RunKind):
         _validate_roaming_clients(spec)
         _validate_engine(spec)
         _validate_telemetry(spec)
+        _validate_spans(spec)
         _reject_wsdb_world_features(
             spec, "models association and compliance, not packet flows"
         )
@@ -621,6 +655,8 @@ class RoamingKind(RunKind):
             "citywide_mic_events",
             "engine",
             "telemetry",
+            "spans",
+            "span_sample",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -639,6 +675,7 @@ class RoamingKind(RunKind):
             mic_events=spec.citywide_mic_events or 0,
             engine=spec.engine or "scalar",
             telemetry=_telemetry_session(spec),
+            spans=_spans_session(spec),
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "roaming": roaming}
@@ -707,6 +744,7 @@ class QuerystormKind(RunKind):
         _validate_roaming_clients(spec)
         _validate_engine(spec)
         _validate_telemetry(spec)
+        _validate_spans(spec)
         # Shard-grid feasibility, checked eagerly with the same
         # geometry the router will use: an infeasible spec must fail
         # at construction, not mid-fan-out inside a ParallelRunner.
@@ -740,6 +778,8 @@ class QuerystormKind(RunKind):
             "engine",
             "storm_trace",
             "telemetry",
+            "spans",
+            "span_sample",
         )
 
     def execute(self, spec: ExperimentSpec) -> Mapping[str, Any]:
@@ -769,6 +809,7 @@ class QuerystormKind(RunKind):
             engine=spec.engine or "scalar",
             storm_source=storm_source,
             telemetry=_telemetry_session(spec),
+            spans=_spans_session(spec),
             **_roaming_kwargs(spec),
         )
         return {"spec": spec, "storm": storm}

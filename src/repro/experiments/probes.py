@@ -339,6 +339,8 @@ class RoamingProbe:
             metrics[f"db_{key}"] = value
         if "telemetry" in roaming:
             metrics["telemetry"] = roaming["telemetry"]
+        if "spans" in roaming:
+            metrics["spans"] = roaming["spans"]
         return metrics
 
 
@@ -399,6 +401,8 @@ class QuerystormProbe:
             metrics[f"db_{key}"] = value
         if "telemetry" in storm:
             metrics["telemetry"] = storm["telemetry"]
+        if "spans" in storm:
+            metrics["spans"] = storm["spans"]
         return metrics
 
 

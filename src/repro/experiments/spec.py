@@ -332,6 +332,19 @@ class ExperimentSpec:
             pre-telemetry path.  Metrics are deterministic functions
             of the spec, never of wall-clock time, so they cache and
             replay like any other result field.
+        spans: kinds "roaming"/"querystorm"/"replay" — "on" attaches a
+            sim-clock :class:`repro.telemetry.spans.SpanRecorder` to
+            the run and surfaces its span table as the result's
+            ``metrics["spans"]`` payload (request-scoped trees with
+            tail-latency attribution); "off" (the None default) keeps
+            every report byte-identical to the spans-free path.
+        span_sample: kinds "roaming"/"querystorm"/"replay" — the
+            deterministic sampling policy when ``spans="on"``: "off"
+            (keep every trace, the default), "head-N" (keep 1-in-N by
+            trace-id hash), or "tail" (keep only traces that waited,
+            i.e. nonzero duration).  Latency bucket counts and the
+            tail threshold always cover *all* served requests; sampling
+            limits only which trees are retained.
 
     The kind is resolved through the
     :mod:`~repro.experiments.registry` and validation is delegated to
@@ -373,6 +386,8 @@ class ExperimentSpec:
     engine: str | None = None
     storm_trace: str | None = None
     telemetry: str | None = None
+    spans: str | None = None
+    span_sample: str | None = None
 
     def __post_init__(self) -> None:
         # Resolve the kind first: unknown kinds raise here, listing the
@@ -432,6 +447,10 @@ class ExperimentSpec:
             object.__setattr__(self, "storm_trace", str(self.storm_trace))
         if self.telemetry is not None:
             object.__setattr__(self, "telemetry", str(self.telemetry))
+        if self.spans is not None:
+            object.__setattr__(self, "spans", str(self.spans))
+        if self.span_sample is not None:
+            object.__setattr__(self, "span_sample", str(self.span_sample))
         run_kind.validate_spec(self)
 
     def with_seed(self, seed: int) -> "ExperimentSpec":

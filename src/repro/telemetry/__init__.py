@@ -6,21 +6,32 @@
   by contract: scalar and vector engines, parallel and sequential
   runners, all produce byte-identical snapshots for the same spec.
   Enabled through the ``telemetry`` experiment-spec knob.
+* :mod:`repro.telemetry.spans` — the **sim-clock** distributed-tracing
+  layer: request-scoped parent→child span trees across the cluster
+  tier (admission, token-bucket wait, shard fan-out, cache lookups,
+  stale serves, push fan-out), with critical-path extraction,
+  tail-latency attribution, histogram-bucket exemplars, and
+  deterministic sampling.  Enabled through the ``spans`` /
+  ``span_sample`` experiment-spec knobs; byte-identical across
+  engines.
 * :mod:`repro.telemetry.profiler` — the **wall-clock** phase profiler
   for the vector engine's tick phases and the ``ParallelRunner``
   fan-out.  Non-deterministic by nature, so it is never spec-driven and
   never enters a report; callers attach it explicitly
   (``make profile``, ``bench_scale``).
 * :mod:`repro.telemetry.export` — deterministic exporters: canonical
-  JSON, Prometheus text exposition, and columnar npz for the tick
-  series.
+  JSON, Prometheus text exposition, columnar npz for the tick series,
+  and span JSONL / Chrome trace events for span tables.
 """
 
 from repro.telemetry.export import (
     snapshot_to_json,
     snapshot_to_prometheus,
+    spans_to_chrome,
+    spans_to_jsonl,
     write_metrics,
     write_series_npz,
+    write_spans,
 )
 from repro.telemetry.metrics import (
     DEFAULT_BATCH_BOUNDS,
@@ -41,6 +52,18 @@ from repro.telemetry.profiler import (
     NullProfiler,
     PhaseProfiler,
 )
+from repro.telemetry.spans import (
+    NULL_SPANS,
+    SPANS_MODES,
+    NullSpans,
+    SpanRecorder,
+    critical_path,
+    lookup_steps,
+    parse_span_sample,
+    path_self_times,
+    tail_attribution,
+    trace_spans,
+)
 
 __all__ = [
     "Counter",
@@ -50,16 +73,29 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_PROFILER",
+    "NULL_SPANS",
     "NULL_TELEMETRY",
     "NullProfiler",
+    "NullSpans",
     "NullTelemetry",
     "PhaseProfiler",
+    "SPANS_MODES",
+    "SpanRecorder",
     "TELEMETRY_MODES",
+    "critical_path",
     "histogram_quantile",
+    "lookup_steps",
     "merge_snapshots",
     "metric_key",
+    "parse_span_sample",
+    "path_self_times",
     "snapshot_to_json",
     "snapshot_to_prometheus",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "tail_attribution",
+    "trace_spans",
     "write_metrics",
     "write_series_npz",
+    "write_spans",
 ]

@@ -11,6 +11,17 @@ deterministic for a given spec — see :mod:`repro.telemetry.metrics`):
 * **columnar npz** — the per-tick series through
   :func:`repro.traces.columnar.write_columns_npz` (numpy gated; the
   JSON/Prometheus paths stay importable without it).
+
+Span tables (:meth:`repro.telemetry.spans.SpanRecorder.snapshot`) get
+two formats of their own, equally byte-stable:
+
+* **span JSONL** — one meta header line (the table minus its spans)
+  followed by one canonical-JSON span per line; greppable, diffable,
+  streamable.
+* **Chrome trace events** — the ``traceEvents`` JSON the Chrome
+  tracing UI and Perfetto load: one complete ``"X"`` event per span,
+  microsecond timestamps straight off the sim clock, one ``tid`` lane
+  per trace.
 """
 
 from __future__ import annotations
@@ -22,8 +33,11 @@ from typing import Any, Mapping
 __all__ = [
     "snapshot_to_json",
     "snapshot_to_prometheus",
+    "spans_to_chrome",
+    "spans_to_jsonl",
     "write_metrics",
     "write_series_npz",
+    "write_spans",
 ]
 
 
@@ -116,6 +130,74 @@ def write_metrics(
         prom_path = Path(prom_path)
         prom_path.parent.mkdir(parents=True, exist_ok=True)
         prom_path.write_text(snapshot_to_prometheus(snapshot))
+
+
+def spans_to_jsonl(table: Mapping[str, Any]) -> str:
+    """Render one span table as deterministic JSONL.
+
+    Line 1 is the table's metadata (every key except ``"spans"``) as
+    canonical JSON; each following line is one span, in the table's
+    own deterministic order (traces sorted by root start time, spans
+    preorder within each trace).  Round-trips losslessly: the header
+    plus the span lines reassemble the exact table.
+    """
+    meta = {k: v for k, v in table.items() if k != "spans"}
+    lines = [json.dumps(meta, sort_keys=True, separators=(",", ":"))]
+    for span in table.get("spans", []):
+        lines.append(json.dumps(span, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def spans_to_chrome(table: Mapping[str, Any]) -> str:
+    """Render one span table as Chrome trace-event JSON (Perfetto-loadable).
+
+    Every span becomes one complete ``"X"`` duration event with
+    microsecond ``ts``/``dur`` straight off the sim clock, ``name`` =
+    span kind, ``cat`` = site, and the trace/span/parent ids in
+    ``args``.  Traces map to ``tid`` lanes in first-appearance order
+    (the table's deterministic trace order), so one request's tree
+    stacks in one lane.
+    """
+    tids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in table.get("spans", []):
+        trace = span["trace"]
+        if trace not in tids:
+            tids[trace] = len(tids) + 1
+        args = dict(span["attrs"])
+        args["trace"] = trace
+        args["span"] = span["span"]
+        args["parent"] = span["parent"]
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[trace],
+                "ts": span["t0_us"],
+                "dur": span["t1_us"] - span["t0_us"],
+                "name": span["kind"],
+                "cat": span["site"],
+                "args": args,
+            }
+        )
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_spans(
+    table: Mapping[str, Any],
+    jsonl_path: str | Path | None = None,
+    chrome_path: str | Path | None = None,
+) -> None:
+    """Write the JSONL and/or Chrome-trace renderings of one span table."""
+    if jsonl_path is not None:
+        jsonl_path = Path(jsonl_path)
+        jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        jsonl_path.write_text(spans_to_jsonl(table))
+    if chrome_path is not None:
+        chrome_path = Path(chrome_path)
+        chrome_path.parent.mkdir(parents=True, exist_ok=True)
+        chrome_path.write_text(spans_to_chrome(table))
 
 
 def write_series_npz(

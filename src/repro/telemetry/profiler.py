@@ -71,6 +71,44 @@ class PhaseProfiler:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 
+    def write_chrome(
+        self, path: str | Path, meta: Mapping[str, Any] | None = None
+    ) -> Path:
+        """Write the profile as Chrome trace-event JSON (Perfetto-loadable).
+
+        The profiler keeps per-phase *totals*, not individual
+        intervals, so the timeline is an aggregate: one ``"X"`` event
+        per phase, laid head-to-tail in sorted-name order, each span's
+        width its accumulated seconds (``args`` carries the call count
+        and the raw total).  Wall-clock data — like :meth:`write`, the
+        artifact is intentionally not byte-stable across runs.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        events: list[dict[str, Any]] = []
+        offset_us = 0.0
+        for name in sorted(self._seconds):
+            dur_us = self._seconds[name] * 1e6
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": offset_us,
+                    "dur": dur_us,
+                    "name": name,
+                    "cat": "wall",
+                    "args": {
+                        "calls": self._calls[name],
+                        "seconds": self._seconds[name],
+                    },
+                }
+            )
+            offset_us += dur_us
+        payload = {"traceEvents": events, "metadata": dict(meta or {})}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
 
 class NullProfiler:
     """The do-nothing profiler substituted for ``profiler=None``."""

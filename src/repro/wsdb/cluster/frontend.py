@@ -36,7 +36,7 @@ a response the pull protocol itself would no longer honor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Any, Protocol, Sequence
 
 from repro.errors import SimulationError, SpectrumMapError
 from repro.telemetry.metrics import (
@@ -44,6 +44,7 @@ from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BOUNDS_US,
     NULL_TELEMETRY,
 )
+from repro.telemetry.spans import NULL_SPANS, lookup_steps
 from repro.wsdb.cluster.push import PushRegistry
 from repro.wsdb.cluster.router import ShardRouter
 from repro.wsdb.index import circle_intersects_cell
@@ -232,6 +233,13 @@ class BatchFrontend:
             histogram and every burst observes its size into
             ``frontend_batch_requests``; None keeps the pre-telemetry
             path byte-identical.
+        spans: optional sim-clock
+            :class:`~repro.telemetry.spans.SpanRecorder`.  When
+            attached *and* a caller labels its requests (the
+            ``span_refs`` argument of :meth:`query_batch`), every
+            served request records a full admission → shard-lookup →
+            cache span tree and every shed attempt a ``shed_defer``;
+            None keeps the path byte-identical.
     """
 
     def __init__(
@@ -242,6 +250,7 @@ class BatchFrontend:
         policy: str = RejectPolicy.name,
         push: PushRegistry | None = None,
         telemetry=None,
+        spans=None,
     ):
         if push is not None and (
             push.cache_resolution_m != router.cache_resolution_m
@@ -256,6 +265,7 @@ class BatchFrontend:
         self.policy = shed_policy(policy)
         self.push = push
         self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        self.spans = NULL_SPANS if spans is None else spans
         self.stats = FrontendStats()
         # cell -> (TTL bucket the response was computed in, channels).
         self._stale: dict[tuple[int, int], tuple[int, tuple[int, ...]]] = {}
@@ -286,6 +296,7 @@ class BatchFrontend:
         points: Sequence[tuple[float, float]],
         t_us: float = 0.0,
         enqueue_t_us: Sequence[float] | None = None,
+        span_refs: Sequence[tuple[str, Any]] | None = None,
     ) -> list[tuple[int, ...] | None]:
         """Answer a burst: admit, coalesce by cell, batch per shard.
 
@@ -303,6 +314,12 @@ class BatchFrontend:
         is honestly zero — but the stamp plumbing is exactly what the
         ROADMAP's pipelined async tier will feed with real
         queue-residency times.
+
+        ``span_refs`` optionally labels each request with a
+        ``(req, subject)`` identity for the attached span recorder
+        (e.g. ``("storm", sequence)`` / ``("recheck", client_id)``);
+        trace ids derive from the label plus the enqueue stamp, so a
+        deferred request's retries accumulate into one trace.
         """
         if not points:
             return []
@@ -337,12 +354,17 @@ class BatchFrontend:
         self.stats.coalesced += admitted_count - len(seen)
         # Pass 3: one batched call per shard, in shard order (the
         # deterministic order the parallel/sequential contract needs).
+        span_on = self.spans.enabled and span_refs is not None
+        lookups: dict[tuple[int, int], tuple[int, bool, int]] = {}
         responses: dict[tuple[int, int], tuple[int, ...]] = {}
         for shard_id in sorted(by_shard):
             self.stats.shard_batches += 1
             shard = self.router.shards[shard_id]
             for cell in by_shard[shard_id]:
                 responses[cell] = shard.channels_in_cell(*cell, t_us)
+                if span_on:
+                    hit, scanned = shard.last_outcomes[0]
+                    lookups[cell] = (shard_id, hit, scanned)
         for cell, channels in responses.items():
             self._stale[cell] = (self._bucket_now, channels)
         # Pass 4: answer in request order; shed requests go through the
@@ -351,6 +373,10 @@ class BatchFrontend:
             responses[cell] if admitted else self.policy.shed(self, *cell)
             for cell, admitted in plan
         ]
+        if span_on:
+            self._record_spans(
+                plan, answers, lookups, t_us, enqueue_t_us, span_refs
+            )
         tel = self.telemetry
         if tel.enabled:
             tel.histogram(
@@ -366,20 +392,75 @@ class BatchFrontend:
                 latency.observe(t_us - enqueued)
         return answers
 
+    def _record_spans(
+        self,
+        plan: list[tuple[tuple[int, int], bool]],
+        answers: list[tuple[int, ...] | None],
+        lookups: dict[tuple[int, int], tuple[int, bool, int]],
+        t_us: float,
+        enqueue_t_us: Sequence[float] | None,
+        span_refs: Sequence[tuple[str, Any]],
+    ) -> None:
+        """Record one span tree (or a defer) per request of the burst.
+
+        Replays the batch's own classification in request order: the
+        first admitted request per cell is the *primary* (it carries
+        the shard lookup's cache-hit/scan spans), later admitted
+        requests for the same cell are ``coalesced``, and shed
+        requests either defer (answer None) or serve from the stale
+        store.
+        """
+        sp = self.spans
+        primary: set[tuple[int, int]] = set()
+        for i, ((cell, admitted), answer) in enumerate(zip(plan, answers)):
+            req, subject = span_refs[i]
+            enq = t_us if enqueue_t_us is None else enqueue_t_us[i]
+            tid = sp.request_begin(req, subject, enq)
+            if not admitted:
+                sp.request_defer(tid, t_us)
+                if answer is None:
+                    continue
+                sp.request_serve(
+                    tid, t_us, "frontend",
+                    [("stale_serve", "frontend", {}, ())],
+                )
+                continue
+            if cell in lookups and cell not in primary:
+                primary.add(cell)
+                shard_id, hit, scanned = lookups[cell]
+                steps = [
+                    ("admission", "frontend", {}, ()),
+                    lookup_steps(hit, scanned, f"shard{shard_id}", shard=True),
+                ]
+            else:
+                steps = [
+                    ("admission", "frontend", {}, ()),
+                    ("coalesced", "frontend", {}, ()),
+                ]
+            sp.request_serve(tid, t_us, "frontend", steps)
+
     def query(
         self,
         x_m: float,
         y_m: float,
         t_us: float = 0.0,
         enqueue_t_us: float | None = None,
+        span_ref: tuple[str, Any] | None = None,
     ) -> tuple[int, ...] | None:
         """One request through the same admission/batching path."""
         stamps = None if enqueue_t_us is None else [enqueue_t_us]
-        return self.query_batch([(x_m, y_m)], t_us, enqueue_t_us=stamps)[0]
+        refs = None if span_ref is None else [span_ref]
+        return self.query_batch(
+            [(x_m, y_m)], t_us, enqueue_t_us=stamps, span_refs=refs
+        )[0]
 
     # -- updates -------------------------------------------------------------
 
-    def register_mic(self, registration: MicRegistration) -> tuple[int, ...]:
+    def register_mic(
+        self,
+        registration: MicRegistration,
+        span_ref: tuple[int, float] | None = None,
+    ) -> tuple[int, ...]:
         """Accept a registration: invalidate, then push-notify.
 
         Routes the zone through the shard tier (each touched shard
@@ -389,9 +470,13 @@ class BatchFrontend:
         notification out through the push registry when one is
         attached.  Returns the notified device ids (empty without a
         registry).
+
+        ``span_ref`` optionally labels the registration with its
+        ``(event index, t_us)`` identity so the attached span recorder
+        can record the invalidation + push fan-out tree.
         """
-        self.router.register_mic(registration)
-        for cell in [
+        invalidated = self.router.register_mic(registration)
+        purged = [
             cell
             for cell in self._stale
             if circle_intersects_cell(
@@ -401,11 +486,29 @@ class BatchFrontend:
                 *cell,
                 self.router.cache_resolution_m,
             )
-        ]:
+        ]
+        for cell in purged:
             del self._stale[cell]
-        if self.push is None:
-            return ()
-        return self.push.notify_zone(registration)
+        notified = (
+            () if self.push is None else self.push.notify_zone(registration)
+        )
+        sp = self.spans
+        if sp.enabled and span_ref is not None:
+            index, t_us = span_ref
+            steps = [
+                (
+                    "invalidate",
+                    "frontend",
+                    {"entries": int(invalidated), "stale_purged": len(purged)},
+                    (),
+                )
+            ]
+            if self.push is not None:
+                steps.append(
+                    ("push_fanout", "push", {"notified": len(notified)}, ())
+                )
+            sp.record_tree("mic_register", "mic", index, t_us, "frontend", steps)
+        return notified
 
     def publish_metrics(self, telemetry=None) -> None:
         """Publish the whole front-door stack into a sim-clock registry.

@@ -41,6 +41,7 @@ from typing import Any, Iterable, Iterator
 from repro.errors import SimulationError
 from repro.sim.rng import stream_seed
 from repro.telemetry.metrics import NULL_TELEMETRY
+from repro.telemetry.spans import NULL_SPANS
 from repro.traces.record import NULL_RECORDER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
@@ -152,6 +153,7 @@ def simulate_querystorm(
     recorder: Any = None,
     telemetry: Any = None,
     profiler: Any = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
     """Run one querystorm session; returns a plain-data report.
 
@@ -211,6 +213,15 @@ def simulate_querystorm(
             engine's batched tick stages; the scalar reference loop
             accepts the argument for signature parity but does not
             profile.  Never affects the report.
+        spans: a sim-clock
+            :class:`~repro.telemetry.spans.SpanRecorder` (None: the
+            zero-overhead null recorder).  When attached, every storm
+            query and client re-check records a request-scoped span
+            tree through the frontend and every mic registration an
+            invalidation/fan-out tree, and the report gains a
+            ``"spans"`` table.  Deterministic: both engines emit
+            byte-identical span sets; with None the report is
+            byte-identical to a spans-free run.
     """
     if num_clients < 0:
         raise SimulationError(
@@ -260,6 +271,7 @@ def simulate_querystorm(
             recorder=recorder,
             telemetry=telemetry,
             profiler=profiler,
+            spans=spans,
         )
 
     if recorder is None:
@@ -267,6 +279,8 @@ def simulate_querystorm(
     recording = recorder.enabled
     tel = NULL_TELEMETRY if telemetry is None else telemetry
     tel_on = tel.enabled
+    sp = NULL_SPANS if spans is None else spans
+    sp_on = sp.enabled
     registry = PushRegistry(router.cache_resolution_m) if push else None
     frontend = BatchFrontend(
         router,
@@ -275,6 +289,7 @@ def simulate_querystorm(
         policy=policy,
         push=registry,
         telemetry=tel,
+        spans=sp,
     )
 
     extent_m = router.metro.extent_m
@@ -312,7 +327,10 @@ def simulate_querystorm(
     def register_event(event: MicEvent, index: int) -> tuple[int, ...]:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
-        notified = frontend.register_mic(registration)
+        notified = frontend.register_mic(
+            registration,
+            span_ref=(index, event.t_us) if sp_on else None,
+        )
         if recording:
             mic_cell = quantize_cell(
                 event.x_m, event.y_m, router.cache_resolution_m
@@ -384,9 +402,17 @@ def simulate_querystorm(
         # the starvation scenario shed policies exist for.
         points = feed.burst(t_us)
         if points:
+            span_refs = (
+                [("storm", storm_queries + j) for j in range(len(points))]
+                if sp_on
+                else None
+            )
             storm_queries += len(points)
             responses = frontend.query_batch(
-                points, t_us, enqueue_t_us=feed.last_times
+                points,
+                t_us,
+                enqueue_t_us=feed.last_times,
+                span_refs=span_refs,
             )
             if recording:
                 for (x_m, y_m), response, (qcell, admitted) in zip(
@@ -429,6 +455,9 @@ def simulate_querystorm(
                     client.y_m,
                     t_us,
                     enqueue_t_us=t_us if since is None else since,
+                    span_ref=(
+                        ("recheck", client.client_id) if sp_on else None
+                    ),
                 )
                 if recording:
                     qcell, admitted = frontend.last_plan[0]
@@ -643,4 +672,6 @@ def simulate_querystorm(
     }
     if tel_on:
         report["telemetry"] = tel.snapshot()
+    if sp_on:
+        report["spans"] = sp.snapshot()
     return report

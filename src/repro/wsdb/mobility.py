@@ -46,6 +46,7 @@ from typing import Any
 from repro.errors import SimulationError
 from repro.sim.rng import stream_seed
 from repro.telemetry.metrics import NULL_TELEMETRY
+from repro.telemetry.spans import NULL_SPANS, lookup_steps
 from repro.traces.record import NULL_RECORDER
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
@@ -239,6 +240,7 @@ def simulate_roaming(
     recorder: Any = None,
     telemetry: Any = None,
     profiler: Any = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
     """Run one roaming session; returns a plain-data report.
 
@@ -284,6 +286,14 @@ def simulate_roaming(
             engine's batched tick stages; the scalar reference loop
             accepts the argument for signature parity but does not
             profile.  Never affects the report.
+        spans: a sim-clock
+            :class:`~repro.telemetry.spans.SpanRecorder` (None: the
+            zero-overhead null recorder).  When attached, every client
+            re-check records a cache-lookup span tree and every mic
+            registration an invalidation tree, and the report gains a
+            ``"spans"`` table.  Deterministic: both engines emit
+            byte-identical span sets; with None the report is
+            byte-identical to a spans-free run.
     """
     if num_clients < 1:
         raise SimulationError(
@@ -323,6 +333,7 @@ def simulate_roaming(
             recorder=recorder,
             telemetry=telemetry,
             profiler=profiler,
+            spans=spans,
         )
 
     if recorder is None:
@@ -330,6 +341,8 @@ def simulate_roaming(
     recording = recorder.enabled
     tel = NULL_TELEMETRY if telemetry is None else telemetry
     tel_on = tel.enabled
+    sp = NULL_SPANS if spans is None else spans
+    sp_on = sp.enabled
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
     clients = spawn_clients(num_clients, seed, "roaming-client", extent_m)
@@ -356,7 +369,16 @@ def simulate_roaming(
     def register_event(event: MicEvent, index: int) -> None:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
-        db.register_mic(registration)
+        invalidated = db.register_mic(registration)
+        if sp_on:
+            sp.record_tree(
+                "mic_register",
+                "mic",
+                index,
+                event.t_us,
+                "db",
+                [("invalidate", "db", {"entries": int(invalidated)}, ())],
+            )
         if recording:
             recorder.emit(
                 "mic",
@@ -407,6 +429,16 @@ def simulate_roaming(
             bucket = ttl_bucket(t_us, db.ttl_us)
             if cell != client.last_cell or bucket != client.last_bucket:
                 response = db.channels_at(client.x_m, client.y_m, t_us)
+                if sp_on:
+                    hit, scanned = db.last_outcomes[0]
+                    sp.record_tree(
+                        "request",
+                        "roam",
+                        client.client_id,
+                        t_us,
+                        "db",
+                        [lookup_steps(hit, scanned, "db")],
+                    )
                 client.known_free = frozenset(response)
                 client.last_cell = cell
                 client.last_bucket = bucket
@@ -589,4 +621,6 @@ def simulate_roaming(
     }
     if tel_on:
         report["telemetry"] = tel.snapshot()
+    if sp_on:
+        report["spans"] = sp.snapshot()
     return report

@@ -252,6 +252,11 @@ class WhiteSpaceDatabase:
         self._cache: OrderedDict[_CacheKey, tuple[int, ...]] = OrderedDict()
         self._latest_bucket = 0
         self.stats = WsdbStats()
+        # The last query call's per-cell outcomes, one (cache_hit,
+        # candidates_scanned) entry per requested cell in request
+        # order.  The running stats totals can't tell a caller (e.g. a
+        # span recorder) what *this* lookup did — the outcomes can.
+        self.last_outcomes: tuple[tuple[bool, int], ...] = ()
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -344,10 +349,15 @@ class WhiteSpaceDatabase:
         cached = self._lookup(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            self.last_outcomes = ((True, 0),)
             return cached
         self.stats.cache_misses += 1
+        scanned_before = self.stats.candidates_scanned
         channels = self._compute_cell(qx, qy, t_us)
         self._store(key, channels)
+        self.last_outcomes = (
+            (False, self.stats.candidates_scanned - scanned_before),
+        )
         return channels
 
     def channels_in_cells(
@@ -374,19 +384,26 @@ class WhiteSpaceDatabase:
         cache = self._cache
         hits = misses = 0
         responses: list[tuple[int, ...]] = []
+        outcomes: list[tuple[bool, int]] = []
         for qx, qy in cells:
             key = _CacheKey(qx=qx, qy=qy, bucket=bucket)
             channels = cache.get(key)
             if channels is not None:
                 cache.move_to_end(key)
                 hits += 1
+                outcomes.append((True, 0))
             else:
                 misses += 1
+                scanned_before = self.stats.candidates_scanned
                 channels = self._compute_cell(qx, qy, t_us)
                 self._store(key, channels)
+                outcomes.append(
+                    (False, self.stats.candidates_scanned - scanned_before)
+                )
             responses.append(channels)
         self.stats.cache_hits += hits
         self.stats.cache_misses += misses
+        self.last_outcomes = tuple(outcomes)
         return responses
 
     def channels_at(

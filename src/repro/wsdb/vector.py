@@ -58,6 +58,7 @@ import numpy as np
 from repro.sim.rng import stream_seed
 from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.telemetry.profiler import NULL_PROFILER
+from repro.telemetry.spans import NULL_SPANS, lookup_steps
 from repro.wsdb.citywide import (
     DEFAULT_INTERFERENCE_RADIUS_M,
     boot_aps,
@@ -484,6 +485,7 @@ def simulate_roaming_vector(
     recorder: Any = None,
     telemetry: Any = None,
     profiler: Any = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
     """The columnar twin of :func:`~repro.wsdb.mobility.simulate_roaming`.
 
@@ -500,7 +502,10 @@ def simulate_roaming_vector(
     scalar engine's) and ``profiler`` (wall-clock phase breakdown of
     the batched tick stages: advance / recheck-detect / batch-lookup /
     associate / compliance) both observe only — the report is
-    unchanged except for the ``"telemetry"`` snapshot key.
+    unchanged except for the ``"telemetry"`` snapshot key.  ``spans``
+    records the identical span set the scalar engine emits (the batch
+    lookup's per-cell outcomes are replayed per client in client
+    order).
     """
     if recheck_m is None:
         recheck_m = db.cache_resolution_m
@@ -509,6 +514,8 @@ def simulate_roaming_vector(
     recording = recorder.enabled
     tel = NULL_TELEMETRY if telemetry is None else telemetry
     tel_on = tel.enabled
+    sp = NULL_SPANS if spans is None else spans
+    sp_on = sp.enabled
     prof = NULL_PROFILER if profiler is None else profiler
     extent_m = db.metro.extent_m
     aps = boot_aps(db, num_aps, seed, "roaming-aps", interference_radius_m)
@@ -529,7 +536,16 @@ def simulate_roaming_vector(
     def register_event(event, index: int) -> None:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
-        db.register_mic(registration)
+        invalidated = db.register_mic(registration)
+        if sp_on:
+            sp.record_tree(
+                "mic_register",
+                "mic",
+                index,
+                event.t_us,
+                "db",
+                [("invalidate", "db", {"entries": int(invalidated)}, ())],
+            )
         if recording:
             _record_mic_event(recorder, event, index, db.cache_resolution_m)
         d, b, r, o = displace_covered_aps(
@@ -579,6 +595,20 @@ def simulate_roaming_vector(
                 cells = list(zip(qx[idx].tolist(), qy[idx].tolist()))
                 responses = db.channels_in_cells(cells, t_us)
                 fleet.commit_recheck(idx, trig_x, trig_y, bucket, responses)
+            if sp_on:
+                # Replay the batch's per-cell outcomes per client in
+                # client order — the scalar loop's exact span sequence.
+                outs = db.last_outcomes
+                for j, i in enumerate(idx.tolist()):
+                    hit, scanned = outs[j]
+                    sp.record_tree(
+                        "request",
+                        "roam",
+                        i,
+                        t_us,
+                        "db",
+                        [lookup_steps(hit, scanned, "db")],
+                    )
             if recording:
                 for j, i in enumerate(idx.tolist()):
                     recorder.emit(
@@ -659,6 +689,8 @@ def simulate_roaming_vector(
     }
     if tel_on:
         report["telemetry"] = tel.snapshot()
+    if sp_on:
+        report["spans"] = sp.snapshot()
     return report
 
 
@@ -683,6 +715,7 @@ def simulate_querystorm_vector(
     recorder: Any = None,
     telemetry: Any = None,
     profiler: Any = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
     """The columnar twin of the cluster's ``simulate_querystorm``.
 
@@ -701,7 +734,9 @@ def simulate_querystorm_vector(
     stream the scalar engine would emit.  ``telemetry`` and
     ``profiler`` behave as on the vector roaming driver: deterministic
     sim-clock metrics (snapshot-identical to the scalar engine's) and
-    a wall-clock phase breakdown, both observation-only.
+    a wall-clock phase breakdown, both observation-only.  ``spans``
+    records the identical span set the scalar engine emits (burst and
+    re-check submission order are already sequential here).
     """
     from repro.wsdb.cluster.frontend import BatchFrontend
     from repro.wsdb.cluster.push import PushRegistry
@@ -714,6 +749,8 @@ def simulate_querystorm_vector(
     recording = recorder.enabled
     tel = NULL_TELEMETRY if telemetry is None else telemetry
     tel_on = tel.enabled
+    sp = NULL_SPANS if spans is None else spans
+    sp_on = sp.enabled
     prof = NULL_PROFILER if profiler is None else profiler
 
     registry = PushRegistry(router.cache_resolution_m) if push else None
@@ -724,6 +761,7 @@ def simulate_querystorm_vector(
         policy=policy,
         push=registry,
         telemetry=tel,
+        spans=sp,
     )
 
     extent_m = router.metro.extent_m
@@ -751,7 +789,10 @@ def simulate_querystorm_vector(
     def register_event(event, index: int) -> tuple[int, ...]:
         nonlocal displaced, backup_recoveries, full_reassignments, outages
         registration = event.registration()
-        notified = frontend.register_mic(registration)
+        notified = frontend.register_mic(
+            registration,
+            span_ref=(index, event.t_us) if sp_on else None,
+        )
         if recording:
             mic_cell = _record_mic_event(
                 recorder, event, index, router.cache_resolution_m
@@ -818,9 +859,17 @@ def simulate_querystorm_vector(
         # clients' re-checks.
         points = feed.burst(t_us)
         if points:
+            span_refs = (
+                [("storm", storm_queries + j) for j in range(len(points))]
+                if sp_on
+                else None
+            )
             storm_queries += len(points)
             responses = frontend.query_batch(
-                points, t_us, enqueue_t_us=feed.last_times
+                points,
+                t_us,
+                enqueue_t_us=feed.last_times,
+                span_refs=span_refs,
             )
             if recording:
                 for (x_m, y_m), response, (qcell, admitted) in zip(
@@ -871,6 +920,7 @@ def simulate_querystorm_vector(
                     float(y[i]),
                     t_us,
                     enqueue_t_us=t_us if since is None else since,
+                    span_ref=("recheck", i) if sp_on else None,
                 )
                 if recording:
                     qcell, admitted = frontend.last_plan[0]
@@ -994,4 +1044,6 @@ def simulate_querystorm_vector(
     }
     if tel_on:
         report["telemetry"] = tel.snapshot()
+    if sp_on:
+        report["spans"] = sp.snapshot()
     return report

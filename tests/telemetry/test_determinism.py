@@ -12,12 +12,20 @@ contract:
   execution agree snapshot-for-snapshot.
 """
 
+from bisect import bisect_left
+
 import pytest
 
 from repro.telemetry import (
     MetricsRegistry,
+    SpanRecorder,
+    critical_path,
+    path_self_times,
     snapshot_to_json,
     snapshot_to_prometheus,
+    spans_to_chrome,
+    spans_to_jsonl,
+    trace_spans,
 )
 from repro.wsdb.cluster.querystorm import simulate_querystorm
 from repro.wsdb.cluster.router import ShardRouter
@@ -30,7 +38,7 @@ pytest.importorskip("numpy")
 SEEDS = (3, 11, 2009)
 
 
-def run_roaming(seed, engine, telemetry=None):
+def run_roaming(seed, engine, telemetry=None, spans=None):
     metro = generate_metro(range(0, 10), seed=seed, extent_m=3_000.0)
     return simulate_roaming(
         WhiteSpaceDatabase(metro),
@@ -42,10 +50,11 @@ def run_roaming(seed, engine, telemetry=None):
         mic_events=2,
         engine=engine,
         telemetry=telemetry,
+        spans=spans,
     )
 
 
-def run_querystorm(seed, engine, telemetry=None):
+def run_querystorm(seed, engine, telemetry=None, spans=None):
     # burst_size below one tick's storm load, so admission sheds and
     # deferred re-checks populate the latency histogram's tail.
     metro = generate_metro(range(0, 10), seed=seed, extent_m=3_000.0)
@@ -63,6 +72,7 @@ def run_querystorm(seed, engine, telemetry=None):
         mic_events=2,
         engine=engine,
         telemetry=telemetry,
+        spans=spans,
     )
 
 
@@ -110,6 +120,84 @@ class TestOffParity:
         snapshot = observed.pop("telemetry")
         assert snapshot["counters"]
         assert observed == plain
+
+
+class TestSpanParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_querystorm_span_exports_byte_identical(self, seed):
+        tables = [
+            run_querystorm(seed, engine, spans=SpanRecorder())["spans"]
+            for engine in ENGINES
+        ]
+        assert spans_to_jsonl(tables[0]) == spans_to_jsonl(tables[1])
+        assert spans_to_chrome(tables[0]) == spans_to_chrome(tables[1])
+        assert tables[0]["traces"] > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_roaming_span_exports_byte_identical(self, seed):
+        tables = [
+            run_roaming(seed, engine, spans=SpanRecorder())["spans"]
+            for engine in ENGINES
+        ]
+        assert spans_to_jsonl(tables[0]) == spans_to_jsonl(tables[1])
+        assert tables[0]["traces"] > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_spans_off_report_unchanged(self, engine):
+        plain = run_querystorm(3, engine)
+        observed = run_querystorm(3, engine, spans=SpanRecorder())
+        assert "spans" not in plain
+        table = observed.pop("spans")
+        assert table["traces"] > 0
+        assert observed == plain
+
+    def test_exemplars_resolve_and_critical_path_sums_to_latency(self):
+        # The acceptance bar: for a storm that sheds, every exemplar
+        # trace id in every latency bucket (the p99 bucket included)
+        # resolves to a recorded span tree whose critical-path self
+        # times sum exactly to the request's observed latency.
+        table = run_querystorm(11, "vector", spans=SpanRecorder())["spans"]
+        bounds = table["latency_bounds"]
+        assert sum(table["latency_counts"][1:]) > 0, "storm never shed"
+        assert table["exemplars"]
+        checked = 0
+        for ids in table["exemplars"].values():
+            for tid in ids:
+                spans = trace_spans(table, tid)
+                assert spans, f"exemplar {tid} has no recorded tree"
+                root = spans[0]
+                latency = root["attrs"]["latency_us"]
+                self_times = path_self_times(critical_path(spans))
+                assert sum(t for _, t in self_times) == latency
+                checked += 1
+        assert checked > 0
+        # The deferred tail is represented: some exemplar beyond the
+        # first bucket exists, and its bucket matches its latency.
+        tails = {
+            label: ids
+            for label, ids in table["exemplars"].items()
+            if label != "le_0" and ids
+        }
+        assert tails, "no tail-bucket exemplar recorded"
+        for label, ids in tails.items():
+            for tid in ids:
+                root = trace_spans(table, tid)[0]
+                bucket = bisect_left(bounds, root["attrs"]["latency_us"])
+                from repro.telemetry.spans import bucket_label
+
+                assert bucket_label(bounds, bucket) == label
+
+    def test_head_sampling_subsets_the_full_table(self):
+        full = run_querystorm(11, "vector", spans=SpanRecorder())["spans"]
+        sampled = run_querystorm(
+            11, "vector", spans=SpanRecorder(sample="head-4")
+        )["spans"]
+        assert sampled["latency_counts"] == full["latency_counts"]
+        assert 0 < sampled["traces"] < full["traces"]
+        assert sampled["dropped"] == full["traces"] - sampled["traces"]
+        full_ids = {s["trace"] for s in full["spans"]}
+        for span in sampled["spans"]:
+            assert span["trace"] in full_ids
 
 
 class TestReplayStability:

@@ -1,0 +1,120 @@
+"""Golden-byte pins for the metric exporters, plus merge edge cases.
+
+The determinism contract promises *byte*-identical artifacts, so these
+tests pin the exact exporter output for a small fixed registry — any
+formatting drift (float rendering, key order, `# TYPE` placement,
+separator choice) fails here before it silently invalidates recorded
+artifacts.  Alongside: the `merge_snapshots` edge cases the parallel
+runner depends on — an empty snapshot list, histograms that exist in
+only one input, and the gauge max on a tie.
+"""
+
+from repro.telemetry import (
+    MetricsRegistry,
+    merge_snapshots,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+
+
+def fixed_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("wsdb_queries_total", shard="0").inc(3)
+    reg.counter("wsdb_queries_total", shard="1").inc()
+    reg.counter("push_notifications_total").inc(2)
+    reg.gauge("frontend_queue_depth").set(4.0)
+    hist = reg.histogram("frontend_latency_us", bounds=(100.0, 1_000.0))
+    for value in (50.0, 150.0, 5_000.0):
+        hist.observe(value)
+    reg.sample_tick(0.0, served=1.0)
+    reg.sample_tick(100.0, served=3.0)
+    return reg
+
+
+GOLDEN_JSON = (
+    '{"counters":{"push_notifications_total":2,'
+    '"wsdb_queries_total{shard=\\"0\\"}":3,'
+    '"wsdb_queries_total{shard=\\"1\\"}":1},'
+    '"gauges":{"frontend_queue_depth":4.0},'
+    '"histograms":{"frontend_latency_us":{"bounds":[100.0,1000.0],'
+    '"count":3,"counts":[1,1,1],"sum":5200.0}},'
+    '"series":{"served":[1.0,3.0],"t_us":[0.0,100.0]}}\n'
+)
+
+GOLDEN_PROM = """\
+# TYPE push_notifications_total counter
+push_notifications_total 2
+# TYPE wsdb_queries_total counter
+wsdb_queries_total{shard="0"} 3
+wsdb_queries_total{shard="1"} 1
+# TYPE frontend_queue_depth gauge
+frontend_queue_depth 4
+# TYPE frontend_latency_us histogram
+frontend_latency_us_bucket{le="100"} 1
+frontend_latency_us_bucket{le="1000"} 2
+frontend_latency_us_bucket{le="+Inf"} 3
+frontend_latency_us_sum 5200
+frontend_latency_us_count 3
+"""
+
+
+class TestGoldenBytes:
+    def test_json_exact(self):
+        assert snapshot_to_json(fixed_registry().snapshot()) == GOLDEN_JSON
+
+    def test_prometheus_exact(self):
+        assert (
+            snapshot_to_prometheus(fixed_registry().snapshot())
+            == GOLDEN_PROM
+        )
+
+    def test_empty_snapshot_renders_empty(self):
+        empty = MetricsRegistry().snapshot()
+        assert snapshot_to_prometheus(empty) == ""
+        assert (
+            snapshot_to_json(empty)
+            == '{"counters":{},"gauges":{},"histograms":{},"series":{}}\n'
+        )
+
+
+class TestMergeEdgeCases:
+    def test_empty_snapshot_list(self):
+        assert merge_snapshots() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "series": {},
+        }
+
+    def test_disjoint_histograms_pass_through(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat_a", bounds=(1.0,)).observe(0.5)
+        b.histogram("lat_b", bounds=(2.0, 4.0)).observe(3.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert sorted(merged["histograms"]) == ["lat_a", "lat_b"]
+        assert merged["histograms"]["lat_a"] == {
+            "bounds": [1.0],
+            "counts": [1, 0],
+            "sum": 0.5,
+            "count": 1,
+        }
+        assert merged["histograms"]["lat_b"] == {
+            "bounds": [2.0, 4.0],
+            "counts": [0, 1, 0],
+            "sum": 3.0,
+            "count": 1,
+        }
+
+    def test_gauge_max_tie(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(7.0)
+        b.gauge("depth").set(7.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["gauges"] == {"depth": 7.0}
+
+    def test_merge_is_byte_stable_through_the_exporters(self):
+        merged = merge_snapshots(
+            fixed_registry().snapshot(), MetricsRegistry().snapshot()
+        )
+        assert snapshot_to_json(merged) == GOLDEN_JSON
+        assert snapshot_to_prometheus(merged) == GOLDEN_PROM

@@ -55,6 +55,25 @@ class TestPhaseProfiler:
         assert payload["meta"] == {"k": 1}
         assert payload["phases"]["advance"] == {"seconds": 1.0, "calls": 1}
 
+    def test_write_chrome_artifact(self, tmp_path):
+        prof = PhaseProfiler(clock=FakeClock())
+        prof.add("batch-lookup", 2.0)
+        prof.add("advance", 1.0)
+        out = prof.write_chrome(
+            tmp_path / "run.profile-chrome.json", meta={"kind": "roaming"}
+        )
+        payload = json.loads(out.read_text())
+        assert payload["metadata"] == {"kind": "roaming"}
+        events = payload["traceEvents"]
+        # One complete event per phase, head-to-tail in name order.
+        assert [e["name"] for e in events] == ["advance", "batch-lookup"]
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["ts"] == 0.0
+        assert events[0]["dur"] == 1e6
+        assert events[1]["ts"] == 1e6
+        assert events[1]["dur"] == 2e6
+        assert events[1]["args"] == {"calls": 1, "seconds": 2.0}
+
     def test_real_clock_measures_nonnegative(self):
         prof = PhaseProfiler()
         with prof.phase("p"):

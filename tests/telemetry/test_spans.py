@@ -1,0 +1,327 @@
+"""Unit tests for the sim-clock span recorder and its analysis helpers.
+
+Covers the recorder lifecycle (begin / defer / serve, one-shot trees),
+deterministic trace ids, sampling modes, exemplar links, snapshot
+ordering, the critical-path / self-time invariant, tail attribution,
+and the two span exporters' round-trip properties.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.telemetry import (
+    NULL_SPANS,
+    SpanRecorder,
+    critical_path,
+    lookup_steps,
+    parse_span_sample,
+    path_self_times,
+    spans_to_chrome,
+    spans_to_jsonl,
+    tail_attribution,
+    trace_spans,
+)
+from repro.telemetry.spans import (
+    EXEMPLARS_PER_BUCKET,
+    SPANS_SCHEMA,
+    _trace_id,
+    bucket_label,
+)
+
+BOUNDS = (100.0, 1_000.0, 10_000.0)
+
+
+def serve_one(rec, subject=7, enqueue=1_000.0, serve=3_500.0, defers=()):
+    """One full request lifecycle with a shard cache-miss serve."""
+    tid = rec.request_begin("storm", subject, enqueue)
+    for t in defers:
+        rec.request_defer(tid, t)
+    rec.request_serve(
+        tid,
+        serve,
+        "frontend",
+        [
+            ("admission", "frontend", {}, ()),
+            lookup_steps(False, 12, "shard0", shard=True),
+        ],
+    )
+    return tid
+
+
+class TestTraceIds:
+    def test_content_derived(self):
+        assert _trace_id("storm", 7, 100.0) == _trace_id("storm", 7, 100.0)
+        assert _trace_id("storm", 7, 100.0) != _trace_id("storm", 8, 100.0)
+        assert _trace_id("storm", 7, 100.0) != _trace_id("storm", 7, 200.0)
+
+    def test_two_recorders_mint_identical_ids(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        assert serve_one(a) == serve_one(b)
+
+    def test_defer_retry_lands_in_same_trace(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        first = rec.request_begin("recheck", 3, 500.0)
+        rec.request_defer(first, 500.0)
+        # The retry carries its first-attempt enqueue stamp.
+        again = rec.request_begin("recheck", 3, 500.0)
+        assert again == first
+        rec.request_serve(first, 900.0, "frontend", [])
+        spans = trace_spans(rec.snapshot(), first)
+        defers = [s for s in spans if s["kind"] == "shed_defer"]
+        assert [s["t0_us"] for s in defers] == [500.0]
+
+
+class TestRecorderLifecycle:
+    def test_serve_builds_the_documented_tree(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        tid = serve_one(rec, defers=(1_000.0, 2_000.0))
+        spans = trace_spans(rec.snapshot(), tid)
+        kinds = [s["kind"] for s in spans]
+        assert kinds == [
+            "request",
+            "queue_wait",
+            "shed_defer",
+            "shed_defer",
+            "admission",
+            "shard_lookup",
+            "db_lookup",
+            "cache_miss",
+            "index_scan",
+        ]
+        root = spans[0]
+        assert root["parent"] is None
+        assert root["attrs"] == {
+            "req": "storm",
+            "subject": 7,
+            "latency_us": 2_500.0,
+        }
+        assert (root["t0_us"], root["t1_us"]) == (1_000.0, 3_500.0)
+        # Parents reference earlier span ids (preorder).
+        for span in spans[1:]:
+            assert span["parent"] < span["span"]
+        scan = spans[-1]
+        assert scan["attrs"] == {"candidates": 12}
+
+    def test_unserved_requests_are_counted_not_exported(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        rec.request_begin("storm", 1, 0.0)
+        table = rec.snapshot()
+        assert table["unserved"] == 1
+        assert table["traces"] == 0
+        assert table["spans"] == []
+
+    def test_serve_without_begin_is_a_noop(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        assert rec.request_serve("feedface00000000", 10.0, "frontend", []) is False
+        assert rec.snapshot()["traces"] == 0
+
+    def test_record_tree_zero_duration(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        tid = rec.record_tree(
+            "mic_register",
+            "mic",
+            0,
+            4_000.0,
+            "frontend",
+            [
+                ("invalidate", "frontend", {"entries": 3}, ()),
+                ("push_fanout", "push", {"notified": 5}, ()),
+            ],
+        )
+        spans = trace_spans(rec.snapshot(), tid)
+        assert [s["kind"] for s in spans] == [
+            "mic_register",
+            "invalidate",
+            "push_fanout",
+        ]
+        assert all(s["t0_us"] == s["t1_us"] == 4_000.0 for s in spans)
+        # Zero-duration trees never enter the request latency counts.
+        assert sum(rec.snapshot()["latency_counts"]) == 0
+
+    def test_snapshot_orders_by_start_then_trace_id(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        late = serve_one(rec, subject=1, enqueue=5_000.0, serve=5_100.0)
+        early = serve_one(rec, subject=2, enqueue=100.0, serve=200.0)
+        table = rec.snapshot()
+        roots = [s for s in table["spans"] if s["parent"] is None]
+        assert [r["trace"] for r in roots] == [early, late]
+        assert table["schema"] == SPANS_SCHEMA
+
+    def test_null_spans_is_inert(self):
+        assert NULL_SPANS.enabled is False
+        tid = NULL_SPANS.request_begin("storm", 1, 0.0)
+        NULL_SPANS.request_defer(tid, 0.0)
+        assert NULL_SPANS.request_serve(tid, 1.0, "frontend", []) is False
+        assert NULL_SPANS.record_tree("x", "x", 0, 0.0, "s", []) == ""
+        assert NULL_SPANS.snapshot()["spans"] == []
+
+
+class TestSampling:
+    def test_parse_modes(self):
+        assert parse_span_sample(None) == ("off",)
+        assert parse_span_sample("off") == ("off",)
+        assert parse_span_sample("tail") == ("tail",)
+        assert parse_span_sample("head-4") == ("head", 4)
+
+    @pytest.mark.parametrize(
+        "bad", ["head-0", "head-x", "head-", "maybe", "tail-2"]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(SimulationError, match="span_sample"):
+            parse_span_sample(bad)
+
+    def test_head_sampling_is_deterministic_and_counts_everything(self):
+        n = 3
+        kept_ids = []
+        rec = SpanRecorder(sample=f"head-{n}", latency_bounds=BOUNDS)
+        for subject in range(30):
+            tid = serve_one(rec, subject=subject)
+            if int(tid[:8], 16) % n == 0:
+                kept_ids.append(tid)
+        table = rec.snapshot()
+        assert table["traces"] == len(kept_ids)
+        assert table["dropped"] == 30 - len(kept_ids)
+        # Latency counts are sampling-immune: all 30 serves counted.
+        assert sum(table["latency_counts"]) == 30
+        exported = {s["trace"] for s in table["spans"]}
+        assert exported == set(kept_ids)
+
+    def test_tail_sampling_keeps_only_slow_traces(self):
+        rec = SpanRecorder(sample="tail", latency_bounds=BOUNDS)
+        instant = serve_one(rec, subject=1, enqueue=100.0, serve=100.0)
+        slow = serve_one(rec, subject=2, enqueue=100.0, serve=900.0)
+        table = rec.snapshot()
+        assert trace_spans(table, instant) == []
+        assert trace_spans(table, slow) != []
+        assert table["dropped"] == 1
+        assert sum(table["latency_counts"]) == 2
+
+
+class TestExemplars:
+    def test_bucket_labels(self):
+        assert bucket_label(BOUNDS, 0) == "le_100"
+        assert bucket_label(BOUNDS, 2) == "le_10000"
+        assert bucket_label(BOUNDS, 3) == "le_inf"
+
+    def test_first_n_distinct_per_bucket(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        ids = [
+            serve_one(rec, subject=s, enqueue=0.0, serve=50.0)
+            for s in range(EXEMPLARS_PER_BUCKET + 3)
+        ]
+        table = rec.snapshot()
+        assert table["exemplars"] == {
+            "le_100": ids[:EXEMPLARS_PER_BUCKET]
+        }
+
+    def test_every_exemplar_resolves(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        for s in range(6):
+            serve_one(rec, subject=s, enqueue=0.0, serve=float(s) * 400.0)
+        table = rec.snapshot()
+        assert table["exemplars"]
+        for ids in table["exemplars"].values():
+            for tid in ids:
+                assert trace_spans(table, tid)
+
+
+class TestAnalysis:
+    def test_critical_path_follows_longest_child(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        tid = serve_one(rec, defers=(1_500.0,))
+        spans = trace_spans(rec.snapshot(), tid)
+        path = critical_path(spans)
+        # queue_wait spans the whole window; the serve-side steps are
+        # zero-duration, so the wait wins at the root.
+        assert [s["kind"] for s in path][:2] == ["request", "queue_wait"]
+
+    def test_critical_path_tie_breaks_to_lowest_span_id(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        tid = rec.record_tree(
+            "request",
+            "roam",
+            1,
+            100.0,
+            "db",
+            [("a", "db", {}, ()), ("b", "db", {}, ())],
+        )
+        path = critical_path(trace_spans(rec.snapshot(), tid))
+        assert [s["kind"] for s in path] == ["request", "a"]
+
+    def test_self_times_sum_to_root_duration(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        tid = serve_one(rec, enqueue=1_000.0, serve=9_999.0, defers=(2_000.0,))
+        spans = trace_spans(rec.snapshot(), tid)
+        path = critical_path(spans)
+        self_times = path_self_times(path)
+        assert sum(t for _, t in self_times) == pytest.approx(
+            spans[0]["attrs"]["latency_us"]
+        )
+
+    def test_tail_attribution_charges_the_slow_kind(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        for s in range(98):
+            serve_one(rec, subject=s, enqueue=0.0, serve=10.0)
+        serve_one(rec, subject=998, enqueue=0.0, serve=5_000.0)
+        serve_one(rec, subject=999, enqueue=0.0, serve=6_000.0)
+        tail = tail_attribution(rec.snapshot())
+        assert tail["requests"] == 2
+        assert tail["traces"] == 2
+        assert tail["threshold_le"] == 10_000.0
+        assert tail["by_kind"]["queue_wait"] == 11_000.0
+
+    def test_tail_attribution_empty_table(self):
+        tail = tail_attribution(SpanRecorder(latency_bounds=BOUNDS).snapshot())
+        assert tail == {
+            "quantile": 0.99,
+            "threshold_le": None,
+            "requests": 0,
+            "traces": 0,
+            "by_kind": {},
+        }
+
+
+class TestExporters:
+    def make_table(self):
+        rec = SpanRecorder(latency_bounds=BOUNDS)
+        serve_one(rec, subject=1, defers=(1_200.0,))
+        serve_one(rec, subject=2, enqueue=4_000.0, serve=4_100.0)
+        rec.record_tree(
+            "mic_register",
+            "mic",
+            0,
+            5_000.0,
+            "frontend",
+            [("invalidate", "frontend", {"entries": 1}, ())],
+        )
+        return rec.snapshot()
+
+    def test_jsonl_round_trips_the_table(self):
+        table = self.make_table()
+        text = spans_to_jsonl(table)
+        lines = text.splitlines()
+        meta = json.loads(lines[0])
+        rebuilt = dict(meta)
+        rebuilt["spans"] = [json.loads(line) for line in lines[1:]]
+        assert rebuilt == table
+
+    def test_jsonl_is_byte_stable(self):
+        assert spans_to_jsonl(self.make_table()) == spans_to_jsonl(
+            self.make_table()
+        )
+
+    def test_chrome_events_cover_every_span(self):
+        table = self.make_table()
+        payload = json.loads(spans_to_chrome(table))
+        events = payload["traceEvents"]
+        assert len(events) == len(table["spans"])
+        assert all(e["ph"] == "X" for e in events)
+        # One tid lane per trace, numbered in first-appearance order.
+        lanes = {}
+        for span, event in zip(table["spans"], events):
+            lanes.setdefault(span["trace"], event["tid"])
+            assert event["tid"] == lanes[span["trace"]]
+            assert event["args"]["trace"] == span["trace"]
+        assert sorted(lanes.values()) == list(range(1, len(lanes) + 1))

@@ -70,6 +70,21 @@ class TestValidEntries:
     def test_validate_log_walks_all_entries(self):
         bench_trend.validate_log([entry(), entry()])
 
+    def test_observability_row_accepted(self):
+        obs = {
+            "clients": 1000,
+            "observed_wall_s": 1.9,
+            "plain_wall_s": 1.5,
+            "overhead_ratio": 1.27,
+            "spans": 4200,
+            "traces": 900,
+        }
+        bench_trend.validate_entry(entry(observability=obs), 0)
+
+    def test_entry_without_observability_still_valid(self):
+        # Entries predating the A/B row stay valid without it.
+        bench_trend.validate_entry(entry(), 0)
+
 
 class TestRejectedEntries:
     def test_unknown_entry_key_named_in_error(self):
@@ -109,6 +124,28 @@ class TestRejectedEntries:
     def test_non_dict_entry_rejected(self):
         with pytest.raises(bench_trend.SchemaError, match="expected an object"):
             bench_trend.validate_entry(["not", "a", "dict"], 0)
+
+    def test_observability_unknown_key_rejected(self):
+        obs = {
+            "clients": 1000,
+            "observed_wall_s": 1.9,
+            "plain_wall_s": 1.5,
+            "overhead_ratio": 1.27,
+            "spans": 4200,
+            "traces": 900,
+            "surprise": 1,
+        }
+        with pytest.raises(bench_trend.SchemaError, match="surprise"):
+            bench_trend.validate_entry(entry(observability=obs), 0)
+
+    def test_observability_missing_key_rejected(self):
+        obs = {"clients": 1000}
+        with pytest.raises(bench_trend.SchemaError, match="observability"):
+            bench_trend.validate_entry(entry(observability=obs), 0)
+
+    def test_observability_non_dict_rejected(self):
+        with pytest.raises(bench_trend.SchemaError, match="expected an object"):
+            bench_trend.validate_entry(entry(observability=[1, 2]), 0)
 
 
 class TestComparablePair:
